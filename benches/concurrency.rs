@@ -1,0 +1,59 @@
+//! Concurrent retrieval throughput through [`SharedFrontend`]: the
+//! model is read-mostly, so parallel retrievals should scale with
+//! reader threads (the reader–writer lock is only contended by
+//! administrative statements).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use motro_authz::core::fixtures;
+use motro_authz::{Frontend, SharedFrontend};
+use std::hint::black_box;
+
+fn shared() -> SharedFrontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+         view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY);
+         permit PSA to Brown;
+         permit SAE to Brown",
+    )
+    .unwrap();
+    SharedFrontend::new(fe)
+}
+
+const QUERIES_PER_THREAD: usize = 64;
+
+fn concurrent_retrieval(c: &mut Criterion) {
+    let fe = shared();
+    let mut group = c.benchmark_group("concurrent_retrieval");
+    group.sample_size(15);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &n| {
+            b.iter(|| {
+                crossbeam::scope(|s| {
+                    for _ in 0..n {
+                        let h = fe.clone();
+                        s.spawn(move |_| {
+                            for _ in 0..QUERIES_PER_THREAD {
+                                black_box(
+                                    h.retrieve(
+                                        "Brown",
+                                        "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)
+                                         where PROJECT.BUDGET >= 250,000",
+                                    )
+                                    .unwrap(),
+                                );
+                            }
+                        });
+                    }
+                })
+                .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! # motro-baselines
+//!
+//! Faithful implementations of the two access-authorization models the
+//! paper's introduction compares against:
+//!
+//! * [`systemr`] — the System R authorization mechanism of Griffiths &
+//!   Wade (TODS 1976): per-object privilege grants with the GRANT
+//!   OPTION, timestamps, and the recursive revocation algorithm.
+//!   Authorization is **all-or-nothing per object**: a query touching an
+//!   object the user lacks SELECT on is rejected, and a view is the
+//!   "access window" — permissions granted on a view V of A and B do
+//!   not authorize queries addressed at A or B, the limitation Motro's
+//!   Section 1 describes.
+//! * [`ingres`] — the INGRES query-modification algorithm of
+//!   Stonebraker & Wong (ACM 1974): permissions are single-relation
+//!   attribute sets plus a qualification; a query is modified by
+//!   conjoining the qualifications of permissions whose attribute sets
+//!   cover the query's use of each relation, and **rejected outright**
+//!   when no permission covers a referenced relation — including the
+//!   row/column asymmetry Motro criticizes (asking for one attribute
+//!   too many denies the whole query rather than masking a column).
+//!
+//! Both models are exercised head-to-head against the Motro engine by
+//! the utility experiment (`T-UTIL` in DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod ingres;
+pub mod systemr;
+
+pub use ingres::{IngresOutcome, IngresPermission, IngresStore};
+pub use systemr::{Grant, ObjectKind, Privilege, SystemR, SystemRError};

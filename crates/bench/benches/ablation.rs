@@ -1,0 +1,40 @@
+//! Experiment B-ABLATE (timing side): the cost of each refinement.
+//!
+//! The completeness side of the ablation (how much each refinement
+//! contributes to delivered data) is produced by `report --exp ablate`;
+//! this bench measures what each refinement costs in wall-clock on a
+//! mixed authorized-retrieval workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motro_bench::ablation_configs;
+use motro_bench::{ScaledWorld, WorldParams};
+use motro_core::AuthorizedEngine;
+use std::hint::black_box;
+
+fn ablation(c: &mut Criterion) {
+    let w = ScaledWorld::generate(WorldParams {
+        relations: 3,
+        rows_per_relation: 200,
+        views: 24,
+        users: 2,
+        grants_per_user: 12,
+        queries: 8,
+        seed: 9,
+    });
+    let mut group = c.benchmark_group("retrieve_by_config");
+    group.sample_size(15);
+    for (label, config) in ablation_configs() {
+        let engine = AuthorizedEngine::with_config(&w.db, &w.store, config);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                for q in &w.queries {
+                    black_box(engine.retrieve("u0", q).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment B-BASE: baseline micro-benchmarks.
+//!
+//! * System R: the recursive-revoke fixpoint over grant chains of
+//!   increasing depth (the classic worst case for Griffiths–Wade).
+//! * INGRES: query-modification cost versus the number of stored
+//!   permissions.
+//! * Motro: the paper's Example 2 end-to-end, for a reference point
+//!   against the two baselines' costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use motro_baselines::{IngresPermission, IngresStore, Privilege, SystemR};
+use motro_core::fixtures;
+use motro_core::AuthorizedEngine;
+use motro_rel::{CompOp, Value};
+use motro_views::{AttrRef, ConjunctiveQuery};
+use std::hint::black_box;
+
+fn grant_chain(depth: usize) -> SystemR {
+    let mut s = SystemR::new();
+    s.create_table("u0", "T").unwrap();
+    for i in 0..depth {
+        let grantor = format!("u{i}");
+        let grantee = format!("u{}", i + 1);
+        s.grant(&grantor, &grantee, "T", Privilege::Select, true)
+            .unwrap();
+    }
+    s
+}
+
+fn systemr_revoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systemr_revoke_chain");
+    group.sample_size(10);
+    for &depth in &[8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter_batched(
+                || grant_chain(d),
+                |mut s| {
+                    // Revoking the root grant cascades down the chain.
+                    black_box(s.revoke("u0", "u1", "T", Privilege::Select).unwrap())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn ingres_modify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingres_modify");
+    group.sample_size(20);
+    for &perms in &[16usize, 128, 1024] {
+        let mut store = IngresStore::new();
+        for i in 0..perms {
+            store.permit(IngresPermission {
+                user: format!("u{}", i % 8),
+                rel: "EMPLOYEE".into(),
+                attrs: ["NAME", "TITLE", "SALARY"].map(str::to_owned).into(),
+                qual: vec![("SALARY".into(), CompOp::Lt, Value::int(i as i64))],
+            });
+        }
+        let q = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Gt, 0)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(perms), &perms, |b, _| {
+            b.iter(|| black_box(store.modify("u7", &q)));
+        });
+    }
+    group.finish();
+}
+
+fn motro_example2_reference(c: &mut Criterion) {
+    let db = fixtures::paper_database();
+    let store = fixtures::paper_store();
+    let engine = AuthorizedEngine::new(&db, &store);
+    let q = ConjunctiveQuery::retrieve()
+        .target("EMPLOYEE", "NAME")
+        .target("EMPLOYEE", "SALARY")
+        .where_const(AttrRef::new("EMPLOYEE", "TITLE"), CompOp::Eq, "engineer")
+        .where_attr(
+            AttrRef::new("EMPLOYEE", "NAME"),
+            CompOp::Eq,
+            AttrRef::new("ASSIGNMENT", "E_NAME"),
+        )
+        .where_attr(
+            AttrRef::new("ASSIGNMENT", "P_NO"),
+            CompOp::Eq,
+            AttrRef::new("PROJECT", "NUMBER"),
+        )
+        .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 300_000)
+        .build();
+    c.bench_function("motro_example2_end_to_end", |b| {
+        b.iter(|| black_box(engine.retrieve("Klein", &q).unwrap()));
+    });
+}
+
+criterion_group!(benches, systemr_revoke, ingres_modify, motro_example2_reference);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment B-JOIN: mask-computation cost versus query join width,
+//! with the R1 product padding on and off.
+//!
+//! The meta-product is the combinatorial heart of the method: its size
+//! is the product of the per-factor candidate counts (plus the padded
+//! subsets under R1). This bench sweeps chain-join queries over 1–3
+//! relations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motro_bench::{ScaledWorld, WorldParams};
+use motro_core::{AuthorizedEngine, RefinementConfig};
+use motro_rel::CompOp;
+use motro_views::{AttrRef, ConjunctiveQuery};
+use std::hint::black_box;
+
+/// `retrieve (R_{k-1}.K, ..., R0.K) where R_i.F = R_{i-1}.K …` — a
+/// k-relation foreign-key chain.
+fn chain_query(k: usize) -> ConjunctiveQuery {
+    let mut q = ConjunctiveQuery::retrieve();
+    for i in (0..k).rev() {
+        q = q.target(&format!("R{i}"), "K");
+    }
+    let mut q = q.build();
+    for i in (1..k).rev() {
+        q.atoms.push(motro_views::CalcAtom {
+            lhs: AttrRef::new(&format!("R{i}"), "F"),
+            op: CompOp::Eq,
+            rhs: motro_views::CalcTerm::Attr(AttrRef::new(&format!("R{}", i - 1), "K")),
+        });
+    }
+    q
+}
+
+fn join_width(c: &mut Criterion) {
+    let w = ScaledWorld::generate(WorldParams {
+        relations: 3,
+        rows_per_relation: 50,
+        views: 24,
+        users: 1,
+        grants_per_user: 24,
+        queries: 0,
+        seed: 2,
+    });
+    for (label, config) in [
+        ("padded", RefinementConfig::default()),
+        (
+            "unpadded",
+            RefinementConfig {
+                product_padding: false,
+                ..RefinementConfig::default()
+            },
+        ),
+    ] {
+        let mut group = c.benchmark_group(format!("mask_vs_join_width/{label}"));
+        group.sample_size(15);
+        let engine = AuthorizedEngine::with_config(&w.db, &w.store, config);
+        for k in 1..=3usize {
+            let q = chain_query(k);
+            let plan = motro_views::compile(&q, w.db.schema()).unwrap();
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+                b.iter(|| black_box(engine.mask_for_plan("u0", &plan).unwrap()));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, join_width);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment B-APPLY: mask-application cost versus answer cardinality.
+//!
+//! Applying `A'` to `A` is the only part of the method whose cost grows
+//! with the data: each answer tuple is matched against each mask tuple
+//! (constant equality, variable binding, constraint evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use motro_core::constraint::{ConstraintAtom, ConstraintSet};
+use motro_core::{Mask, MetaCell, MetaTuple};
+use motro_rel::{tuple, CompOp, Relation, RelSchema, Domain};
+use std::hint::black_box;
+
+fn answer(rows: usize) -> Relation {
+    let schema = RelSchema::base(
+        "R1",
+        &[("K", Domain::Str), ("C", Domain::Str), ("V", Domain::Int)],
+    );
+    let mut rel = Relation::new(schema);
+    for i in 0..rows {
+        rel.insert(tuple![
+            format!("k{i}"),
+            ["red", "green", "blue"][i % 3],
+            (i as i64 * 7919) % 1_000_000
+        ])
+        .unwrap();
+    }
+    rel
+}
+
+fn masks(schema: &RelSchema) -> Mask {
+    // A realistic mixed mask: a constant-restricted tuple, a
+    // variable-with-interval tuple, and a column-only tuple.
+    Mask::new(
+        schema.clone(),
+        vec![
+            MetaTuple::new(
+                "A",
+                1,
+                vec![
+                    MetaCell::star(),
+                    MetaCell::constant("red", true),
+                    MetaCell::blank(),
+                ],
+                ConstraintSet::empty(),
+            ),
+            MetaTuple::new(
+                "B",
+                2,
+                vec![MetaCell::star(), MetaCell::blank(), MetaCell::var(9, true)],
+                ConstraintSet::new(vec![ConstraintAtom::var_const(
+                    9,
+                    CompOp::Le,
+                    500_000,
+                )]),
+            ),
+            MetaTuple::new(
+                "C",
+                3,
+                vec![MetaCell::star(), MetaCell::blank(), MetaCell::blank()],
+                ConstraintSet::empty(),
+            ),
+        ],
+    )
+}
+
+fn mask_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_apply");
+    group.sample_size(20);
+    for &rows in &[100usize, 1_000, 10_000, 100_000] {
+        let ans = answer(rows);
+        let mask = masks(ans.schema());
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(mask.apply(&ans)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mask_apply);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Experiment B-VIEWS: mask-computation cost versus the number of
+//! stored views, and versus the data size.
+//!
+//! The paper argues the meta-plan is cheap because "meta-relations …
+//! are relatively small". Two claims fall out, both measured here:
+//! mask computation scales with the number of *views* (not rows), and
+//! is independent of the database size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use motro_bench::{ScaledWorld, WorldParams};
+use motro_core::AuthorizedEngine;
+use motro_rel::{CanonicalPlan, Predicate};
+use std::hint::black_box;
+
+fn single_relation_plan() -> CanonicalPlan {
+    CanonicalPlan {
+        relations: vec!["R1".into()],
+        selection: Predicate::always(),
+        projection: vec![0, 2, 3],
+    }
+}
+
+fn mask_vs_views(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_vs_views");
+    group.sample_size(20);
+    for &views in &[8usize, 32, 128, 512] {
+        let w = ScaledWorld::generate(WorldParams {
+            relations: 3,
+            rows_per_relation: 100,
+            views,
+            users: 1,
+            grants_per_user: views,
+            queries: 0,
+            seed: 1,
+        });
+        let plan = single_relation_plan();
+        let engine = AuthorizedEngine::new(&w.db, &w.store);
+        group.bench_with_input(BenchmarkId::from_parameter(views), &views, |b, _| {
+            b.iter(|| black_box(engine.mask_for_plan("u0", &plan).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn mask_vs_datasize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_vs_datasize");
+    group.sample_size(20);
+    for &rows in &[100usize, 1_000, 10_000] {
+        let w = ScaledWorld::generate(WorldParams {
+            relations: 3,
+            rows_per_relation: rows,
+            views: 32,
+            users: 1,
+            grants_per_user: 32,
+            queries: 0,
+            seed: 1,
+        });
+        let plan = single_relation_plan();
+        let engine = AuthorizedEngine::new(&w.db, &w.store);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(engine.mask_for_plan("u0", &plan).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mask_vs_views, mask_vs_datasize);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! # motro-bench
+//!
+//! Synthetic workload generation and the experiment harness for the
+//! reproduction. Every table in `EXPERIMENTS.md` is produced either by
+//! the `report` binary (qualitative reproductions and the utility
+//! table) or by the Criterion benchmarks in `benches/` (timing).
+
+#![warn(missing_docs)]
+
+pub mod util;
+pub mod workload;
+
+pub use util::{ablation_configs, ablation_table, render_ablation_table, render_utility_table, AblationRow, utility_table, ModelScore, UtilityRow, WorkloadClass};
+pub use workload::{ScaledWorld, WorldParams};

@@ -1,0 +1,448 @@
+//! Conjunctive-query containment: a sound homomorphism test.
+//!
+//! Section 3 frames authorization as view containment: "Q should be
+//! authorized if it is also a view of V₁,…,Vₘ". The engine *infers*
+//! masks instead of deciding containment (the paper explicitly trades
+//! completeness for tractability), but a direct containment test is
+//! still valuable: it certifies full-access decisions, powers the
+//! System R baseline's "can this query be re-aimed at that view?"
+//! check, and gives the test-suite an independent oracle.
+//!
+//! [`contained_in`] decides `Q ⊆ V` **soundly** (never a false
+//! positive) by the classic Chandra–Merlin containment homomorphism,
+//! extended conservatively to the paper's comparison atoms:
+//!
+//! * every membership atom of `V` must map to an atom of `Q` over the
+//!   same relation, consistently on variables and constants;
+//! * `V`'s head must map positionally onto `Q`'s head;
+//! * every comparison of `V` must be *implied* by `Q` under the
+//!   mapping, where single-variable comparisons are decided exactly by
+//!   the interval solver and anything else must appear in `Q`
+//!   syntactically.
+//!
+//! Incompleteness is inherited from the comparison extension (pure
+//! equality-join queries are decided exactly); callers must treat
+//! `false` as "not provably contained".
+
+use crate::constraint::Interval;
+use motro_rel::{CompOp, DbSchema, Value};
+use motro_views::{normalize, CompRhs, NormalizedView, VarId, VarTerm};
+
+/// What a view variable maps to in the query.
+#[derive(Debug, Clone, PartialEq)]
+enum Image {
+    Var(VarId),
+    Const(Value),
+    /// A specific anonymous position of a specific query atom: distinct
+    /// existential, identified by (query-atom index, position).
+    Anon(usize, usize),
+}
+
+/// Is every answer of `query` an answer of `view`, on every database
+/// instance? Sound, not complete (see module docs).
+///
+/// Both statements must have the same number of targets; `query ⊆ view`
+/// additionally requires the i-th target of `view` to map onto the
+/// i-th target of `query`.
+pub fn contained_in(query: &NormalizedView, view: &NormalizedView) -> bool {
+    if head_arity(query) != head_arity(view) {
+        return false;
+    }
+    // Backtracking assignment of view atoms to query atoms.
+    let mut assignment: Vec<Option<usize>> = vec![None; view.atoms.len()];
+    search(query, view, 0, &mut assignment)
+}
+
+fn head_arity(v: &NormalizedView) -> usize {
+    v.atoms
+        .iter()
+        .map(|a| a.starred.iter().filter(|s| **s).count())
+        .sum()
+}
+
+/// The head positions of a normalized view in display order:
+/// `(atom index, position)` for every starred position.
+fn head_positions(v: &NormalizedView) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (ai, a) in v.atoms.iter().enumerate() {
+        for (p, s) in a.starred.iter().enumerate() {
+            if *s {
+                out.push((ai, p));
+            }
+        }
+    }
+    out
+}
+
+fn search(
+    query: &NormalizedView,
+    view: &NormalizedView,
+    next: usize,
+    assignment: &mut Vec<Option<usize>>,
+) -> bool {
+    if next == view.atoms.len() {
+        return check_assignment(query, view, assignment);
+    }
+    for (qi, qa) in query.atoms.iter().enumerate() {
+        if qa.rel == view.atoms[next].rel {
+            assignment[next] = Some(qi);
+            if search(query, view, next + 1, assignment) {
+                return true;
+            }
+            assignment[next] = None;
+        }
+    }
+    false
+}
+
+fn check_assignment(
+    query: &NormalizedView,
+    view: &NormalizedView,
+    assignment: &[Option<usize>],
+) -> bool {
+    // Build the variable mapping induced by the atom assignment.
+    let mut map: std::collections::BTreeMap<VarId, Image> = std::collections::BTreeMap::new();
+    for (vi, qi) in assignment.iter().enumerate() {
+        let qi = qi.expect("complete assignment");
+        let va = &view.atoms[vi];
+        let qa = &query.atoms[qi];
+        for (p, vt) in va.terms.iter().enumerate() {
+            let q_image = match &qa.terms[p] {
+                VarTerm::Var(x) => Image::Var(*x),
+                VarTerm::Const(c) => Image::Const(c.clone()),
+                VarTerm::Anon => Image::Anon(qi, p),
+            };
+            match vt {
+                VarTerm::Anon => {} // view's anon matches anything
+                VarTerm::Const(c) => {
+                    // A view constant must meet the same constant.
+                    if q_image != Image::Const(c.clone()) {
+                        return false;
+                    }
+                }
+                VarTerm::Var(x) => match map.get(x) {
+                    None => {
+                        map.insert(*x, q_image);
+                    }
+                    Some(prev) => {
+                        if *prev != q_image {
+                            return false;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    // Heads must correspond positionally.
+    let qh = head_positions(query);
+    let vh = head_positions(view);
+    if qh.len() != vh.len() {
+        return false;
+    }
+    let image_of = |t: &VarTerm, atom: usize, pos: usize| -> Image {
+        match t {
+            VarTerm::Var(x) => Image::Var(*x),
+            VarTerm::Const(c) => Image::Const(c.clone()),
+            VarTerm::Anon => Image::Anon(atom, pos),
+        }
+    };
+    for ((vai, vp), (qai, qp)) in vh.iter().zip(&qh) {
+        let qi = assignment[*vai].expect("complete");
+        // The value the view produces at this head position is the
+        // value of the assigned query atom at the same position (for a
+        // view variable, whatever the mapping pinned it to; for a view
+        // constant, that constant). It must equal the value of the
+        // query's own head position.
+        let mapped: Image = match &view.atoms[*vai].terms[*vp] {
+            VarTerm::Var(x) => map.get(x).cloned().expect("head vars are mapped"),
+            VarTerm::Const(c) => Image::Const(c.clone()),
+            // The view places no restriction here: the produced value
+            // is simply the assigned atom's value at this position.
+            VarTerm::Anon => image_of(&query.atoms[qi].terms[*vp], qi, *vp),
+        };
+        let wanted = image_of(&query.atoms[*qai].terms[*qp], *qai, *qp);
+        if mapped != wanted {
+            return false;
+        }
+    }
+
+    // Every view comparison must be implied by the query under the map.
+    for c in &view.comparisons {
+        if !comparison_implied(query, &map, c.lhs, c.op, &c.rhs) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The interval of values query variable `x` may take, from the query's
+/// comparisons (None when var–var atoms make it undecidable).
+fn query_interval(query: &NormalizedView, x: VarId) -> Option<Interval> {
+    let mut iv = Interval::full();
+    for c in &query.comparisons {
+        match (&c.rhs, c.lhs == x) {
+            (CompRhs::Var(y), _) if c.lhs == x || *y == x => return None,
+            (CompRhs::Const(v), true) => {
+                iv = iv.intersect(&Interval::from_op(c.op, v.clone()))?;
+            }
+            _ => {}
+        }
+    }
+    Some(iv)
+}
+
+fn comparison_implied(
+    query: &NormalizedView,
+    map: &std::collections::BTreeMap<VarId, Image>,
+    lhs: VarId,
+    op: CompOp,
+    rhs: &CompRhs,
+) -> bool {
+    let l = map.get(&lhs);
+    match (l, rhs) {
+        (Some(Image::Const(a)), CompRhs::Const(b)) => op.eval(a, b).unwrap_or(false),
+        (Some(Image::Var(x)), CompRhs::Const(b)) => {
+            // The query's interval for x must imply `x op b`.
+            match query_interval(query, *x) {
+                Some(iv) => {
+                    iv.implies(&Interval::from_op(op, b.clone())) == Some(true)
+                }
+                None => syntactic_atom(query, *x, op, rhs.clone()),
+            }
+        }
+        (Some(Image::Var(x)), CompRhs::Var(y)) => {
+            // Both sides must be mapped variables with the comparison
+            // present syntactically (conservative), or the same
+            // variable under a reflexive comparator.
+            match map.get(y) {
+                Some(Image::Var(qy)) => {
+                    if x == qy {
+                        matches!(op, CompOp::Eq | CompOp::Le | CompOp::Ge)
+                    } else {
+                        syntactic_atom(query, *x, op, CompRhs::Var(*qy))
+                    }
+                }
+                Some(Image::Const(b)) => match query_interval(query, *x) {
+                    Some(iv) => iv.implies(&Interval::from_op(op, b.clone())) == Some(true),
+                    None => false,
+                },
+                _ => false,
+            }
+        }
+        (Some(Image::Const(a)), CompRhs::Var(y)) => match map.get(y) {
+            Some(Image::Const(b)) => op.eval(a, b).unwrap_or(false),
+            Some(Image::Var(qy)) => match query_interval(query, *qy) {
+                Some(iv) => {
+                    iv.implies(&Interval::from_op(op.flip(), a.clone())) == Some(true)
+                }
+                None => false,
+            },
+            _ => false,
+        },
+        // Anonymous images are unconstrained: nothing non-trivial is
+        // implied about them.
+        _ => false,
+    }
+}
+
+/// Is `x op rhs` (modulo orientation) literally among the query's
+/// comparisons?
+fn syntactic_atom(query: &NormalizedView, x: VarId, op: CompOp, rhs: CompRhs) -> bool {
+    query.comparisons.iter().any(|c| {
+        (c.lhs == x && c.op == op && c.rhs == rhs)
+            || match (&c.rhs, &rhs) {
+                (CompRhs::Var(y), CompRhs::Var(r)) => c.lhs == *r && *y == x && c.op == op.flip(),
+                _ => false,
+            }
+    })
+}
+
+/// Convenience: containment between surface statements over `scheme`.
+/// Statements that fail to normalize (unsatisfiable) are contained in
+/// everything / contain nothing non-empty, handled conservatively as
+/// `false`.
+pub fn query_contained_in(
+    query: &motro_views::ConjunctiveQuery,
+    view: &motro_views::ConjunctiveQuery,
+    scheme: &DbSchema,
+) -> bool {
+    let (Ok(q), Ok(v)) = (normalize(query, scheme), normalize(view, scheme)) else {
+        return false;
+    };
+    contained_in(&q, &v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use motro_views::{AttrRef, ConjunctiveQuery};
+
+    fn scheme() -> DbSchema {
+        fixtures::paper_scheme()
+    }
+
+    fn c(q: &ConjunctiveQuery, v: &ConjunctiveQuery) -> bool {
+        query_contained_in(q, v, &scheme())
+    }
+
+    #[test]
+    fn reflexive() {
+        for v in [
+            fixtures::view_sae(),
+            fixtures::view_psa(),
+            fixtures::view_elp(),
+            fixtures::view_est(),
+        ] {
+            assert!(c(&v, &v), "{v}");
+        }
+    }
+
+    /// The Section 3 narrative: "projects with budgets exceeding
+    /// $500,000" is a view of ELP-shaped queries with ≥ 250,000.
+    #[test]
+    fn stricter_selection_is_contained() {
+        let loose = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "BUDGET")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+            .build();
+        let strict = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "BUDGET")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 500_000)
+            .build();
+        assert!(c(&strict, &loose));
+        assert!(!c(&loose, &strict));
+    }
+
+    #[test]
+    fn interval_implication_over_integers() {
+        let v = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "BUDGET")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ne, 0)
+            .build();
+        let q = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "BUDGET")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 1)
+            .build();
+        // BUDGET ≥ 1 implies BUDGET ≠ 0.
+        assert!(c(&q, &v));
+        assert!(!c(&v, &q));
+    }
+
+    #[test]
+    fn different_targets_not_contained() {
+        let names = ConjunctiveQuery::retrieve().target("EMPLOYEE", "NAME").build();
+        let salaries = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "SALARY")
+            .build();
+        assert!(!c(&names, &salaries));
+        let both = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .target("EMPLOYEE", "SALARY")
+            .build();
+        // Fewer columns ⊄ more columns and vice versa (head arity).
+        assert!(!c(&names, &both));
+        assert!(!c(&both, &names));
+    }
+
+    #[test]
+    fn join_query_contained_in_join_view() {
+        // Klein's Section 3 example: employees on projects > 500k is a
+        // view of ELP (projected to the same head shape).
+        let elp_names = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .where_attr(
+                AttrRef::new("EMPLOYEE", "NAME"),
+                CompOp::Eq,
+                AttrRef::new("ASSIGNMENT", "E_NAME"),
+            )
+            .where_attr(
+                AttrRef::new("ASSIGNMENT", "P_NO"),
+                CompOp::Eq,
+                AttrRef::new("PROJECT", "NUMBER"),
+            )
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+            .build();
+        let strict = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .where_attr(
+                AttrRef::new("EMPLOYEE", "NAME"),
+                CompOp::Eq,
+                AttrRef::new("ASSIGNMENT", "E_NAME"),
+            )
+            .where_attr(
+                AttrRef::new("ASSIGNMENT", "P_NO"),
+                CompOp::Eq,
+                AttrRef::new("PROJECT", "NUMBER"),
+            )
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 500_000)
+            .build();
+        assert!(c(&strict, &elp_names));
+        assert!(!c(&elp_names, &strict));
+    }
+
+    #[test]
+    fn constant_selection_containment() {
+        let acme = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "SPONSOR")
+            .where_const(AttrRef::new("PROJECT", "SPONSOR"), CompOp::Eq, "Acme")
+            .build();
+        let all = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "SPONSOR")
+            .build();
+        assert!(c(&acme, &all));
+        assert!(!c(&all, &acme));
+        let apex = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "SPONSOR")
+            .where_const(AttrRef::new("PROJECT", "SPONSOR"), CompOp::Eq, "Apex")
+            .build();
+        assert!(!c(&acme, &apex));
+    }
+
+    /// A self-join query folds onto a single-occurrence view (the
+    /// classic homomorphism case).
+    #[test]
+    fn self_join_folds_onto_single_atom() {
+        // Q: pairs with equal titles projected to one name; V: all
+        // names. Q's two EMPLOYEE atoms both map onto V's one.
+        let v = ConjunctiveQuery::retrieve().target("EMPLOYEE", "NAME").build();
+        let q = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 1, "NAME")
+            .where_attr(
+                AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+                CompOp::Eq,
+                AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+            )
+            .build();
+        assert!(c(&q, &v), "folding homomorphism");
+        assert!(!c(&v, &q) || c(&v, &q), "other direction is also true semantically");
+    }
+
+    #[test]
+    fn var_var_comparisons_conservative() {
+        let v = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 1, "NAME")
+            .target_occ("EMPLOYEE", 2, "NAME")
+            .where_attr(
+                AttrRef::occ("EMPLOYEE", 1, "SALARY"),
+                CompOp::Gt,
+                AttrRef::occ("EMPLOYEE", 2, "SALARY"),
+            )
+            .build();
+        // Identical query: contained (syntactic atom found).
+        assert!(c(&v, &v));
+        // Without the comparison: not contained in v.
+        let unconstrained = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 1, "NAME")
+            .target_occ("EMPLOYEE", 2, "NAME")
+            .build();
+        assert!(!c(&unconstrained, &v));
+        assert!(c(&v, &unconstrained));
+    }
+}

@@ -1,0 +1,187 @@
+//! The paper's running example: the Figure 1 database, views, and
+//! grants. Shared by tests, examples, and the experiment report.
+
+use crate::store::AuthStore;
+use motro_rel::{tuple, Database, DbSchema, Domain};
+use motro_views::{AttrRef, ConjunctiveQuery};
+use motro_rel::CompOp;
+
+/// The example database scheme (Section 2):
+///
+/// ```text
+/// EMPLOYEE   = (NAME, TITLE, SALARY)        key NAME
+/// PROJECT    = (NUMBER, SPONSOR, BUDGET)    key NUMBER
+/// ASSIGNMENT = (E_NAME, P_NO)               key (E_NAME, P_NO)
+/// ```
+pub fn paper_scheme() -> DbSchema {
+    let mut s = DbSchema::new();
+    s.add_relation_with_key(
+        "EMPLOYEE",
+        &[
+            ("NAME", Domain::Str),
+            ("TITLE", Domain::Str),
+            ("SALARY", Domain::Int),
+        ],
+        Some(&["NAME"]),
+    )
+    .expect("fresh scheme");
+    s.add_relation_with_key(
+        "PROJECT",
+        &[
+            ("NUMBER", Domain::Str),
+            ("SPONSOR", Domain::Str),
+            ("BUDGET", Domain::Int),
+        ],
+        Some(&["NUMBER"]),
+    )
+    .expect("fresh scheme");
+    s.add_relation_with_key(
+        "ASSIGNMENT",
+        &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)],
+        Some(&["E_NAME", "P_NO"]),
+    )
+    .expect("fresh scheme");
+    s
+}
+
+/// The Figure 1 instance.
+pub fn paper_database() -> Database {
+    let mut db = Database::new(paper_scheme());
+    db.insert_all(
+        "EMPLOYEE",
+        vec![
+            tuple!["Jones", "manager", 26_000],
+            tuple!["Smith", "technician", 22_000],
+            tuple!["Brown", "engineer", 32_000],
+        ],
+    )
+    .expect("fixture rows are well-typed");
+    db.insert_all(
+        "PROJECT",
+        vec![
+            tuple!["bq-45", "Acme", 300_000],
+            tuple!["sv-72", "Apex", 450_000],
+            tuple!["vg-13", "Summit", 150_000],
+        ],
+    )
+    .expect("fixture rows are well-typed");
+    db.insert_all(
+        "ASSIGNMENT",
+        vec![
+            tuple!["Jones", "bq-45"],
+            tuple!["Smith", "bq-45"],
+            tuple!["Jones", "sv-72"],
+            tuple!["Brown", "sv-72"],
+            tuple!["Smith", "vg-13"],
+            tuple!["Brown", "vg-13"],
+        ],
+    )
+    .expect("fixture rows are well-typed");
+    db
+}
+
+/// SAE — "salary of all employees": names and salaries of all employees.
+pub fn view_sae() -> ConjunctiveQuery {
+    ConjunctiveQuery::view("SAE")
+        .target("EMPLOYEE", "NAME")
+        .target("EMPLOYEE", "SALARY")
+        .build()
+}
+
+/// PSA — "projects sponsored by Acme": all attributes of Acme projects.
+pub fn view_psa() -> ConjunctiveQuery {
+    ConjunctiveQuery::view("PSA")
+        .target("PROJECT", "NUMBER")
+        .target("PROJECT", "SPONSOR")
+        .target("PROJECT", "BUDGET")
+        .where_const(AttrRef::new("PROJECT", "SPONSOR"), CompOp::Eq, "Acme")
+        .build()
+}
+
+/// ELP — "employees of large projects": names and titles of employees
+/// assigned to projects with budgets of at least $250,000 (plus the
+/// project numbers and budgets, as the paper defines it).
+pub fn view_elp() -> ConjunctiveQuery {
+    ConjunctiveQuery::view("ELP")
+        .target("EMPLOYEE", "NAME")
+        .target("EMPLOYEE", "TITLE")
+        .target("PROJECT", "NUMBER")
+        .target("PROJECT", "BUDGET")
+        .where_attr(
+            AttrRef::new("EMPLOYEE", "NAME"),
+            CompOp::Eq,
+            AttrRef::new("ASSIGNMENT", "E_NAME"),
+        )
+        .where_attr(
+            AttrRef::new("PROJECT", "NUMBER"),
+            CompOp::Eq,
+            AttrRef::new("ASSIGNMENT", "P_NO"),
+        )
+        .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+        .build()
+}
+
+/// EST — "employees with same title": pairs of employee names sharing a
+/// title, along with that title.
+pub fn view_est() -> ConjunctiveQuery {
+    ConjunctiveQuery::view("EST")
+        .target_occ("EMPLOYEE", 1, "NAME")
+        .target_occ("EMPLOYEE", 2, "NAME")
+        .target_occ("EMPLOYEE", 1, "TITLE")
+        .where_attr(
+            AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+            CompOp::Eq,
+            AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+        )
+        .build()
+}
+
+/// The Figure 1 authorization store: the four views, registered in the
+/// order that reproduces the paper's variable numbering
+/// (ELP → x₁,x₂,x₃; EST → x₄), with Brown granted SAE, PSA, EST and
+/// Klein granted ELP, EST.
+pub fn paper_store() -> AuthStore {
+    let mut s = AuthStore::new(paper_scheme());
+    s.define_view(&view_sae()).expect("SAE is well-formed");
+    s.define_view(&view_elp()).expect("ELP is well-formed");
+    s.define_view(&view_est()).expect("EST is well-formed");
+    s.define_view(&view_psa()).expect("PSA is well-formed");
+    for v in ["SAE", "PSA", "EST"] {
+        s.permit(v, "Brown").expect("view defined above");
+    }
+    for v in ["ELP", "EST"] {
+        s.permit(v, "Klein").expect("view defined above");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_matches_figure1_cardinalities() {
+        let db = paper_database();
+        assert_eq!(db.relation("EMPLOYEE").unwrap().len(), 3);
+        assert_eq!(db.relation("PROJECT").unwrap().len(), 3);
+        assert_eq!(db.relation("ASSIGNMENT").unwrap().len(), 6);
+    }
+
+    #[test]
+    fn store_has_four_views() {
+        let s = paper_store();
+        assert_eq!(s.view_names(), vec!["ELP", "EST", "PSA", "SAE"]);
+        assert_eq!(s.total_meta_tuples(), 1 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn elp_variables_match_paper_numbering() {
+        let s = paper_store();
+        let emp = s.meta_relation("EMPLOYEE").unwrap();
+        assert_eq!(emp.tuples[1].cells[0].render(), "x1*");
+        let proj = s.meta_relation("PROJECT").unwrap();
+        assert_eq!(proj.tuples[0].cells[0].render(), "x2*");
+        assert_eq!(proj.tuples[0].cells[2].render(), "x3*");
+        assert_eq!(emp.tuples[2].cells[1].render(), "x4*");
+    }
+}

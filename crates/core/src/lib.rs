@@ -1,0 +1,69 @@
+//! # motro-core
+//!
+//! The primary contribution of Motro's ICDE 1989 paper: access
+//! authorization by **algebraic manipulation of view definitions**.
+//!
+//! ## The model in one paragraph
+//!
+//! Permissions are conjunctive views, granted per user. View definitions
+//! are stored inside the database as **meta-tuples**: for each relation
+//! `R` a meta-relation `R'` mirrors `R`'s scheme (plus a `VIEW` column);
+//! a meta-tuple's fields are constants, shared variables, or blanks, and
+//! a `*` suffix marks projected attributes. Non-equality comparisons live
+//! in an auxiliary `COMPARISON` relation; grants live in `PERMISSION`.
+//! When user `U` submits query `Q`, the canonical plan `S` (products →
+//! selections → projections) is executed **twice**: over the actual
+//! relations, yielding the answer `A`, and — via the extended operators
+//! of Section 4 — over the meta-relations, yielding `A'`, whose
+//! meta-tuples define subviews of `A` that are also views of `U`'s
+//! permitted views. `A'` is the **mask**: it is applied to `A`, only the
+//! covered cells are delivered, and inferred `permit` statements describe
+//! the delivered portion (Figure 2's commutative diagram).
+//!
+//! ## Crate layout
+//!
+//! * [`metatuple`] — meta-cells and meta-tuples.
+//! * [`constraint`] — constraint sets over view variables and the
+//!   interval solver behind the §4.2 four-case selection refinement.
+//! * [`store`] — [`AuthStore`]: the meta-relations, `COMPARISON`, and
+//!   `PERMISSION`; view registration (`define_view`) and grants.
+//! * [`meta_algebra`] — Definitions 1–3 (meta product / selection /
+//!   projection) plus the refinements: product padding (R1), four-case
+//!   selection (R2), and closure pruning per the theorem.
+//! * [`selfjoin`] — refinement R3: lossless self-join combination of
+//!   meta-tuples from different views.
+//! * [`mask`] — applying `A'` to `A`; masked answers; inferred `permit`
+//!   statements.
+//! * [`authorize`] — [`AuthorizedEngine`]: the end-to-end pipeline, with
+//!   per-refinement configuration for ablations, and an execution trace
+//!   that reproduces the paper's intermediate tables.
+//! * [`update`] — the §6 extension to insert/delete/modify permissions.
+//! * [`fixtures`] — the paper's Figure 1 database, views, and grants.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod authorize;
+pub mod constraint;
+pub mod containment;
+pub mod error;
+pub mod fixtures;
+pub mod mask;
+pub mod meta_algebra;
+pub mod metarel;
+pub mod metatuple;
+pub mod selfjoin;
+pub mod storage;
+pub mod store;
+pub mod update;
+
+pub use aggregate::{AggAccessMode, AggregateOutcome};
+pub use authorize::{AccessOutcome, AuthTrace, AuthorizedEngine, RefinementConfig};
+pub use constraint::{ConstraintAtom, ConstraintSet, Interval, Rhs};
+pub use containment::{contained_in, query_contained_in};
+pub use error::{CoreError, CoreResult};
+pub use mask::{Mask, MaskedRelation, PermitCondition, PermitStatement};
+pub use metarel::MetaRelation;
+pub use metatuple::{CellContent, MetaCell, MetaTuple, TupleId, VarId};
+pub use storage::{decode_store, encode_store};
+pub use store::{AuthStore, BranchEntry, ViewEntry};

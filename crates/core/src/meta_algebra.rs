@@ -1,0 +1,795 @@
+//! The extended algebra on meta-relations (paper, Section 4).
+//!
+//! * **Product** (Definition 1): meta-tuples concatenate pairwise; with
+//!   refinement R1, padded rows `(a₁..aₘ, ⊔..⊔)` and `(⊔..⊔, b₁..bₙ)`
+//!   are added so subviews of each factor survive projections that drop
+//!   the other factor. For the paper's k-ary canonical plans this
+//!   generalizes to every non-empty subset of factors.
+//! * **Selection** (Definition 2): the selected attributes must be
+//!   starred; the field predicate µ meets the query predicate λ. In
+//!   [`SelectMode::Basic`] the conjunction µ∧λ is always represented; in
+//!   [`SelectMode::FourCase`] the §4.2 refinement applies (clear /
+//!   retain / discard / modify), with undecidable forms falling back to
+//!   the sound conjoin-or-retain default.
+//! * **Projection** (Definition 3): a removed attribute must be blank
+//!   (after simplification — an unconstrained variable occurring once is
+//!   an anonymous existential, i.e. blank); otherwise the meta-tuple is
+//!   discarded.
+//!
+//! "Replications are removed" throughout: rows identical in cells and
+//! constraints merge, unioning their provenance and covers. The union of
+//! covers is sound because identical subview definitions witness each
+//! other's variable linkage.
+
+use crate::constraint::{ConstraintAtom, Interval, Rhs, SelectionCase};
+use crate::metatuple::{CellContent, MetaCell, MetaTuple, VarId};
+use motro_rel::{CompOp, PredicateAtom, Term, Value};
+use std::collections::HashMap;
+
+/// Selection behavior: the plain Definition 2, or the §4.2 refinement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectMode {
+    /// Always represent µ ∧ λ.
+    Basic,
+    /// Case analysis: clear / retain / discard / modify.
+    FourCase,
+}
+
+/// Merge replications: rows equal in (cells, constraints) are unioned
+/// over provenance and covers.
+pub fn dedup_merge(rows: Vec<MetaTuple>) -> Vec<MetaTuple> {
+    let mut out: Vec<MetaTuple> = Vec::with_capacity(rows.len());
+    let mut index: HashMap<(Vec<MetaCell>, Vec<ConstraintAtom>), usize> = HashMap::new();
+    for t in rows {
+        let key = (t.cells.clone(), t.constraints.atoms().to_vec());
+        match index.get(&key) {
+            Some(&i) => {
+                let existing = &mut out[i];
+                existing.provenance.extend(t.provenance.iter().cloned());
+                existing.covers.extend(t.covers.iter().copied());
+            }
+            None => {
+                index.insert(key, out.len());
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// The k-ary meta-product over per-factor candidate lists.
+///
+/// `arities[i]` is the arity of factor `i` (needed to emit blank padding
+/// for factors that contribute no meta-tuple). With `padding` off, only
+/// full combinations are produced (Definition 1); with it on, every
+/// non-empty subset of factors contributes (refinement R1). Replications
+/// are removed.
+pub fn meta_product(
+    factors: &[Vec<MetaTuple>],
+    arities: &[usize],
+    padding: bool,
+) -> Vec<MetaTuple> {
+    assert_eq!(factors.len(), arities.len());
+    if factors.is_empty() {
+        return Vec::new();
+    }
+    // Choice per factor: one of its tuples, or (with padding) blanks.
+    let mut rows: Vec<Option<MetaTuple>> = vec![None];
+    for (fi, cands) in factors.iter().enumerate() {
+        let blank = MetaTuple {
+            provenance: Default::default(),
+            covers: Default::default(),
+            cells: vec![MetaCell::blank(); arities[fi]],
+            constraints: Default::default(),
+        };
+        let mut next: Vec<Option<MetaTuple>> = Vec::with_capacity(rows.len() * (cands.len() + 1));
+        for row in &rows {
+            for cand in cands {
+                next.push(Some(match row {
+                    None => cand.clone(),
+                    Some(r) => r.concat(cand),
+                }));
+            }
+            if padding {
+                // The blank option models the q₁/q₂ padding rows. The
+                // paper's plain product lets an empty candidate list
+                // annihilate everything; padding keeps the other
+                // factors' subviews alive.
+                next.push(Some(match row {
+                    None => blank.clone(),
+                    Some(r) => r.concat(&blank),
+                }));
+            }
+        }
+        rows = next;
+        if rows.is_empty() {
+            return Vec::new();
+        }
+    }
+    let full: Vec<MetaTuple> = rows
+        .into_iter()
+        .flatten()
+        // Drop the all-blank row (it reveals nothing and covers nothing).
+        .filter(|t| !t.covers.is_empty())
+        .collect();
+    dedup_merge(full)
+}
+
+/// Can variable `x` be *cleared* from `row`? Clearing drops `x`'s cells
+/// and atoms, so it requires `x` to occur in at most `max_cells` cells
+/// and to have no var–var atoms (those link other variables).
+fn clearable(row: &MetaTuple, x: VarId, max_cells: usize) -> bool {
+    if row.var_occurrences(x) > max_cells {
+        return false;
+    }
+    row.constraints
+        .atoms()
+        .iter()
+        .filter(|a| a.mentions(x))
+        .all(|a| matches!(a.rhs, Rhs::Const(_)) && a.lhs == x)
+}
+
+/// Meta-selection by one primitive predicate atom. Returns the surviving
+/// (possibly modified) rows, replications removed.
+///
+/// `next_var` allocates fresh variables when Basic mode must represent a
+/// non-equality predicate on a blank field.
+pub fn meta_select(
+    rows: Vec<MetaTuple>,
+    atom: &PredicateAtom,
+    mode: SelectMode,
+    next_var: &mut VarId,
+) -> Vec<MetaTuple> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if let Some(t) = select_one(row, atom, mode, next_var) {
+            out.push(t);
+        }
+    }
+    dedup_merge(out)
+}
+
+fn fresh(next_var: &mut VarId) -> VarId {
+    let x = *next_var;
+    *next_var += 1;
+    x
+}
+
+fn select_one(
+    mut row: MetaTuple,
+    atom: &PredicateAtom,
+    mode: SelectMode,
+    next_var: &mut VarId,
+) -> Option<MetaTuple> {
+    match &atom.rhs {
+        Term::Const(c) => {
+            // λ = Aᵢ θ c. The selected attribute must be starred.
+            if !row.cells[atom.lhs].starred {
+                return None;
+            }
+            match row.cells[atom.lhs].content.clone() {
+                CellContent::Blank => {
+                    match mode {
+                        SelectMode::FourCase => Some(row), // λ ⊨ true → clear
+                        SelectMode::Basic => {
+                            // Represent λ ∧ true = λ.
+                            match atom.op {
+                                CompOp::Eq => {
+                                    row.cells[atom.lhs].content = CellContent::Const(c.clone());
+                                }
+                                op => {
+                                    let x = fresh(next_var);
+                                    row.cells[atom.lhs].content = CellContent::Var(x);
+                                    row.constraints.push(ConstraintAtom {
+                                        lhs: x,
+                                        op,
+                                        rhs: Rhs::Const(c.clone()),
+                                    });
+                                }
+                            }
+                            Some(row)
+                        }
+                    }
+                }
+                CellContent::Const(k) => {
+                    // µ = (Aᵢ = k).
+                    if !atom.op.eval(&k, c).unwrap_or(false) {
+                        return None; // contradiction → discard
+                    }
+                    // In FourCase mode, λ ⊨ µ clears the constant ("the
+                    // variable or the constant is replaced by ⊔"),
+                    // letting the tuple survive later projections. That
+                    // happens exactly when λ pins the same point.
+                    if mode == SelectMode::FourCase {
+                        let lambda = Interval::from_op(atom.op, c.clone());
+                        if lambda.implies(&Interval::point(k)) == Some(true) {
+                            row.cells[atom.lhs].content = CellContent::Blank;
+                        }
+                    }
+                    Some(row)
+                }
+                CellContent::Var(x) => {
+                    let lambda = Interval::from_op(atom.op, c.clone());
+                    let mu = row.constraints.interval_of(x);
+                    let case = match (mode, mu) {
+                        (SelectMode::Basic, _) | (_, None) => SelectionCase::Modify,
+                        (SelectMode::FourCase, Some(mu)) => Interval::four_case(&lambda, &mu),
+                    };
+                    match case {
+                        SelectionCase::Clear => {
+                            if clearable(&row, x, 1) {
+                                row.clear_var(x);
+                                Some(row)
+                            } else {
+                                Some(row) // retain: sound fallback
+                            }
+                        }
+                        SelectionCase::Retain => Some(row),
+                        SelectionCase::Discard => None,
+                        SelectionCase::Modify => {
+                            // Represent µ ∧ λ; bind when it pins a point.
+                            let point = row
+                                .constraints
+                                .interval_of(x)
+                                .and_then(|mu| mu.intersect(&lambda))
+                                .and_then(|iv| iv.as_point().cloned());
+                            match point {
+                                Some(p) => {
+                                    if row.bind_var(x, &p) {
+                                        Some(row)
+                                    } else {
+                                        None
+                                    }
+                                }
+                                None => {
+                                    row.constraints.push(ConstraintAtom {
+                                        lhs: x,
+                                        op: atom.op,
+                                        rhs: Rhs::Const(c.clone()),
+                                    });
+                                    if row.constraints.obviously_unsat(x) {
+                                        None
+                                    } else {
+                                        Some(row)
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Term::Col(j) => {
+            // λ = Aᵢ θ Aⱼ. Both attributes must be starred.
+            let (i, j) = (atom.lhs, *j);
+            if !row.cells[i].starred || !row.cells[j].starred {
+                return None;
+            }
+            let (ci, cj) = (row.cells[i].content.clone(), row.cells[j].content.clone());
+            match (ci, cj) {
+                (CellContent::Blank, CellContent::Blank) => {
+                    // µ = true: the answer already satisfies λ — retain
+                    // (the §4.2 "clear" case; Basic mode would have to
+                    // introduce a fresh shared variable for Eq).
+                    if mode == SelectMode::Basic && atom.op == CompOp::Eq {
+                        let x = fresh(next_var);
+                        row.cells[i].content = CellContent::Var(x);
+                        row.cells[j].content = CellContent::Var(x);
+                    }
+                    Some(row)
+                }
+                (CellContent::Const(a), CellContent::Const(b)) => {
+                    if atom.op.eval(&a, &b).unwrap_or(false) {
+                        Some(row)
+                    } else {
+                        None
+                    }
+                }
+                (CellContent::Var(x), CellContent::Var(y)) if x == y => {
+                    match atom.op {
+                        // µ forces Aᵢ = Aⱼ.
+                        CompOp::Eq | CompOp::Le | CompOp::Ge => {
+                            // µ ⊨ λ; for Eq, if the variable is purely a
+                            // pairwise link (these two cells, no atoms),
+                            // µ ≡ λ → clear (FourCase only).
+                            if mode == SelectMode::FourCase
+                                && atom.op == CompOp::Eq
+                                && clearable(&row, x, 2)
+                                && row.var_occurrences(x) == 2
+                                && !row.constraints.mentions(x)
+                            {
+                                row.clear_var(x);
+                            }
+                            Some(row)
+                        }
+                        // x θ x is unsatisfiable for <, >, ≠.
+                        CompOp::Lt | CompOp::Gt | CompOp::Ne => None,
+                    }
+                }
+                (CellContent::Var(x), CellContent::Var(y)) => {
+                    if atom.op == CompOp::Eq {
+                        if row.unify_vars(x, y) {
+                            Some(row)
+                        } else {
+                            None
+                        }
+                    } else {
+                        row.constraints.push(ConstraintAtom {
+                            lhs: x,
+                            op: atom.op,
+                            rhs: Rhs::Var(y),
+                        });
+                        Some(row)
+                    }
+                }
+                (CellContent::Var(x), CellContent::Const(a))
+                | (CellContent::Const(a), CellContent::Var(x)) => {
+                    // Orient as x θ' a.
+                    let op = if matches!(row.cells[i].content, CellContent::Var(_)) {
+                        atom.op
+                    } else {
+                        atom.op.flip()
+                    };
+                    if op == CompOp::Eq {
+                        if row.bind_var(x, &a) {
+                            Some(row)
+                        } else {
+                            None
+                        }
+                    } else {
+                        row.constraints.push(ConstraintAtom {
+                            lhs: x,
+                            op,
+                            rhs: Rhs::Const(a.clone()),
+                        });
+                        if row.constraints.obviously_unsat(x) {
+                            None
+                        } else {
+                            Some(row)
+                        }
+                    }
+                }
+                (CellContent::Var(x), CellContent::Blank)
+                | (CellContent::Blank, CellContent::Var(x)) => {
+                    if atom.op == CompOp::Eq {
+                        // Link the blank field to the variable: µ ∧ λ.
+                        let blank_idx = if matches!(row.cells[i].content, CellContent::Blank) {
+                            i
+                        } else {
+                            j
+                        };
+                        row.cells[blank_idx].content = CellContent::Var(x);
+                        Some(row)
+                    } else {
+                        // Retain: sound (the answer satisfies λ).
+                        Some(row)
+                    }
+                }
+                (CellContent::Const(a), CellContent::Blank)
+                | (CellContent::Blank, CellContent::Const(a)) => {
+                    if atom.op == CompOp::Eq {
+                        let blank_idx = if matches!(row.cells[i].content, CellContent::Blank) {
+                            i
+                        } else {
+                            j
+                        };
+                        row.cells[blank_idx].content = CellContent::Const(a.clone());
+                    }
+                    Some(row)
+                }
+            }
+        }
+    }
+}
+
+/// Meta-projection onto `keep` (in order). A removed attribute whose
+/// field is non-blank (after simplification) discards the meta-tuple;
+/// variables whose remaining occurrences drop to zero take their atoms
+/// with them only via simplification, so constrained variables removed
+/// by projection correctly kill the row.
+pub fn meta_project(rows: Vec<MetaTuple>, keep: &[usize]) -> Vec<MetaTuple> {
+    let mut out = Vec::with_capacity(rows.len());
+    'rows: for mut row in rows {
+        row.simplify();
+        let kept: std::collections::BTreeSet<usize> = keep.iter().copied().collect();
+        for (i, c) in row.cells.iter().enumerate() {
+            if !kept.contains(&i) && !c.is_blank() {
+                continue 'rows;
+            }
+        }
+        let cells = keep.iter().map(|&i| row.cells[i].clone()).collect();
+        out.push(MetaTuple {
+            provenance: row.provenance,
+            covers: row.covers,
+            cells,
+            constraints: row.constraints,
+        });
+    }
+    let mut merged = dedup_merge(out);
+    for t in &mut merged {
+        t.simplify();
+    }
+    dedup_merge(merged)
+}
+
+/// Evaluate how a value `v` relates to a meta-cell's condition under a
+/// variable binding being built up; helper shared with mask application.
+pub(crate) fn cell_admits(
+    cell: &MetaCell,
+    v: &Value,
+    binding: &mut HashMap<VarId, Value>,
+) -> bool {
+    match &cell.content {
+        CellContent::Blank => true,
+        CellContent::Const(c) => c == v,
+        CellContent::Var(x) => match binding.get(x) {
+            Some(b) => b == v,
+            None => {
+                binding.insert(*x, v.clone());
+                true
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+
+    fn t(view: &str, id: u32, cells: Vec<MetaCell>) -> MetaTuple {
+        MetaTuple::new(view, id, cells, ConstraintSet::empty())
+    }
+
+    fn t_with(
+        view: &str,
+        id: u32,
+        cells: Vec<MetaCell>,
+        atoms: Vec<ConstraintAtom>,
+    ) -> MetaTuple {
+        MetaTuple::new(view, id, cells, ConstraintSet::new(atoms))
+    }
+
+    #[test]
+    fn product_cardinalities() {
+        let a = vec![t("A", 1, vec![MetaCell::star()])];
+        let b = vec![
+            t("B", 2, vec![MetaCell::star(), MetaCell::blank()]),
+            t("C", 3, vec![MetaCell::blank(), MetaCell::star()]),
+        ];
+        let plain = meta_product(&[a.clone(), b.clone()], &[1, 2], false);
+        assert_eq!(plain.len(), 2);
+        assert!(plain.iter().all(|r| r.arity() == 3));
+        // Padding adds {a,_}, {_,b1}, {_,b2} (all-blank dropped).
+        let padded = meta_product(&[a, b], &[1, 2], true);
+        assert_eq!(padded.len(), 5);
+    }
+
+    #[test]
+    fn product_with_empty_factor() {
+        let a = vec![t("A", 1, vec![MetaCell::star()])];
+        let empty: Vec<MetaTuple> = vec![];
+        assert!(meta_product(&[a.clone(), empty.clone()], &[1, 2], false).is_empty());
+        // With padding, A's subviews survive via the blank side.
+        let padded = meta_product(&[a, empty], &[1, 2], true);
+        assert_eq!(padded.len(), 1);
+        assert_eq!(padded[0].cells.len(), 3);
+    }
+
+    #[test]
+    fn product_removes_replications() {
+        let est = |id| t("EST", id, vec![MetaCell::star(), MetaCell::var(4, true)]);
+        let rows = meta_product(&[vec![est(1), est(2)]], &[2], false);
+        // est1 and est2 are identical → merged, covers unioned.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].covers.len(), 2);
+    }
+
+    #[test]
+    fn select_requires_star() {
+        let rows = vec![t("V", 1, vec![MetaCell::blank()])];
+        let atom = PredicateAtom::col_const(0, CompOp::Eq, "x");
+        let mut nv = 100;
+        assert!(meta_select(rows, &atom, SelectMode::FourCase, &mut nv).is_empty());
+    }
+
+    #[test]
+    fn select_blank_fourcase_clears_basic_represents() {
+        let rows = vec![t("V", 1, vec![MetaCell::star()])];
+        let atom = PredicateAtom::col_const(0, CompOp::Eq, "x");
+        let mut nv = 100;
+        let fc = meta_select(rows.clone(), &atom, SelectMode::FourCase, &mut nv);
+        assert!(fc[0].cells[0].is_blank());
+        let basic = meta_select(rows, &atom, SelectMode::Basic, &mut nv);
+        assert_eq!(
+            basic[0].cells[0].content,
+            CellContent::Const(Value::str("x"))
+        );
+    }
+
+    #[test]
+    fn select_blank_basic_nonequality_introduces_var() {
+        let rows = vec![t("V", 1, vec![MetaCell::star()])];
+        let atom = PredicateAtom::col_const(0, CompOp::Ge, 10);
+        let mut nv = 100;
+        let basic = meta_select(rows, &atom, SelectMode::Basic, &mut nv);
+        let x = basic[0].cells[0].as_var().unwrap();
+        assert!(x >= 100);
+        assert!(basic[0].constraints.mentions(x));
+    }
+
+    #[test]
+    fn select_const_cell_evaluates() {
+        let rows = vec![t("V", 1, vec![MetaCell::constant("Acme", true)])];
+        let keep = PredicateAtom::col_const(0, CompOp::Eq, "Acme");
+        let drop = PredicateAtom::col_const(0, CompOp::Ne, "Acme");
+        let mut nv = 0;
+        assert_eq!(
+            meta_select(rows.clone(), &keep, SelectMode::FourCase, &mut nv).len(),
+            1
+        );
+        assert!(meta_select(rows, &drop, SelectMode::FourCase, &mut nv).is_empty());
+    }
+
+    /// The paper's Example 2 BUDGET step: x₃ ≥ 250k meets λ ≥ 300k →
+    /// λ ⊨ µ → clear.
+    #[test]
+    fn select_var_clear_case() {
+        let rows = vec![t_with(
+            "ELP",
+            1,
+            vec![MetaCell::var(3, true)],
+            vec![ConstraintAtom::var_const(3, CompOp::Ge, 250_000)],
+        )];
+        let atom = PredicateAtom::col_const(0, CompOp::Ge, 300_000);
+        let mut nv = 100;
+        let out = meta_select(rows, &atom, SelectMode::FourCase, &mut nv);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].cells[0].is_blank());
+        assert!(out[0].constraints.is_empty());
+    }
+
+    #[test]
+    fn select_var_retain_discard_modify() {
+        let mk = || {
+            vec![t_with(
+                "V",
+                1,
+                vec![MetaCell::var(1, true)],
+                vec![
+                    ConstraintAtom::var_const(1, CompOp::Ge, 300),
+                    ConstraintAtom::var_const(1, CompOp::Le, 600),
+                ],
+            )]
+        };
+        let mut nv = 100;
+        // µ ⊨ λ → retain unchanged.
+        let out = meta_select(
+            mk(),
+            &PredicateAtom::col_const(0, CompOp::Ge, 200),
+            SelectMode::FourCase,
+            &mut nv,
+        );
+        assert_eq!(out[0].constraints.atoms().len(), 2);
+        // Contradiction → discard.
+        assert!(meta_select(
+            mk(),
+            &PredicateAtom::col_const(0, CompOp::Lt, 300),
+            SelectMode::FourCase,
+            &mut nv,
+        )
+        .is_empty());
+        // Overlap → modify (µ ∧ λ).
+        let out = meta_select(
+            mk(),
+            &PredicateAtom::col_const(0, CompOp::Le, 400),
+            SelectMode::FourCase,
+            &mut nv,
+        );
+        let x = out[0].cells[0].as_var().unwrap();
+        let iv = out[0].constraints.interval_of(x).unwrap();
+        assert!(iv.contains(&Value::int(350)));
+        assert!(!iv.contains(&Value::int(450)));
+    }
+
+    #[test]
+    fn select_modify_to_point_binds() {
+        let rows = vec![t_with(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(1, false)],
+            vec![ConstraintAtom::var_const(1, CompOp::Ge, 300)],
+        )];
+        // λ: A₀ ≤ 300 → µ∧λ pins x₁ = 300 → both cells become the
+        // constant.
+        let mut nv = 100;
+        let out = meta_select(
+            rows,
+            &PredicateAtom::col_const(0, CompOp::Le, 300),
+            SelectMode::FourCase,
+            &mut nv,
+        );
+        assert_eq!(out[0].cells[0].content, CellContent::Const(Value::int(300)));
+        assert_eq!(out[0].cells[1].content, CellContent::Const(Value::int(300)));
+    }
+
+    /// Equality on a shared link variable clears it (Example 2's
+    /// NAME = E_NAME on x₁).
+    #[test]
+    fn select_equality_shared_var_clears() {
+        let rows = vec![t(
+            "ELP",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(1, true)],
+        )];
+        let atom = PredicateAtom::col_col(0, CompOp::Eq, 1);
+        let mut nv = 100;
+        let out = meta_select(rows, &atom, SelectMode::FourCase, &mut nv);
+        assert!(out[0].cells[0].is_blank());
+        assert!(out[0].cells[1].is_blank());
+        assert!(out[0].cells[0].starred);
+    }
+
+    #[test]
+    fn select_equality_shared_var_with_constraint_retains() {
+        let rows = vec![t_with(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(1, true)],
+            vec![ConstraintAtom::var_const(1, CompOp::Ge, 0)],
+        )];
+        let atom = PredicateAtom::col_col(0, CompOp::Eq, 1);
+        let mut nv = 100;
+        let out = meta_select(rows, &atom, SelectMode::FourCase, &mut nv);
+        assert_eq!(out[0].cells[0].as_var(), Some(1));
+    }
+
+    #[test]
+    fn select_colcol_const_cases() {
+        let mut nv = 100;
+        // Equal constants pass.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![
+                MetaCell::constant("a", true),
+                MetaCell::constant("a", true),
+            ],
+        )];
+        let eq = PredicateAtom::col_col(0, CompOp::Eq, 1);
+        assert_eq!(
+            meta_select(rows, &eq, SelectMode::FourCase, &mut nv).len(),
+            1
+        );
+        // Unequal constants under Eq drop.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![
+                MetaCell::constant("a", true),
+                MetaCell::constant("b", true),
+            ],
+        )];
+        assert!(meta_select(rows, &eq, SelectMode::FourCase, &mut nv).is_empty());
+        // Const vs blank under Eq propagates the constant.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::constant("a", true), MetaCell::star()],
+        )];
+        let out = meta_select(rows, &eq, SelectMode::FourCase, &mut nv);
+        assert_eq!(out[0].cells[1].content, CellContent::Const(Value::str("a")));
+    }
+
+    #[test]
+    fn select_colcol_var_cases() {
+        let mut nv = 100;
+        let eq = PredicateAtom::col_col(0, CompOp::Eq, 1);
+        // Distinct vars unify.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(2, true)],
+        )];
+        let out = meta_select(rows, &eq, SelectMode::FourCase, &mut nv);
+        assert_eq!(out[0].cells[0].content, out[0].cells[1].content);
+        // Var vs const binds.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::constant(5, true)],
+        )];
+        let out = meta_select(rows, &eq, SelectMode::FourCase, &mut nv);
+        assert_eq!(out[0].cells[0].content, CellContent::Const(Value::int(5)));
+        // Var vs blank links.
+        let rows = vec![t("V", 1, vec![MetaCell::var(1, true), MetaCell::star()])];
+        let out = meta_select(rows, &eq, SelectMode::FourCase, &mut nv);
+        assert_eq!(out[0].cells[1].as_var(), Some(1));
+        // Same var under < is unsatisfiable.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(1, true)],
+        )];
+        let lt = PredicateAtom::col_col(0, CompOp::Lt, 1);
+        assert!(meta_select(rows, &lt, SelectMode::FourCase, &mut nv).is_empty());
+        // Same var under ≤ retains.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::var(1, true)],
+        )];
+        let le = PredicateAtom::col_col(0, CompOp::Le, 1);
+        assert_eq!(
+            meta_select(rows, &le, SelectMode::FourCase, &mut nv).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn project_requires_blank_removed_fields() {
+        // (x₁*, *, ⊔) projected onto {1}: x₁ is constrainted to nothing
+        // but occurs once → simplification blanks it → survives.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::star(), MetaCell::blank()],
+        )];
+        let out = meta_project(rows, &[1]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].cells.len(), 1);
+        // A constant field blocks removal.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![MetaCell::constant("Acme", true), MetaCell::star()],
+        )];
+        assert!(meta_project(rows, &[1]).is_empty());
+        // A shared variable blocks removal.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![
+                MetaCell::var(1, true),
+                MetaCell::var(1, true),
+                MetaCell::star(),
+            ],
+        )];
+        assert!(meta_project(rows, &[0, 2]).is_empty());
+        // ... unless both its fields are kept.
+        let rows = vec![t(
+            "V",
+            1,
+            vec![
+                MetaCell::var(1, true),
+                MetaCell::var(1, true),
+                MetaCell::blank(),
+            ],
+        )];
+        assert_eq!(meta_project(rows, &[0, 1]).len(), 1);
+    }
+
+    #[test]
+    fn project_reorders_and_merges() {
+        let rows = vec![
+            t("A", 1, vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()]),
+            t("B", 2, vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()]),
+        ];
+        let out = meta_project(rows, &[2, 0]);
+        assert_eq!(out.len(), 1, "identical projections merge");
+        assert_eq!(out[0].provenance.len(), 2);
+    }
+
+    #[test]
+    fn project_constrained_singleton_var_blocks() {
+        // A variable with an interval constraint is a real selection —
+        // removing its field must drop the tuple.
+        let rows = vec![t_with(
+            "V",
+            1,
+            vec![MetaCell::var(1, true), MetaCell::star()],
+            vec![ConstraintAtom::var_const(1, CompOp::Ge, 10)],
+        )];
+        assert!(meta_project(rows, &[1]).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Refinement R3: self-join inference (paper, Section 4.2).
+//!
+//! "Let r and s be meta-tuples in relation R' that do not belong to the
+//! same view. Assume that the subviews defined by r and s can participate
+//! in a lossless join (for example, both subviews include the key of this
+//! relation). We define their self-join with a meta-tuple q …
+//! self-joins are subviews of R which should be authorized."
+//!
+//! Because both subviews project a key of `R`, their join on the shared
+//! attributes pairs each tuple of `R` with *itself*, so the join equals
+//! `π_{α∪β} σ_{λ_r ∧ λ_s}(R)`: the combined meta-tuple takes the **union
+//! of the projections** and the **conjunction of the selections**.
+//!
+//! *Fidelity note* (recorded in DESIGN.md): the paper's prose says the
+//! combined field is "the disjunction of the subviews defined in aᵢ and
+//! bᵢ" starred "if both aᵢ or bᵢ are suffixed by *", but its own
+//! Example 3 combines `(*, ⊔, *)` with `(*, x₄*, ⊔)` into `(*, x₄*, *)`
+//! — conjunction of conditions, union of stars — and only the
+//! conjunction is sound (a disjunctive condition would reveal β-columns
+//! of tuples covered by r alone). We implement what the example (and
+//! soundness) requires.
+//!
+//! Following the paper, self-joins are generated once and stored with
+//! the original definitions until those change; [`crate::AuthStore`]
+//! regenerates them on every view definition change.
+
+use crate::metatuple::{CellContent, MetaTuple};
+
+/// Combine two meta-tuples of different views over the same relation.
+///
+/// Requirements checked here:
+/// * disjoint provenance ("do not belong to the same view");
+/// * `key` non-empty and starred in **both** tuples (the lossless-join
+///   precondition);
+/// * the conjunction of the two selections is satisfiable (constant
+///   conflicts and violated interval constraints reject the pair).
+///
+/// Returns `None` when any requirement fails.
+pub fn combine(r: &MetaTuple, s: &MetaTuple, key: &[usize]) -> Option<MetaTuple> {
+    if key.is_empty() || r.cells.len() != s.cells.len() {
+        return None;
+    }
+    if !r.provenance.is_disjoint(&s.provenance) {
+        return None;
+    }
+    if !key
+        .iter()
+        .all(|&k| r.cells[k].starred && s.cells[k].starred)
+    {
+        return None;
+    }
+
+    // Start from r, merge constraints, then fold s's cells in.
+    let mut q = r.clone();
+    q.provenance.extend(s.provenance.iter().cloned());
+    q.covers.extend(s.covers.iter().copied());
+    q.constraints = r.constraints.merge(&s.constraints);
+
+    // Deferred rewrites: binding a variable to a constant or unifying
+    // two variables must see the fully merged cell row, so collect them
+    // first.
+    enum Rewrite {
+        Bind(crate::metatuple::VarId, motro_rel::Value),
+        Unify(crate::metatuple::VarId, crate::metatuple::VarId),
+    }
+    let mut rewrites = Vec::new();
+
+    for (i, (a, b)) in r.cells.iter().zip(&s.cells).enumerate() {
+        let starred = a.starred || b.starred;
+        let content = match (&a.content, &b.content) {
+            (CellContent::Blank, c) | (c, CellContent::Blank) => c.clone(),
+            (CellContent::Const(x), CellContent::Const(y)) => {
+                if x == y {
+                    CellContent::Const(x.clone())
+                } else {
+                    return None; // contradictory selections
+                }
+            }
+            (CellContent::Const(v), CellContent::Var(y)) => {
+                rewrites.push(Rewrite::Bind(*y, v.clone()));
+                CellContent::Const(v.clone())
+            }
+            (CellContent::Var(x), CellContent::Const(v)) => {
+                rewrites.push(Rewrite::Bind(*x, v.clone()));
+                CellContent::Const(v.clone())
+            }
+            (CellContent::Var(x), CellContent::Var(y)) => {
+                if x != y {
+                    rewrites.push(Rewrite::Unify(*x, *y));
+                }
+                CellContent::Var(*x)
+            }
+        };
+        q.cells[i] = crate::metatuple::MetaCell { content, starred };
+    }
+
+    for rw in rewrites {
+        let ok = match rw {
+            Rewrite::Bind(x, v) => q.bind_var(x, &v),
+            Rewrite::Unify(x, y) => q.unify_vars(x, y),
+        };
+        if !ok {
+            return None;
+        }
+    }
+
+    // Reject pairs whose merged single-variable constraints are already
+    // contradictory.
+    for x in q.all_vars() {
+        if q.constraints.obviously_unsat(x) {
+            return None;
+        }
+    }
+    Some(q)
+}
+
+/// Generate self-join combinations of `stored` meta-tuples.
+///
+/// The paper combines *pairs* (`rounds = 1`, the default used by
+/// [`crate::AuthStore`]); higher `rounds` also combine previous
+/// combinations with stored tuples (triples, quadruples, …), bounded by
+/// provenance disjointness. Combinations identical in cells and
+/// constraints are merged (covers unioned), which both keeps the
+/// candidate sets small and lets a merged combination self-witness its
+/// variable linkage under closure pruning.
+///
+/// `key` is the relation's declared key; `None` disables the refinement
+/// for this relation (no lossless-join evidence).
+pub fn self_joins(stored: &[MetaTuple], key: Option<&[usize]>, rounds: usize) -> Vec<MetaTuple> {
+    let Some(key) = key else {
+        return Vec::new();
+    };
+    let mut out: Vec<MetaTuple> = Vec::new();
+    let mut frontier: Vec<MetaTuple> = stored.to_vec();
+    let mut seen: std::collections::BTreeSet<String> =
+        stored.iter().map(|t| format!("{t:?}")).collect();
+
+    for _ in 0..rounds {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for f in &frontier {
+            for t in stored {
+                if let Some(q) = combine(f, t, key) {
+                    let sig = format!("{q:?}");
+                    if seen.insert(sig) {
+                        next.push(q.clone());
+                        out.push(q);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    crate::meta_algebra::dedup_merge(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ConstraintAtom, ConstraintSet};
+    use crate::metatuple::MetaCell;
+    use motro_rel::{CompOp, Value};
+
+    fn sae() -> MetaTuple {
+        // (*, ⊔, *): names and salaries of all employees.
+        MetaTuple::new(
+            "SAE",
+            1,
+            vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()],
+            ConstraintSet::empty(),
+        )
+    }
+
+    fn est(id: u32) -> MetaTuple {
+        // (*, x4*, ⊔).
+        MetaTuple::new(
+            "EST",
+            id,
+            vec![MetaCell::star(), MetaCell::var(4, true), MetaCell::blank()],
+            ConstraintSet::empty(),
+        )
+    }
+
+    const KEY: &[usize] = &[0];
+
+    /// The paper's Example 3 combination: SAE + EST → (*, x₄*, *).
+    #[test]
+    fn paper_example_combination() {
+        let q = combine(&sae(), &est(2), KEY).unwrap();
+        assert_eq!(q.cells[0], MetaCell::star());
+        assert_eq!(q.cells[1], MetaCell::var(4, true));
+        assert_eq!(q.cells[2], MetaCell::star());
+        assert_eq!(q.render_provenance(), "EST, SAE");
+        assert_eq!(q.covers.len(), 2);
+    }
+
+    #[test]
+    fn same_view_pairs_rejected() {
+        assert!(combine(&est(2), &est(3), KEY).is_none());
+    }
+
+    #[test]
+    fn unstarred_key_rejected() {
+        let mut r = sae();
+        r.cells[0].starred = false;
+        assert!(combine(&r, &est(2), KEY).is_none());
+        assert!(combine(&est(2), &r, KEY).is_none());
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        assert!(combine(&sae(), &est(2), &[]).is_none());
+    }
+
+    #[test]
+    fn constant_conflict_rejected() {
+        let a = MetaTuple::new(
+            "A",
+            1,
+            vec![MetaCell::star(), MetaCell::constant("manager", true)],
+            ConstraintSet::empty(),
+        );
+        let b = MetaTuple::new(
+            "B",
+            2,
+            vec![MetaCell::star(), MetaCell::constant("engineer", true)],
+            ConstraintSet::empty(),
+        );
+        assert!(combine(&a, &b, KEY).is_none());
+        // Equal constants combine fine.
+        let c = MetaTuple::new(
+            "C",
+            3,
+            vec![MetaCell::star(), MetaCell::constant("manager", false)],
+            ConstraintSet::empty(),
+        );
+        let q = combine(&a, &c, KEY).unwrap();
+        assert_eq!(q.cells[1], MetaCell::constant("manager", true));
+    }
+
+    #[test]
+    fn const_vs_var_binds_and_checks_constraints() {
+        let a = MetaTuple::new(
+            "A",
+            1,
+            vec![MetaCell::star(), MetaCell::constant(100, true)],
+            ConstraintSet::empty(),
+        );
+        let b = MetaTuple::new(
+            "B",
+            2,
+            vec![MetaCell::star(), MetaCell::var(1, true)],
+            ConstraintSet::new(vec![ConstraintAtom::var_const(1, CompOp::Ge, 50)]),
+        );
+        let q = combine(&a, &b, KEY).unwrap();
+        assert_eq!(q.cells[1].content, CellContent::Const(Value::int(100)));
+        assert!(q.constraints.is_empty());
+
+        // Violating constraint rejects the pair.
+        let c = MetaTuple::new(
+            "C",
+            3,
+            vec![MetaCell::star(), MetaCell::var(2, true)],
+            ConstraintSet::new(vec![ConstraintAtom::var_const(2, CompOp::Gt, 200)]),
+        );
+        assert!(combine(&a, &c, KEY).is_none());
+    }
+
+    #[test]
+    fn var_vs_var_unifies_and_merges_intervals() {
+        let a = MetaTuple::new(
+            "A",
+            1,
+            vec![MetaCell::star(), MetaCell::var(1, true)],
+            ConstraintSet::new(vec![ConstraintAtom::var_const(1, CompOp::Ge, 100)]),
+        );
+        let b = MetaTuple::new(
+            "B",
+            2,
+            vec![MetaCell::star(), MetaCell::var(2, true)],
+            ConstraintSet::new(vec![ConstraintAtom::var_const(2, CompOp::Le, 200)]),
+        );
+        let q = combine(&a, &b, KEY).unwrap();
+        let x = q.cells[1].as_var().unwrap();
+        let iv = q.constraints.interval_of(x).unwrap();
+        assert!(iv.contains(&Value::int(150)));
+        assert!(!iv.contains(&Value::int(50)));
+        assert!(!iv.contains(&Value::int(250)));
+
+        // Disjoint intervals reject.
+        let c = MetaTuple::new(
+            "C",
+            3,
+            vec![MetaCell::star(), MetaCell::var(3, true)],
+            ConstraintSet::new(vec![ConstraintAtom::var_const(3, CompOp::Lt, 50)]),
+        );
+        assert!(combine(&a, &c, KEY).is_none());
+    }
+
+    #[test]
+    fn self_joins_fixpoint_three_views() {
+        let a = MetaTuple::new(
+            "A",
+            1,
+            vec![MetaCell::star(), MetaCell::star(), MetaCell::blank()],
+            ConstraintSet::empty(),
+        );
+        let b = MetaTuple::new(
+            "B",
+            2,
+            vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()],
+            ConstraintSet::empty(),
+        );
+        let c = MetaTuple::new(
+            "C",
+            3,
+            vec![MetaCell::star(), MetaCell::blank(), MetaCell::blank()],
+            ConstraintSet::empty(),
+        );
+        let joins = self_joins(&[a, b, c], Some(KEY), 3);
+        // Pairs AB, AC, BC plus the triple ABC are generated; rows with
+        // identical cells and constraints then merge (AB and ABC both
+        // star everything), leaving three distinct combinations, one of
+        // them carrying all three views' provenance.
+        assert_eq!(joins.len(), 3, "joins: {joins:?}");
+        assert!(joins
+            .iter()
+            .any(|t| t.provenance.len() == 3 && t.cells.iter().all(|c| c.starred)));
+    }
+
+    #[test]
+    fn self_joins_disabled_without_key() {
+        assert!(self_joins(&[sae(), est(2)], None, 1).is_empty());
+    }
+}

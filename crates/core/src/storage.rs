@@ -1,0 +1,522 @@
+//! The paper's literal storage model: "Access permissions are stored in
+//! new relations that are added to the database" (Section 3).
+//!
+//! [`encode_store`] materializes an [`AuthStore`] as ordinary
+//! [`Relation`]s — one `R'` per base relation (scheme mirrored, all
+//! string-typed, plus the `VIEW` column) holding the meta-tuples in the
+//! paper's notation (`x₁*`, `Acme*`, blank), the auxiliary
+//! `COMPARISON = (VIEW, X, COMPARE, Y)` and `PERMISSION = (USER, VIEW)`
+//! relations, and (extensions) `MEMBERSHIP = (GROUP, USER)` for group
+//! principals. [`decode_store`] reboots a fully functional store from
+//! those relations alone: the meta-tuples are parsed back, each view's
+//! statement is *decompiled* from its normal form (the paper never
+//! stores statement text), and grants are replayed — demonstrating that
+//! the Section 3 representation is complete.
+//!
+//! Encoding notes:
+//!
+//! * string constants that would be ambiguous in the notation (they
+//!   look like a variable `x12`, end in `*`, are empty, or carry
+//!   quotes) are single-quoted;
+//! * an `ATOM` ordinal column disambiguates a view's meta-tuples (the
+//!   paper's Figure 1 lists EST's identical meta-tuple twice, which a
+//!   set-semantics relation cannot hold);
+//! * disjunctive-view branches beyond the first are tagged
+//!   `NAME#k` in the `VIEW` column (the paper has no branches);
+//! * stored self-join combinations are *not* encoded — the store
+//!   regenerates them, exactly as it does after any definition change;
+//! * aggregate views are outside the paper's storage model and are not
+//!   encoded (use the JSON persistence for full extension state).
+
+use crate::error::{CoreError, CoreResult};
+use crate::metatuple::{CellContent, MetaCell};
+use crate::store::AuthStore;
+use motro_rel::{DbSchema, Domain, Relation, RelSchema, Tuple, Value};
+use motro_views::{CompRhs, MembershipAtom, NormalizedView, VarComparison};
+use std::collections::BTreeMap;
+
+/// Name of the meta-relation table for base relation `rel`.
+pub fn meta_table_name(rel: &str) -> String {
+    format!("{rel}'")
+}
+
+fn str_columns(names: &[&str]) -> RelSchema {
+    RelSchema::base(
+        "<storage>",
+        &names
+            .iter()
+            .map(|n| (*n, Domain::Str))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Storage rendering of a meta-cell: the paper's notation with quoting
+/// for ambiguous constants.
+fn encode_cell(cell: &MetaCell) -> String {
+    let base = match &cell.content {
+        CellContent::Blank => String::new(),
+        CellContent::Var(x) => format!("x{x}"),
+        CellContent::Const(Value::Int(i)) => i.to_string(),
+        CellContent::Const(Value::Str(s)) => {
+            if needs_quoting(s) {
+                format!("'{s}'")
+            } else {
+                s.clone()
+            }
+        }
+    };
+    if cell.starred {
+        format!("{base}*")
+    } else {
+        base
+    }
+}
+
+fn needs_quoting(s: &str) -> bool {
+    s.is_empty()
+        || s.ends_with('*')
+        || s.contains('\'')
+        || looks_like_var(s)
+        || s.parse::<i64>().is_ok()
+}
+
+fn looks_like_var(s: &str) -> bool {
+    s.len() > 1 && s.starts_with('x') && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+/// Parse a storage cell back (the column's domain disambiguates
+/// integer constants).
+fn decode_cell(text: &str, domain: Domain) -> CoreResult<MetaCell> {
+    let (body, starred) = match text.strip_suffix('*') {
+        Some(b) => (b, true),
+        None => (text, false),
+    };
+    let content = if body.is_empty() {
+        CellContent::Blank
+    } else if let Some(q) = body.strip_prefix('\'').and_then(|b| b.strip_suffix('\'')) {
+        CellContent::Const(Value::str(q))
+    } else if looks_like_var(body) {
+        CellContent::Var(body[1..].parse().map_err(|_| {
+            CoreError::Internal(format!("bad variable in storage: {body}"))
+        })?)
+    } else if domain == Domain::Int {
+        CellContent::Const(Value::Int(body.parse().map_err(|_| {
+            CoreError::Internal(format!("bad integer constant in storage: {body}"))
+        })?))
+    } else {
+        CellContent::Const(Value::str(body))
+    };
+    Ok(MetaCell { content, starred })
+}
+
+/// Materialize the store as relations (see module docs).
+pub fn encode_store(store: &AuthStore) -> CoreResult<BTreeMap<String, Relation>> {
+    let mut out = BTreeMap::new();
+    let scheme = store.scheme();
+
+    // The meta-relations.
+    for (rel, def) in scheme.iter() {
+        let mut names: Vec<&str> = vec!["VIEW", "ATOM"];
+        let attr_names: Vec<String> = def
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.qual.attr.clone())
+            .collect();
+        names.extend(attr_names.iter().map(String::as_str));
+        let schema = str_columns(&names);
+        let mut table = Relation::new(schema);
+        let mr = store.meta_relation(rel)?;
+        for t in &mr.tuples {
+            let (tag, ordinal) = store.storage_position_of(t).ok_or_else(|| {
+                CoreError::Internal("stored meta-tuple without a branch".to_owned())
+            })?;
+            let mut row = vec![Value::str(tag), Value::str(ordinal.to_string())];
+            row.extend(t.cells.iter().map(|c| Value::str(encode_cell(c))));
+            table
+                .insert(Tuple::new(row))
+                .map_err(CoreError::Rel)?;
+        }
+        out.insert(meta_table_name(rel), table);
+    }
+
+    // COMPARISON.
+    let mut comparison = Relation::new(str_columns(&["VIEW", "X", "COMPARE", "Y"]));
+    for (tag, atom) in store.all_comparisons() {
+        let y = match &atom.rhs {
+            crate::constraint::Rhs::Var(v) => format!("x{v}"),
+            crate::constraint::Rhs::Const(Value::Int(i)) => i.to_string(),
+            crate::constraint::Rhs::Const(Value::Str(s)) => {
+                if needs_quoting(s) {
+                    format!("'{s}'")
+                } else {
+                    s.clone()
+                }
+            }
+        };
+        comparison
+            .insert(Tuple::new(vec![
+                Value::str(tag.clone()),
+                Value::str(format!("x{}", atom.lhs)),
+                Value::str(atom.op.to_string()),
+                Value::str(y),
+            ]))
+            .map_err(CoreError::Rel)?;
+    }
+    out.insert("COMPARISON".to_owned(), comparison);
+
+    // PERMISSION (group grants with the `group:` prefix).
+    let mut permission = Relation::new(str_columns(&["USER", "VIEW"]));
+    for (principal, view) in store.all_grants() {
+        permission
+            .insert(Tuple::new(vec![Value::str(principal), Value::str(view)]))
+            .map_err(CoreError::Rel)?;
+    }
+    out.insert("PERMISSION".to_owned(), permission);
+
+    // MEMBERSHIP (extension).
+    let mut membership = Relation::new(str_columns(&["GROUP", "USER"]));
+    for (group, user) in store.all_memberships() {
+        membership
+            .insert(Tuple::new(vec![Value::str(group), Value::str(user)]))
+            .map_err(CoreError::Rel)?;
+    }
+    out.insert("MEMBERSHIP".to_owned(), membership);
+    Ok(out)
+}
+
+/// Reboot a store from its storage relations (see module docs).
+pub fn decode_store(
+    scheme: &DbSchema,
+    tables: &BTreeMap<String, Relation>,
+) -> CoreResult<AuthStore> {
+    // Collect branches: tag → (per-relation atoms in storage order).
+    #[derive(Default)]
+    struct Branch {
+        atoms: Vec<(usize, MembershipAtom)>,
+        comparisons: Vec<VarComparison>,
+    }
+    let mut branches: BTreeMap<String, Branch> = BTreeMap::new();
+
+    for (rel, def) in scheme.iter() {
+        let Some(table) = tables.get(&meta_table_name(rel)) else {
+            continue;
+        };
+        for row in table.rows() {
+            let tag = row
+                .value(0)
+                .as_str()
+                .ok_or_else(|| CoreError::Internal("VIEW column must be text".to_owned()))?
+                .to_owned();
+            let ordinal: usize = row
+                .value(1)
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CoreError::Internal("bad ATOM ordinal".to_owned()))?;
+            let mut terms = Vec::with_capacity(def.schema.arity());
+            let mut starred = Vec::with_capacity(def.schema.arity());
+            for i in 0..def.schema.arity() {
+                let text = row.value(i + 2).as_str().ok_or_else(|| {
+                    CoreError::Internal("meta cells must be text".to_owned())
+                })?;
+                let cell = decode_cell(text, def.schema.domain(i))?;
+                starred.push(cell.starred);
+                terms.push(match cell.content {
+                    CellContent::Blank => motro_views::VarTerm::Anon,
+                    CellContent::Const(v) => motro_views::VarTerm::Const(v),
+                    CellContent::Var(x) => motro_views::VarTerm::Var(x),
+                });
+            }
+            branches.entry(tag).or_default().atoms.push((
+                ordinal,
+                MembershipAtom {
+                    rel: rel.clone(),
+                    terms,
+                    starred,
+                },
+            ));
+        }
+    }
+
+    if let Some(table) = tables.get("COMPARISON") {
+        for row in table.rows() {
+            let get = |i: usize| -> CoreResult<&str> {
+                row.value(i)
+                    .as_str()
+                    .ok_or_else(|| CoreError::Internal("COMPARISON must be text".to_owned()))
+            };
+            let tag = get(0)?.to_owned();
+            let x = get(1)?;
+            if !looks_like_var(x) {
+                return Err(CoreError::Internal(format!("bad X in COMPARISON: {x}")));
+            }
+            let lhs = x[1..]
+                .parse()
+                .map_err(|_| CoreError::Internal(format!("bad X in COMPARISON: {x}")))?;
+            let op = parse_op(get(2)?)?;
+            let ytext = get(3)?;
+            let rhs = if looks_like_var(ytext) {
+                CompRhs::Var(ytext[1..].parse().map_err(|_| {
+                    CoreError::Internal(format!("bad Y in COMPARISON: {ytext}"))
+                })?)
+            } else if let Some(q) = ytext
+                .strip_prefix('\'')
+                .and_then(|b| b.strip_suffix('\''))
+            {
+                CompRhs::Const(Value::str(q))
+            } else if let Ok(i) = ytext.parse::<i64>() {
+                CompRhs::Const(Value::Int(i))
+            } else {
+                CompRhs::Const(Value::str(ytext))
+            };
+            branches
+                .entry(tag)
+                .or_default()
+                .comparisons
+                .push(VarComparison { lhs, op, rhs });
+        }
+    }
+
+    // Group branch tags by view name and install in branch order.
+    let mut by_view: BTreeMap<String, Vec<(usize, Branch)>> = BTreeMap::new();
+    for (tag, branch) in branches {
+        let (name, idx) = match tag.split_once('#') {
+            Some((n, k)) => (
+                n.to_owned(),
+                k.parse::<usize>().map_err(|_| {
+                    CoreError::Internal(format!("bad branch tag in storage: {tag}"))
+                })?,
+            ),
+            None => (tag.clone(), 1),
+        };
+        by_view.entry(name).or_default().push((idx, branch));
+    }
+
+    let mut store = AuthStore::new(scheme.clone());
+    for (name, mut parts) in by_view {
+        parts.sort_by_key(|(idx, _)| *idx);
+        let normalized: Vec<NormalizedView> = parts
+            .into_iter()
+            .map(|(_, mut b)| {
+                b.atoms.sort_by_key(|(ordinal, _)| *ordinal);
+                NormalizedView {
+                    name: name.clone(),
+                    atoms: b.atoms.into_iter().map(|(_, a)| a).collect(),
+                    comparisons: b.comparisons,
+                }
+            })
+            .collect();
+        store.define_view_from_storage(&name, normalized)?;
+    }
+
+    if let Some(table) = tables.get("PERMISSION") {
+        for row in table.rows() {
+            let principal = row.value(0).as_str().unwrap_or_default();
+            let view = row.value(1).as_str().unwrap_or_default();
+            match principal.strip_prefix("group:") {
+                Some(g) => store.permit_group(view, g)?,
+                None => store.permit(view, principal)?,
+            }
+        }
+    }
+    if let Some(table) = tables.get("MEMBERSHIP") {
+        for row in table.rows() {
+            let group = row.value(0).as_str().unwrap_or_default();
+            let user = row.value(1).as_str().unwrap_or_default();
+            store.add_member(group, user);
+        }
+    }
+    Ok(store)
+}
+
+fn parse_op(s: &str) -> CoreResult<motro_rel::CompOp> {
+    use motro_rel::CompOp::*;
+    Ok(match s {
+        "=" => Eq,
+        "!=" | "<>" => Ne,
+        "<" => Lt,
+        "<=" => Le,
+        ">" => Gt,
+        ">=" => Ge,
+        other => {
+            return Err(CoreError::Internal(format!(
+                "bad comparator in storage: {other}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authorize::AuthorizedEngine;
+    use crate::fixtures;
+    use motro_rel::CompOp;
+    use motro_views::{AttrRef, ConjunctiveQuery};
+
+    #[test]
+    fn cell_codec_round_trips() {
+        let cases = vec![
+            MetaCell::blank(),
+            MetaCell::star(),
+            MetaCell::var(12, true),
+            MetaCell::var(3, false),
+            MetaCell::constant("Acme", true),
+            MetaCell::constant("bq-45", false),
+            MetaCell::constant(250_000, true),
+            // Ambiguous constants must quote.
+            MetaCell::constant("x12", true),
+            MetaCell::constant("done*", false),
+            MetaCell::constant("", true),
+            MetaCell::constant("42", false), // string "42" in a Str column
+        ];
+        for c in cases {
+            let dom = match &c.content {
+                CellContent::Const(Value::Int(_)) => Domain::Int,
+                _ => Domain::Str,
+            };
+            let text = encode_cell(&c);
+            let back = decode_cell(&text, dom).unwrap();
+            assert_eq!(c, back, "via {text:?}");
+        }
+    }
+
+    #[test]
+    fn paper_store_encodes_in_paper_notation() {
+        let store = fixtures::paper_store();
+        let tables = encode_store(&store).unwrap();
+        let emp = tables.get("EMPLOYEE'").unwrap();
+        assert_eq!(emp.len(), 4);
+        let rendered = emp.to_table();
+        assert!(rendered.contains("x1*"), "{rendered}");
+        assert!(rendered.contains("x4*"), "{rendered}");
+        let proj = tables.get("PROJECT'").unwrap().to_table();
+        assert!(proj.contains("Acme*"), "{proj}");
+        let cmp = tables.get("COMPARISON").unwrap().to_table();
+        assert!(cmp.contains("x3"), "{cmp}");
+        assert!(cmp.contains(">="), "{cmp}");
+        assert!(cmp.contains("250000"), "{cmp}");
+        let perm = tables.get("PERMISSION").unwrap();
+        assert_eq!(perm.len(), 5);
+    }
+
+    #[test]
+    fn reboot_from_storage_is_behaviorally_identical() {
+        let db = fixtures::paper_database();
+        let store = fixtures::paper_store();
+        let tables = encode_store(&store).unwrap();
+        let rebooted = decode_store(db.schema(), &tables).unwrap();
+
+        // Same storage after a second encode (fixpoint).
+        let tables2 = encode_store(&rebooted).unwrap();
+        for (name, t) in &tables {
+            assert!(
+                t.set_eq(tables2.get(name).unwrap()),
+                "{name} differs after reboot:\n{}\nvs\n{}",
+                t.to_table(),
+                tables2.get(name).unwrap().to_table()
+            );
+        }
+
+        // Identical masks on the paper's three examples.
+        let e1 = AuthorizedEngine::new(&db, &store);
+        let e2 = AuthorizedEngine::new(&db, &rebooted);
+        let queries: Vec<(&str, ConjunctiveQuery)> = vec![
+            (
+                "Brown",
+                ConjunctiveQuery::retrieve()
+                    .target("PROJECT", "NUMBER")
+                    .target("PROJECT", "SPONSOR")
+                    .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+                    .build(),
+            ),
+            (
+                "Klein",
+                ConjunctiveQuery::retrieve()
+                    .target("EMPLOYEE", "NAME")
+                    .target("EMPLOYEE", "SALARY")
+                    .where_const(AttrRef::new("EMPLOYEE", "TITLE"), CompOp::Eq, "engineer")
+                    .where_attr(
+                        AttrRef::new("EMPLOYEE", "NAME"),
+                        CompOp::Eq,
+                        AttrRef::new("ASSIGNMENT", "E_NAME"),
+                    )
+                    .where_attr(
+                        AttrRef::new("ASSIGNMENT", "P_NO"),
+                        CompOp::Eq,
+                        AttrRef::new("PROJECT", "NUMBER"),
+                    )
+                    .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 300_000)
+                    .build(),
+            ),
+            (
+                "Brown",
+                ConjunctiveQuery::retrieve()
+                    .target_occ("EMPLOYEE", 1, "NAME")
+                    .target_occ("EMPLOYEE", 1, "SALARY")
+                    .target_occ("EMPLOYEE", 2, "NAME")
+                    .target_occ("EMPLOYEE", 2, "SALARY")
+                    .where_attr(
+                        AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+                        CompOp::Eq,
+                        AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+                    )
+                    .build(),
+            ),
+        ];
+        for (user, q) in queries {
+            let a = e1.retrieve(user, &q).unwrap();
+            let b = e2.retrieve(user, &q).unwrap();
+            assert_eq!(a.masked.rows, b.masked.rows, "{user}: {q}");
+            assert_eq!(a.masked.withheld, b.masked.withheld);
+            assert_eq!(a.full_access, b.full_access);
+            assert_eq!(
+                a.permits.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                b.permits.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn union_views_and_groups_survive_storage() {
+        let mut scheme = DbSchema::new();
+        scheme
+            .add_relation_with_key(
+                "P",
+                &[("K", Domain::Str), ("W", Domain::Str)],
+                Some(&["K"]),
+            )
+            .unwrap();
+        let mut store = AuthStore::new(scheme.clone());
+        store
+            .define_view_union(
+                "U",
+                &[
+                    ConjunctiveQuery::view("U")
+                        .target("P", "K")
+                        .target("P", "W")
+                        .where_const(AttrRef::new("P", "W"), CompOp::Eq, "a")
+                        .build(),
+                    ConjunctiveQuery::view("U")
+                        .target("P", "K")
+                        .target("P", "W")
+                        .where_const(AttrRef::new("P", "W"), CompOp::Eq, "b")
+                        .build(),
+                ],
+            )
+            .unwrap();
+        store.permit_group("U", "G").unwrap();
+        store.add_member("G", "u");
+
+        let tables = encode_store(&store).unwrap();
+        assert!(tables.get("P'").unwrap().to_table().contains("U#2"));
+        let rebooted = decode_store(&scheme, &tables).unwrap();
+        assert_eq!(rebooted.view("U").unwrap().branches.len(), 2);
+        assert_eq!(rebooted.permitted_views("u"), vec!["U"]);
+        // Storage fixpoint.
+        let tables2 = encode_store(&rebooted).unwrap();
+        for (name, t) in &tables {
+            assert!(t.set_eq(tables2.get(name).unwrap()), "{name}");
+        }
+    }
+}

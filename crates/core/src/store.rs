@@ -1,0 +1,874 @@
+//! The authorization store: meta-relations, `COMPARISON`, `PERMISSION`.
+//!
+//! [`AuthStore`] owns everything Section 3 adds to the database:
+//!
+//! * one [`MetaRelation`] `R'` per base relation `R`, holding the stored
+//!   meta-tuples of every defined view;
+//! * the `COMPARISON` relation (view-scoped non-equality comparisons) —
+//!   held both as rows for display and attached tuple-locally to the
+//!   meta-tuples that mention each variable;
+//! * the `PERMISSION` relation (user, view);
+//! * the stored self-join combinations of refinement R3 ("once
+//!   generated, they should be stored with the original view
+//!   definitions, until these definitions are modified" — the store
+//!   regenerates them whenever a view is defined or dropped).
+//!
+//! Views are registered from their surface statements via
+//! [`AuthStore::define_view`]; the §3 normalization and meta-tuple
+//! encoding are applied automatically, fulfilling the paper's §6 promise
+//! that "the system will insert automatically the appropriate
+//! meta-tuples into the meta-relations", keeping the notation fully
+//! transparent to users.
+
+use crate::constraint::{ConstraintAtom, ConstraintSet, Rhs};
+use crate::error::{CoreError, CoreResult};
+use crate::metarel::{render_table, MetaRelation};
+use crate::metatuple::{MetaCell, MetaTuple, TupleId, VarId};
+use crate::selfjoin;
+use motro_rel::{DbSchema, Relation};
+use motro_views::{normalize, CompRhs, ConjunctiveQuery, NormalizedView, VarTerm};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Bookkeeping for one conjunctive branch of a view. A plain
+/// conjunctive view has exactly one branch; a *disjunctive* view (the
+/// Section 6 extension: "the current methods can be extended to handle
+/// views with disjunctions") stores one branch per disjunct, each with
+/// its own meta-tuples and variables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchEntry {
+    /// The branch's surface statement.
+    pub definition: ConjunctiveQuery,
+    /// Relations in which this branch stores meta-tuples.
+    pub relations: BTreeSet<String>,
+    /// Ids of the branch's stored meta-tuples.
+    pub tuple_ids: BTreeSet<TupleId>,
+    /// The branch's (globally renumbered) comparison atoms.
+    pub comparisons: Vec<ConstraintAtom>,
+}
+
+/// Bookkeeping for one defined view: its conjunctive branches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ViewEntry {
+    /// The branches (one for a plain conjunctive view).
+    pub branches: Vec<BranchEntry>,
+}
+
+impl ViewEntry {
+    /// The first branch's statement (the whole statement for plain
+    /// conjunctive views).
+    pub fn definition(&self) -> &ConjunctiveQuery {
+        &self.branches[0].definition
+    }
+
+    /// Every meta-tuple id across all branches.
+    pub fn all_tuple_ids(&self) -> BTreeSet<TupleId> {
+        self.branches
+            .iter()
+            .flat_map(|b| b.tuple_ids.iter().copied())
+            .collect()
+    }
+}
+
+/// The meta-relations, `COMPARISON`, `PERMISSION`, and stored self-joins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuthStore {
+    scheme: DbSchema,
+    views: BTreeMap<String, ViewEntry>,
+    meta: BTreeMap<String, MetaRelation>,
+    selfjoins: BTreeMap<String, Vec<MetaTuple>>,
+    aggregate_views: BTreeMap<String, motro_views::AggregateQuery>,
+    permissions: BTreeSet<(String, String)>,
+    group_permissions: BTreeSet<(String, String)>,
+    membership: BTreeMap<String, BTreeSet<String>>,
+    var_home: BTreeMap<VarId, BTreeSet<TupleId>>,
+    next_tuple: TupleId,
+    next_var: VarId,
+    selfjoin_rounds: usize,
+}
+
+impl AuthStore {
+    /// An empty store over `scheme`: one empty meta-relation per base
+    /// relation.
+    pub fn new(scheme: DbSchema) -> Self {
+        let meta = scheme
+            .iter()
+            .map(|(n, d)| (n.clone(), MetaRelation::new(n, d.schema.clone())))
+            .collect();
+        AuthStore {
+            scheme,
+            views: BTreeMap::new(),
+            meta,
+            selfjoins: BTreeMap::new(),
+            aggregate_views: BTreeMap::new(),
+            permissions: BTreeSet::new(),
+            group_permissions: BTreeSet::new(),
+            membership: BTreeMap::new(),
+            var_home: BTreeMap::new(),
+            next_tuple: 1,
+            next_var: 1,
+            selfjoin_rounds: 1,
+        }
+    }
+
+    /// Set how many self-join combination rounds refinement R3 runs
+    /// (1 = pairs, the paper's formulation and the default; higher
+    /// values also build triples, quadruples, ...). Regenerates the
+    /// stored combinations.
+    pub fn set_selfjoin_rounds(&mut self, rounds: usize) {
+        self.selfjoin_rounds = rounds;
+        self.regenerate_selfjoins();
+    }
+
+    /// The database scheme the store was built over.
+    pub fn scheme(&self) -> &DbSchema {
+        &self.scheme
+    }
+
+    /// Define a view from its surface statement (must be named).
+    ///
+    /// Normalizes per Section 3, renumbers the view's variables into the
+    /// store's global space, inserts the meta-tuples and `COMPARISON`
+    /// entries, and regenerates stored self-joins.
+    pub fn define_view(&mut self, q: &ConjunctiveQuery) -> CoreResult<()> {
+        let name = q
+            .name
+            .clone()
+            .ok_or_else(|| CoreError::Internal("view statement must be named".to_owned()))?;
+        self.define_view_union(&name, std::slice::from_ref(q))
+    }
+
+    /// Define a *disjunctive* view as a union of conjunctive branches
+    /// (the Section 6 extension). Each branch is normalized and stored
+    /// independently under the same view name; masks take the union of
+    /// the branches naturally. A query may use any branch that is
+    /// defined entirely within the query's relations.
+    pub fn define_view_union(
+        &mut self,
+        name: &str,
+        branches: &[ConjunctiveQuery],
+    ) -> CoreResult<()> {
+        if self.views.contains_key(name) {
+            return Err(CoreError::DuplicateView(name.to_owned()));
+        }
+        if branches.is_empty() {
+            return Err(CoreError::Internal(
+                "a view needs at least one branch".to_owned(),
+            ));
+        }
+        let mut entries = Vec::with_capacity(branches.len());
+        for q in branches {
+            let nv = normalize(q, &self.scheme)?;
+            entries.push(self.install_normalized(name, q.clone(), &nv)?);
+        }
+        self.views.insert(name.to_owned(), ViewEntry { branches: entries });
+        self.regenerate_selfjoins();
+        Ok(())
+    }
+
+    fn install_normalized(
+        &mut self,
+        name: &str,
+        definition: ConjunctiveQuery,
+        nv: &NormalizedView,
+    ) -> CoreResult<BranchEntry> {
+        // Renumber the view's variables into the global space.
+        let mut var_map: BTreeMap<VarId, VarId> = BTreeMap::new();
+        let mut global = |local: VarId, next: &mut VarId| -> VarId {
+            *var_map.entry(local).or_insert_with(|| {
+                let g = *next;
+                *next += 1;
+                g
+            })
+        };
+        let mut next_var = self.next_var;
+
+        // Pre-pass: assign global ids to cell variables in cell order so
+        // the stored numbering matches the paper's x₁, x₂, … display.
+        for atom in &nv.atoms {
+            for t in &atom.terms {
+                if let VarTerm::Var(x) = t {
+                    global(*x, &mut next_var);
+                }
+            }
+        }
+
+        let comparisons: Vec<ConstraintAtom> = nv
+            .comparisons
+            .iter()
+            .map(|c| ConstraintAtom {
+                lhs: global(c.lhs, &mut next_var),
+                op: c.op,
+                rhs: match &c.rhs {
+                    CompRhs::Var(y) => Rhs::Var(global(*y, &mut next_var)),
+                    CompRhs::Const(v) => Rhs::Const(v.clone()),
+                },
+            })
+            .collect();
+
+        let mut tuple_ids = BTreeSet::new();
+        let mut relations = BTreeSet::new();
+        let mut new_tuples: Vec<(String, MetaTuple)> = Vec::new();
+        for atom in &nv.atoms {
+            let id = self.next_tuple;
+            self.next_tuple += 1;
+            let cells: Vec<MetaCell> = atom
+                .terms
+                .iter()
+                .zip(&atom.starred)
+                .map(|(t, s)| match t {
+                    VarTerm::Const(v) => MetaCell::constant(v.clone(), *s),
+                    VarTerm::Var(x) => MetaCell::var(global(*x, &mut next_var), *s),
+                    VarTerm::Anon => {
+                        if *s {
+                            MetaCell::star()
+                        } else {
+                            MetaCell::blank()
+                        }
+                    }
+                })
+                .collect();
+            let cell_vars: BTreeSet<VarId> =
+                cells.iter().filter_map(MetaCell::as_var).collect();
+            // Attach the comparison atoms that mention this tuple's
+            // variables.
+            let local_atoms: Vec<ConstraintAtom> = comparisons
+                .iter()
+                .filter(|a| a.vars().iter().any(|x| cell_vars.contains(x)))
+                .cloned()
+                .collect();
+            let tuple = MetaTuple::new(name, id, cells, ConstraintSet::new(local_atoms));
+            for x in &cell_vars {
+                self.var_home.entry(*x).or_default().insert(id);
+            }
+            tuple_ids.insert(id);
+            relations.insert(atom.rel.clone());
+            new_tuples.push((atom.rel.clone(), tuple));
+        }
+        self.next_var = next_var;
+
+        for (rel, tuple) in new_tuples {
+            self.meta
+                .get_mut(&rel)
+                .ok_or_else(|| CoreError::Internal(format!("no meta-relation for {rel}")))?
+                .tuples
+                .push(tuple);
+        }
+        Ok(BranchEntry {
+            definition,
+            relations,
+            tuple_ids,
+            comparisons,
+        })
+    }
+
+    /// Drop a view: its meta-tuples, comparisons, grants, and the
+    /// self-joins that involved it.
+    pub fn drop_view(&mut self, name: &str) -> CoreResult<()> {
+        let entry = self
+            .views
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownView(name.to_owned()))?;
+        let ids = entry.all_tuple_ids();
+        for mr in self.meta.values_mut() {
+            mr.remove_covering(&ids);
+        }
+        for homes in self.var_home.values_mut() {
+            homes.retain(|id| !ids.contains(id));
+        }
+        self.var_home.retain(|_, homes| !homes.is_empty());
+        self.permissions.retain(|(_, v)| v != name);
+        self.group_permissions.retain(|(_, v)| v != name);
+        self.regenerate_selfjoins();
+        Ok(())
+    }
+
+    fn regenerate_selfjoins(&mut self) {
+        self.selfjoins.clear();
+        for (rel, mr) in &self.meta {
+            let key = self
+                .scheme
+                .relation(rel)
+                .ok()
+                .and_then(|d| d.key.clone());
+            let joins = selfjoin::self_joins(&mr.tuples, key.as_deref(), self.selfjoin_rounds);
+            if !joins.is_empty() {
+                self.selfjoins.insert(rel.clone(), joins);
+            }
+        }
+    }
+
+    /// Define an *aggregate view* (the Section 6 extension): grants the
+    /// grouped aggregate without any row-level access. The name shares
+    /// the view namespace.
+    pub fn define_aggregate_view(
+        &mut self,
+        q: &motro_views::AggregateQuery,
+    ) -> CoreResult<()> {
+        let name = crate::aggregate::validate_aggregate_view(q, &self.scheme)?;
+        if self.views.contains_key(&name) || self.aggregate_views.contains_key(&name) {
+            return Err(CoreError::DuplicateView(name));
+        }
+        self.aggregate_views.insert(name, q.clone());
+        Ok(())
+    }
+
+    /// Look up an aggregate view definition.
+    pub fn aggregate_view(&self, name: &str) -> Option<&motro_views::AggregateQuery> {
+        self.aggregate_views.get(name)
+    }
+
+    /// Drop an aggregate view and its grants.
+    pub fn drop_aggregate_view(&mut self, name: &str) -> CoreResult<()> {
+        if self.aggregate_views.remove(name).is_none() {
+            return Err(CoreError::UnknownView(name.to_owned()));
+        }
+        self.permissions.retain(|(_, v)| v != name);
+        self.group_permissions.retain(|(_, v)| v != name);
+        Ok(())
+    }
+
+    /// Grant `user` permission to access `view` (idempotent; the
+    /// `permit V to U` statement). Accepts row views and aggregate
+    /// views.
+    pub fn permit(&mut self, view: &str, user: &str) -> CoreResult<()> {
+        if !self.views.contains_key(view) && !self.aggregate_views.contains_key(view) {
+            return Err(CoreError::UnknownView(view.to_owned()));
+        }
+        self.permissions.insert((user.to_owned(), view.to_owned()));
+        Ok(())
+    }
+
+    /// Revoke a grant.
+    pub fn revoke(&mut self, view: &str, user: &str) -> CoreResult<()> {
+        if !self
+            .permissions
+            .remove(&(user.to_owned(), view.to_owned()))
+        {
+            return Err(CoreError::UnknownGrant {
+                user: user.to_owned(),
+                view: view.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Views granted to `user` — directly or through any group the user
+    /// belongs to — in name order.
+    pub fn permitted_views(&self, user: &str) -> Vec<&str> {
+        let mut out: BTreeSet<&str> = self
+            .permissions
+            .iter()
+            .filter(|(u, _)| u == user)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        if let Some(groups) = self.membership.get(user) {
+            for g in groups {
+                out.extend(
+                    self.group_permissions
+                        .iter()
+                        .filter(|(gg, _)| gg == g)
+                        .map(|(_, v)| v.as_str()),
+                );
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Grant a view to a *group* (every member inherits it).
+    pub fn permit_group(&mut self, view: &str, group: &str) -> CoreResult<()> {
+        if !self.views.contains_key(view) && !self.aggregate_views.contains_key(view) {
+            return Err(CoreError::UnknownView(view.to_owned()));
+        }
+        self.group_permissions
+            .insert((group.to_owned(), view.to_owned()));
+        Ok(())
+    }
+
+    /// Revoke a group grant.
+    pub fn revoke_group(&mut self, view: &str, group: &str) -> CoreResult<()> {
+        if !self
+            .group_permissions
+            .remove(&(group.to_owned(), view.to_owned()))
+        {
+            return Err(CoreError::UnknownGrant {
+                user: format!("group {group}"),
+                view: view.to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Add `user` to `group`.
+    pub fn add_member(&mut self, group: &str, user: &str) {
+        self.membership
+            .entry(user.to_owned())
+            .or_default()
+            .insert(group.to_owned());
+    }
+
+    /// Remove `user` from `group`. Returns whether the membership
+    /// existed.
+    pub fn remove_member(&mut self, group: &str, user: &str) -> bool {
+        match self.membership.get_mut(user) {
+            Some(gs) => {
+                let removed = gs.remove(group);
+                if gs.is_empty() {
+                    self.membership.remove(user);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// The groups `user` belongs to.
+    pub fn groups_of(&self, user: &str) -> Vec<&str> {
+        self.membership
+            .get(user)
+            .map(|gs| gs.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// All users with at least one grant.
+    pub fn users(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.permissions.iter().map(|(u, _)| u.as_str()).collect();
+        out.dedup();
+        out
+    }
+
+    /// The defined view names.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// Look up a view entry.
+    pub fn view(&self, name: &str) -> CoreResult<&ViewEntry> {
+        self.views
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownView(name.to_owned()))
+    }
+
+    /// The meta-relation of `rel`.
+    pub fn meta_relation(&self, rel: &str) -> CoreResult<&MetaRelation> {
+        self.meta
+            .get(rel)
+            .ok_or_else(|| CoreError::Internal(format!("no meta-relation for {rel}")))
+    }
+
+    /// Stored self-join combinations for `rel` (may be empty).
+    pub fn self_joins(&self, rel: &str) -> &[MetaTuple] {
+        self.selfjoins.get(rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The candidate meta-tuples for one occurrence of `rel` in a query
+    /// by `user` whose plan references `query_rels`.
+    ///
+    /// Implements the pruning of Section 5: "pruned to include only
+    /// tuples of views that [the user] is permitted to access, and that
+    /// are defined in these relations **in their entirety**" — a view is
+    /// usable only when every relation it stores meta-tuples in appears
+    /// in the query. Stored self-joins qualify when *all* their source
+    /// views are usable.
+    pub fn candidates(
+        &self,
+        user: &str,
+        rel: &str,
+        query_rels: &BTreeSet<String>,
+    ) -> Vec<MetaTuple> {
+        // Usable meta-tuples: those of a *branch* (of a granted view)
+        // whose relations all appear in the query. Working at the
+        // tuple-id level makes self-join combinations (whose covers are
+        // unions of stored ids) check uniformly.
+        let mut usable_ids: BTreeSet<TupleId> = BTreeSet::new();
+        for vname in self.permitted_views(user) {
+            if let Some(entry) = self.views.get(vname) {
+                for b in &entry.branches {
+                    if b.relations.iter().all(|r| query_rels.contains(r)) {
+                        usable_ids.extend(b.tuple_ids.iter().copied());
+                    }
+                }
+            }
+        }
+        let mut out: Vec<MetaTuple> = Vec::new();
+        if let Some(mr) = self.meta.get(rel) {
+            for t in &mr.tuples {
+                if t.covers.is_subset(&usable_ids) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        for t in self.self_joins(rel) {
+            if t.covers.is_subset(&usable_ids) {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// Closure test (the theorem's pruning): every variable the tuple
+    /// mentions must have its *home* meta-tuples covered, i.e. the tuple
+    /// "does not contain references to other meta-tuples".
+    pub fn is_closed(&self, t: &MetaTuple) -> bool {
+        t.all_vars().iter().all(|x| {
+            self.var_home
+                .get(x)
+                .map(|home| home.is_subset(&t.covers))
+                .unwrap_or(true)
+        })
+    }
+
+    /// The home meta-tuples of a variable (for diagnostics).
+    pub fn var_home(&self, x: VarId) -> Option<&BTreeSet<TupleId>> {
+        self.var_home.get(&x)
+    }
+
+    /// Render `R'` (optionally atop the actual rows of `R`), Figure 1
+    /// style.
+    pub fn meta_table(&self, rel: &str, actual: Option<&Relation>) -> CoreResult<String> {
+        Ok(self.meta_relation(rel)?.to_table(actual))
+    }
+
+    /// Render the `COMPARISON` relation.
+    pub fn comparison_table(&self) -> String {
+        let headers = ["VIEW", "X", "COMPARE", "Y"]
+            .map(str::to_owned)
+            .to_vec();
+        let mut rows = Vec::new();
+        for (view, e) in &self.views {
+            for b in &e.branches {
+                for a in &b.comparisons {
+                    rows.push(vec![
+                        view.clone(),
+                        format!("x{}", a.lhs),
+                        a.op.to_string(),
+                        a.rhs.to_string(),
+                    ]);
+                }
+            }
+        }
+        render_table(&headers, &rows)
+    }
+
+    /// Render the `PERMISSION` relation (group grants shown with a
+    /// `group:` prefix).
+    pub fn permission_table(&self) -> String {
+        let headers = ["USER", "VIEW"].map(str::to_owned).to_vec();
+        let mut rows: Vec<Vec<String>> = self
+            .permissions
+            .iter()
+            .map(|(u, v)| vec![u.clone(), v.clone()])
+            .collect();
+        rows.extend(
+            self.group_permissions
+                .iter()
+                .map(|(g, v)| vec![format!("group:{g}"), v.clone()]),
+        );
+        render_table(&headers, &rows)
+    }
+
+    /// Total stored meta-tuples across all meta-relations.
+    pub fn total_meta_tuples(&self) -> usize {
+        self.meta.values().map(MetaRelation::len).sum()
+    }
+
+    /// A variable id strictly above every id the store has assigned —
+    /// the starting point for fresh variables in derived meta-tuples.
+    pub fn next_var_hint(&self) -> VarId {
+        self.next_var
+    }
+
+    /// The storage position of a *stored* meta-tuple: its branch tag
+    /// (view name, `#k`-suffixed for branches beyond the first) and its
+    /// atom ordinal within the branch (see `core::storage`).
+    pub fn storage_position_of(&self, t: &MetaTuple) -> Option<(String, usize)> {
+        let id = if t.covers.len() == 1 {
+            *t.covers.iter().next().expect("len checked")
+        } else {
+            return None;
+        };
+        for (name, entry) in &self.views {
+            for (bi, b) in entry.branches.iter().enumerate() {
+                if let Some(ordinal) = b.tuple_ids.iter().position(|&x| x == id) {
+                    let tag = if bi == 0 {
+                        name.clone()
+                    } else {
+                        format!("{name}#{}", bi + 1)
+                    };
+                    return Some((tag, ordinal + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Every comparison atom with its branch storage tag (for the
+    /// `COMPARISON` relation).
+    pub fn all_comparisons(&self) -> Vec<(String, &ConstraintAtom)> {
+        let mut out = Vec::new();
+        for (name, entry) in &self.views {
+            for (bi, b) in entry.branches.iter().enumerate() {
+                let tag = if bi == 0 {
+                    name.clone()
+                } else {
+                    format!("{name}#{}", bi + 1)
+                };
+                for a in &b.comparisons {
+                    out.push((tag.clone(), a));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every grant as `(principal, view)` rows, group principals with
+    /// the `group:` prefix (for the `PERMISSION` relation).
+    pub fn all_grants(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .permissions
+            .iter()
+            .map(|(u, v)| (u.clone(), v.clone()))
+            .collect();
+        out.extend(
+            self.group_permissions
+                .iter()
+                .map(|(g, v)| (format!("group:{g}"), v.clone())),
+        );
+        out
+    }
+
+    /// Every group membership as `(group, user)` rows.
+    pub fn all_memberships(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for (user, groups) in &self.membership {
+            for g in groups {
+                out.push((g.clone(), user.clone()));
+            }
+        }
+        out
+    }
+
+    /// Install a view whose branches arrive pre-normalized (the storage
+    /// decoder's path). Each branch's surface statement is decompiled
+    /// from the normal form.
+    pub(crate) fn define_view_from_storage(
+        &mut self,
+        name: &str,
+        branches: Vec<motro_views::NormalizedView>,
+    ) -> CoreResult<()> {
+        if self.views.contains_key(name) {
+            return Err(CoreError::DuplicateView(name.to_owned()));
+        }
+        if branches.is_empty() {
+            return Err(CoreError::Internal(
+                "a view needs at least one branch".to_owned(),
+            ));
+        }
+        let mut entries = Vec::with_capacity(branches.len());
+        for nv in &branches {
+            let definition = motro_views::decompile(nv, &self.scheme)?;
+            entries.push(self.install_normalized(name, definition, nv)?);
+        }
+        self.views
+            .insert(name.to_owned(), ViewEntry { branches: entries });
+        self.regenerate_selfjoins();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use motro_rel::CompOp;
+    use motro_views::AttrRef;
+
+    fn store() -> AuthStore {
+        fixtures::paper_store()
+    }
+
+    #[test]
+    fn figure1_meta_tuple_layout() {
+        let s = store();
+        // EMPLOYEE': SAE (*, ⊔, *), ELP (x₁*, *, ⊔), EST ×2 (*, x₄*, ⊔).
+        let emp = s.meta_relation("EMPLOYEE").unwrap();
+        assert_eq!(emp.len(), 4);
+        let sae = &emp.tuples[0];
+        assert_eq!(sae.render_provenance(), "SAE");
+        assert_eq!(sae.cells[0].render(), "*");
+        assert_eq!(sae.cells[1].render(), "");
+        assert_eq!(sae.cells[2].render(), "*");
+        let elp = &emp.tuples[1];
+        assert_eq!(elp.cells[0].render(), "x1*");
+        assert_eq!(elp.cells[1].render(), "*");
+        assert_eq!(elp.cells[2].render(), "");
+        let est1 = &emp.tuples[2];
+        let est2 = &emp.tuples[3];
+        assert_eq!(est1.cells[1].render(), "x4*");
+        assert_eq!(est1.cells[1], est2.cells[1]);
+
+        // PROJECT': PSA (*, Acme*, *), ELP (x₂*, ⊔, x₃*).
+        let proj = s.meta_relation("PROJECT").unwrap();
+        assert_eq!(proj.len(), 2);
+        assert_eq!(proj.tuples[1].cells[1].render(), "Acme*");
+        let elp_p = &proj.tuples[0];
+        assert_eq!(elp_p.cells[0].render(), "x2*");
+        assert_eq!(elp_p.cells[2].render(), "x3*");
+        // The BUDGET variable carries its COMPARISON atom locally.
+        assert!(!elp_p.constraints.is_empty());
+
+        // ASSIGNMENT': ELP (x₁*, x₂*).
+        let asg = s.meta_relation("ASSIGNMENT").unwrap();
+        assert_eq!(asg.len(), 1);
+        assert_eq!(asg.tuples[0].cells[0].render(), "x1*");
+        assert_eq!(asg.tuples[0].cells[1].render(), "x2*");
+    }
+
+    #[test]
+    fn figure1_permissions() {
+        let s = store();
+        assert_eq!(s.permitted_views("Brown"), vec!["EST", "PSA", "SAE"]);
+        assert_eq!(s.permitted_views("Klein"), vec!["ELP", "EST"]);
+        assert!(s.permitted_views("Nobody").is_empty());
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut s = store();
+        let q = ConjunctiveQuery::view("SAE")
+            .target("EMPLOYEE", "NAME")
+            .build();
+        assert!(matches!(
+            s.define_view(&q),
+            Err(CoreError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn permit_unknown_view_rejected() {
+        let mut s = store();
+        assert!(s.permit("NOPE", "Brown").is_err());
+    }
+
+    #[test]
+    fn revoke_semantics() {
+        let mut s = store();
+        assert!(s.revoke("SAE", "Brown").is_ok());
+        assert!(matches!(
+            s.revoke("SAE", "Brown"),
+            Err(CoreError::UnknownGrant { .. })
+        ));
+        assert!(!s.permitted_views("Brown").contains(&"SAE"));
+    }
+
+    #[test]
+    fn drop_view_removes_everything() {
+        let mut s = store();
+        let before = s.total_meta_tuples();
+        s.drop_view("ELP").unwrap();
+        assert_eq!(s.total_meta_tuples(), before - 3);
+        assert!(!s.permitted_views("Klein").contains(&"ELP"));
+        assert!(s.view("ELP").is_err());
+        // EST survives in EMPLOYEE'.
+        assert_eq!(s.meta_relation("EMPLOYEE").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn candidates_prune_by_entirety() {
+        let s = store();
+        let only_project: BTreeSet<String> = BTreeSet::from(["PROJECT".to_owned()]);
+        // Brown on PROJECT: SAE and EST live in EMPLOYEE → only PSA.
+        let c = s.candidates("Brown", "PROJECT", &only_project);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].render_provenance(), "PSA");
+        // Klein on PROJECT alone: ELP spans three relations → nothing.
+        let c = s.candidates("Klein", "PROJECT", &only_project);
+        assert!(c.is_empty());
+        // Klein with all three relations: ELP's PROJECT tuple appears.
+        let all: BTreeSet<String> = ["EMPLOYEE", "PROJECT", "ASSIGNMENT"]
+            .map(str::to_owned)
+            .into();
+        let c = s.candidates("Klein", "PROJECT", &all);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].render_provenance(), "ELP");
+    }
+
+    #[test]
+    fn candidates_include_selfjoins_for_brown() {
+        let s = store();
+        let only_emp: BTreeSet<String> = BTreeSet::from(["EMPLOYEE".to_owned()]);
+        let c = s.candidates("Brown", "EMPLOYEE", &only_emp);
+        // SAE + EST + EST stored, plus the (cell-identical, merged)
+        // SAE⋈EST combination.
+        assert_eq!(c.len(), 4, "got {}", c.len());
+        assert!(c
+            .iter()
+            .any(|t| t.provenance.len() == 2 && t.render_provenance() == "EST, SAE"));
+        // Klein is not permitted SAE → no combination for him.
+        let k = s.candidates("Klein", "EMPLOYEE", &only_emp);
+        assert!(k.iter().all(|t| t.provenance.len() == 1));
+    }
+
+    #[test]
+    fn closure_test_uses_var_homes() {
+        let s = store();
+        let all: BTreeSet<String> = ["EMPLOYEE", "PROJECT", "ASSIGNMENT"]
+            .map(str::to_owned)
+            .into();
+        let elp_proj = s
+            .candidates("Klein", "PROJECT", &all)
+            .into_iter()
+            .next()
+            .unwrap();
+        // ELP's PROJECT tuple references x₂ (shared with ASSIGNMENT) →
+        // not closed alone.
+        assert!(!s.is_closed(&elp_proj));
+        // The concatenation of all three ELP tuples is closed.
+        let emp = s.candidates("Klein", "EMPLOYEE", &all);
+        let elp_emp = emp
+            .iter()
+            .find(|t| t.render_provenance() == "ELP")
+            .unwrap();
+        let asg = s
+            .candidates("Klein", "ASSIGNMENT", &all)
+            .into_iter()
+            .next()
+            .unwrap();
+        let row = elp_emp.concat(&asg).concat(&elp_proj);
+        assert!(s.is_closed(&row));
+    }
+
+    #[test]
+    fn display_tables_render() {
+        let s = store();
+        let t = s.comparison_table();
+        assert!(t.contains("COMPARE"));
+        assert!(t.contains(">="));
+        assert!(t.contains("250000"));
+        let p = s.permission_table();
+        assert!(p.contains("Brown"));
+        assert!(p.contains("Klein"));
+        let m = s.meta_table("PROJECT", None).unwrap();
+        assert!(m.contains("Acme*"));
+    }
+
+    #[test]
+    fn variables_are_globally_renumbered() {
+        let mut s = AuthStore::new(fixtures::paper_scheme());
+        // Two views each using one variable locally — must not collide.
+        let v1 = ConjunctiveQuery::view("V1")
+            .target("EMPLOYEE", "NAME")
+            .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Ge, 10)
+            .build();
+        let v2 = ConjunctiveQuery::view("V2")
+            .target("EMPLOYEE", "NAME")
+            .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Le, 5)
+            .build();
+        s.define_view(&v1).unwrap();
+        s.define_view(&v2).unwrap();
+        let emp = s.meta_relation("EMPLOYEE").unwrap();
+        let x1 = emp.tuples[0].cells[2].as_var().unwrap();
+        let x2 = emp.tuples[1].cells[2].as_var().unwrap();
+        assert_ne!(x1, x2);
+    }
+}

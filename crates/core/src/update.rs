@@ -1,0 +1,139 @@
+//! Update permissions — the Section 6 extension.
+//!
+//! The paper: "Currently, the model incorporates only retrieval
+//! permissions. We see no difficulty in extending it to incorporate
+//! update permissions, such as insert, delete and modify." (The separate
+//! problem of *propagating* view updates to base relations is noted as
+//! unsolvable in general and is out of scope here too.)
+//!
+//! The natural extension implemented here: a user may insert or delete a
+//! tuple `t` in relation `R` when the mask for the identity query over
+//! `R` covers **every** cell of `t` — i.e. the user is permitted to see
+//! the whole tuple, so writing it discloses nothing beyond their
+//! retrieval rights and touches no row they cannot fully observe.
+//! `modify` requires the same for both the old and the new tuple.
+
+use crate::authorize::AuthorizedEngine;
+use crate::error::CoreResult;
+use motro_rel::{CanonicalPlan, Predicate, Tuple};
+
+/// The kinds of update checked by this extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Insert a new tuple.
+    Insert,
+    /// Delete an existing tuple.
+    Delete,
+    /// Replace an existing tuple with a new one.
+    Modify,
+}
+
+/// The identity plan over `rel` (all attributes, no selection).
+fn identity_plan(engine: &AuthorizedEngine<'_>, rel: &str) -> CoreResult<CanonicalPlan> {
+    let arity = engine.database().schema().schema_of(rel)?.arity();
+    Ok(CanonicalPlan {
+        relations: vec![rel.to_owned()],
+        selection: Predicate::always(),
+        projection: (0..arity).collect(),
+    })
+}
+
+/// Is `user` permitted to fully observe tuple `t` of `rel`?
+fn covers_fully(engine: &AuthorizedEngine<'_>, user: &str, rel: &str, t: &Tuple) -> CoreResult<bool> {
+    let plan = identity_plan(engine, rel)?;
+    let (mask, _) = engine.mask_for_plan(user, &plan)?;
+    Ok(mask.coverage(t).iter().all(|&v| v))
+}
+
+/// May `user` insert `t` into `rel`?
+pub fn check_insert(
+    engine: &AuthorizedEngine<'_>,
+    user: &str,
+    rel: &str,
+    t: &Tuple,
+) -> CoreResult<bool> {
+    covers_fully(engine, user, rel, t)
+}
+
+/// May `user` delete `t` from `rel`?
+pub fn check_delete(
+    engine: &AuthorizedEngine<'_>,
+    user: &str,
+    rel: &str,
+    t: &Tuple,
+) -> CoreResult<bool> {
+    covers_fully(engine, user, rel, t)
+}
+
+/// May `user` replace `old` with `new` in `rel`?
+pub fn check_modify(
+    engine: &AuthorizedEngine<'_>,
+    user: &str,
+    rel: &str,
+    old: &Tuple,
+    new: &Tuple,
+) -> CoreResult<bool> {
+    Ok(covers_fully(engine, user, rel, old)? && covers_fully(engine, user, rel, new)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authorize::AuthorizedEngine;
+    use crate::fixtures;
+    use motro_rel::tuple;
+
+    #[test]
+    fn brown_may_write_acme_projects_only() {
+        let db = fixtures::paper_database();
+        let store = fixtures::paper_store();
+        let engine = AuthorizedEngine::new(&db, &store);
+        // PSA covers Acme projects entirely.
+        let acme = tuple!["zz-99", "Acme", 100_000];
+        assert!(check_insert(&engine, "Brown", "PROJECT", &acme).unwrap());
+        assert!(check_delete(&engine, "Brown", "PROJECT", &acme).unwrap());
+        // Non-Acme projects are outside Brown's view.
+        let apex = tuple!["zz-98", "Apex", 100_000];
+        assert!(!check_insert(&engine, "Brown", "PROJECT", &apex).unwrap());
+        // Modify within Acme is fine; moving a project away from Acme
+        // is not.
+        let acme2 = tuple!["zz-99", "Acme", 200_000];
+        assert!(check_modify(&engine, "Brown", "PROJECT", &acme, &acme2).unwrap());
+        assert!(!check_modify(&engine, "Brown", "PROJECT", &acme, &apex).unwrap());
+    }
+
+    #[test]
+    fn brown_may_write_employees_via_selfjoin() {
+        let db = fixtures::paper_database();
+        let store = fixtures::paper_store();
+        let engine = AuthorizedEngine::new(&db, &store);
+        // SAE⋈EST covers (NAME, TITLE, SALARY) entirely.
+        let e = tuple!["Green", "clerk", 18_000];
+        assert!(check_insert(&engine, "Brown", "EMPLOYEE", &e).unwrap());
+    }
+
+    #[test]
+    fn klein_cannot_write_employees() {
+        let db = fixtures::paper_database();
+        let store = fixtures::paper_store();
+        let engine = AuthorizedEngine::new(&db, &store);
+        // Klein's views never reveal SALARY.
+        let e = tuple!["Green", "clerk", 18_000];
+        assert!(!check_insert(&engine, "Klein", "EMPLOYEE", &e).unwrap());
+        assert!(!check_delete(&engine, "Klein", "EMPLOYEE", &e).unwrap());
+    }
+
+    #[test]
+    fn ungranted_user_cannot_write() {
+        let db = fixtures::paper_database();
+        let store = fixtures::paper_store();
+        let engine = AuthorizedEngine::new(&db, &store);
+        assert!(!check_insert(
+            &engine,
+            "Nobody",
+            "ASSIGNMENT",
+            &tuple!["Green", "bq-45"]
+        )
+        .unwrap());
+    }
+}

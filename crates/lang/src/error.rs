@@ -1,0 +1,30 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at `offset`.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,443 @@
+//! Tokenizer for the statement language.
+//!
+//! Keywords are recognized case-insensitively (`WHERE`, `where`);
+//! identifiers preserve their case (the paper writes relations and
+//! attributes in upper case, users and constants mixed). Numbers accept
+//! digit-grouping commas (`250,000`) when each group after the first has
+//! exactly three digits — otherwise the comma is a separator, as in a
+//! target list.
+
+use crate::error::ParseError;
+
+/// A token's kind (with payload where applicable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Keyword `view`.
+    View,
+    /// Keyword `retrieve`.
+    Retrieve,
+    /// Keyword `permit`.
+    Permit,
+    /// Keyword `revoke`.
+    Revoke,
+    /// Keyword `where`.
+    Where,
+    /// Keyword `and`.
+    And,
+    /// Keyword `or`.
+    Or,
+    /// Keyword `group`.
+    Group,
+    /// Keyword `insert`.
+    Insert,
+    /// Keyword `into`.
+    Into,
+    /// Keyword `values`.
+    Values,
+    /// Keyword `delete`.
+    Delete,
+    /// Keyword `to`.
+    To,
+    /// Keyword `from`.
+    From,
+    /// An identifier (relation, attribute, user, or bare string
+    /// constant).
+    Ident(String),
+    /// A quoted string constant.
+    Str(String),
+    /// An integer (digit-grouping commas absorbed).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `;`
+    Semicolon,
+    /// A comparator: `=`, `!=`, `<`, `<=`, `>`, `>=`.
+    Op(motro_rel::CompOp),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the entire input (appends an `Eof` token).
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, k: usize) -> Option<u8> {
+        self.bytes.get(self.pos + k).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else if c == b'-' && self.peek_at(1) == Some(b'-') {
+                // Line comment.
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_ws();
+        let offset = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset,
+            });
+        };
+        use motro_rel::CompOp::*;
+        let kind = match c {
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b':' => {
+                self.pos += 1;
+                TokenKind::Colon
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Op(Eq)
+            }
+            b'!' => {
+                if self.peek_at(1) == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Op(Ne)
+                } else {
+                    return Err(ParseError::new(offset, "expected '=' after '!'"));
+                }
+            }
+            b'<' => match self.peek_at(1) {
+                Some(b'=') => {
+                    self.pos += 2;
+                    TokenKind::Op(Le)
+                }
+                Some(b'>') => {
+                    self.pos += 2;
+                    TokenKind::Op(Ne)
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Op(Lt)
+                }
+            },
+            b'>' => {
+                if self.peek_at(1) == Some(b'=') {
+                    self.pos += 2;
+                    TokenKind::Op(Ge)
+                } else {
+                    self.pos += 1;
+                    TokenKind::Op(Gt)
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == quote {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                if self.peek() != Some(quote) {
+                    return Err(ParseError::new(offset, "unterminated string literal"));
+                }
+                let s = self.src[start..self.pos].to_owned();
+                self.pos += 1;
+                TokenKind::Str(s)
+            }
+            b'0'..=b'9' => self.lex_number(offset)?,
+            b'-' => {
+                // Negative number (comments were consumed by skip_ws).
+                self.pos += 1;
+                match self.lex_number(offset)? {
+                    TokenKind::Int(n) => TokenKind::Int(-n),
+                    _ => unreachable!("lex_number returns Int"),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'-' {
+                        // Hyphens appear in the paper's data (`bq-45`)
+                        // but a trailing hyphen before whitespace is
+                        // punctuation, not part of the name.
+                        if c == b'-'
+                            && !self
+                                .peek_at(1)
+                                .map(|n| n.is_ascii_alphanumeric())
+                                .unwrap_or(false)
+                        {
+                            break;
+                        }
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &self.src[start..self.pos];
+                match word.to_ascii_lowercase().as_str() {
+                    "view" => TokenKind::View,
+                    "retrieve" => TokenKind::Retrieve,
+                    "permit" => TokenKind::Permit,
+                    "revoke" => TokenKind::Revoke,
+                    "where" => TokenKind::Where,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "group" => TokenKind::Group,
+                    "insert" => TokenKind::Insert,
+                    "into" => TokenKind::Into,
+                    "values" => TokenKind::Values,
+                    "delete" => TokenKind::Delete,
+                    "to" => TokenKind::To,
+                    "from" => TokenKind::From,
+                    _ => TokenKind::Ident(word.to_owned()),
+                }
+            }
+            _ => {
+                return Err(ParseError::new(
+                    offset,
+                    format!("unexpected character {:?}", c as char),
+                ))
+            }
+        };
+        Ok(Token { kind, offset })
+    }
+
+    fn lex_number(&mut self, offset: usize) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ParseError::new(offset, "expected digits"));
+        }
+        let mut digits = self.src[start..self.pos].to_owned();
+        // Digit-grouping commas: `,ddd` groups only.
+        while self.peek() == Some(b',')
+            && self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            && self.peek_at(2).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            && self.peek_at(3).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            && !self
+                .peek_at(4)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+        {
+            digits.push_str(&self.src[self.pos + 1..self.pos + 4]);
+            self.pos += 4;
+        }
+        digits
+            .parse::<i64>()
+            .map(TokenKind::Int)
+            .map_err(|_| ParseError::new(offset, "integer out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motro_rel::CompOp;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("VIEW where AND retrieve PERMIT to Revoke from"),
+            vec![
+                TokenKind::View,
+                TokenKind::Where,
+                TokenKind::And,
+                TokenKind::Retrieve,
+                TokenKind::Permit,
+                TokenKind::To,
+                TokenKind::Revoke,
+                TokenKind::From,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_reference() {
+        assert_eq!(
+            kinds("EMPLOYEE:2.NAME"),
+            vec![
+                TokenKind::Ident("EMPLOYEE".into()),
+                TokenKind::Colon,
+                TokenKind::Int(2),
+                TokenKind::Dot,
+                TokenKind::Ident("NAME".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn grouped_numbers() {
+        assert_eq!(
+            kinds("250,000"),
+            vec![TokenKind::Int(250_000), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("1,234,567"),
+            vec![TokenKind::Int(1_234_567), TokenKind::Eof]
+        );
+        // Not a group: list separator.
+        assert_eq!(
+            kinds("250, 12"),
+            vec![
+                TokenKind::Int(250),
+                TokenKind::Comma,
+                TokenKind::Int(12),
+                TokenKind::Eof
+            ]
+        );
+        // Four digits after the comma → separator, two ints.
+        assert_eq!(
+            kinds("250,0001"),
+            vec![
+                TokenKind::Int(250),
+                TokenKind::Comma,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >="),
+            vec![
+                TokenKind::Op(CompOp::Eq),
+                TokenKind::Op(CompOp::Ne),
+                TokenKind::Op(CompOp::Ne),
+                TokenKind::Op(CompOp::Lt),
+                TokenKind::Op(CompOp::Le),
+                TokenKind::Op(CompOp::Gt),
+                TokenKind::Op(CompOp::Ge),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        // The paper's project numbers.
+        assert_eq!(
+            kinds("bq-45"),
+            vec![TokenKind::Ident("bq-45".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_negatives() {
+        assert_eq!(
+            kinds("'hello world' \"x\" -12"),
+            vec![
+                TokenKind::Str("hello world".into()),
+                TokenKind::Str("x".into()),
+                TokenKind::Int(-12),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("permit -- grant it\n X"),
+            vec![
+                TokenKind::Permit,
+                TokenKind::Ident("X".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Lexer::new("'oops").tokenize().is_err());
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("!x").tokenize().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! # motro-lang
+//!
+//! A hand-written lexer and recursive-descent parser for the paper's
+//! surface language, so that "all user-system communication \[is\] done
+//! with customary query language statements" (Section 6):
+//!
+//! ```text
+//! view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE,
+//!           PROJECT.NUMBER, PROJECT.BUDGET)
+//!   where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+//!     and PROJECT.NUMBER = ASSIGNMENT.P_NO
+//!     and PROJECT.BUDGET >= 250,000
+//!
+//! view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+//!   where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE
+//!
+//! permit EST to KLEIN
+//!
+//! retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+//!   where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+//!     and ASSIGNMENT.P_NO = PROJECT.NUMBER
+//!     and PROJECT.SPONSOR = Acme
+//! ```
+//!
+//! Notes on the grammar, matching the paper's examples:
+//!
+//! * attribute references are `REL.ATTR` or `REL:i.ATTR` (the `:i`
+//!   selects the i-th occurrence of a relation, for self-joins);
+//! * numbers may use digit-grouping commas (`250,000`);
+//! * a bare identifier on the right-hand side of a comparison is a
+//!   string constant (`PROJECT.SPONSOR = Acme`); quoted strings are also
+//!   accepted for constants containing spaces or reserved words;
+//! * comparators: `=`, `!=` (also `<>`), `<`, `<=`, `>`, `>=` (also the
+//!   typographic `≠ ≤ ≥`);
+//! * `revoke V from U` is accepted as the inverse of `permit V to U`
+//!   (an extension — the paper only shows `permit`).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use error::ParseError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_program, parse_statement, Principal, Statement};

@@ -1,0 +1,672 @@
+//! Recursive-descent parser producing [`ConjunctiveQuery`] ASTs and
+//! grant statements.
+
+use crate::error::ParseError;
+use crate::lexer::{Lexer, Token, TokenKind};
+use motro_rel::Value;
+use motro_rel::AggFunc;
+use motro_views::{AggregateQuery, AttrRef, CalcAtom, CalcTerm, ConjunctiveQuery};
+
+/// The grantee of a `permit`/`revoke`: a user or (extension) a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Principal {
+    /// A user name.
+    User(String),
+    /// A group name (`permit V to group ENG`).
+    Group(String),
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `view NAME (targets) [where ...]` — a plain conjunctive view.
+    View(ConjunctiveQuery),
+    /// `view NAME (targets) where C₁ and C₂ or C₃ …` — a disjunctive
+    /// view (Section 6 extension): one conjunctive branch per `or`
+    /// disjunct (`and` binds tighter than `or`).
+    ViewUnion {
+        /// View name.
+        name: String,
+        /// The conjunctive branches.
+        branches: Vec<ConjunctiveQuery>,
+    },
+    /// `retrieve (targets) [where ...]`. Queries remain conjunctive
+    /// (the model's scope); `or` here is a parse error.
+    Retrieve(ConjunctiveQuery),
+    /// `retrieve (R.A, count(R.B)) [where ...]` — a grouped aggregate
+    /// request (Section 6 extension). Non-aggregate targets are the
+    /// group-by keys.
+    RetrieveAggregate(AggregateQuery),
+    /// `view NAME (R.A, avg(R.B)) [where ...]` — an aggregate view
+    /// definition: grants the aggregate without row access.
+    AggregateView(AggregateQuery),
+    /// `permit VIEW to PRINCIPAL`.
+    Permit {
+        /// View name.
+        view: String,
+        /// Grantee.
+        principal: Principal,
+    },
+    /// `revoke VIEW from PRINCIPAL` (extension).
+    Revoke {
+        /// View name.
+        view: String,
+        /// Grantee.
+        principal: Principal,
+    },
+    /// `insert into R values (v1, v2, …)` — checked against the user's
+    /// masks by the Section 6 update extension.
+    Insert {
+        /// Target relation.
+        rel: String,
+        /// The row.
+        values: Vec<Value>,
+    },
+    /// `delete from R [where …]` — each matching tuple is deleted only
+    /// if the user's masks cover it entirely.
+    Delete {
+        /// Target relation.
+        rel: String,
+        /// Single-relation qualification.
+        atoms: Vec<CalcAtom>,
+    },
+}
+
+/// Parsed target list: plain attribute targets and aggregate items.
+type TargetList = (Vec<AttrRef>, Vec<(AggFunc, AttrRef)>);
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.offset(),
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+
+    /// `REL[:i].ATTR`
+    fn attr_ref(&mut self) -> Result<AttrRef, ParseError> {
+        let rel = self.ident("relation name")?;
+        let occurrence = if self.peek() == &TokenKind::Colon {
+            self.bump();
+            match self.bump() {
+                TokenKind::Int(n) if n >= 1 => n as u32,
+                other => {
+                    return Err(ParseError::new(
+                        self.offset(),
+                        format!("expected occurrence index, found {other:?}"),
+                    ))
+                }
+            }
+        } else {
+            1
+        };
+        self.expect(&TokenKind::Dot, "'.'")?;
+        let attr = self.ident("attribute name")?;
+        Ok(AttrRef::occ(&rel, occurrence, &attr))
+    }
+
+    /// Does an attribute reference start here? (IDENT followed by `.` or
+    /// `:` — otherwise a bare identifier is a string constant.)
+    fn at_attr_ref(&self) -> bool {
+        if !matches!(self.peek(), TokenKind::Ident(_)) {
+            return false;
+        }
+        matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(TokenKind::Dot) | Some(TokenKind::Colon)
+        )
+    }
+
+    /// Parse `where C and C … [or C and C …]*` into disjuncts of
+    /// conjunctions (`and` binds tighter than `or`). No `where` clause
+    /// yields one empty disjunct.
+    fn where_clause(&mut self) -> Result<Vec<Vec<CalcAtom>>, ParseError> {
+        if self.peek() != &TokenKind::Where {
+            return Ok(vec![Vec::new()]);
+        }
+        self.bump();
+        let mut disjuncts = Vec::new();
+        'disjunct: loop {
+            let mut atoms = Vec::new();
+            loop {
+                let lhs = self.attr_ref()?;
+                let op = match self.bump() {
+                    TokenKind::Op(op) => op,
+                    other => {
+                        return Err(ParseError::new(
+                            self.offset(),
+                            format!("expected comparator, found {other:?}"),
+                        ))
+                    }
+                };
+                let rhs = if self.at_attr_ref() {
+                    CalcTerm::Attr(self.attr_ref()?)
+                } else {
+                    match self.bump() {
+                        TokenKind::Int(n) => CalcTerm::Const(Value::Int(n)),
+                        TokenKind::Str(s) => CalcTerm::Const(Value::Str(s)),
+                        TokenKind::Ident(s) => CalcTerm::Const(Value::Str(s)),
+                        other => {
+                            return Err(ParseError::new(
+                                self.offset(),
+                                format!("expected attribute or constant, found {other:?}"),
+                            ))
+                        }
+                    }
+                };
+                atoms.push(CalcAtom { lhs, op, rhs });
+                match self.peek() {
+                    TokenKind::And => {
+                        self.bump();
+                    }
+                    TokenKind::Or => {
+                        self.bump();
+                        disjuncts.push(atoms);
+                        continue 'disjunct;
+                    }
+                    _ => {
+                        disjuncts.push(atoms);
+                        break 'disjunct;
+                    }
+                }
+            }
+        }
+        Ok(disjuncts)
+    }
+
+    fn principal(&mut self) -> Result<Principal, ParseError> {
+        if self.peek() == &TokenKind::Group {
+            self.bump();
+            Ok(Principal::Group(self.ident("group name")?))
+        } else {
+            Ok(Principal::User(self.ident("user name")?))
+        }
+    }
+
+    /// Is the current token an aggregate function applied to `(`? The
+    /// function names are contextual, not reserved (an attribute may be
+    /// called COUNT).
+    fn at_aggregate(&self) -> Option<AggFunc> {
+        let TokenKind::Ident(name) = self.peek() else {
+            return None;
+        };
+        if self.tokens.get(self.pos + 1).map(|t| &t.kind) != Some(&TokenKind::LParen) {
+            return None;
+        }
+        AggFunc::parse(name)
+    }
+
+    /// Parse `(item, item, ...)` where an item is an attribute
+    /// reference or `func(attribute)`.
+    fn target_list(&mut self) -> Result<TargetList, ParseError> {
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut targets = Vec::new();
+        let mut aggs = Vec::new();
+        loop {
+            if let Some(func) = self.at_aggregate() {
+                self.bump(); // function name
+                self.expect(&TokenKind::LParen, "'('")?;
+                let attr = self.attr_ref()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                aggs.push((func, attr));
+            } else {
+                targets.push(self.attr_ref()?);
+            }
+            match self.bump() {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                other => {
+                    return Err(ParseError::new(
+                        self.offset(),
+                        format!("expected ',' or ')', found {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok((targets, aggs))
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.bump() {
+            TokenKind::View => {
+                let name = self.ident("view name")?;
+                let (targets, aggs) = self.target_list()?;
+                let offset = self.offset();
+                let mut disjuncts = self.where_clause()?;
+                if !aggs.is_empty() {
+                    if disjuncts.len() != 1 {
+                        return Err(ParseError::new(
+                            offset,
+                            "aggregate views are conjunctive: 'or' is not allowed",
+                        ));
+                    }
+                    return Ok(Statement::AggregateView(AggregateQuery {
+                        base: ConjunctiveQuery {
+                            name: Some(name),
+                            targets,
+                            atoms: disjuncts.pop().expect("one disjunct"),
+                        },
+                        aggs,
+                    }));
+                }
+                if disjuncts.len() == 1 {
+                    Ok(Statement::View(ConjunctiveQuery {
+                        name: Some(name),
+                        targets,
+                        atoms: disjuncts.pop().expect("one disjunct"),
+                    }))
+                } else {
+                    let branches = disjuncts
+                        .into_iter()
+                        .map(|atoms| ConjunctiveQuery {
+                            name: Some(name.clone()),
+                            targets: targets.clone(),
+                            atoms,
+                        })
+                        .collect();
+                    Ok(Statement::ViewUnion { name, branches })
+                }
+            }
+            TokenKind::Retrieve => {
+                let (targets, aggs) = self.target_list()?;
+                let offset = self.offset();
+                let mut disjuncts = self.where_clause()?;
+                if disjuncts.len() != 1 {
+                    return Err(ParseError::new(
+                        offset,
+                        "queries are conjunctive: 'or' is only allowed in view definitions",
+                    ));
+                }
+                let base = ConjunctiveQuery {
+                    name: None,
+                    targets,
+                    atoms: disjuncts.pop().expect("one disjunct"),
+                };
+                if aggs.is_empty() {
+                    Ok(Statement::Retrieve(base))
+                } else {
+                    Ok(Statement::RetrieveAggregate(AggregateQuery { base, aggs }))
+                }
+            }
+            TokenKind::Insert => {
+                self.expect(&TokenKind::Into, "'into'")?;
+                let rel = self.ident("relation name")?;
+                self.expect(&TokenKind::Values, "'values'")?;
+                self.expect(&TokenKind::LParen, "'('")?;
+                let mut values = Vec::new();
+                loop {
+                    match self.bump() {
+                        TokenKind::Int(n) => values.push(Value::Int(n)),
+                        TokenKind::Str(s) => values.push(Value::Str(s)),
+                        TokenKind::Ident(s) => values.push(Value::Str(s)),
+                        other => {
+                            return Err(ParseError::new(
+                                self.offset(),
+                                format!("expected a value, found {other:?}"),
+                            ))
+                        }
+                    }
+                    match self.bump() {
+                        TokenKind::Comma => continue,
+                        TokenKind::RParen => break,
+                        other => {
+                            return Err(ParseError::new(
+                                self.offset(),
+                                format!("expected ',' or ')', found {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Ok(Statement::Insert { rel, values })
+            }
+            TokenKind::Delete => {
+                self.expect(&TokenKind::From, "'from'")?;
+                let rel = self.ident("relation name")?;
+                let offset = self.offset();
+                let mut disjuncts = self.where_clause()?;
+                if disjuncts.len() != 1 {
+                    return Err(ParseError::new(
+                        offset,
+                        "delete qualifications are conjunctive: 'or' is not allowed",
+                    ));
+                }
+                let atoms = disjuncts.pop().expect("one disjunct");
+                // Every reference must stay within the target relation.
+                for a in &atoms {
+                    let bad = a.lhs.rel != rel
+                        || matches!(&a.rhs, CalcTerm::Attr(r) if r.rel != rel);
+                    if bad {
+                        return Err(ParseError::new(
+                            offset,
+                            format!("delete qualification must reference only {rel}"),
+                        ));
+                    }
+                }
+                Ok(Statement::Delete { rel, atoms })
+            }
+            TokenKind::Permit => {
+                let view = self.ident("view name")?;
+                self.expect(&TokenKind::To, "'to'")?;
+                let principal = self.principal()?;
+                Ok(Statement::Permit { view, principal })
+            }
+            TokenKind::Revoke => {
+                let view = self.ident("view name")?;
+                self.expect(&TokenKind::From, "'from'")?;
+                let principal = self.principal()?;
+                Ok(Statement::Revoke { view, principal })
+            }
+            other => Err(ParseError::new(
+                self.offset(),
+                format!("expected a statement keyword, found {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Parse a single statement (trailing `;` optional; trailing input is an
+/// error).
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.peek() == &TokenKind::Semicolon {
+        p.bump();
+    }
+    if p.peek() != &TokenKind::Eof {
+        return Err(ParseError::new(
+            p.offset(),
+            format!("unexpected trailing input: {:?}", p.peek()),
+        ));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `;`-separated program.
+pub fn parse_program(src: &str) -> Result<Vec<Statement>, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.peek() == &TokenKind::Semicolon {
+            p.bump();
+        }
+        if p.peek() == &TokenKind::Eof {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's ELP view statement, verbatim (modulo ≥ spelling).
+    #[test]
+    fn parse_elp_view() {
+        let src = "view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+                   where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+                   and PROJECT.NUMBER = ASSIGNMENT.P_NO
+                   and PROJECT.BUDGET >= 250,000";
+        let Statement::View(q) = parse_statement(src).unwrap() else {
+            panic!("expected view");
+        };
+        assert_eq!(q.name.as_deref(), Some("ELP"));
+        assert_eq!(q.targets.len(), 4);
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(
+            q.atoms[2].rhs,
+            CalcTerm::Const(Value::int(250_000))
+        );
+    }
+
+    /// The paper's EST view with occurrence-qualified references.
+    #[test]
+    fn parse_est_view() {
+        let src = "view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+                   where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE";
+        let Statement::View(q) = parse_statement(src).unwrap() else {
+            panic!("expected view");
+        };
+        assert_eq!(q.targets[1], AttrRef::occ("EMPLOYEE", 2, "NAME"));
+        assert_eq!(
+            q.atoms[0].rhs,
+            CalcTerm::Attr(AttrRef::occ("EMPLOYEE", 2, "TITLE"))
+        );
+    }
+
+    /// The paper's permit statement, plus the group extension.
+    #[test]
+    fn parse_permit_and_revoke() {
+        assert_eq!(
+            parse_statement("permit EST to KLEIN").unwrap(),
+            Statement::Permit {
+                view: "EST".into(),
+                principal: Principal::User("KLEIN".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("revoke EST from KLEIN").unwrap(),
+            Statement::Revoke {
+                view: "EST".into(),
+                principal: Principal::User("KLEIN".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("permit EST to group ENG").unwrap(),
+            Statement::Permit {
+                view: "EST".into(),
+                principal: Principal::Group("ENG".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("revoke EST from group ENG").unwrap(),
+            Statement::Revoke {
+                view: "EST".into(),
+                principal: Principal::Group("ENG".into())
+            }
+        );
+    }
+
+    /// Disjunctive view definitions split on `or` into branches.
+    #[test]
+    fn parse_disjunctive_view() {
+        let src = "view V (R.A, R.B)
+                   where R.A = x and R.B > 3 or R.A = y";
+        let Statement::ViewUnion { name, branches } = parse_statement(src).unwrap() else {
+            panic!("expected union view");
+        };
+        assert_eq!(name, "V");
+        assert_eq!(branches.len(), 2);
+        assert_eq!(branches[0].atoms.len(), 2);
+        assert_eq!(branches[1].atoms.len(), 1);
+        assert_eq!(branches[0].targets, branches[1].targets);
+        assert_eq!(branches[1].name.as_deref(), Some("V"));
+    }
+
+    /// `or` in retrieve statements is rejected: queries stay
+    /// conjunctive.
+    #[test]
+    fn or_in_retrieve_rejected() {
+        assert!(parse_statement("retrieve (R.A) where R.A = x or R.A = y").is_err());
+    }
+
+    /// The paper's retrieve with a bare-identifier constant (`Acme`).
+    #[test]
+    fn parse_retrieve_with_bare_constant() {
+        let src = "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)
+                   where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+                   and ASSIGNMENT.P_NO = PROJECT.NUMBER
+                   and PROJECT.SPONSOR = Acme";
+        let Statement::Retrieve(q) = parse_statement(src).unwrap() else {
+            panic!("expected retrieve");
+        };
+        assert!(q.name.is_none());
+        assert_eq!(q.atoms[2].rhs, CalcTerm::Const(Value::str("Acme")));
+    }
+
+    #[test]
+    fn parse_quoted_constant() {
+        let src = "retrieve (R.A) where R.B = 'two words'";
+        let Statement::Retrieve(q) = parse_statement(src).unwrap() else {
+            panic!("expected retrieve");
+        };
+        assert_eq!(q.atoms[0].rhs, CalcTerm::Const(Value::str("two words")));
+    }
+
+    #[test]
+    fn parse_program_multiple_statements() {
+        let src = "view V (R.A); permit V to U; retrieve (R.A) where R.A > 3";
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(stmts[0], Statement::View(_)));
+        assert!(matches!(stmts[1], Statement::Permit { .. }));
+        assert!(matches!(stmts[2], Statement::Retrieve(_)));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        // The AST's Display emits the paper syntax; parsing it back must
+        // be the identity.
+        let src = "view ELP (EMPLOYEE.NAME, PROJECT.BUDGET)
+                   where EMPLOYEE.NAME = ASSIGNMENT.E_NAME and PROJECT.BUDGET >= 250000";
+        let Statement::View(q) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        let reparsed = parse_statement(&q.to_string()).unwrap();
+        assert_eq!(Statement::View(q), reparsed);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_statement("view (R.A)").is_err()); // missing name
+        assert!(parse_statement("retrieve R.A").is_err()); // missing parens
+        assert!(parse_statement("retrieve ()").is_err()); // empty targets
+        assert!(parse_statement("permit V KLEIN").is_err()); // missing 'to'
+        assert!(parse_statement("retrieve (R.A) where R.A").is_err()); // no comparator
+        assert!(parse_statement("retrieve (R.A) extra").is_err()); // trailing
+        assert!(parse_statement("retrieve (R.A) where 3 = R.A").is_err()); // const lhs
+        assert!(parse_statement("").is_err());
+    }
+
+    #[test]
+    fn parse_aggregate_statements() {
+        let src = "retrieve (EMP.DEPT, avg(EMP.SALARY), count(EMP.NAME))
+                   where EMP.SALARY > 0";
+        let Statement::RetrieveAggregate(q) = parse_statement(src).unwrap() else {
+            panic!("expected aggregate retrieve");
+        };
+        assert_eq!(q.base.targets.len(), 1);
+        assert_eq!(q.aggs.len(), 2);
+        assert_eq!(q.aggs[0].0, AggFunc::Avg);
+        assert_eq!(q.aggs[1], (AggFunc::Count, AttrRef::new("EMP", "NAME")));
+
+        let src = "view AVGSAL (EMP.DEPT, avg(EMP.SALARY))";
+        let Statement::AggregateView(v) = parse_statement(src).unwrap() else {
+            panic!("expected aggregate view");
+        };
+        assert_eq!(v.base.name.as_deref(), Some("AVGSAL"));
+
+        // Aggregate statements round-trip through Display.
+        assert_eq!(
+            parse_statement(&v.to_string()).unwrap(),
+            Statement::AggregateView(v)
+        );
+    }
+
+    #[test]
+    fn aggregate_names_are_contextual() {
+        // An attribute named COUNT is fine without parentheses.
+        let src = "retrieve (R.COUNT)";
+        let Statement::Retrieve(q) = parse_statement(src).unwrap() else {
+            panic!();
+        };
+        assert_eq!(q.targets[0].attr, "COUNT");
+        // A relation named count with `(` after… cannot occur in a
+        // target list (relations are followed by `.`), so count( is
+        // unambiguous.
+        assert!(parse_statement("retrieve (count(R.A, R.B))").is_err());
+        // Unknown function names are attribute refs and fail at `(`.
+        assert!(parse_statement("retrieve (median(R.A))").is_err());
+    }
+
+    #[test]
+    fn or_in_aggregate_view_rejected() {
+        assert!(
+            parse_statement("view V (R.A, sum(R.B)) where R.A = x or R.A = y").is_err()
+        );
+    }
+
+    #[test]
+    fn parse_insert_and_delete() {
+        assert_eq!(
+            parse_statement("insert into EMPLOYEE values (Green, clerk, 18,000)").unwrap(),
+            Statement::Insert {
+                rel: "EMPLOYEE".into(),
+                values: vec![
+                    Value::str("Green"),
+                    Value::str("clerk"),
+                    Value::int(18_000)
+                ],
+            }
+        );
+        let Statement::Delete { rel, atoms } =
+            parse_statement("delete from EMPLOYEE where EMPLOYEE.SALARY < 20,000").unwrap()
+        else {
+            panic!("expected delete");
+        };
+        assert_eq!(rel, "EMPLOYEE");
+        assert_eq!(atoms.len(), 1);
+        // Unqualified delete is allowed (delete everything permitted).
+        assert!(parse_statement("delete from EMPLOYEE").is_ok());
+        // Cross-relation qualifications are rejected.
+        assert!(parse_statement(
+            "delete from EMPLOYEE where PROJECT.BUDGET > 0"
+        )
+        .is_err());
+        assert!(parse_statement("insert into EMPLOYEE values ()").is_err());
+        assert!(parse_statement("insert EMPLOYEE values (x)").is_err());
+    }
+
+    #[test]
+    fn occurrence_zero_rejected() {
+        assert!(parse_statement("retrieve (R:0.A)").is_err());
+    }
+}

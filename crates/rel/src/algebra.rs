@@ -1,0 +1,250 @@
+//! The three relational-algebra operators on actual relations.
+//!
+//! Conjunctive relational calculus is exactly the algebra of **product**,
+//! **selection** (with conjunctive predicates) and **projection** (paper,
+//! Section 2). These are the operators extended to meta-relations in
+//! `motro-core`; here they operate on ordinary [`Relation`]s.
+
+use crate::error::RelResult;
+use crate::predicate::{CompOp, Predicate, PredicateAtom};
+use crate::relation::Relation;
+
+/// Cartesian product `R × S`.
+///
+/// Occurrence indices in the result schema are renumbered so self-products
+/// remain addressable (see [`crate::schema::RelSchema::product`]).
+pub fn product(r: &Relation, s: &Relation) -> Relation {
+    let schema = r.schema().product(s.schema());
+    let mut out = Relation::new(schema);
+    for a in r.rows() {
+        for b in s.rows() {
+            out.insert_unchecked(a.concat(b));
+        }
+    }
+    out
+}
+
+/// Selection `σ_pred(R)`.
+///
+/// The predicate is type-checked against the operand schema before any
+/// tuple is examined, so evaluation cannot fail midway.
+pub fn select(r: &Relation, pred: &Predicate) -> RelResult<Relation> {
+    pred.typecheck(r.schema())?;
+    let mut out = Relation::new(r.schema().clone());
+    for t in r.rows() {
+        if pred.eval(t)? {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Projection `π_indices(R)` with duplicate elimination.
+pub fn project(r: &Relation, indices: &[usize]) -> Relation {
+    let schema = r.schema().project(indices);
+    let mut out = Relation::new(schema);
+    for t in r.rows() {
+        out.insert_unchecked(t.project(indices));
+    }
+    out
+}
+
+/// Theta-join, derived: `R ⋈_θ S = σ_θ(R × S)` where `pairs` lists
+/// `(column-of-R, op, column-of-S)` conditions (S columns counted from 0).
+pub fn theta_join(
+    r: &Relation,
+    s: &Relation,
+    pairs: &[(usize, CompOp, usize)],
+) -> RelResult<Relation> {
+    let prod = product(r, s);
+    let shift = r.schema().arity();
+    let atoms = pairs
+        .iter()
+        .map(|&(a, op, b)| PredicateAtom::col_col(a, op, b + shift))
+        .collect();
+    select(&prod, &Predicate::all(atoms))
+}
+
+/// Check that two operands are compatible for a set operation: same
+/// arity and per-column domains.
+fn check_set_compatible(r: &Relation, s: &Relation) -> RelResult<()> {
+    if r.schema().arity() != s.schema().arity() {
+        return Err(crate::error::RelError::ArityMismatch {
+            expected: r.schema().arity(),
+            found: s.schema().arity(),
+        });
+    }
+    for i in 0..r.schema().arity() {
+        if r.schema().domain(i) != s.schema().domain(i) {
+            return Err(crate::error::RelError::TypeMismatch {
+                expected: r.schema().domain(i).to_string(),
+                found: s.schema().domain(i).to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Set union `R ∪ S` (result carries `R`'s schema). The conjunctive
+/// fragment the paper uses has no union; it is provided for substrate
+/// completeness (disjunctive views take the union of masks instead).
+pub fn union(r: &Relation, s: &Relation) -> RelResult<Relation> {
+    check_set_compatible(r, s)?;
+    let mut out = r.clone();
+    for t in s.rows() {
+        out.insert_unchecked(t.clone());
+    }
+    Ok(out)
+}
+
+/// Set difference `R − S` (result carries `R`'s schema).
+pub fn difference(r: &Relation, s: &Relation) -> RelResult<Relation> {
+    check_set_compatible(r, s)?;
+    let mut out = Relation::new(r.schema().clone());
+    for t in r.rows() {
+        if !s.contains(t) {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Set intersection `R ∩ S` (result carries `R`'s schema).
+pub fn intersection(r: &Relation, s: &Relation) -> RelResult<Relation> {
+    check_set_compatible(r, s)?;
+    let mut out = Relation::new(r.schema().clone());
+    for t in r.rows() {
+        if s.contains(t) {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelSchema;
+    use crate::tuple;
+    use crate::value::Domain;
+
+    fn rel_r() -> Relation {
+        let s = RelSchema::base("R", &[("A", Domain::Str), ("B", Domain::Int)]);
+        Relation::from_rows(s, vec![tuple!["x", 1], tuple!["y", 2]]).unwrap()
+    }
+
+    fn rel_s() -> Relation {
+        let s = RelSchema::base("S", &[("C", Domain::Int)]);
+        Relation::from_rows(s, vec![tuple![1], tuple![3]]).unwrap()
+    }
+
+    #[test]
+    fn product_cardinality_and_schema() {
+        let p = product(&rel_r(), &rel_s());
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.schema().arity(), 3);
+        assert!(p.contains(&tuple!["y", 2, 3]));
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let empty = Relation::new(RelSchema::base("S", &[("C", Domain::Int)]));
+        assert!(product(&rel_r(), &empty).is_empty());
+        assert!(product(&empty, &rel_r()).is_empty());
+    }
+
+    #[test]
+    fn select_filters() {
+        let r = rel_r();
+        let out = select(
+            &r,
+            &Predicate::atom(PredicateAtom::col_const(1, CompOp::Gt, 1)),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple!["y", 2]));
+    }
+
+    #[test]
+    fn select_typechecks_before_evaluating() {
+        let r = rel_r();
+        assert!(select(
+            &r,
+            &Predicate::atom(PredicateAtom::col_const(0, CompOp::Eq, 5)),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn project_deduplicates() {
+        let s = RelSchema::base("R", &[("A", Domain::Str), ("B", Domain::Int)]);
+        let r =
+            Relation::from_rows(s, vec![tuple!["x", 1], tuple!["x", 2], tuple!["y", 1]]).unwrap();
+        let out = project(&r, &[0]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let out = project(&rel_r(), &[1, 0]);
+        assert!(out.contains(&tuple![1, "x"]));
+    }
+
+    #[test]
+    fn theta_join_equality() {
+        let out = theta_join(&rel_r(), &rel_s(), &[(1, CompOp::Eq, 0)]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple!["x", 1, 1]));
+    }
+
+    #[test]
+    fn set_operations() {
+        let s1 = RelSchema::base("R", &[("A", Domain::Int)]);
+        let a = Relation::from_rows(s1.clone(), vec![tuple![1], tuple![2]]).unwrap();
+        let b = Relation::from_rows(s1, vec![tuple![2], tuple![3]]).unwrap();
+        assert_eq!(union(&a, &b).unwrap().len(), 3);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&tuple![1]));
+        let i = intersection(&a, &b).unwrap();
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&tuple![2]));
+    }
+
+    #[test]
+    fn set_operations_identities() {
+        let s1 = RelSchema::base("R", &[("A", Domain::Int)]);
+        let a = Relation::from_rows(s1.clone(), vec![tuple![1], tuple![2]]).unwrap();
+        let empty = Relation::new(s1);
+        assert!(union(&a, &empty).unwrap().set_eq(&a));
+        assert!(difference(&a, &empty).unwrap().set_eq(&a));
+        assert!(intersection(&a, &empty).unwrap().is_empty());
+        assert!(difference(&a, &a).unwrap().is_empty());
+        assert!(intersection(&a, &a).unwrap().set_eq(&a));
+    }
+
+    #[test]
+    fn set_operations_reject_incompatible_schemas() {
+        let a = Relation::new(RelSchema::base("R", &[("A", Domain::Int)]));
+        let b = Relation::new(RelSchema::base("S", &[("B", Domain::Str)]));
+        let c = Relation::new(RelSchema::base(
+            "T",
+            &[("A", Domain::Int), ("B", Domain::Int)],
+        ));
+        assert!(union(&a, &b).is_err());
+        assert!(difference(&a, &c).is_err());
+        assert!(intersection(&a, &b).is_err());
+    }
+
+    #[test]
+    fn join_equals_product_select() {
+        let j = theta_join(&rel_r(), &rel_s(), &[(1, CompOp::Lt, 0)]).unwrap();
+        let p = product(&rel_r(), &rel_s());
+        let m = select(
+            &p,
+            &Predicate::atom(PredicateAtom::col_col(1, CompOp::Lt, 2)),
+        )
+        .unwrap();
+        assert!(j.set_eq(&m));
+    }
+}

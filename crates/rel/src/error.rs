@@ -1,0 +1,57 @@
+//! Error type shared by the relational engine.
+
+use std::fmt;
+
+/// Errors raised by schema resolution, predicate type-checking, and plan
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A relation name was not found in the database catalog.
+    UnknownRelation(String),
+    /// An attribute reference did not resolve against the schema.
+    UnknownAttribute(String),
+    /// A bare attribute name matched more than one column.
+    AmbiguousAttribute(String),
+    /// A predicate compared values of different domains, or a tuple value
+    /// did not match its column's domain.
+    TypeMismatch {
+        /// What was expected (domain or context description).
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A tuple's arity did not match the schema it was inserted under.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        found: usize,
+    },
+    /// A relation with this name already exists in the catalog.
+    DuplicateRelation(String),
+    /// Generic invariant violation with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownRelation(r) => write!(f, "unknown relation: {r}"),
+            RelError::UnknownAttribute(a) => write!(f, "unknown attribute: {a}"),
+            RelError::AmbiguousAttribute(a) => write!(f, "ambiguous attribute: {a}"),
+            RelError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RelError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            RelError::DuplicateRelation(r) => write!(f, "relation already exists: {r}"),
+            RelError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience result alias for the engine.
+pub type RelResult<T> = Result<T, RelError>;

@@ -1,0 +1,55 @@
+//! # motro-rel
+//!
+//! An in-memory relational engine substrate for the reproduction of
+//! Motro's ICDE 1989 access-authorization model.
+//!
+//! The paper assumes a conventional relational database ([Maier 1983]):
+//! relation schemes are finite sets of attributes with associated domains,
+//! relations are finite subsets of the product of those domains, and
+//! queries are implemented by relational-algebra plans built from
+//! **product**, **selection** and **projection** (the algebra equivalent of
+//! conjunctive relational calculus, Ullman 1982).
+//!
+//! This crate provides exactly that substrate:
+//!
+//! * [`Value`] / [`Domain`] — typed atomic values (`Int`, `Str`).
+//! * [`AttrName`] / [`QualifiedAttr`] / [`RelSchema`] — schemas whose
+//!   attributes carry an *occurrence index* so self-products such as
+//!   `EMPLOYEE × EMPLOYEE` stay well-typed (`NAME:1`, `NAME:2`, as in the
+//!   paper's Example 3).
+//! * [`Tuple`] / [`Relation`] — set-semantics relations.
+//! * [`predicate`] — conjunctive selection predicates over attributes.
+//! * [`algebra`] — the three operators plus derived joins.
+//! * [`expr`] — algebra expression trees and their evaluator, normalized
+//!   to the paper's canonical **products → selections → projections**
+//!   shape when requested.
+//! * [`Database`] — a catalog of named relations with optional keys.
+//!
+//! Everything is deterministic and allocation-conscious; relations are
+//! plain `Vec<Tuple>` kept duplicate-free (the calculus is set-based and
+//! the paper's worked examples remove "replications" explicitly).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod algebra;
+pub mod database;
+pub mod error;
+pub mod expr;
+pub mod optimize;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use aggregate::{group_by, AggFunc};
+pub use database::{Database, DbSchema, RelationDef};
+pub use error::{RelError, RelResult};
+pub use expr::{AlgebraExpr, CanonicalPlan};
+pub use optimize::execute_optimized;
+pub use predicate::{CompOp, Predicate, PredicateAtom, Term};
+pub use relation::Relation;
+pub use schema::{AttrName, QualifiedAttr, RelName, RelSchema};
+pub use tuple::Tuple;
+pub use value::{Domain, Value};

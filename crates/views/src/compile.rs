@@ -1,0 +1,301 @@
+//! Compilation of conjunctive queries into canonical algebra plans.
+//!
+//! Section 2 of the paper notes that conjunctive calculus is exactly the
+//! algebra of product, selection, projection; Section 4 requires the plan
+//! shape **products → selections → projections**. [`compile`] produces
+//! that [`CanonicalPlan`] directly from the surface statement.
+
+use crate::ast::{AttrRef, CalcTerm, ConjunctiveQuery};
+use motro_rel::{
+    CanonicalPlan, DbSchema, Predicate, PredicateAtom, RelError, RelResult, RelSchema, Term,
+};
+
+/// The result of resolving a query's attribute references against a
+/// database scheme: the ordered product factors, the product schema, and
+/// a resolver from [`AttrRef`] to product-schema column index.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// Product factors `(relation, occurrence)` in plan order.
+    pub factors: Vec<(String, u32)>,
+    /// Schema of the product of the factors.
+    pub product_schema: RelSchema,
+    /// Start column of each factor within the product schema.
+    pub factor_offsets: Vec<usize>,
+}
+
+impl Resolved {
+    /// Resolve an attribute reference to its product-schema column.
+    pub fn column_of(&self, r: &AttrRef, scheme: &DbSchema) -> RelResult<usize> {
+        let fi = self
+            .factors
+            .iter()
+            .position(|f| f.0 == r.rel && f.1 == r.occurrence)
+            .ok_or_else(|| RelError::UnknownRelation(format!("{}:{}", r.rel, r.occurrence)))?;
+        let base = scheme.schema_of(&r.rel)?;
+        let within = base.index_of_attr(&r.attr)?;
+        Ok(self.factor_offsets[fi] + within)
+    }
+}
+
+/// Discover and resolve a query's product factors against `scheme`.
+pub fn resolve_factors(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<Resolved> {
+    let factors = q.factors();
+    if factors.is_empty() {
+        return Err(RelError::Invalid(
+            "query references no relations".to_owned(),
+        ));
+    }
+    // Occurrence indices must be dense per relation (1..=k): `R:2` without
+    // `R:1` would leave a phantom factor.
+    for (rel, occ) in &factors {
+        if *occ > 1 && !factors.iter().any(|f| f.0 == *rel && f.1 == occ - 1) {
+            return Err(RelError::Invalid(format!(
+                "occurrence {rel}:{occ} used without {rel}:{}",
+                occ - 1
+            )));
+        }
+    }
+    let mut product_schema = RelSchema::empty();
+    let mut factor_offsets = Vec::with_capacity(factors.len());
+    for (rel, _) in &factors {
+        let base = scheme.schema_of(rel)?;
+        factor_offsets.push(product_schema.arity());
+        product_schema = product_schema.product(base);
+    }
+    Ok(Resolved {
+        factors,
+        product_schema,
+        factor_offsets,
+    })
+}
+
+/// Compile a conjunctive query into the canonical plan, validating it
+/// against `scheme` (relations exist, attributes resolve, comparisons are
+/// within-domain, at least one target).
+pub fn compile(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<CanonicalPlan> {
+    if q.targets.is_empty() {
+        return Err(RelError::Invalid("empty target list".to_owned()));
+    }
+    let resolved = resolve_factors(q, scheme)?;
+    let mut atoms = Vec::with_capacity(q.atoms.len());
+    for a in &q.atoms {
+        let lhs = resolved.column_of(&a.lhs, scheme)?;
+        let rhs = match &a.rhs {
+            CalcTerm::Attr(r) => Term::Col(resolved.column_of(r, scheme)?),
+            CalcTerm::Const(v) => Term::Const(v.clone()),
+        };
+        atoms.push(PredicateAtom {
+            lhs,
+            op: a.op,
+            rhs,
+        });
+    }
+    let projection = q
+        .targets
+        .iter()
+        .map(|t| resolved.column_of(t, scheme))
+        .collect::<RelResult<Vec<usize>>>()?;
+    let plan = CanonicalPlan {
+        relations: resolved.factors.iter().map(|f| f.0.clone()).collect(),
+        selection: Predicate::all(atoms),
+        projection,
+    };
+    plan.validate(scheme)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ConjunctiveQuery;
+    use motro_rel::{tuple, CompOp, Database, Domain};
+
+    fn scheme() -> DbSchema {
+        let mut s = DbSchema::new();
+        s.add_relation(
+            "EMPLOYEE",
+            &[
+                ("NAME", Domain::Str),
+                ("TITLE", Domain::Str),
+                ("SALARY", Domain::Int),
+            ],
+        )
+        .unwrap();
+        s.add_relation(
+            "PROJECT",
+            &[
+                ("NUMBER", Domain::Str),
+                ("SPONSOR", Domain::Str),
+                ("BUDGET", Domain::Int),
+            ],
+        )
+        .unwrap();
+        s.add_relation(
+            "ASSIGNMENT",
+            &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)],
+        )
+        .unwrap();
+        s
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(scheme());
+        db.insert_all(
+            "EMPLOYEE",
+            vec![
+                tuple!["Jones", "manager", 26_000],
+                tuple!["Smith", "technician", 22_000],
+                tuple!["Brown", "engineer", 32_000],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "PROJECT",
+            vec![
+                tuple!["bq-45", "Acme", 300_000],
+                tuple!["sv-72", "Apex", 450_000],
+                tuple!["vg-13", "Summit", 150_000],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "ASSIGNMENT",
+            vec![
+                tuple!["Jones", "bq-45"],
+                tuple!["Smith", "bq-45"],
+                tuple!["Jones", "sv-72"],
+                tuple!["Brown", "sv-72"],
+                tuple!["Smith", "vg-13"],
+                tuple!["Brown", "vg-13"],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn single_relation_query() {
+        // Example 1's query: numbers and sponsors of large projects.
+        let q = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "SPONSOR")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+            .build();
+        let plan = compile(&q, &scheme()).unwrap();
+        assert_eq!(plan.relations, vec!["PROJECT".to_owned()]);
+        let out = plan.execute(&db()).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple!["bq-45", "Acme"]));
+        assert!(out.contains(&tuple!["sv-72", "Apex"]));
+    }
+
+    #[test]
+    fn three_relation_join() {
+        // Example 2's query shape.
+        let q = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .target("EMPLOYEE", "SALARY")
+            .where_const(AttrRef::new("EMPLOYEE", "TITLE"), CompOp::Eq, "engineer")
+            .where_attr(
+                AttrRef::new("EMPLOYEE", "NAME"),
+                CompOp::Eq,
+                AttrRef::new("ASSIGNMENT", "E_NAME"),
+            )
+            .where_attr(
+                AttrRef::new("ASSIGNMENT", "P_NO"),
+                CompOp::Eq,
+                AttrRef::new("PROJECT", "NUMBER"),
+            )
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 300_000)
+            .build();
+        let plan = compile(&q, &scheme()).unwrap();
+        assert_eq!(
+            plan.relations,
+            vec![
+                "EMPLOYEE".to_owned(),
+                "ASSIGNMENT".to_owned(),
+                "PROJECT".to_owned()
+            ]
+        );
+        let out = plan.execute(&db()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple!["Brown", 32_000]));
+    }
+
+    #[test]
+    fn self_join_query() {
+        // Example 3's query shape: pairs of employees with the same title.
+        let q = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 1, "NAME")
+            .target_occ("EMPLOYEE", 1, "SALARY")
+            .target_occ("EMPLOYEE", 2, "NAME")
+            .target_occ("EMPLOYEE", 2, "SALARY")
+            .where_attr(
+                AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+                CompOp::Eq,
+                AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+            )
+            .build();
+        let plan = compile(&q, &scheme()).unwrap();
+        assert_eq!(plan.relations.len(), 2);
+        let out = plan.execute(&db()).unwrap();
+        // All titles are distinct, so only reflexive pairs remain.
+        assert_eq!(out.len(), 3);
+        assert!(out.contains(&tuple!["Jones", 26_000, "Jones", 26_000]));
+    }
+
+    #[test]
+    fn empty_targets_rejected() {
+        let q = ConjunctiveQuery::retrieve().build();
+        assert!(compile(&q, &scheme()).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let q = ConjunctiveQuery::retrieve().target("NOPE", "X").build();
+        assert!(compile(&q, &scheme()).is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let q = ConjunctiveQuery::retrieve().target("EMPLOYEE", "WAGE").build();
+        assert!(compile(&q, &scheme()).is_err());
+    }
+
+    #[test]
+    fn cross_domain_comparison_rejected() {
+        let q = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Eq, "lots")
+            .build();
+        assert!(compile(&q, &scheme()).is_err());
+    }
+
+    #[test]
+    fn sparse_occurrence_rejected() {
+        let q = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 2, "NAME")
+            .build();
+        assert!(compile(&q, &scheme()).is_err());
+    }
+
+    #[test]
+    fn resolver_column_positions() {
+        let q = ConjunctiveQuery::retrieve()
+            .target_occ("EMPLOYEE", 1, "NAME")
+            .target_occ("EMPLOYEE", 2, "SALARY")
+            .where_attr(
+                AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+                CompOp::Eq,
+                AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+            )
+            .build();
+        let s = scheme();
+        let r = resolve_factors(&q, &s).unwrap();
+        assert_eq!(r.factor_offsets, vec![0, 3]);
+        assert_eq!(
+            r.column_of(&AttrRef::occ("EMPLOYEE", 2, "SALARY"), &s).unwrap(),
+            5
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Decompilation: from the Section 3 storage normal form back to a
+//! surface statement.
+//!
+//! The paper stores views *only* as meta-tuples plus `COMPARISON` rows;
+//! the original statement text is not kept. [`decompile`] synthesizes a
+//! canonical surface statement from the normal form:
+//!
+//! * targets = the starred positions, in atom/position order;
+//! * a shared variable's positions are linked by equality atoms from
+//!   its first position;
+//! * constants become equality atoms on their position;
+//! * retained comparisons reference their variable's first position.
+//!
+//! The synthesized statement normalizes back to the same normal form
+//! (up to variable renaming) — property-tested in the workspace suite —
+//! so a store rebooted from its storage relations behaves identically,
+//! even though the statement *text* may differ from what the
+//! administrator originally typed (e.g. targets may be reordered and
+//! selection constants surface as explicit `where` atoms).
+
+use crate::ast::{AttrRef, CalcAtom, CalcTerm, ConjunctiveQuery};
+use crate::normalize::{CompRhs, NormalizedView, VarId, VarTerm};
+use motro_rel::{CompOp, DbSchema, RelResult};
+use std::collections::BTreeMap;
+
+/// Synthesize a canonical surface statement from a normalized view.
+/// The scheme supplies the attribute names (the normal form addresses
+/// positions only).
+pub fn decompile(nv: &NormalizedView, scheme: &DbSchema) -> RelResult<ConjunctiveQuery> {
+    // Occurrence numbering: the i-th atom over relation R is `R:i`.
+    let mut occ_count: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut atom_refs: Vec<Vec<AttrRef>> = Vec::with_capacity(nv.atoms.len());
+    for a in &nv.atoms {
+        let occ = occ_count.entry(a.rel.as_str()).or_insert(0);
+        *occ += 1;
+        let schema = scheme.schema_of(&a.rel)?;
+        let refs = (0..schema.arity())
+            .map(|i| AttrRef::occ(&a.rel, *occ, &schema.column(i).qual.attr))
+            .collect();
+        atom_refs.push(refs);
+    }
+
+    let mut targets = Vec::new();
+    let mut atoms = Vec::new();
+    // First position of each variable.
+    let mut first_pos: BTreeMap<VarId, AttrRef> = BTreeMap::new();
+
+    for (ai, a) in nv.atoms.iter().enumerate() {
+        for (p, term) in a.terms.iter().enumerate() {
+            let here = atom_refs[ai][p].clone();
+            if a.starred[p] {
+                targets.push(here.clone());
+            }
+            match term {
+                VarTerm::Anon => {}
+                VarTerm::Const(c) => atoms.push(CalcAtom {
+                    lhs: here,
+                    op: CompOp::Eq,
+                    rhs: CalcTerm::Const(c.clone()),
+                }),
+                VarTerm::Var(x) => match first_pos.get(x) {
+                    None => {
+                        first_pos.insert(*x, here);
+                    }
+                    Some(anchor) => atoms.push(CalcAtom {
+                        lhs: anchor.clone(),
+                        op: CompOp::Eq,
+                        rhs: CalcTerm::Attr(here),
+                    }),
+                },
+            }
+        }
+    }
+    for c in &nv.comparisons {
+        let Some(anchor) = first_pos.get(&c.lhs) else {
+            // A comparison variable with no surviving position cannot
+            // be expressed; skip (cannot occur for stored views, whose
+            // variables always have positions).
+            continue;
+        };
+        let rhs = match &c.rhs {
+            CompRhs::Const(v) => CalcTerm::Const(v.clone()),
+            CompRhs::Var(y) => match first_pos.get(y) {
+                Some(r) => CalcTerm::Attr(r.clone()),
+                None => continue,
+            },
+        };
+        atoms.push(CalcAtom {
+            lhs: anchor.clone(),
+            op: c.op,
+            rhs,
+        });
+    }
+    Ok(ConjunctiveQuery {
+        name: Some(nv.name.clone()),
+        targets,
+        atoms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use motro_rel::{DbSchema, Domain};
+
+    fn scheme() -> DbSchema {
+        let mut s = DbSchema::new();
+        s.add_relation(
+            "EMPLOYEE",
+            &[
+                ("NAME", Domain::Str),
+                ("TITLE", Domain::Str),
+                ("SALARY", Domain::Int),
+            ],
+        )
+        .unwrap();
+        s.add_relation(
+            "PROJECT",
+            &[
+                ("NUMBER", Domain::Str),
+                ("SPONSOR", Domain::Str),
+                ("BUDGET", Domain::Int),
+            ],
+        )
+        .unwrap();
+        s.add_relation(
+            "ASSIGNMENT",
+            &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)],
+        )
+        .unwrap();
+        s
+    }
+
+    /// Normal form → statement → normal form is the identity (up to
+    /// variable renaming, which normalize's deterministic numbering
+    /// absorbs).
+    fn roundtrip(q: &ConjunctiveQuery) {
+        let s = scheme();
+        let nv = normalize(q, &s).unwrap();
+        let back = decompile(&nv, &s).unwrap();
+        let nv2 = normalize(&back, &s).unwrap();
+        assert_eq!(nv.atoms, nv2.atoms, "{q}\n-> {back}");
+        assert_eq!(nv.comparisons, nv2.comparisons, "{q}\n-> {back}");
+    }
+
+    #[test]
+    fn paper_views_roundtrip() {
+        roundtrip(
+            &ConjunctiveQuery::view("SAE")
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "SALARY")
+                .build(),
+        );
+        roundtrip(
+            &ConjunctiveQuery::view("PSA")
+                .target("PROJECT", "NUMBER")
+                .target("PROJECT", "SPONSOR")
+                .target("PROJECT", "BUDGET")
+                .where_const(AttrRef::new("PROJECT", "SPONSOR"), CompOp::Eq, "Acme")
+                .build(),
+        );
+        roundtrip(
+            &ConjunctiveQuery::view("ELP")
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "TITLE")
+                .target("PROJECT", "NUMBER")
+                .target("PROJECT", "BUDGET")
+                .where_attr(
+                    AttrRef::new("EMPLOYEE", "NAME"),
+                    CompOp::Eq,
+                    AttrRef::new("ASSIGNMENT", "E_NAME"),
+                )
+                .where_attr(
+                    AttrRef::new("PROJECT", "NUMBER"),
+                    CompOp::Eq,
+                    AttrRef::new("ASSIGNMENT", "P_NO"),
+                )
+                .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 250_000)
+                .build(),
+        );
+        roundtrip(
+            &ConjunctiveQuery::view("EST")
+                .target_occ("EMPLOYEE", 1, "NAME")
+                .target_occ("EMPLOYEE", 2, "NAME")
+                .target_occ("EMPLOYEE", 1, "TITLE")
+                .where_attr(
+                    AttrRef::occ("EMPLOYEE", 1, "TITLE"),
+                    CompOp::Eq,
+                    AttrRef::occ("EMPLOYEE", 2, "TITLE"),
+                )
+                .build(),
+        );
+    }
+
+    #[test]
+    fn var_var_comparison_roundtrips() {
+        roundtrip(
+            &ConjunctiveQuery::view("RICHER")
+                .target_occ("EMPLOYEE", 1, "NAME")
+                .target_occ("EMPLOYEE", 2, "NAME")
+                .where_attr(
+                    AttrRef::occ("EMPLOYEE", 1, "SALARY"),
+                    CompOp::Gt,
+                    AttrRef::occ("EMPLOYEE", 2, "SALARY"),
+                )
+                .build(),
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # motro-views
+//!
+//! Conjunctive relational calculus views and queries (paper, Section 2).
+//!
+//! A *conjunctive view* is a domain-relational-calculus expression
+//!
+//! ```text
+//! { a₁,…,aₙ | (∃b₁)…(∃bₖ) ψ₁ ∧ … ∧ ψₘ }
+//! ```
+//!
+//! whose subformulas ψ are **membership** atoms `(c₁,…,cₚ) ∈ R` or
+//! **comparative** atoms `d₁ θ d₂`. This family equals the relational
+//! algebra of product, (conjunctive) selection, and projection.
+//!
+//! This crate represents such expressions at two levels:
+//!
+//! * [`ConjunctiveQuery`] — the surface form, mirroring the paper's
+//!   `view`/`retrieve` statements: a target list of attribute references
+//!   (`EMPLOYEE.NAME`, `EMPLOYEE:2.TITLE`) plus a conjunctive `where`
+//!   clause. Used both for queries and for view definitions.
+//! * [`NormalizedView`] — the Section 3 normal form that precedes
+//!   meta-tuple encoding: one membership atom per relation occurrence
+//!   with per-position terms (constant / shared variable / blank),
+//!   head positions starred, equalities substituted away, and the
+//!   remaining (non-equality) comparisons pulled out for the
+//!   `COMPARISON` relation.
+//!
+//! [`compile()`](compile::compile) turns a `ConjunctiveQuery` into the canonical
+//! products → selection → projection plan ([`motro_rel::CanonicalPlan`])
+//! that the authorization pipeline executes over both the actual and the
+//! meta relations.
+
+#![warn(missing_docs)]
+
+pub mod aggregate_ast;
+pub mod ast;
+pub mod compile;
+pub mod decompile;
+pub mod normalize;
+
+pub use aggregate_ast::{AggregateQuery, CompiledAggregate};
+pub use ast::{AttrRef, CalcAtom, CalcTerm, ConjunctiveQuery, QueryBuilder};
+pub use compile::{compile, resolve_factors, Resolved};
+pub use decompile::decompile;
+pub use normalize::{
+    normalize, CompRhs, MembershipAtom, NormalizedView, VarComparison, VarId, VarTerm,
+};

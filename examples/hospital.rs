@@ -1,0 +1,166 @@
+//! A clinic under view-based authorization: ward-scoped nurses, a cost
+//! auditor with an interval permission, a billing clerk with a
+//! multi-relation (join) permission, and update checks.
+//!
+//! Demonstrates the model's distinguishing behaviors on a realistic
+//! schema: row masking, column masking, interval-condition inference
+//! (the §4.2 four-case refinement), join permissions INGRES cannot
+//! express, and the §6 update extension.
+//!
+//! ```text
+//! cargo run --example hospital
+//! ```
+
+use motro_authz::core::update;
+use motro_authz::rel::{tuple, DbSchema, Domain};
+use motro_authz::Frontend;
+
+fn build() -> Frontend {
+    let mut scheme = DbSchema::new();
+    scheme
+        .add_relation_with_key(
+            "PATIENT",
+            &[
+                ("PID", Domain::Str),
+                ("NAME", Domain::Str),
+                ("WARD", Domain::Str),
+                ("AGE", Domain::Int),
+            ],
+            Some(&["PID"]),
+        )
+        .unwrap();
+    scheme
+        .add_relation_with_key(
+            "TREATMENT",
+            &[
+                ("PID", Domain::Str),
+                ("DRUG", Domain::Str),
+                ("COST", Domain::Int),
+            ],
+            Some(&["PID", "DRUG"]),
+        )
+        .unwrap();
+    let mut fe = Frontend::new(scheme);
+    let db = fe.database_mut();
+    db.insert_all(
+        "PATIENT",
+        vec![
+            tuple!["p1", "Ada", "cardio", 64],
+            tuple!["p2", "Bob", "cardio", 41],
+            tuple!["p3", "Cleo", "onco", 58],
+            tuple!["p4", "Dan", "onco", 73],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "TREATMENT",
+        vec![
+            tuple!["p1", "aspirin", 40],
+            tuple!["p2", "statin", 95],
+            tuple!["p3", "chemo", 4_000],
+            tuple!["p4", "chemo", 5_200],
+            tuple!["p4", "aspirin", 40],
+        ],
+    )
+    .unwrap();
+    fe
+}
+
+fn main() {
+    let mut fe = build();
+    fe.execute_admin_program(
+        "view CARDIO (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)
+           where PATIENT.WARD = cardio;
+
+         view CHEAP (TREATMENT.PID, TREATMENT.DRUG, TREATMENT.COST)
+           where TREATMENT.COST <= 100;
+
+         view BILLING (PATIENT.PID, PATIENT.NAME, TREATMENT.PID, TREATMENT.DRUG,
+                       TREATMENT.COST)
+           where PATIENT.PID = TREATMENT.PID;
+
+         permit CARDIO to nurse;
+         permit CHEAP to auditor;
+         permit BILLING to clerk",
+    )
+    .expect("admin statements are well-formed");
+
+    println!("== nurse: all patients (row masking) ==\n");
+    let out = fe
+        .retrieve("nurse", "retrieve (PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)")
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== auditor: expensive treatments (four-case: disjoint -> nothing) ==\n");
+    let out = fe
+        .retrieve(
+            "auditor",
+            "retrieve (TREATMENT.DRUG, TREATMENT.COST) where TREATMENT.COST > 1000",
+        )
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== auditor: mid-range treatments (four-case: overlap -> modified) ==\n");
+    let out = fe
+        .retrieve(
+            "auditor",
+            "retrieve (TREATMENT.DRUG, TREATMENT.COST) where TREATMENT.COST >= 50",
+        )
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== clerk: the join view queried at base tables ==\n");
+    let out = fe
+        .retrieve(
+            "clerk",
+            "retrieve (PATIENT.NAME, TREATMENT.DRUG, TREATMENT.COST)
+             where PATIENT.PID = TREATMENT.PID",
+        )
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== nurse: cross-ward snooping via a join is masked too ==\n");
+    let out = fe
+        .retrieve(
+            "nurse",
+            "retrieve (PATIENT.NAME, PATIENT.WARD)
+             where PATIENT.AGE >= 50",
+        )
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== aggregate views (statistics without row access) ==\n");
+    fe.execute_admin_program(
+        "view COSTSTATS (sum(TREATMENT.COST), count(TREATMENT.PID), max(TREATMENT.COST));
+         permit COSTSTATS to board",
+    )
+    .unwrap();
+    let out = fe
+        .query(
+            "board",
+            "retrieve (sum(TREATMENT.COST), count(TREATMENT.PID), max(TREATMENT.COST))",
+        )
+        .unwrap();
+    println!("{}", out.render());
+    // The board cannot see any row.
+    let rows = fe
+        .retrieve("board", "retrieve (TREATMENT.PID, TREATMENT.COST)")
+        .unwrap();
+    println!("…but board's row access:\n{}", rows.render());
+
+    println!("== derived aggregates follow row masks ==\n");
+    let out = fe
+        .query("auditor", "retrieve (count(TREATMENT.DRUG))")
+        .unwrap();
+    println!("{}", out.render());
+
+    println!("== update extension ==\n");
+    let engine = fe.engine();
+    for (label, t) in [
+        ("insert cardio patient", tuple!["p9", "Eve", "cardio", 33]),
+        ("insert onco patient", tuple!["p9", "Eve", "onco", 33]),
+    ] {
+        let ok = update::check_insert(&engine, "nurse", "PATIENT", &t).unwrap();
+        println!("nurse {label}: {}", if ok { "permitted" } else { "denied" });
+    }
+}

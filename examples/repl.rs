@@ -1,0 +1,135 @@
+//! An interactive front-end — the "database front-end interface" the
+//! paper's Section 6 describes, as a small REPL.
+//!
+//! ```text
+//! cargo run --example repl
+//! ```
+//!
+//! Commands:
+//!
+//! * `view …`, `permit … to …`, `revoke … from …` — administration;
+//! * `as USER retrieve (…) where …` — an authorized retrieval;
+//! * `show REL` — print a relation with its meta-relation (Figure 1
+//!   style); `show permissions` / `show comparisons`;
+//! * `save FILE` / `load FILE` — persist or restore the whole state;
+//! * `help`, `quit`.
+//!
+//! The session starts preloaded with the paper's Figure 1 database and
+//! views, so `as Brown retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) where
+//! PROJECT.BUDGET >= 250,000` reproduces Example 1 immediately.
+
+use motro_authz::core::fixtures;
+use motro_authz::Frontend;
+use std::io::{BufRead, Write};
+
+fn paper_frontend() -> Frontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    for v in [
+        fixtures::view_sae(),
+        fixtures::view_elp(),
+        fixtures::view_est(),
+        fixtures::view_psa(),
+    ] {
+        fe.auth_store_mut().define_view(&v).expect("fixture views");
+    }
+    for (v, u) in [
+        ("SAE", "Brown"),
+        ("PSA", "Brown"),
+        ("EST", "Brown"),
+        ("ELP", "Klein"),
+        ("EST", "Klein"),
+    ] {
+        fe.auth_store_mut().permit(v, u).expect("fixture grants");
+    }
+    fe
+}
+
+const HELP: &str = "commands:
+  view NAME (R.A, ...) [where ...]      define a view (or-branches allowed)
+  permit VIEW to USER|group G           grant
+  revoke VIEW from USER|group G         revoke
+  as USER retrieve (R.A, ...) [where ...]   authorized retrieval
+  as USER insert into R values (...)        checked insert
+  as USER delete from R [where ...]         checked (reduced) delete
+  show REL | permissions | comparisons | storage   inspect state
+  save FILE | load FILE                 persist / restore
+  help | quit";
+
+fn main() {
+    let mut fe = paper_frontend();
+    println!("motro-authz repl — Figure 1 database preloaded. Type 'help'.");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        match dispatch(&mut fe, input) {
+            Ok(Some(output)) => println!("{output}"),
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
+    if input.eq_ignore_ascii_case("quit") || input.eq_ignore_ascii_case("exit") {
+        return Ok(None);
+    }
+    if input.eq_ignore_ascii_case("help") {
+        return Ok(Some(HELP.to_owned()));
+    }
+    if let Some(rest) = input.strip_prefix("show ") {
+        let what = rest.trim();
+        return if what.eq_ignore_ascii_case("permissions") {
+            Ok(Some(fe.auth_store().permission_table()))
+        } else if what.eq_ignore_ascii_case("comparisons") {
+            Ok(Some(fe.auth_store().comparison_table()))
+        } else if what.eq_ignore_ascii_case("storage") {
+            // The paper's literal storage model: every meta-relation as
+            // an ordinary relation.
+            let tables = motro_authz::core::encode_store(fe.auth_store())
+                .map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for (name, t) in tables {
+                out.push_str(&format!("{name}:\n{}\n", t.to_table()));
+            }
+            Ok(Some(out))
+        } else {
+            let actual = fe.database().relation(what).map_err(|e| e.to_string())?;
+            fe.auth_store()
+                .meta_table(what, Some(actual))
+                .map(Some)
+                .map_err(|e| e.to_string())
+        };
+    }
+    if let Some(rest) = input.strip_prefix("save ") {
+        let json = fe.to_json().map_err(|e| e.to_string())?;
+        std::fs::write(rest.trim(), json).map_err(|e| e.to_string())?;
+        return Ok(Some(format!("saved to {}", rest.trim())));
+    }
+    if let Some(rest) = input.strip_prefix("load ") {
+        let json = std::fs::read_to_string(rest.trim()).map_err(|e| e.to_string())?;
+        *fe = Frontend::from_json(&json).map_err(|e| e.to_string())?;
+        return Ok(Some(format!("loaded from {}", rest.trim())));
+    }
+    if let Some(rest) = input.strip_prefix("as ") {
+        let (user, stmt) = rest
+            .split_once(' ')
+            .ok_or_else(|| "usage: as USER retrieve (...)".to_owned())?;
+        let head = stmt.trim_start().to_ascii_lowercase();
+        if head.starts_with("insert") || head.starts_with("delete") {
+            return fe.execute_update(user, stmt).map(Some).map_err(|e| e.to_string());
+        }
+        let out = fe.query(user, stmt).map_err(|e| e.to_string())?;
+        return Ok(Some(out.render()));
+    }
+    fe.execute_admin(input).map(Some).map_err(|e| e.to_string())
+}

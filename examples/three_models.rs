@@ -1,0 +1,136 @@
+//! The paper's introduction, executable: the same permission intent and
+//! the same queries run under System R (Griffiths–Wade), INGRES
+//! (Stonebraker–Wong query modification), and Motro's view-algebra
+//! model, side by side.
+//!
+//! ```text
+//! cargo run --example three_models
+//! ```
+
+use motro_authz::baselines::{
+    IngresOutcome, IngresPermission, IngresStore, Privilege, SystemR,
+};
+use motro_authz::core::fixtures;
+use motro_authz::core::{AuthStore, AuthorizedEngine};
+use motro_authz::rel::{CompOp, Value};
+use motro_authz::views::{compile, AttrRef, ConjunctiveQuery};
+
+fn main() {
+    let db = fixtures::paper_database();
+
+    // The shared intent: alice may see employees earning under $30,000
+    // (all three attributes).
+    let view = ConjunctiveQuery::view("CHEAP")
+        .target("EMPLOYEE", "NAME")
+        .target("EMPLOYEE", "TITLE")
+        .target("EMPLOYEE", "SALARY")
+        .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Lt, 30_000)
+        .build();
+
+    // --- Motro ---
+    let mut motro = AuthStore::new(db.schema().clone());
+    motro.define_view(&view).unwrap();
+    motro.permit("CHEAP", "alice").unwrap();
+    let engine = AuthorizedEngine::new(&db, &motro);
+
+    // --- INGRES ---
+    let mut ingres = IngresStore::new();
+    ingres.permit(IngresPermission {
+        user: "alice".into(),
+        rel: "EMPLOYEE".into(),
+        attrs: ["NAME", "TITLE", "SALARY"].map(str::to_owned).into(),
+        qual: vec![("SALARY".into(), CompOp::Lt, Value::int(30_000))],
+    });
+
+    // --- System R ---
+    let mut sysr = SystemR::new();
+    for rel in db.schema().names() {
+        sysr.create_table("admin", rel).unwrap();
+    }
+    sysr.create_view("admin", "CHEAP", compile(&view, db.schema()).unwrap())
+        .unwrap();
+    sysr.grant("admin", "alice", "CHEAP", Privilege::Select, false)
+        .unwrap();
+
+    let queries = [
+        (
+            "within the permission, addressed at the base table",
+            ConjunctiveQuery::retrieve()
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "SALARY")
+                .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Lt, 25_000)
+                .build(),
+        ),
+        (
+            "one column beyond the permission (the Section 1 example)",
+            ConjunctiveQuery::retrieve()
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "TITLE")
+                .target("EMPLOYEE", "SALARY")
+                .build(),
+        ),
+        (
+            "row range partially overlapping the permission",
+            ConjunctiveQuery::retrieve()
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "SALARY")
+                .where_const(AttrRef::new("EMPLOYEE", "SALARY"), CompOp::Gt, 23_000)
+                .build(),
+        ),
+    ];
+
+    for (label, q) in queries {
+        println!("================================================================");
+        println!("query: {label}\n  {q}\n");
+
+        // System R.
+        let rels: Vec<String> = q.factors().into_iter().map(|f| f.0).collect();
+        let refs: Vec<&str> = rels.iter().map(String::as_str).collect();
+        println!(
+            "System R : {}",
+            if sysr.authorize_query("alice", &refs) {
+                "authorized (full answer)".to_owned()
+            } else {
+                "REJECTED - no SELECT on the base relations (the view is an \
+                 access window)"
+                    .to_owned()
+            }
+        );
+
+        // INGRES.
+        match ingres.modify("alice", &q) {
+            IngresOutcome::Modified(m) => {
+                let rows = compile(&m, db.schema())
+                    .unwrap()
+                    .execute(&db)
+                    .unwrap()
+                    .len();
+                println!("INGRES   : modified and delivered ({rows} rows)\n           -> {m}");
+            }
+            IngresOutcome::Rejected { rel, needed } => {
+                println!(
+                    "INGRES   : REJECTED - no permission on {rel} covers {needed:?} \
+                     (row/column asymmetry)"
+                );
+            }
+        }
+
+        // Motro.
+        let out = engine.retrieve("alice", &q).unwrap();
+        println!(
+            "Motro    : {} of {} rows delivered, {} cells visible{}",
+            out.masked.len(),
+            out.answer.len(),
+            out.masked.visible_cells(),
+            if out.full_access {
+                " (full access)".to_owned()
+            } else {
+                String::new()
+            }
+        );
+        for p in &out.permits {
+            println!("           -> {p}");
+        }
+        println!("{}", out.masked.to_table());
+    }
+}

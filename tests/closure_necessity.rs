@@ -1,0 +1,102 @@
+//! The theorem's closure pruning is *necessary* for soundness, not an
+//! optimization: without it, a meta-tuple that "contains references to
+//! other meta-tuples" survives into the mask and authorizes data the
+//! view does not cover. This test constructs the paper's exact hazard
+//! and shows (a) the default engine is sound, (b) disabling closure
+//! pruning makes the provenance oracle reject the outcome.
+
+mod common;
+
+use motro_authz::core::{AuthStore, AuthorizedEngine, RefinementConfig};
+use motro_authz::rel::{tuple, CompOp, Database, DbSchema, Domain};
+use motro_authz::views::{AttrRef, ConjunctiveQuery};
+
+/// EMP names that appear in the AUDITED list; the view reveals only
+/// audited employees' names.
+fn world() -> (Database, AuthStore) {
+    let mut scheme = DbSchema::new();
+    scheme
+        .add_relation("EMP", &[("NAME", Domain::Str), ("SALARY", Domain::Int)])
+        .unwrap();
+    scheme
+        .add_relation("AUDITED", &[("WHO", Domain::Str)])
+        .unwrap();
+    let mut db = Database::new(scheme.clone());
+    db.insert_all(
+        "EMP",
+        vec![tuple!["Ada", 10], tuple!["Bob", 20], tuple!["Cleo", 30]],
+    )
+    .unwrap();
+    db.insert_all("AUDITED", vec![tuple!["Ada"]]).unwrap();
+
+    let mut store = AuthStore::new(scheme);
+    store
+        .define_view(
+            &ConjunctiveQuery::view("AUD")
+                .target("EMP", "NAME")
+                .where_attr(
+                    AttrRef::new("EMP", "NAME"),
+                    CompOp::Eq,
+                    AttrRef::new("AUDITED", "WHO"),
+                )
+                .build(),
+        )
+        .unwrap();
+    store.permit("AUD", "u").unwrap();
+    (db, store)
+}
+
+/// The hazardous query: it references both relations (so the view is
+/// usable) but its meta-product contains padded rows in which the EMP
+/// meta-tuple's join variable dangles.
+fn query() -> ConjunctiveQuery {
+    ConjunctiveQuery::retrieve()
+        .target("EMP", "NAME")
+        .target("AUDITED", "WHO")
+        .build()
+}
+
+#[test]
+fn default_engine_is_sound_here() {
+    let (db, store) = world();
+    let out = AuthorizedEngine::new(&db, &store)
+        .retrieve("u", &query())
+        .unwrap();
+    let permitted = common::permitted_cells(&store, &db, "u");
+    common::assert_outcome_sound(&out, &db, &permitted);
+    // Only Ada's name is within AUD.
+    for row in &out.masked.rows {
+        assert_eq!(row[0], Some(motro_authz::rel::Value::str("Ada")));
+    }
+}
+
+#[test]
+fn disabling_closure_pruning_leaks() {
+    let (db, store) = world();
+    let engine = AuthorizedEngine::with_config(
+        &db,
+        &store,
+        RefinementConfig {
+            closure_pruning: false,
+            ..RefinementConfig::default()
+        },
+    );
+    let out = engine.retrieve("u", &query()).unwrap();
+    // The dangling-variable row binds freely at mask application and
+    // reveals unaudited names — exactly the leak the theorem's pruning
+    // prevents.
+    let leaked = out.masked.rows.iter().any(|r| {
+        matches!(&r[0], Some(v) if v.as_str() != Some("Ada"))
+    });
+    assert!(
+        leaked,
+        "expected the unsound configuration to leak (if this fails, the \
+         test construction no longer exercises the hazard)"
+    );
+    // And the provenance oracle rejects the outcome.
+    let permitted = common::permitted_cells(&store, &db, "u");
+    let result = std::panic::catch_unwind(|| {
+        common::assert_outcome_sound(&out, &db, &permitted);
+    });
+    assert!(result.is_err(), "oracle must reject the unsound outcome");
+}

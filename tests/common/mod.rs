@@ -1,0 +1,153 @@
+//! Shared test helpers: a provenance-tracking evaluator and the
+//! cell-level permission oracle used by the soundness suite.
+//!
+//! The oracle materializes, for every view granted to a user, the set of
+//! **base cells** `(relation, tuple, attribute)` the view exposes: a
+//! base tuple contributes a cell when it participates in a product row
+//! satisfying the view's selection and the attribute is among the
+//! view's projected attributes for that factor. The theorem guarantees
+//! every mask is a view of the permitted views, so every *delivered*
+//! answer cell must trace back (through at least one witness product
+//! row of the query) to a permitted base cell. This is a necessary
+//! condition — it does not check joint-visibility linkage — but it
+//! catches any leak of values outside the permitted region.
+
+use motro_core::{AccessOutcome, AuthStore};
+use motro_rel::{CanonicalPlan, Database, RelResult, Tuple, Value};
+use motro_views::{compile, ConjunctiveQuery};
+use std::collections::BTreeSet;
+
+/// A base-cell identity: (relation, whole base tuple, attribute index).
+pub type BaseCell = (String, Tuple, usize);
+
+/// Evaluate `plan`'s product with provenance: each satisfying product
+/// row is returned as the list of base tuples chosen per factor.
+pub fn witnesses(plan: &CanonicalPlan, db: &Database) -> RelResult<Vec<Vec<Tuple>>> {
+    let mut rows: Vec<(Vec<Tuple>, Vec<Value>)> = vec![(vec![], vec![])];
+    for rel in &plan.relations {
+        let r = db.relation(rel)?;
+        let mut next = Vec::with_capacity(rows.len() * r.len().max(1));
+        for (prov, vals) in &rows {
+            for t in r.rows() {
+                let mut p = prov.clone();
+                p.push(t.clone());
+                let mut v = vals.clone();
+                v.extend(t.values().iter().cloned());
+                next.push((p, v));
+            }
+        }
+        rows = next;
+    }
+    let mut out = Vec::new();
+    for (prov, vals) in rows {
+        let tup = Tuple::new(vals);
+        if plan.selection.eval(&tup)? {
+            out.push(prov);
+        }
+    }
+    Ok(out)
+}
+
+/// Map each projection column of `plan` to `(factor index, attribute
+/// index within the factor)`.
+pub fn projection_provenance(plan: &CanonicalPlan, db: &Database) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut off = 0usize;
+    for rel in &plan.relations {
+        let a = db.schema().schema_of(rel).expect("plan validated").arity();
+        bounds.push((off, a));
+        off += a;
+    }
+    plan.projection
+        .iter()
+        .map(|&col| {
+            let f = bounds
+                .iter()
+                .rposition(|&(start, _)| start <= col)
+                .expect("column within product");
+            (f, col - bounds[f].0)
+        })
+        .collect()
+}
+
+/// The base cells view `v` exposes to its grantee on database `db`.
+///
+/// A position is exposed when it is **starred** in the Section 3
+/// normalization — which includes positions whose equality class
+/// contains a projected variable (e.g. ELP's `ASSIGNMENT.E_NAME` is
+/// starred because it equals the projected `EMPLOYEE.NAME`), not just
+/// the target list itself.
+pub fn view_cells(v: &ConjunctiveQuery, db: &Database) -> BTreeSet<BaseCell> {
+    let plan = compile(v, db.schema()).expect("fixture views compile");
+    let nv = motro_views::normalize(v, db.schema()).expect("fixture views normalize");
+    let mut cells = BTreeSet::new();
+    for prov in witnesses(&plan, db).expect("fixture views evaluate") {
+        for (f, atom) in nv.atoms.iter().enumerate() {
+            for (a, starred) in atom.starred.iter().enumerate() {
+                if *starred {
+                    cells.insert((atom.rel.clone(), prov[f].clone(), a));
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// The union of base cells every view granted to `user` exposes.
+pub fn permitted_cells(
+    store: &AuthStore,
+    db: &Database,
+    user: &str,
+) -> BTreeSet<BaseCell> {
+    let mut cells = BTreeSet::new();
+    for vname in store.permitted_views(user) {
+        let entry = store.view(vname).expect("granted views exist");
+        for branch in &entry.branches {
+            cells.extend(view_cells(&branch.definition, db));
+        }
+    }
+    cells
+}
+
+/// Assert the soundness condition: every delivered cell of `outcome`
+/// traces to a permitted base cell through some witness row of the
+/// query.
+pub fn assert_outcome_sound(
+    outcome: &AccessOutcome,
+    db: &Database,
+    permitted: &BTreeSet<BaseCell>,
+) {
+    let plan = &outcome.trace.plan;
+    let proj = projection_provenance(plan, db);
+    let wits = witnesses(plan, db).expect("query evaluates");
+    for row in &outcome.masked.rows {
+        // Witness product rows projecting onto this delivered row.
+        let matching: Vec<&Vec<Tuple>> = wits
+            .iter()
+            .filter(|prov| {
+                proj.iter().zip(row).all(|(&(f, a), cell)| match cell {
+                    // Masked cells don't constrain the witness.
+                    None => true,
+                    Some(v) => prov[f].value(a) == v,
+                })
+            })
+            .collect();
+        assert!(
+            !matching.is_empty(),
+            "delivered row {row:?} has no witness in the query answer"
+        );
+        for (j, cell) in row.iter().enumerate() {
+            let Some(v) = cell else { continue };
+            let (f, a) = proj[j];
+            let ok = matching.iter().any(|prov| {
+                permitted.contains(&(plan.relations[f].clone(), prov[f].clone(), a))
+            });
+            assert!(
+                ok,
+                "delivered cell {v} (column {j}, relation {}, attribute {a}) \
+                 is outside every permitted view",
+                plan.relations[f]
+            );
+        }
+    }
+}

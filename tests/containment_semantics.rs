@@ -1,0 +1,139 @@
+//! Semantic validation of the containment checker: whenever
+//! `query_contained_in(Q, V)` says yes, `Q`'s answers must be a subset
+//! of `V`'s answers on randomized instances. (The reverse direction is
+//! not claimed — the checker is deliberately conservative.)
+
+use motro_authz::core::query_contained_in;
+use motro_authz::rel::{tuple, CompOp, Database, DbSchema, Domain};
+use motro_authz::views::{compile, AttrRef, CalcAtom, CalcTerm, ConjunctiveQuery};
+use proptest::prelude::*;
+
+fn scheme() -> DbSchema {
+    let mut s = DbSchema::new();
+    s.add_relation("R", &[("A", Domain::Int), ("B", Domain::Int)])
+        .unwrap();
+    s.add_relation("S", &[("C", Domain::Int), ("D", Domain::Int)])
+        .unwrap();
+    s
+}
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+        proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+    )
+        .prop_map(|(r, s)| {
+            let mut db = Database::new(scheme());
+            for (a, b) in r {
+                let _ = db.insert("R", tuple![a, b]);
+            }
+            for (c, d) in s {
+                let _ = db.insert("S", tuple![c, d]);
+            }
+            db
+        })
+}
+
+const OPS: [CompOp; 6] = [
+    CompOp::Eq,
+    CompOp::Ne,
+    CompOp::Lt,
+    CompOp::Le,
+    CompOp::Gt,
+    CompOp::Ge,
+];
+
+/// Random statements over R (and sometimes S), with the same fixed
+/// target list so containment's head requirement can hold.
+fn stmt_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (
+        any::<bool>(),
+        proptest::collection::vec((0usize..2, 0usize..6, 0i64..4), 0..3),
+        any::<bool>(),
+    )
+        .prop_map(|(join_s, atoms, join_eq)| {
+            let mut q = ConjunctiveQuery::retrieve()
+                .target("R", "A")
+                .target("R", "B")
+                .build();
+            for (col, op, v) in atoms {
+                q.atoms.push(CalcAtom {
+                    lhs: AttrRef::new("R", ["A", "B"][col]),
+                    op: OPS[op],
+                    rhs: CalcTerm::Const(motro_authz::rel::Value::int(v)),
+                });
+            }
+            if join_s {
+                q.atoms.push(CalcAtom {
+                    lhs: AttrRef::new("R", "A"),
+                    op: if join_eq { CompOp::Eq } else { CompOp::Le },
+                    rhs: CalcTerm::Attr(AttrRef::new("S", "C")),
+                });
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn positive_containment_is_semantically_sound(
+        db in db_strategy(),
+        q in stmt_strategy(),
+        v in stmt_strategy(),
+    ) {
+        let s = scheme();
+        if !query_contained_in(&q, &v, &s) {
+            return Ok(()); // nothing claimed
+        }
+        let qa = compile(&q, &s).unwrap().execute(&db).unwrap();
+        let va = compile(&v, &s).unwrap().execute(&db).unwrap();
+        for t in qa.rows() {
+            prop_assert!(
+                va.contains(t),
+                "containment claimed but {t} of {q} is not in {v}"
+            );
+        }
+    }
+
+    /// Reflexivity always holds on satisfiable statements.
+    #[test]
+    fn containment_is_reflexive(q in stmt_strategy()) {
+        let s = scheme();
+        // Unsatisfiable statements fail normalization and are reported
+        // not-contained (documented conservatism).
+        if motro_authz::views::normalize(&q, &s).is_ok() {
+            prop_assert!(query_contained_in(&q, &q, &s));
+        }
+    }
+}
+
+/// Cross-check with the engine: containment in a granted view implies
+/// the engine delivers everything, for the paper-shaped cases where the
+/// engine's inference is complete (selection attributes projected).
+#[test]
+fn containment_certified_queries_get_full_access() {
+    use motro_authz::core::{AuthStore, AuthorizedEngine};
+    let db = motro_authz::core::fixtures::paper_database();
+    let mut store = AuthStore::new(db.schema().clone());
+    let view = ConjunctiveQuery::view("V")
+        .target("PROJECT", "NUMBER")
+        .target("PROJECT", "BUDGET")
+        .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, 100_000)
+        .build();
+    store.define_view(&view).unwrap();
+    store.permit("V", "u").unwrap();
+    let engine = AuthorizedEngine::new(&db, &store);
+
+    for bound in [100_000i64, 200_000, 400_000] {
+        let q = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .target("PROJECT", "BUDGET")
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Ge, bound)
+            .build();
+        assert!(query_contained_in(&q, &view, db.schema()), "bound {bound}");
+        let out = engine.retrieve("u", &q).unwrap();
+        assert!(out.full_access, "bound {bound}: {:?}", out.mask.tuples);
+    }
+}

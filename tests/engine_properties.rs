@@ -1,0 +1,198 @@
+//! Property tests on the substrate: algebra laws, plan canonicalization,
+//! and the interval solver checked against brute-force semantics.
+
+use motro_authz::core::{Interval, ConstraintAtom, ConstraintSet};
+use motro_authz::rel::{
+    algebra, tuple, AlgebraExpr, CompOp, Database, DbSchema, Domain, Predicate, PredicateAtom,
+    Relation, RelSchema, Value,
+};
+use proptest::prelude::*;
+
+fn small_db() -> impl Strategy<Value = Database> {
+    let r_rows = proptest::collection::vec((0i64..4, 0i64..4), 0..5);
+    let s_rows = proptest::collection::vec(0i64..4, 0..4);
+    (r_rows, s_rows).prop_map(|(r, s)| {
+        let mut scheme = DbSchema::new();
+        scheme
+            .add_relation("R", &[("A", Domain::Int), ("B", Domain::Int)])
+            .unwrap();
+        scheme.add_relation("S", &[("C", Domain::Int)]).unwrap();
+        let mut db = Database::new(scheme);
+        for (a, b) in r {
+            let _ = db.insert("R", tuple![a, b]);
+        }
+        for c in s {
+            let _ = db.insert("S", tuple![c]);
+        }
+        db
+    })
+}
+
+const OPS: [CompOp; 6] = [
+    CompOp::Eq,
+    CompOp::Ne,
+    CompOp::Lt,
+    CompOp::Le,
+    CompOp::Gt,
+    CompOp::Ge,
+];
+
+/// Random algebra trees over R and S, tracking output arity so
+/// selections and projections stay well-formed.
+fn expr_strategy() -> impl Strategy<Value = AlgebraExpr> {
+    let leaf = prop_oneof![
+        Just((AlgebraExpr::base("R"), 2usize)),
+        Just((AlgebraExpr::base("S"), 1usize)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            // Product.
+            (inner.clone(), inner.clone()).prop_map(|((a, na), (b, nb))| {
+                (a.product(b), na + nb)
+            }),
+            // Selection with a well-formed atom.
+            (inner.clone(), 0usize..4, 0usize..6, 0i64..4, any::<bool>()).prop_map(
+                |((e, n), col, op, v, col_vs_col)| {
+                    let lhs = col % n;
+                    let atom = if col_vs_col {
+                        PredicateAtom::col_col(lhs, OPS[op], (col + 1) % n)
+                    } else {
+                        PredicateAtom::col_const(lhs, OPS[op], v)
+                    };
+                    (e.select(Predicate::atom(atom)), n)
+                }
+            ),
+            // Projection onto a non-empty prefix-ish subset.
+            (inner, proptest::collection::vec(0usize..4, 1..3)).prop_map(|((e, n), idx)| {
+                let keep: Vec<usize> = idx.into_iter().map(|i| i % n).collect();
+                let k = keep.len();
+                (e.project(keep), k)
+            }),
+        ]
+    })
+    .prop_map(|(e, _)| e)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonicalization (products → selection → projection) preserves
+    /// semantics for arbitrary trees.
+    #[test]
+    fn canonical_plan_equals_tree_eval(db in small_db(), e in expr_strategy()) {
+        let plan = e.canonicalize(db.schema()).unwrap();
+        let via_plan = plan.execute(&db).unwrap();
+        let via_tree = e.eval(&db).unwrap();
+        prop_assert!(via_plan.set_eq(&via_tree),
+            "expr {e}\nplan {plan}\nplan out {via_plan}\ntree out {via_tree}");
+    }
+
+    /// σ commutes with itself and distributes over ∧.
+    #[test]
+    fn selection_laws(db in small_db(), a in 0i64..4, b in 0i64..4) {
+        let r = db.relation("R").unwrap();
+        let p1 = Predicate::atom(PredicateAtom::col_const(0, CompOp::Ge, a));
+        let p2 = Predicate::atom(PredicateAtom::col_const(1, CompOp::Le, b));
+        let s12 = algebra::select(&algebra::select(r, &p1).unwrap(), &p2).unwrap();
+        let s21 = algebra::select(&algebra::select(r, &p2).unwrap(), &p1).unwrap();
+        let both = algebra::select(r, &p1.clone().and(p2.clone())).unwrap();
+        prop_assert!(s12.set_eq(&s21));
+        prop_assert!(s12.set_eq(&both));
+    }
+
+    /// π over a selection on projected columns commutes.
+    #[test]
+    fn projection_selection_commute(db in small_db(), v in 0i64..4) {
+        let r = db.relation("R").unwrap();
+        let p = Predicate::atom(PredicateAtom::col_const(0, CompOp::Eq, v));
+        let sel_then_proj = algebra::project(&algebra::select(r, &p).unwrap(), &[0]);
+        let proj = algebra::project(r, &[0]);
+        let proj_then_sel = algebra::select(&proj, &p).unwrap();
+        prop_assert!(sel_then_proj.set_eq(&proj_then_sel));
+    }
+
+    /// Product cardinality (set semantics: inputs are duplicate-free).
+    #[test]
+    fn product_cardinality(db in small_db()) {
+        let r = db.relation("R").unwrap();
+        let s = db.relation("S").unwrap();
+        let p = algebra::product(r, s);
+        prop_assert_eq!(p.len(), r.len() * s.len());
+    }
+
+    /// Interval construction agrees with direct comparator evaluation
+    /// over a dense integer sample.
+    #[test]
+    fn interval_matches_semantics(op in 0usize..6, c in -3i64..4) {
+        let op = OPS[op];
+        let iv = Interval::from_op(op, Value::int(c));
+        for x in -6i64..7 {
+            let direct = op.eval(&Value::int(x), &Value::int(c)).unwrap();
+            prop_assert_eq!(iv.contains(&Value::int(x)), direct,
+                "x={} {} {}", x, op, c);
+        }
+    }
+
+    /// Intersection = conjunction; implication = subset; the four-case
+    /// analysis is consistent with both — all checked against dense
+    /// samples.
+    #[test]
+    fn interval_algebra_matches_brute_force(
+        op1 in 0usize..6, c1 in -3i64..4,
+        op2 in 0usize..6, c2 in -3i64..4,
+    ) {
+        let (op1, op2) = (OPS[op1], OPS[op2]);
+        let a = Interval::from_op(op1, Value::int(c1));
+        let b = Interval::from_op(op2, Value::int(c2));
+        let inter = a.intersect(&b).unwrap();
+        let sample = -8i64..9;
+        for x in sample.clone() {
+            let v = Value::int(x);
+            prop_assert_eq!(inter.contains(&v), a.contains(&v) && b.contains(&v));
+        }
+        // implies on the sample: a ⊆ b (sampling suffices here because
+        // all endpoints lie within the sample range).
+        let subset = sample.clone().all(|x| {
+            !a.contains(&Value::int(x)) || b.contains(&Value::int(x))
+        });
+        prop_assert_eq!(a.implies(&b), Some(subset));
+        // Emptiness of the intersection.
+        let empty = sample.clone().all(|x| !inter.contains(&Value::int(x)));
+        prop_assert_eq!(inter.is_empty(), empty);
+    }
+
+    /// ConstraintSet::interval_of equals the intersection of its atoms.
+    #[test]
+    fn constraint_interval_of_is_conjunction(
+        atoms in proptest::collection::vec((0usize..6, -3i64..4), 0..4),
+    ) {
+        let set = ConstraintSet::new(
+            atoms
+                .iter()
+                .map(|&(op, c)| ConstraintAtom::var_const(1, OPS[op], c))
+                .collect(),
+        );
+        let iv = set.interval_of(1).unwrap();
+        for x in -8i64..9 {
+            let v = Value::int(x);
+            let direct = atoms
+                .iter()
+                .all(|&(op, c)| OPS[op].eval(&v, &Value::int(c)).unwrap());
+            prop_assert_eq!(iv.contains(&v), direct, "x={}", x);
+        }
+    }
+}
+
+/// Deterministic check that set semantics deduplicate through a
+/// projection chain.
+#[test]
+fn projection_chain_dedups() {
+    let schema = RelSchema::base("R", &[("A", Domain::Int), ("B", Domain::Int)]);
+    let r = Relation::from_rows(
+        schema,
+        vec![tuple![1, 1], tuple![1, 2], tuple![1, 3]],
+    )
+    .unwrap();
+    let out = algebra::project(&algebra::project(&r, &[0, 1]), &[0]);
+    assert_eq!(out.len(), 1);
+}

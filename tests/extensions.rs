@@ -1,0 +1,452 @@
+//! Tests for the Section 6 extensions: disjunctive (union) views,
+//! group permissions, extended masks, and the optimizing executor.
+
+mod common;
+
+use motro_authz::core::RefinementConfig;
+use motro_authz::rel::{execute_optimized, tuple, Value};
+use motro_authz::views::compile;
+use motro_authz::Frontend;
+
+fn clinic() -> Frontend {
+    use motro_authz::rel::{DbSchema, Domain};
+    let mut scheme = DbSchema::new();
+    scheme
+        .add_relation_with_key(
+            "PATIENT",
+            &[
+                ("PID", Domain::Str),
+                ("NAME", Domain::Str),
+                ("WARD", Domain::Str),
+                ("AGE", Domain::Int),
+            ],
+            Some(&["PID"]),
+        )
+        .unwrap();
+    scheme
+        .add_relation_with_key(
+            "TREATMENT",
+            &[
+                ("PID", Domain::Str),
+                ("DRUG", Domain::Str),
+                ("COST", Domain::Int),
+            ],
+            Some(&["PID", "DRUG"]),
+        )
+        .unwrap();
+    let mut fe = Frontend::new(scheme);
+    fe.database_mut()
+        .insert_all(
+            "PATIENT",
+            vec![
+                tuple!["p1", "Ada", "cardio", 64],
+                tuple!["p2", "Bob", "onco", 41],
+                tuple!["p3", "Cleo", "ortho", 58],
+            ],
+        )
+        .unwrap();
+    fe.database_mut()
+        .insert_all(
+            "TREATMENT",
+            vec![
+                tuple!["p1", "aspirin", 40],
+                tuple!["p2", "chemo", 4_000],
+                tuple!["p3", "brace", 700],
+            ],
+        )
+        .unwrap();
+    fe
+}
+
+// ---------------------------------------------------------------------
+// Disjunctive views
+// ---------------------------------------------------------------------
+
+#[test]
+fn union_view_covers_both_disjuncts() {
+    let mut fe = clinic();
+    fe.execute_admin(
+        "view TWOWARDS (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)
+           where PATIENT.WARD = cardio or PATIENT.WARD = onco",
+    )
+    .unwrap();
+    fe.execute_admin("permit TWOWARDS to nurse").unwrap();
+
+    let out = fe
+        .retrieve("nurse", "retrieve (PATIENT.NAME, PATIENT.WARD)")
+        .unwrap();
+    // Both disjuncts deliver; ortho stays masked.
+    assert_eq!(out.masked.len(), 2);
+    assert_eq!(out.masked.withheld, 1);
+    // Two permit statements, one per branch.
+    assert_eq!(out.permits.len(), 2);
+    let all: String = out.permits.iter().map(|p| p.to_string()).collect();
+    assert!(all.contains("WARD = cardio"), "{all}");
+    assert!(all.contains("WARD = onco"), "{all}");
+}
+
+#[test]
+fn union_view_branch_queries_reduce_independently() {
+    let mut fe = clinic();
+    fe.execute_admin(
+        "view MIXED (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)
+           where PATIENT.WARD = cardio or PATIENT.AGE >= 55",
+    )
+    .unwrap();
+    fe.execute_admin("permit MIXED to nurse").unwrap();
+    // A query inside the second branch only.
+    let out = fe
+        .retrieve(
+            "nurse",
+            "retrieve (PATIENT.NAME, PATIENT.AGE) where PATIENT.AGE >= 60",
+        )
+        .unwrap();
+    // Ada (64, also cardio) delivered via the age branch (λ ⊨ µ).
+    assert!(out.full_access, "{:?}", out.mask.tuples);
+}
+
+#[test]
+fn union_view_duplicate_name_rejected_and_drop_removes_all_branches() {
+    let mut fe = clinic();
+    fe.execute_admin(
+        "view U (PATIENT.PID, PATIENT.WARD)
+           where PATIENT.WARD = cardio or PATIENT.WARD = onco",
+    )
+    .unwrap();
+    assert!(fe
+        .execute_admin("view U (PATIENT.PID, PATIENT.WARD)")
+        .is_err());
+    let before = fe.auth_store().total_meta_tuples();
+    assert_eq!(before, 2, "one meta-tuple per branch");
+    fe.auth_store_mut().drop_view("U").unwrap();
+    assert_eq!(fe.auth_store().total_meta_tuples(), 0);
+}
+
+#[test]
+fn union_view_soundness_oracle() {
+    let mut fe = clinic();
+    fe.execute_admin(
+        "view U (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)
+           where PATIENT.WARD = cardio or PATIENT.AGE < 50",
+    )
+    .unwrap();
+    fe.execute_admin("permit U to nurse").unwrap();
+    let out = fe
+        .retrieve("nurse", "retrieve (PATIENT.NAME, PATIENT.AGE)")
+        .unwrap();
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "nurse");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+    // Only the AGE branch is expressible over (NAME, AGE): Bob (41).
+    // Ada is within the cardio branch, but its WARD condition cannot be
+    // stated over the requested attributes — the paper's limitation.
+    assert_eq!(out.masked.len(), 1);
+    assert_eq!(out.masked.rows[0][0], Some(Value::str("Bob")));
+
+    // The §6 extension recovers Ada through the auxiliary WARD column.
+    fe.set_config(RefinementConfig {
+        extended_masks: true,
+        ..RefinementConfig::default()
+    });
+    let out = fe
+        .retrieve("nurse", "retrieve (PATIENT.NAME, PATIENT.AGE)")
+        .unwrap();
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+    assert_eq!(out.masked.len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Group permissions
+// ---------------------------------------------------------------------
+
+#[test]
+fn group_grants_flow_to_members() {
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view ALLP (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE);
+         permit ALLP to group STAFF",
+    )
+    .unwrap();
+    // Not yet a member: nothing.
+    let out = fe.retrieve("ada", "retrieve (PATIENT.NAME)").unwrap();
+    assert!(out.masked.is_empty());
+
+    fe.add_member("STAFF", "ada");
+    let out = fe.retrieve("ada", "retrieve (PATIENT.NAME)").unwrap();
+    assert!(out.full_access);
+
+    // Leaving the group removes the inherited grant.
+    assert!(fe.auth_store_mut().remove_member("STAFF", "ada"));
+    let out = fe.retrieve("ada", "retrieve (PATIENT.NAME)").unwrap();
+    assert!(out.masked.is_empty());
+}
+
+#[test]
+fn group_revoke_and_direct_grants_coexist() {
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view ALLP (PATIENT.PID, PATIENT.NAME);
+         view WARDS (PATIENT.PID, PATIENT.WARD);
+         permit ALLP to group STAFF;
+         permit WARDS to ada",
+    )
+    .unwrap();
+    fe.add_member("STAFF", "ada");
+    assert_eq!(
+        fe.auth_store().permitted_views("ada"),
+        vec!["ALLP", "WARDS"]
+    );
+    fe.execute_admin("revoke ALLP from group STAFF").unwrap();
+    assert_eq!(fe.auth_store().permitted_views("ada"), vec!["WARDS"]);
+    // Revoking a non-existent group grant errors.
+    assert!(fe.execute_admin("revoke ALLP from group STAFF").is_err());
+    // The permission table shows group rows with a prefix.
+    fe.execute_admin("permit ALLP to group STAFF").unwrap();
+    assert!(fe.auth_store().permission_table().contains("group:STAFF"));
+    assert_eq!(fe.auth_store().groups_of("ada"), vec!["STAFF"]);
+}
+
+// ---------------------------------------------------------------------
+// Extended masks (§6 item 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn extended_masks_recover_unrequested_condition_columns() {
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view CHEAP (TREATMENT.PID, TREATMENT.DRUG, TREATMENT.COST)
+           where TREATMENT.COST <= 1000;
+         permit CHEAP to auditor",
+    )
+    .unwrap();
+
+    // Paper-faithful behavior: the COST condition cannot be expressed
+    // over (PID, DRUG) → nothing delivered.
+    let q = "retrieve (TREATMENT.PID, TREATMENT.DRUG)";
+    let out = fe.retrieve("auditor", q).unwrap();
+    assert!(out.masked.is_empty());
+
+    // With the extension: the mask rides on COST internally; the two
+    // affordable treatments are delivered without exposing COST.
+    fe.set_config(RefinementConfig {
+        extended_masks: true,
+        ..RefinementConfig::default()
+    });
+    let out = fe.retrieve("auditor", q).unwrap();
+    assert_eq!(out.masked.len(), 2, "{:?}", out.mask.tuples);
+    assert_eq!(out.masked.withheld, 1);
+    assert_eq!(out.masked.schema.arity(), 2, "delivered shape is the request");
+    for row in &out.masked.rows {
+        assert!(row.iter().all(Option::is_some));
+        assert_ne!(row[1], Some(Value::str("chemo")));
+    }
+    // The inferred permit names the additional attribute, which is what
+    // the paper's conclusion asks for.
+    let stmts: String = out.permits.iter().map(|p| p.to_string()).collect();
+    assert!(stmts.contains("COST"), "{stmts}");
+}
+
+#[test]
+fn extended_masks_change_nothing_when_masks_are_expressible() {
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view W (PATIENT.PID, PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)
+           where PATIENT.WARD = cardio;
+         permit W to nurse",
+    )
+    .unwrap();
+    let q = "retrieve (PATIENT.NAME, PATIENT.WARD)";
+    let base = fe.retrieve("nurse", q).unwrap();
+    fe.set_config(RefinementConfig {
+        extended_masks: true,
+        ..RefinementConfig::default()
+    });
+    let ext = fe.retrieve("nurse", q).unwrap();
+    assert_eq!(base.masked.rows, ext.masked.rows);
+    assert_eq!(base.masked.withheld, ext.masked.withheld);
+}
+
+#[test]
+fn extended_masks_remain_sound() {
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view CHEAP (TREATMENT.PID, TREATMENT.DRUG, TREATMENT.COST)
+           where TREATMENT.COST <= 1000;
+         permit CHEAP to auditor",
+    )
+    .unwrap();
+    fe.set_config(RefinementConfig {
+        extended_masks: true,
+        ..RefinementConfig::default()
+    });
+    let out = fe
+        .retrieve("auditor", "retrieve (TREATMENT.PID, TREATMENT.DRUG)")
+        .unwrap();
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "auditor");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+}
+
+// ---------------------------------------------------------------------
+// Optimizing executor
+// ---------------------------------------------------------------------
+
+#[test]
+fn optimizer_agrees_on_authorization_workload() {
+    use motro_authz::views::{AttrRef, ConjunctiveQuery};
+    use motro_authz::rel::CompOp;
+    let fe = clinic();
+    let db = fe.database();
+    let queries = [
+        ConjunctiveQuery::retrieve()
+            .target("PATIENT", "NAME")
+            .target("TREATMENT", "DRUG")
+            .where_attr(
+                AttrRef::new("PATIENT", "PID"),
+                CompOp::Eq,
+                AttrRef::new("TREATMENT", "PID"),
+            )
+            .where_const(AttrRef::new("TREATMENT", "COST"), CompOp::Le, 1_000)
+            .build(),
+        ConjunctiveQuery::retrieve()
+            .target_occ("PATIENT", 1, "NAME")
+            .target_occ("PATIENT", 2, "NAME")
+            .where_attr(
+                AttrRef::occ("PATIENT", 1, "WARD"),
+                CompOp::Ne,
+                AttrRef::occ("PATIENT", 2, "WARD"),
+            )
+            .build(),
+    ];
+    for q in queries {
+        let plan = compile(&q, db.schema()).unwrap();
+        let naive = plan.execute(db).unwrap();
+        let opt = execute_optimized(&plan, db).unwrap();
+        assert!(naive.set_eq(&opt), "{q}");
+    }
+}
+
+/// Property: the optimizer agrees with the naive executor on random
+/// generated workloads.
+#[test]
+fn optimizer_agrees_on_generated_worlds() {
+    use motro_bench_shim::*;
+    // (Defined below — keeps the test self-contained without a dev
+    // dependency cycle on motro-bench.)
+    for seed in 0..8u64 {
+        let (db, queries) = shim_world(seed);
+        for q in queries {
+            let plan = compile(&q, db.schema()).unwrap();
+            let naive = plan.execute(&db).unwrap();
+            let opt = execute_optimized(&plan, &db).unwrap();
+            assert!(naive.set_eq(&opt), "seed {seed}: {q}");
+        }
+    }
+}
+
+/// Minimal world generator for the optimizer test (the full generator
+/// lives in motro-bench, which depends on this crate's dependencies but
+/// is not a dev-dependency here).
+mod motro_bench_shim {
+    use motro_authz::rel::{tuple, CompOp, Database, DbSchema, Domain};
+    use motro_authz::views::{AttrRef, ConjunctiveQuery};
+
+    pub fn shim_world(seed: u64) -> (Database, Vec<ConjunctiveQuery>) {
+        let mut scheme = DbSchema::new();
+        scheme
+            .add_relation("A", &[("K", Domain::Int), ("X", Domain::Int)])
+            .unwrap();
+        scheme
+            .add_relation("B", &[("K", Domain::Int), ("Y", Domain::Int)])
+            .unwrap();
+        let mut db = Database::new(scheme);
+        // Simple LCG so the worlds vary with the seed without pulling in
+        // rand here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 5) as i64
+        };
+        for _ in 0..6 {
+            let _ = db.insert("A", tuple![next(), next()]);
+            let _ = db.insert("B", tuple![next(), next()]);
+        }
+        let bound = next();
+        let queries = vec![
+            ConjunctiveQuery::retrieve()
+                .target("A", "X")
+                .target("B", "Y")
+                .where_attr(AttrRef::new("A", "K"), CompOp::Eq, AttrRef::new("B", "K"))
+                .where_const(AttrRef::new("A", "X"), CompOp::Ge, bound)
+                .build(),
+            ConjunctiveQuery::retrieve()
+                .target("A", "K")
+                .target("B", "K")
+                .where_attr(AttrRef::new("A", "K"), CompOp::Lt, AttrRef::new("B", "K"))
+                .build(),
+        ];
+        (db, queries)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregate views (§6: "views with aggregate functions")
+// ---------------------------------------------------------------------
+
+#[test]
+fn aggregate_view_through_frontend() {
+    use motro_authz::RetrieveOutcome;
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view WARDCOST (TREATMENT.PID, avg(TREATMENT.COST));
+         permit WARDCOST to planner",
+    )
+    .unwrap();
+    // Hmm — group by PID gives one group per patient; use a scalar
+    // instead for the demo:
+    fe.execute_admin_program(
+        "view TOTALCOST (sum(TREATMENT.COST), count(TREATMENT.PID));
+         permit TOTALCOST to board",
+    )
+    .unwrap();
+    let out = fe
+        .query("board", "retrieve (sum(TREATMENT.COST), count(TREATMENT.PID))")
+        .unwrap();
+    let RetrieveOutcome::Aggregate(a) = out else {
+        panic!("expected aggregate outcome");
+    };
+    assert!(a.result.contains(&tuple![4_740, 3]));
+    assert!(a.render().contains("TOTALCOST"), "{}", a.render());
+    // The board has no row access whatsoever.
+    let rows = fe
+        .retrieve("board", "retrieve (TREATMENT.PID, TREATMENT.COST)")
+        .unwrap();
+    assert!(rows.masked.is_empty());
+}
+
+#[test]
+fn derived_aggregates_follow_row_masks() {
+    use motro_authz::core::AggAccessMode;
+    use motro_authz::RetrieveOutcome;
+    let mut fe = clinic();
+    fe.execute_admin_program(
+        "view CHEAP (TREATMENT.PID, TREATMENT.DRUG, TREATMENT.COST)
+           where TREATMENT.COST <= 1000;
+         permit CHEAP to auditor",
+    )
+    .unwrap();
+    let out = fe
+        .query("auditor", "retrieve (count(TREATMENT.DRUG))")
+        .unwrap();
+    let RetrieveOutcome::Aggregate(a) = out else {
+        panic!("expected aggregate outcome");
+    };
+    // Only the two affordable treatments are visible to the auditor.
+    assert!(a.result.contains(&tuple![2]));
+    assert_eq!(
+        a.mode,
+        AggAccessMode::Derived {
+            complete: false,
+            rows_used: 2,
+            rows_excluded: 1
+        }
+    );
+}

@@ -1,0 +1,91 @@
+//! Robustness: the statement pipeline never panics on arbitrary input —
+//! it parses, errors, or (for well-formed statements over a wrong
+//! scheme) fails compilation gracefully.
+
+use motro_authz::core::fixtures;
+use motro_authz::lang::{parse_program, parse_statement};
+use motro_authz::Frontend;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (valid UTF-8) never panic the lexer/parser.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_statement(&input);
+        let _ = parse_program(&input);
+    }
+
+    /// Statement-shaped garbage never panics either.
+    #[test]
+    fn statementish_garbage_never_panics(
+        kw in prop_oneof![
+            Just("view"), Just("retrieve"), Just("permit"), Just("revoke")
+        ],
+        middle in "[A-Za-z0-9 .,:()<>=!'*-]{0,60}",
+    ) {
+        let input = format!("{kw} {middle}");
+        let _ = parse_statement(&input);
+    }
+
+    /// The whole front-end path is panic-free: parse errors, unknown
+    /// relations/attributes, domain mismatches, and unknown views all
+    /// surface as `Err`.
+    #[test]
+    fn frontend_never_panics(
+        admin in "[a-zA-Z0-9 .,:()<>=!'*-]{0,80}",
+        query in "[a-zA-Z0-9 .,:()<>=!'*-]{0,80}",
+    ) {
+        let mut fe = Frontend::with_database(fixtures::paper_database());
+        let _ = fe.execute_admin(&admin);
+        let _ = fe.query("someone", &query);
+    }
+}
+
+/// A curated set of hostile statements, each exercising a specific
+/// failure path, all of which must error cleanly.
+#[test]
+fn hostile_statements_error_cleanly() {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    let cases = [
+        "view V ()",                                      // empty targets
+        "view V (NOPE.X)",                                // unknown relation
+        "view V (EMPLOYEE.WAGE)",                         // unknown attribute
+        "view V (EMPLOYEE.NAME) where EMPLOYEE.SALARY = five", // domain clash
+        "view V (EMPLOYEE:9.NAME)",                       // sparse occurrence
+        "view V (EMPLOYEE.NAME) where EMPLOYEE.NAME = a and EMPLOYEE.NAME = b",
+        "permit GHOST to anyone",                         // unknown view
+        "revoke GHOST from anyone",
+        "view V (count(EMPLOYEE.NAME, EMPLOYEE.TITLE))",  // bad agg arity
+        "retrieve (EMPLOYEE.NAME) where 3 = EMPLOYEE.SALARY", // const lhs
+        "view 'X' (EMPLOYEE.NAME)",                       // string as name
+        "view V (EMPLOYEE.NAME) where",                   // dangling where
+    ];
+    for c in cases {
+        assert!(fe.execute_admin(c).is_err(), "should reject: {c}");
+    }
+    // A valid definition still works afterwards (no poisoned state).
+    fe.execute_admin("view OK (EMPLOYEE.NAME)").unwrap();
+    fe.execute_admin("permit OK to u").unwrap();
+    assert!(fe.retrieve("u", "retrieve (EMPLOYEE.NAME)").unwrap().full_access);
+}
+
+/// Queries with errors leave retrievals unaffected too.
+#[test]
+fn hostile_queries_error_cleanly() {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program("view OK (EMPLOYEE.NAME); permit OK to u")
+        .unwrap();
+    for q in [
+        "retrieve ()",
+        "retrieve (EMPLOYEE.NAME) extra",
+        "retrieve (EMPLOYEE.NAME) where EMPLOYEE.SALARY = abc",
+        "retrieve (avg(EMPLOYEE.NAME))", // avg over a string column
+        "permit OK to u",                // not a retrieve
+        "",
+    ] {
+        assert!(fe.query("u", q).is_err(), "should reject: {q}");
+    }
+    assert!(fe.retrieve("u", "retrieve (EMPLOYEE.NAME)").unwrap().full_access);
+}

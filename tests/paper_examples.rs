@@ -1,0 +1,262 @@
+//! End-to-end reproduction of the paper's Figure 1 and the three worked
+//! examples of Section 5, driven through the Section 6 front-end with
+//! the paper's own statement syntax.
+
+mod common;
+
+use motro_authz::core::fixtures;
+use motro_authz::rel::Value;
+use motro_authz::Frontend;
+
+/// Build the Figure 1 world through statements alone (the paper's
+/// promised administration path).
+fn paper_frontend() -> Frontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view SAE (EMPLOYEE.NAME, EMPLOYEE.SALARY);
+
+         view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE, PROJECT.NUMBER, PROJECT.BUDGET)
+           where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+             and PROJECT.NUMBER = ASSIGNMENT.P_NO
+             and PROJECT.BUDGET >= 250,000;
+
+         view EST (EMPLOYEE:1.NAME, EMPLOYEE:2.NAME, EMPLOYEE:1.TITLE)
+           where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE;
+
+         view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+
+         permit SAE to Brown;
+         permit PSA to Brown;
+         permit EST to Brown;
+         permit ELP to Klein;
+         permit EST to Klein",
+    )
+    .expect("figure 1 statements are well-formed");
+    fe
+}
+
+/// FIG1: the stored representation matches the paper's tables.
+#[test]
+fn fig1_meta_relations_match_paper() {
+    let fe = paper_frontend();
+    let store = fe.auth_store();
+
+    let emp = store
+        .meta_table("EMPLOYEE", Some(fe.database().relation("EMPLOYEE").unwrap()))
+        .unwrap();
+    // Actual rows and meta rows share one table, like the paper's
+    // display.
+    assert!(emp.contains("Jones"), "{emp}");
+    assert!(emp.contains("SAE"), "{emp}");
+    assert!(emp.contains("x1*"), "{emp}");
+    assert!(emp.contains("x4*"), "{emp}");
+
+    let proj = store.meta_table("PROJECT", None).unwrap();
+    assert!(proj.contains("Acme*"), "{proj}");
+    assert!(proj.contains("x2*"), "{proj}");
+    assert!(proj.contains("x3*"), "{proj}");
+
+    let asg = store.meta_table("ASSIGNMENT", None).unwrap();
+    assert!(asg.contains("x1*"), "{asg}");
+    assert!(asg.contains("x2*"), "{asg}");
+
+    // COMPARISON: (ELP, x3, >=, 250000).
+    let cmp = store.comparison_table();
+    assert!(cmp.contains("ELP"), "{cmp}");
+    assert!(cmp.contains("x3"), "{cmp}");
+    assert!(cmp.contains(">="), "{cmp}");
+    assert!(cmp.contains("250000"), "{cmp}");
+
+    // PERMISSION: the five grants.
+    let perm = store.permission_table();
+    for line in [
+        ("Brown", "SAE"),
+        ("Brown", "PSA"),
+        ("Brown", "EST"),
+        ("Klein", "ELP"),
+        ("Klein", "EST"),
+    ] {
+        assert!(perm.contains(line.0) && perm.contains(line.1), "{perm}");
+    }
+}
+
+/// EX1: Brown retrieves numbers and sponsors of large projects.
+#[test]
+fn example_1_through_frontend() {
+    let fe = paper_frontend();
+    let out = fe
+        .retrieve(
+            "Brown",
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)
+             where PROJECT.BUDGET >= 250,000",
+        )
+        .unwrap();
+
+    // The raw answer holds two projects; only the Acme one is delivered.
+    assert_eq!(out.answer.len(), 2);
+    assert_eq!(out.masked.len(), 1);
+    assert_eq!(out.masked.withheld, 1);
+    assert_eq!(out.masked.rows[0][0], Some(Value::str("bq-45")));
+    assert_eq!(out.masked.rows[0][1], Some(Value::str("Acme")));
+
+    // The paper's inferred statement, verbatim.
+    assert_eq!(out.permits.len(), 1);
+    assert_eq!(
+        out.permits[0].to_string(),
+        "permit (NUMBER, SPONSOR) where SPONSOR = Acme"
+    );
+
+    // Pruning kept exactly PSA in PROJECT' (the paper's first table).
+    assert_eq!(out.trace.candidates.len(), 1);
+    let (rel, cands) = &out.trace.candidates[0];
+    assert_eq!(rel, "PROJECT");
+    assert_eq!(cands.len(), 1);
+    assert_eq!(cands[0].render_provenance(), "PSA");
+
+    // Soundness oracle.
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "Brown");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+}
+
+/// EX2: Klein retrieves names and salaries of engineers on very large
+/// projects; only names are delivered.
+#[test]
+fn example_2_through_frontend() {
+    let fe = paper_frontend();
+    let out = fe
+        .retrieve(
+            "Klein",
+            "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+             where EMPLOYEE.TITLE = engineer
+               and EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+               and ASSIGNMENT.P_NO = PROJECT.NUMBER
+               and PROJECT.BUDGET > 300,000",
+        )
+        .unwrap();
+
+    // Raw answer: Brown the engineer (sv-72, 450k).
+    assert_eq!(out.answer.len(), 1);
+    // Mask (*, ⊔): the name is visible, the salary masked.
+    assert_eq!(out.masked.len(), 1);
+    assert_eq!(out.masked.rows[0][0], Some(Value::str("Brown")));
+    assert_eq!(out.masked.rows[0][1], None);
+    assert_eq!(out.permits.len(), 1);
+    assert_eq!(out.permits[0].to_string(), "permit (NAME)");
+    assert!(!out.full_access);
+
+    // The paper prunes EMPLOYEE' to ELP + EST(×2), PROJECT' and
+    // ASSIGNMENT' to ELP.
+    let emp_cands = &out.trace.candidates[0].1;
+    assert!(emp_cands
+        .iter()
+        .any(|t| t.render_provenance() == "ELP"));
+    assert!(emp_cands
+        .iter()
+        .any(|t| t.render_provenance() == "EST"));
+
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "Klein");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+
+    // The joint-visibility guarantee the cell oracle cannot see: no
+    // salary value ever reaches Klein.
+    for row in &out.masked.rows {
+        assert_eq!(row[1], None);
+    }
+}
+
+/// EX3: Brown retrieves names and salaries of employees with the same
+/// title; the self-join refinement grants the entire answer.
+#[test]
+fn example_3_through_frontend() {
+    let fe = paper_frontend();
+    let out = fe
+        .retrieve(
+            "Brown",
+            "retrieve (EMPLOYEE:1.NAME, EMPLOYEE:1.SALARY,
+                       EMPLOYEE:2.NAME, EMPLOYEE:2.SALARY)
+             where EMPLOYEE:1.TITLE = EMPLOYEE:2.TITLE",
+        )
+        .unwrap();
+
+    // All titles are distinct in Figure 1, so the answer is the three
+    // self-pairs; every cell is delivered.
+    assert_eq!(out.answer.len(), 3);
+    assert!(out.full_access);
+    assert!(out.permits.is_empty(), "no permit statements on full access");
+    assert_eq!(out.masked.len(), 3);
+    assert_eq!(out.masked.withheld, 0);
+    assert_eq!(out.masked.visible_cells(), 12);
+
+    // The candidates include the (EST, SAE) self-join combination the
+    // paper builds.
+    let emp_cands = &out.trace.candidates[0].1;
+    assert!(emp_cands
+        .iter()
+        .any(|t| t.render_provenance() == "EST, SAE"));
+
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "Brown");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+}
+
+/// The Section 3 narrative: Klein's query for employees on projects over
+/// $500,000 is a view of ELP and is authorized in full; asking for
+/// salaries too reduces the grant to names.
+#[test]
+fn section_3_subview_narrative() {
+    let fe = paper_frontend();
+    let full = fe
+        .retrieve(
+            "Klein",
+            "retrieve (EMPLOYEE.NAME)
+             where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+               and ASSIGNMENT.P_NO = PROJECT.NUMBER
+               and PROJECT.BUDGET > 500,000",
+        )
+        .unwrap();
+    assert!(full.full_access);
+
+    let partial = fe
+        .retrieve(
+            "Klein",
+            "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)
+             where EMPLOYEE.NAME = ASSIGNMENT.E_NAME
+               and ASSIGNMENT.P_NO = PROJECT.NUMBER
+               and PROJECT.BUDGET > 500,000",
+        )
+        .unwrap();
+    assert!(!partial.full_access);
+    assert_eq!(partial.permits.len(), 1);
+    assert_eq!(partial.permits[0].to_string(), "permit (NAME)");
+}
+
+/// The rendered outcome is the paper's user experience: a masked table
+/// plus permit statements.
+#[test]
+fn outcome_rendering() {
+    let fe = paper_frontend();
+    let out = fe
+        .retrieve(
+            "Brown",
+            "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)
+             where PROJECT.BUDGET >= 250,000",
+        )
+        .unwrap();
+    let rendered = out.render();
+    assert!(rendered.contains("bq-45"), "{rendered}");
+    assert!(rendered.contains("permit (NUMBER, SPONSOR) where SPONSOR = Acme"));
+
+    let full = fe
+        .retrieve("Brown", "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)")
+        .unwrap();
+    assert!(full.render().contains("full access"), "{}", full.render());
+
+    let nothing = fe
+        .retrieve("Klein", "retrieve (PROJECT.SPONSOR)")
+        .unwrap();
+    assert!(
+        nothing.render().contains("no portion"),
+        "{}",
+        nothing.render()
+    );
+}

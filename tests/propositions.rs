@@ -1,0 +1,266 @@
+//! Semantic validation of the paper's Propositions 1–3: the extended
+//! operators commute with subview evaluation.
+//!
+//! A meta-tuple `r` over relation `R` defines the subview
+//! `π_α σ_µ(R)`. Its evaluation here is via mask application: a tuple is
+//! *covered* when `r`'s constants/variables/constraints admit it, and
+//! the starred positions are the projection α. The propositions then
+//! say, in coverage terms:
+//!
+//! * **P1 (product):** `r ⧺ s` covers `t ⧺ u` iff `r` covers `t` and
+//!   `s` covers `u` (for variable-disjoint `r`, `s`).
+//! * **P2 (selection):** when `σ_λ` *selects* the meta-tuple (possibly
+//!   modifying it to `q`), then on every data tuple satisfying λ, `q`
+//!   covers exactly what `r` covers, with the same starred positions.
+//! * **P3 (projection):** when `π_keep` retains the meta-tuple as `q`,
+//!   the projections of the tuples `r` covers are exactly the tuples
+//!   `q` covers.
+//!
+//! All three are checked on randomized meta-tuples, predicates, and
+//! data, in both the four-case and the basic selection modes.
+
+use motro_authz::core::constraint::{ConstraintAtom, ConstraintSet};
+use motro_authz::core::meta_algebra::{meta_project, meta_select, SelectMode};
+use motro_authz::core::{Mask, MetaCell, MetaTuple};
+use motro_authz::rel::{
+    tuple, CompOp, Domain, PredicateAtom, RelSchema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn schema3() -> RelSchema {
+    RelSchema::base(
+        "R",
+        &[("A", Domain::Str), ("B", Domain::Int), ("C", Domain::Int)],
+    )
+}
+
+fn schema2() -> RelSchema {
+    RelSchema::base("S", &[("D", Domain::Str), ("E", Domain::Int)])
+}
+
+const STRS: [&str; 3] = ["p", "q", "r"];
+
+/// Does the single-meta-tuple mask cover `t`, and if so with which
+/// stars? (`None` = not covered.)
+fn covers(mt: &MetaTuple, schema: &RelSchema, t: &Tuple) -> Option<Vec<bool>> {
+    let mask = Mask::new(schema.clone(), vec![mt.clone()]);
+    // Minimization never drops a sole tuple.
+    let vis = mask.coverage(t);
+    if vis.iter().any(|&v| v) {
+        Some(vis)
+    } else {
+        // Distinguish "covered but nothing starred" from "not covered":
+        // give every position a star and re-check.
+        let mut all_starred = mt.clone();
+        for c in &mut all_starred.cells {
+            c.starred = true;
+        }
+        let mask = Mask::new(schema.clone(), vec![all_starred]);
+        if mask.coverage(t).iter().any(|&v| v) {
+            Some(vis)
+        } else {
+            None
+        }
+    }
+}
+
+/// Random meta-cell over a column: blank / const / var, with var ids
+/// drawn from a small per-tuple pool so sharing happens.
+fn cell_strategy(dom: Domain, var_base: u32) -> impl Strategy<Value = MetaCell> {
+    let const_val = match dom {
+        Domain::Str => (0..STRS.len()).prop_map(|i| Value::str(STRS[i])).boxed(),
+        Domain::Int => (0i64..4).prop_map(Value::int).boxed(),
+    };
+    (0..3u8, const_val, 0..2u32, any::<bool>()).prop_map(move |(kind, cv, v, starred)| {
+        match kind {
+            0 => MetaCell {
+                content: motro_authz::core::CellContent::Blank,
+                starred,
+            },
+            1 => MetaCell {
+                content: motro_authz::core::CellContent::Const(cv),
+                starred,
+            },
+            _ => MetaCell::var(var_base + v, starred),
+        }
+    })
+}
+
+/// A random meta-tuple over `schema3` with optional interval atoms on
+/// its integer-column variables.
+fn meta3_strategy(var_base: u32) -> impl Strategy<Value = MetaTuple> {
+    (
+        cell_strategy(Domain::Str, var_base),
+        cell_strategy(Domain::Int, var_base + 2),
+        cell_strategy(Domain::Int, var_base + 4),
+        proptest::collection::vec((0..6usize, 0i64..4), 0..2),
+    )
+        .prop_map(move |(a, b, c, atoms)| {
+            let cells = vec![a, b, c];
+            // Attach atoms only to int-column variables actually present.
+            let int_vars: Vec<u32> = cells[1..]
+                .iter()
+                .filter_map(MetaCell::as_var)
+                .collect();
+            let catoms: Vec<ConstraintAtom> = atoms
+                .into_iter()
+                .filter_map(|(op, v)| {
+                    int_vars.first().map(|&x| {
+                        ConstraintAtom::var_const(
+                            x,
+                            [
+                                CompOp::Eq,
+                                CompOp::Ne,
+                                CompOp::Lt,
+                                CompOp::Le,
+                                CompOp::Gt,
+                                CompOp::Ge,
+                            ][op],
+                            v,
+                        )
+                    })
+                })
+                .collect();
+            MetaTuple::new("V", var_base, cells, ConstraintSet::new(catoms))
+        })
+}
+
+fn meta2_strategy(var_base: u32) -> impl Strategy<Value = MetaTuple> {
+    (
+        cell_strategy(Domain::Str, var_base),
+        cell_strategy(Domain::Int, var_base + 2),
+    )
+        .prop_map(move |(d, e)| {
+            MetaTuple::new("W", var_base, vec![d, e], ConstraintSet::empty())
+        })
+}
+
+fn rows3_strategy() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(
+        (0..STRS.len(), 0i64..4, 0i64..4)
+            .prop_map(|(a, b, c)| tuple![STRS[a], b, c]),
+        1..8,
+    )
+}
+
+fn rows2_strategy() -> impl Strategy<Value = Vec<Tuple>> {
+    proptest::collection::vec(
+        (0..STRS.len(), 0i64..4).prop_map(|(d, e)| tuple![STRS[d], e]),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Proposition 1: coverage of a product meta-tuple factorizes.
+    #[test]
+    fn proposition_1_product(
+        r in meta3_strategy(1),
+        s in meta2_strategy(100), // disjoint variable space
+        ts in rows3_strategy(),
+        us in rows2_strategy(),
+    ) {
+        let q = r.concat(&s);
+        let s3 = schema3();
+        let s2 = schema2();
+        let sp = s3.product(&s2);
+        for t in &ts {
+            for u in &us {
+                let joint = covers(&q, &sp, &t.concat(u)).is_some();
+                let split = covers(&r, &s3, t).is_some() && covers(&s, &s2, u).is_some();
+                prop_assert_eq!(joint, split, "r={} s={} t={} u={}", r, s, t, u);
+            }
+        }
+    }
+
+    /// Proposition 2: on data satisfying λ, a selected meta-tuple covers
+    /// exactly what the original covers, stars included.
+    #[test]
+    fn proposition_2_selection(
+        r in meta3_strategy(1),
+        col in 1usize..3,
+        op in 0usize..6,
+        bound in 0i64..4,
+        mode in prop_oneof![Just(SelectMode::FourCase), Just(SelectMode::Basic)],
+        ts in rows3_strategy(),
+    ) {
+        let op = [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge][op];
+        let atom = PredicateAtom::col_const(col, op, bound);
+        let mut nv = 1000;
+        let selected = meta_select(vec![r.clone()], &atom, mode, &mut nv);
+        prop_assert!(selected.len() <= 1);
+        let schema = schema3();
+        let Some(q) = selected.first() else {
+            // Dropped: no claim beyond soundness (q delivers nothing).
+            return Ok(());
+        };
+        for t in &ts {
+            // Only data tuples in σλ(R) matter.
+            if !atom.eval(t).unwrap() {
+                continue;
+            }
+            let a = covers(&r, &schema, t);
+            let b = covers(q, &schema, t);
+            prop_assert_eq!(
+                a.clone(), b.clone(),
+                "r={} q={} t={} (λ: {})", r, q, t, atom
+            );
+        }
+    }
+
+    /// Proposition 2, attribute–attribute form.
+    #[test]
+    fn proposition_2_selection_col_col(
+        r in meta3_strategy(1),
+        op in 0usize..6,
+        mode in prop_oneof![Just(SelectMode::FourCase), Just(SelectMode::Basic)],
+        ts in rows3_strategy(),
+    ) {
+        let op = [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge][op];
+        let atom = PredicateAtom::col_col(1, op, 2);
+        let mut nv = 1000;
+        let selected = meta_select(vec![r.clone()], &atom, mode, &mut nv);
+        let schema = schema3();
+        let Some(q) = selected.first() else {
+            return Ok(());
+        };
+        for t in &ts {
+            if !atom.eval(t).unwrap() {
+                continue;
+            }
+            prop_assert_eq!(
+                covers(&r, &schema, t),
+                covers(q, &schema, t),
+                "r={} q={} t={}", r, q, t
+            );
+        }
+    }
+
+    /// Proposition 3: a projected meta-tuple covers exactly the
+    /// projections of what the original covers.
+    #[test]
+    fn proposition_3_projection(
+        r in meta3_strategy(1),
+        keep_mask in 1u8..7, // non-empty subset of the three columns
+        ts in rows3_strategy(),
+    ) {
+        let keep: Vec<usize> = (0..3).filter(|i| keep_mask & (1 << i) != 0).collect();
+        let projected = meta_project(vec![r.clone()], &keep);
+        let schema = schema3();
+        let out_schema = schema.project(&keep);
+        let Some(q) = projected.first() else {
+            return Ok(());
+        };
+        for t in &ts {
+            let covered_before = covers(&r, &schema, t).is_some();
+            let covered_after = covers(q, &out_schema, &t.project(&keep)).is_some();
+            // The surviving q's condition references only kept columns,
+            // so coverage must agree tuple-by-tuple.
+            prop_assert_eq!(
+                covered_before, covered_after,
+                "r={} q={} t={} keep={:?}", r, q, t, keep
+            );
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Property-based soundness and completeness tests over randomized
+//! worlds: random data, random conjunctive views, random grants, random
+//! queries.
+//!
+//! * **Soundness** (the paper's theorem): every delivered cell traces to
+//!   a permitted base cell (see `common::assert_outcome_sound`).
+//! * **Refinement monotonicity**: the refined configuration never
+//!   delivers less than the plain Definitions-1–3 configuration.
+//! * **Identity completeness**: a user granted a view *equal* to their
+//!   query — with selection attributes among the projection attributes,
+//!   the shape the paper recommends — receives the entire answer.
+
+mod common;
+
+use motro_authz::core::{AuthStore, AuthorizedEngine, RefinementConfig};
+use motro_authz::rel::{tuple, CompOp, Database, DbSchema, Domain};
+use motro_authz::views::{AttrRef, ConjunctiveQuery};
+use proptest::prelude::*;
+
+/// The test scheme: the paper's relations.
+fn scheme() -> DbSchema {
+    motro_authz::core::fixtures::paper_scheme()
+}
+
+const NAMES: [&str; 4] = ["Jones", "Smith", "Brown", "Davis"];
+const TITLES: [&str; 3] = ["manager", "engineer", "clerk"];
+const SPONSORS: [&str; 3] = ["Acme", "Apex", "Summit"];
+const NUMBERS: [&str; 4] = ["p1", "p2", "p3", "p4"];
+
+/// Random database over the paper scheme with small value pools so
+/// joins and selections actually match.
+fn db_strategy() -> impl Strategy<Value = Database> {
+    let emp = proptest::collection::vec(
+        (0..NAMES.len(), 0..TITLES.len(), 10_000i64..50_000),
+        0..4,
+    );
+    let proj = proptest::collection::vec(
+        (0..NUMBERS.len(), 0..SPONSORS.len(), 50_000i64..600_000),
+        0..4,
+    );
+    let asg = proptest::collection::vec((0..NAMES.len(), 0..NUMBERS.len()), 0..6);
+    (emp, proj, asg).prop_map(|(emp, proj, asg)| {
+        let mut db = Database::new(scheme());
+        for (n, t, s) in emp {
+            let _ = db.insert("EMPLOYEE", tuple![NAMES[n], TITLES[t], s]);
+        }
+        for (n, sp, b) in proj {
+            let _ = db.insert("PROJECT", tuple![NUMBERS[n], SPONSORS[sp], b]);
+        }
+        for (e, p) in asg {
+            let _ = db.insert("ASSIGNMENT", tuple![NAMES[e], NUMBERS[p]]);
+        }
+        db
+    })
+}
+
+/// Attributes of each relation, with domains.
+fn rel_attrs(rel: &str) -> &'static [(&'static str, Domain)] {
+    match rel {
+        "EMPLOYEE" => &[
+            ("NAME", Domain::Str),
+            ("TITLE", Domain::Str),
+            ("SALARY", Domain::Int),
+        ],
+        "PROJECT" => &[
+            ("NUMBER", Domain::Str),
+            ("SPONSOR", Domain::Str),
+            ("BUDGET", Domain::Int),
+        ],
+        "ASSIGNMENT" => &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)],
+        _ => unreachable!(),
+    }
+}
+
+/// A constant for an attribute, drawn from its pool.
+fn const_for(rel: &str, attr: &str, pick: usize) -> motro_authz::rel::Value {
+    use motro_authz::rel::Value;
+    match (rel, attr) {
+        (_, "NAME") | (_, "E_NAME") => Value::str(NAMES[pick % NAMES.len()]),
+        (_, "TITLE") => Value::str(TITLES[pick % TITLES.len()]),
+        (_, "SPONSOR") => Value::str(SPONSORS[pick % SPONSORS.len()]),
+        (_, "NUMBER") | (_, "P_NO") => Value::str(NUMBERS[pick % NUMBERS.len()]),
+        (_, "SALARY") => Value::int(10_000 + (pick as i64 % 5) * 10_000),
+        (_, "BUDGET") => Value::int(100_000 + (pick as i64 % 5) * 100_000),
+        _ => unreachable!(),
+    }
+}
+
+const OPS: [CompOp; 6] = [
+    CompOp::Eq,
+    CompOp::Ne,
+    CompOp::Lt,
+    CompOp::Le,
+    CompOp::Gt,
+    CompOp::Ge,
+];
+
+/// A random *single-relation* conjunctive statement: random non-empty
+/// target subset, up to two constant comparisons. `include_selection_in
+/// targets` forces the paper-recommended shape.
+fn stmt_strategy(
+    name: Option<&'static str>,
+    include_selection_in_targets: bool,
+) -> impl Strategy<Value = ConjunctiveQuery> {
+    let rels = prop_oneof![
+        Just("EMPLOYEE"),
+        Just("PROJECT"),
+        Just("ASSIGNMENT")
+    ];
+    (
+        rels,
+        proptest::collection::vec(any::<bool>(), 3),
+        proptest::collection::vec((0usize..3, 0usize..6, 0usize..5), 0..3),
+    )
+        .prop_map(move |(rel, target_mask, atoms)| {
+            let attrs = rel_attrs(rel);
+            let mut targets: Vec<usize> = (0..attrs.len())
+                .filter(|&i| target_mask[i % target_mask.len()])
+                .collect();
+            if targets.is_empty() {
+                targets.push(0);
+            }
+            let mut q = ConjunctiveQuery {
+                name: name.map(str::to_owned),
+                targets: vec![],
+                atoms: vec![],
+            };
+            for (ai, oi, ci) in atoms {
+                let ai = ai % attrs.len();
+                let (attr, dom) = attrs[ai];
+                // Ordering comparators only make sense everywhere; keep
+                // Eq/Ne for strings too.
+                let op = if dom == Domain::Str {
+                    [CompOp::Eq, CompOp::Ne][oi % 2]
+                } else {
+                    OPS[oi % OPS.len()]
+                };
+                q.atoms.push(motro_authz::views::CalcAtom {
+                    lhs: AttrRef::new(rel, attr),
+                    op,
+                    rhs: motro_authz::views::CalcTerm::Const(const_for(rel, attr, ci)),
+                });
+                if include_selection_in_targets && !targets.contains(&ai) {
+                    targets.push(ai);
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            q.targets = targets
+                .into_iter()
+                .map(|i| AttrRef::new(rel, attrs[i].0))
+                .collect();
+            q
+        })
+}
+
+/// Build a store with `views` defined (skipping unsatisfiable ones) and
+/// everything granted to "u".
+fn store_with(views: Vec<ConjunctiveQuery>) -> AuthStore {
+    let mut store = AuthStore::new(scheme());
+    for (i, mut v) in views.into_iter().enumerate() {
+        let name = format!("V{i}");
+        v.name = Some(name.clone());
+        if store.define_view(&v).is_ok() {
+            store.permit(&name, "u").unwrap();
+        }
+    }
+    store
+}
+
+/// Cells delivered by an outcome, as (row-index-free) multiset of
+/// (column, value) pairs plus row count — enough for ⊇ comparisons.
+fn delivered(outcome: &motro_authz::core::AccessOutcome) -> Vec<Vec<Option<motro_authz::rel::Value>>> {
+    outcome.masked.rows.clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness: nothing outside the permitted views is ever delivered.
+    #[test]
+    fn delivered_cells_are_permitted(
+        db in db_strategy(),
+        views in proptest::collection::vec(stmt_strategy(Some("V"), false), 1..4),
+        query in stmt_strategy(None, false),
+    ) {
+        let store = store_with(views);
+        let engine = AuthorizedEngine::new(&db, &store);
+        let out = engine.retrieve("u", &query).unwrap();
+        let permitted = common::permitted_cells(&store, &db, "u");
+        common::assert_outcome_sound(&out, &db, &permitted);
+    }
+
+    /// Soundness also holds with every refinement disabled.
+    #[test]
+    fn plain_configuration_is_sound(
+        db in db_strategy(),
+        views in proptest::collection::vec(stmt_strategy(Some("V"), false), 1..4),
+        query in stmt_strategy(None, false),
+    ) {
+        let store = store_with(views);
+        let engine = AuthorizedEngine::with_config(&db, &store, RefinementConfig::plain());
+        let out = engine.retrieve("u", &query).unwrap();
+        let permitted = common::permitted_cells(&store, &db, "u");
+        common::assert_outcome_sound(&out, &db, &permitted);
+    }
+
+    /// The refined engine delivers at least what the plain engine does.
+    #[test]
+    fn refinements_are_monotone(
+        db in db_strategy(),
+        views in proptest::collection::vec(stmt_strategy(Some("V"), false), 1..4),
+        query in stmt_strategy(None, false),
+    ) {
+        let store = store_with(views);
+        let refined = AuthorizedEngine::new(&db, &store)
+            .retrieve("u", &query)
+            .unwrap();
+        let plain = AuthorizedEngine::with_config(&db, &store, RefinementConfig::plain())
+            .retrieve("u", &query)
+            .unwrap();
+        // Every row the plain engine delivers appears in the refined
+        // output with at least the same visible cells.
+        for prow in delivered(&plain) {
+            let covered = delivered(&refined).iter().any(|rrow| {
+                prow.iter().zip(rrow).all(|(p, r)| match (p, r) {
+                    (None, _) => true,
+                    (Some(pv), Some(rv)) => pv == rv,
+                    (Some(_), None) => false,
+                })
+            });
+            prop_assert!(covered, "plain row {prow:?} missing under refinements");
+        }
+    }
+
+    /// Identity completeness: granting the query itself (with selection
+    /// attributes projected) yields full access.
+    #[test]
+    fn identity_view_grants_full_access(
+        db in db_strategy(),
+        query in stmt_strategy(None, true),
+    ) {
+        let mut view = query.clone();
+        view.name = Some("SELF".to_owned());
+        let mut store = AuthStore::new(scheme());
+        // Unsatisfiable random statements are rejected at definition
+        // time; an unsatisfiable query has an empty answer anyway.
+        prop_assume!(store.define_view(&view).is_ok());
+        store.permit("SELF", "u").unwrap();
+        let engine = AuthorizedEngine::new(&db, &store);
+        let out = engine.retrieve("u", &query).unwrap();
+        prop_assert_eq!(out.masked.withheld, 0);
+        prop_assert_eq!(out.masked.len(), out.answer.len());
+        prop_assert_eq!(
+            out.masked.visible_cells(),
+            out.answer.len() * out.answer.schema().arity(),
+            "mask: {:?}", out.mask.tuples
+        );
+    }
+
+    /// An ungranted user never receives a cell.
+    #[test]
+    fn no_grants_nothing_delivered(
+        db in db_strategy(),
+        views in proptest::collection::vec(stmt_strategy(Some("V"), false), 0..3),
+        query in stmt_strategy(None, false),
+    ) {
+        let store = store_with(views);
+        let engine = AuthorizedEngine::new(&db, &store);
+        let out = engine.retrieve("stranger", &query).unwrap();
+        prop_assert!(out.masked.is_empty());
+        prop_assert_eq!(out.masked.withheld, out.answer.len());
+    }
+}
+
+/// A deterministic regression for the joint-visibility concern: two
+/// views each exposing one column of EMPLOYEE (plus the key) never let
+/// their *conditions* leak the hidden column's values, but the
+/// self-join may legitimately combine them — both are within the
+/// theorem; this pins the current (correct) behavior.
+#[test]
+fn column_pair_visibility_via_selfjoin() {
+    let mut db = Database::new(scheme());
+    db.insert("EMPLOYEE", tuple!["Jones", "manager", 26_000])
+        .unwrap();
+    let mut store = AuthStore::new(scheme());
+    store
+        .define_view(
+            &ConjunctiveQuery::view("NT")
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "TITLE")
+                .build(),
+        )
+        .unwrap();
+    store
+        .define_view(
+            &ConjunctiveQuery::view("NS")
+                .target("EMPLOYEE", "NAME")
+                .target("EMPLOYEE", "SALARY")
+                .build(),
+        )
+        .unwrap();
+    store.permit("NT", "u").unwrap();
+    store.permit("NS", "u").unwrap();
+    let engine = AuthorizedEngine::new(&db, &store);
+    let q = ConjunctiveQuery::retrieve()
+        .target("EMPLOYEE", "NAME")
+        .target("EMPLOYEE", "TITLE")
+        .target("EMPLOYEE", "SALARY")
+        .build();
+    let out = engine.retrieve("u", &q).unwrap();
+    // NAME is a key: the lossless self-join authorizes the full row.
+    assert!(out.full_access);
+
+    // Without the refinement, neither view alone covers the
+    // three-column request.
+    let plain = AuthorizedEngine::with_config(
+        &db,
+        &store,
+        RefinementConfig {
+            self_join: false,
+            ..RefinementConfig::default()
+        },
+    )
+    .retrieve("u", &q)
+    .unwrap();
+    assert!(!plain.full_access);
+}

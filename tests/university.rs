@@ -1,0 +1,293 @@
+//! Capstone scenario: a university registrar under the full feature
+//! set — groups, disjunctive views, join views, aggregate views,
+//! derived aggregates, the update extension, revocation, containment
+//! certification, and persistence — exercised together.
+
+mod common;
+
+use motro_authz::core::{query_contained_in, update, AggAccessMode};
+use motro_authz::rel::{tuple, DbSchema, Domain, Value};
+use motro_authz::{Frontend, RetrieveOutcome};
+
+fn university() -> Frontend {
+    let mut scheme = DbSchema::new();
+    scheme
+        .add_relation_with_key(
+            "STUDENT",
+            &[
+                ("SID", Domain::Str),
+                ("NAME", Domain::Str),
+                ("MAJOR", Domain::Str),
+                ("YEAR", Domain::Int),
+            ],
+            Some(&["SID"]),
+        )
+        .unwrap();
+    scheme
+        .add_relation_with_key(
+            "ENROLLMENT",
+            &[
+                ("SID", Domain::Str),
+                ("COURSE", Domain::Str),
+                ("GRADE", Domain::Int),
+            ],
+            Some(&["SID", "COURSE"]),
+        )
+        .unwrap();
+    scheme
+        .add_relation_with_key(
+            "COURSE",
+            &[
+                ("CODE", Domain::Str),
+                ("DEPT", Domain::Str),
+                ("CREDITS", Domain::Int),
+            ],
+            Some(&["CODE"]),
+        )
+        .unwrap();
+    let mut fe = Frontend::new(scheme);
+    let db = fe.database_mut();
+    db.insert_all(
+        "STUDENT",
+        vec![
+            tuple!["s1", "Ana", "cs", 2],
+            tuple!["s2", "Ben", "cs", 3],
+            tuple!["s3", "Cai", "math", 1],
+            tuple!["s4", "Dia", "bio", 4],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "ENROLLMENT",
+        vec![
+            tuple!["s1", "cs101", 92],
+            tuple!["s1", "ma201", 77],
+            tuple!["s2", "cs101", 85],
+            tuple!["s3", "ma201", 96],
+            tuple!["s4", "bi150", 70],
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "COURSE",
+        vec![
+            tuple!["cs101", "cs", 4],
+            tuple!["ma201", "math", 3],
+            tuple!["bi150", "bio", 5],
+        ],
+    )
+    .unwrap();
+    fe.execute_admin_program(
+        "view SCIENCE (STUDENT.SID, STUDENT.NAME, STUDENT.MAJOR, STUDENT.YEAR)
+           where STUDENT.MAJOR = cs or STUDENT.MAJOR = math;
+
+         view TRANSCRIPT (STUDENT.SID, STUDENT.NAME, ENROLLMENT.SID,
+                          ENROLLMENT.COURSE, ENROLLMENT.GRADE)
+           where STUDENT.SID = ENROLLMENT.SID;
+
+         view GRADESTATS (ENROLLMENT.COURSE, avg(ENROLLMENT.GRADE),
+                          count(ENROLLMENT.SID));
+
+         permit SCIENCE to group ADVISORS;
+         permit TRANSCRIPT to registrar;
+         permit GRADESTATS to group FACULTY",
+    )
+    .expect("admin program is well-formed");
+    fe.add_member("ADVISORS", "mora");
+    fe.add_member("FACULTY", "khan");
+    fe
+}
+
+#[test]
+fn advisor_sees_science_students_only() {
+    let fe = university();
+    let out = fe
+        .retrieve("mora", "retrieve (STUDENT.NAME, STUDENT.MAJOR)")
+        .unwrap();
+    assert_eq!(out.masked.len(), 3); // Ana, Ben (cs) + Cai (math)
+    assert_eq!(out.masked.withheld, 1); // Dia (bio)
+    let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "mora");
+    common::assert_outcome_sound(&out, fe.database(), &permitted);
+}
+
+#[test]
+fn registrar_join_view_reduces_and_describes() {
+    let fe = university();
+    // A query within TRANSCRIPT: full access.
+    let out = fe
+        .retrieve(
+            "registrar",
+            "retrieve (STUDENT.NAME, ENROLLMENT.COURSE, ENROLLMENT.GRADE)
+             where STUDENT.SID = ENROLLMENT.SID",
+        )
+        .unwrap();
+    assert!(out.full_access);
+    assert_eq!(out.masked.len(), 5);
+    // Asking for MAJOR too: masked column (TRANSCRIPT lacks it).
+    let out = fe
+        .retrieve(
+            "registrar",
+            "retrieve (STUDENT.NAME, STUDENT.MAJOR, ENROLLMENT.GRADE)
+             where STUDENT.SID = ENROLLMENT.SID",
+        )
+        .unwrap();
+    assert!(!out.full_access);
+    for row in &out.masked.rows {
+        assert!(row[0].is_some());
+        assert!(row[1].is_none(), "MAJOR is outside TRANSCRIPT");
+        assert!(row[2].is_some());
+    }
+}
+
+#[test]
+fn faculty_statistics_without_rows() {
+    let fe = university();
+    let RetrieveOutcome::Aggregate(stats) = fe
+        .query(
+            "khan",
+            "retrieve (ENROLLMENT.COURSE, avg(ENROLLMENT.GRADE), count(ENROLLMENT.SID))",
+        )
+        .unwrap()
+    else {
+        panic!("expected aggregate outcome");
+    };
+    assert_eq!(stats.mode, AggAccessMode::ViaAggregateView("GRADESTATS".into()));
+    assert!(stats.result.contains(&tuple!["cs101", 88, 2]));
+    assert!(stats.result.contains(&tuple!["ma201", 86, 2]));
+    // Narrowing by course (a group key) is fine…
+    let RetrieveOutcome::Aggregate(one) = fe
+        .query(
+            "khan",
+            "retrieve (ENROLLMENT.COURSE, avg(ENROLLMENT.GRADE), count(ENROLLMENT.SID))
+             where ENROLLMENT.COURSE = cs101",
+        )
+        .unwrap()
+    else {
+        panic!();
+    };
+    assert!(matches!(one.mode, AggAccessMode::ViaAggregateView(_)));
+    assert_eq!(one.result.len(), 1);
+    // …but isolating one student is refused.
+    let RetrieveOutcome::Aggregate(bad) = fe
+        .query(
+            "khan",
+            "retrieve (ENROLLMENT.COURSE, avg(ENROLLMENT.GRADE), count(ENROLLMENT.SID))
+             where ENROLLMENT.SID = s1",
+        )
+        .unwrap()
+    else {
+        panic!();
+    };
+    assert_eq!(bad.mode, AggAccessMode::Denied);
+    // Raw rows are denied outright.
+    let rows = fe
+        .retrieve("khan", "retrieve (ENROLLMENT.SID, ENROLLMENT.GRADE)")
+        .unwrap();
+    assert!(rows.masked.is_empty());
+}
+
+#[test]
+fn derived_aggregate_matches_visible_rows() {
+    let fe = university();
+    // The advisor's derived statistics must equal a manual aggregation
+    // of what retrieve() shows them.
+    let RetrieveOutcome::Aggregate(agg) = fe
+        .query("mora", "retrieve (STUDENT.MAJOR, count(STUDENT.SID))")
+        .unwrap()
+    else {
+        panic!();
+    };
+    assert_eq!(
+        agg.mode,
+        AggAccessMode::Derived {
+            complete: false,
+            rows_used: 3,
+            rows_excluded: 1
+        }
+    );
+    assert!(agg.result.contains(&tuple!["cs", 2]));
+    assert!(agg.result.contains(&tuple!["math", 1]));
+    assert!(!agg.result.iter().any(|t| t.value(0) == &Value::str("bio")));
+}
+
+#[test]
+fn containment_certifies_advisor_subqueries() {
+    let fe = university();
+    let science_cs = motro_authz::views::ConjunctiveQuery::retrieve()
+        .target("STUDENT", "SID")
+        .target("STUDENT", "NAME")
+        .target("STUDENT", "MAJOR")
+        .target("STUDENT", "YEAR")
+        .where_const(
+            motro_authz::views::AttrRef::new("STUDENT", "MAJOR"),
+            motro_authz::rel::CompOp::Eq,
+            "cs",
+        )
+        .build();
+    // Contained in the cs branch of SCIENCE.
+    let entry = fe.auth_store().view("SCIENCE").unwrap();
+    assert!(query_contained_in(
+        &science_cs,
+        &entry.branches[0].definition,
+        fe.database().schema()
+    ));
+    // And the engine grants it in full.
+    let out = fe.engine().retrieve("mora", &science_cs).unwrap();
+    assert!(out.full_access);
+}
+
+#[test]
+fn updates_respect_branch_scopes() {
+    let fe = university();
+    let engine = fe.engine();
+    assert!(update::check_insert(
+        &engine,
+        "mora",
+        "STUDENT",
+        &tuple!["s9", "Eli", "cs", 1]
+    )
+    .unwrap());
+    assert!(update::check_insert(
+        &engine,
+        "mora",
+        "STUDENT",
+        &tuple!["s9", "Eli", "math", 1]
+    )
+    .unwrap());
+    assert!(!update::check_insert(
+        &engine,
+        "mora",
+        "STUDENT",
+        &tuple!["s9", "Eli", "bio", 1]
+    )
+    .unwrap());
+}
+
+#[test]
+fn revocation_and_persistence_round_trip() {
+    let mut fe = university();
+    // Snapshot, revoke in the original, confirm the snapshot still
+    // grants.
+    // (The query must include MAJOR: the branch conditions are
+    // expressed on it — the paper's expressibility rule.)
+    let q = "retrieve (STUDENT.NAME, STUDENT.MAJOR)";
+    let snapshot = fe.to_json().unwrap();
+    fe.execute_admin("revoke SCIENCE from group ADVISORS").unwrap();
+    let out = fe.retrieve("mora", q).unwrap();
+    assert!(out.masked.is_empty());
+
+    let restored = Frontend::from_json(&snapshot).unwrap();
+    let out = restored.retrieve("mora", q).unwrap();
+    assert_eq!(out.masked.len(), 3);
+    // Aggregate views and group grants also survived.
+    let RetrieveOutcome::Aggregate(stats) = restored
+        .query(
+            "khan",
+            "retrieve (ENROLLMENT.COURSE, count(ENROLLMENT.SID))",
+        )
+        .unwrap()
+    else {
+        panic!();
+    };
+    assert!(matches!(stats.mode, AggAccessMode::ViaAggregateView(_)));
+}
