@@ -167,7 +167,11 @@ impl IngresStore {
     /// The original OR-combining semantics: one modified conjunctive
     /// query per choice of covering permission across the query's
     /// relation occurrences; their union is the answer.
-    pub fn modify_all(&self, user: &str, query: &ConjunctiveQuery) -> Option<Vec<ConjunctiveQuery>> {
+    pub fn modify_all(
+        &self,
+        user: &str,
+        query: &ConjunctiveQuery,
+    ) -> Option<Vec<ConjunctiveQuery>> {
         let covering = self.covering(user, query).ok()?;
         let mut variants: Vec<ConjunctiveQuery> = vec![query.clone()];
         for ((rel, occurrence), perms) in covering {
@@ -457,7 +461,9 @@ mod tests {
         assert!(!all.contains(&tuple!["Jones", 26_000]));
         assert!(all.contains(&tuple!["Brown", 32_000]));
         // An uncovered query unions to rejection.
-        let qr = ConjunctiveQuery::retrieve().target("PROJECT", "NUMBER").build();
+        let qr = ConjunctiveQuery::retrieve()
+            .target("PROJECT", "NUMBER")
+            .build();
         assert!(s.execute_union("alice", &qr, &db()).unwrap().is_none());
     }
 

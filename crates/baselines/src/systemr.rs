@@ -235,9 +235,9 @@ impl SystemR {
             // the privilege itself.
             return true;
         }
-        self.grants.iter().any(|g| {
-            g.grantee == user && g.object == object && g.privilege == privilege
-        })
+        self.grants
+            .iter()
+            .any(|g| g.grantee == user && g.object == object && g.privilege == privilege)
     }
 
     /// Does `user` hold a grantable `privilege` on `object` strictly
@@ -367,7 +367,9 @@ impl SystemR {
             let v = plan.execute(db)?;
             Ok(motro_rel::algebra::project(&v, projection))
         })();
-        Ok(Some(out.map_err(|_| SystemRError::UnknownObject(view.to_owned()))?))
+        Ok(Some(out.map_err(|_| {
+            SystemRError::UnknownObject(view.to_owned())
+        })?))
     }
 }
 
@@ -536,7 +538,10 @@ mod tests {
         use motro_rel::{tuple, Database, DbSchema, Domain};
         let mut scheme = DbSchema::new();
         scheme
-            .add_relation("EMPLOYEE", &[("NAME", Domain::Str), ("SALARY", Domain::Int)])
+            .add_relation(
+                "EMPLOYEE",
+                &[("NAME", Domain::Str), ("SALARY", Domain::Int)],
+            )
             .unwrap();
         let mut db = Database::new(scheme);
         db.insert("EMPLOYEE", tuple!["Jones", 26_000]).unwrap();
@@ -556,6 +561,9 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         // Bob has no grant → None (rejected).
-        assert!(s.execute_view_query(&db, "bob", "NAMES", &[0]).unwrap().is_none());
+        assert!(s
+            .execute_view_query(&db, "bob", "NAMES", &[0])
+            .unwrap()
+            .is_none());
     }
 }

@@ -94,5 +94,10 @@ fn motro_example2_reference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, systemr_revoke, ingres_modify, motro_example2_reference);
+criterion_group!(
+    benches,
+    systemr_revoke,
+    ingres_modify,
+    motro_example2_reference
+);
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use motro_core::constraint::{ConstraintAtom, ConstraintSet};
 use motro_core::{Mask, MetaCell, MetaTuple};
-use motro_rel::{tuple, CompOp, Relation, RelSchema, Domain};
+use motro_rel::{tuple, CompOp, Domain, RelSchema, Relation};
 use std::hint::black_box;
 
 fn answer(rows: usize) -> Relation {
@@ -47,11 +47,7 @@ fn masks(schema: &RelSchema) -> Mask {
                 "B",
                 2,
                 vec![MetaCell::star(), MetaCell::blank(), MetaCell::var(9, true)],
-                ConstraintSet::new(vec![ConstraintAtom::var_const(
-                    9,
-                    CompOp::Le,
-                    500_000,
-                )]),
+                ConstraintSet::new(vec![ConstraintAtom::var_const(9, CompOp::Le, 500_000)]),
             ),
             MetaTuple::new(
                 "C",

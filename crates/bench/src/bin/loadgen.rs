@@ -1,0 +1,251 @@
+//! `loadgen` — closed-loop load generator for `motro-server`.
+//!
+//! Starts an in-process server over a [`ScaledWorld`], drives it with
+//! concurrent client connections issuing repeated identical
+//! retrievals (the mask cache's best case, and the common case for a
+//! dashboard-style workload), and reports throughput and latency
+//! percentiles for the cache-disabled and cache-enabled
+//! configurations side by side.
+//!
+//! ```text
+//! loadgen [--clients N] [--requests N] [--relations N] [--rows N]
+//!         [--views N] [--users N] [--grants N] [--seed S] [--out FILE]
+//! ```
+//!
+//! Writes `BENCH_server_cache.json` (or `--out`) in the workspace
+//! BENCH_* convention.
+
+use motro_authz::{Frontend, SharedFrontend};
+use motro_bench::{ScaledWorld, WorldParams};
+use motro_server::{Client, Server, ServerConfig};
+use serde_json::{Map, Number, Value};
+use std::time::Instant;
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    relations: usize,
+    rows: usize,
+    views: usize,
+    users: usize,
+    grants: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        // A permission-heavy world: each user holds many grants, so the
+        // meta side (mask computation) dominates the live data side and
+        // the cache's effect is visible. Tune down with the flags for
+        // quick smoke runs.
+        Args {
+            clients: 8,
+            requests: 150,
+            relations: 6,
+            rows: 25,
+            views: 400,
+            users: 8,
+            grants: 250,
+            seed: 7,
+            out: "BENCH_server_cache.json".to_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |target: &mut usize| {
+            *target = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--clients" => num(&mut a.clients),
+            "--requests" => num(&mut a.requests),
+            "--relations" => num(&mut a.relations),
+            "--rows" => num(&mut a.rows),
+            "--views" => num(&mut a.views),
+            "--users" => num(&mut a.users),
+            "--grants" => num(&mut a.grants),
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => a.out = it.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    a
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--clients N] [--requests N] [--relations N] [--rows N] \
+         [--views N] [--users N] [--grants N] [--seed S] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+/// One measured run: every client issues `requests` identical
+/// retrievals; returns all per-request latencies in nanoseconds plus
+/// the wall-clock for the whole run.
+fn run(
+    world: &ScaledWorld,
+    stmts: &[String],
+    args: &Args,
+    cache_capacity: usize,
+) -> (Vec<u64>, f64, u64, u64) {
+    let mut fe = Frontend::with_database(world.db.clone());
+    *fe.auth_store_mut() = world.store.clone();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SharedFrontend::new(fe),
+        ServerConfig {
+            workers: args.clients.clamp(1, 8),
+            cache_capacity,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let user = world.users[c % world.users.len()].clone();
+            let stmt = stmts[c % stmts.len()].clone();
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, &user).expect("connect");
+                let mut lat = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let t = Instant::now();
+                    client.retrieve(&stmt).expect("retrieve");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(args.clients * args.requests);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let stats = server.cache().stats();
+    (latencies, wall, stats.hits, stats.misses)
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(p * sorted.len() / 100).min(sorted.len() - 1)]
+}
+
+fn summarize(mut latencies: Vec<u64>, wall: f64, hits: u64, misses: u64) -> Map<String, Value> {
+    latencies.sort_unstable();
+    let n = latencies.len().max(1) as f64;
+    let mean = latencies.iter().sum::<u64>() as f64 / n;
+    let mut m = Map::new();
+    let us = |ns: u64| Value::Number(Number::from(ns / 1_000));
+    m.insert(
+        "throughput_rps".to_owned(),
+        Value::Number(Number::from(
+            (latencies.len() as f64 / wall.max(1e-9)) as u64,
+        )),
+    );
+    m.insert(
+        "mean_us".to_owned(),
+        Value::Number(Number::from((mean / 1_000.0) as u64)),
+    );
+    m.insert("p50_us".to_owned(), us(percentile(&latencies, 50)));
+    m.insert("p90_us".to_owned(), us(percentile(&latencies, 90)));
+    m.insert("p99_us".to_owned(), us(percentile(&latencies, 99)));
+    m.insert(
+        "requests".to_owned(),
+        Value::Number(Number::from(latencies.len())),
+    );
+    m.insert("cache_hits".to_owned(), Value::Number(Number::from(hits)));
+    m.insert(
+        "cache_misses".to_owned(),
+        Value::Number(Number::from(misses)),
+    );
+    m
+}
+
+fn mean_of(m: &Map<String, Value>) -> f64 {
+    m.get("mean_us").and_then(Value::as_u64).unwrap_or(1) as f64
+}
+
+fn main() {
+    let args = parse_args();
+    let world = ScaledWorld::generate(WorldParams {
+        relations: args.relations,
+        rows_per_relation: args.rows,
+        views: args.views,
+        users: args.users,
+        grants_per_user: args.grants,
+        queries: args.clients.max(1),
+        seed: args.seed,
+    });
+    let stmts: Vec<String> = world.queries.iter().map(|q| q.to_string()).collect();
+
+    eprintln!(
+        "loadgen: {} clients x {} requests, world: {} relations x {} rows, {} views, {} users",
+        args.clients, args.requests, args.relations, args.rows, args.views, args.users
+    );
+
+    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0);
+    let uncached = summarize(lat_u, wall_u, hits_u, misses_u);
+    eprintln!(
+        "  uncached: {} req/s, p50 {}us, p99 {}us",
+        uncached["throughput_rps"], uncached["p50_us"], uncached["p99_us"]
+    );
+
+    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024);
+    let cached = summarize(lat_c, wall_c, hits_c, misses_c);
+    eprintln!(
+        "  cached:   {} req/s, p50 {}us, p99 {}us ({} hits / {} misses)",
+        cached["throughput_rps"], cached["p50_us"], cached["p99_us"], hits_c, misses_c
+    );
+
+    let speedup = mean_of(&uncached) / mean_of(&cached).max(1.0);
+    eprintln!("  mean-latency speedup: {speedup:.2}x");
+
+    let mut config = Map::new();
+    for (k, v) in [
+        ("clients", args.clients),
+        ("requests", args.requests),
+        ("relations", args.relations),
+        ("rows_per_relation", args.rows),
+        ("views", args.views),
+        ("users", args.users),
+        ("grants_per_user", args.grants),
+    ] {
+        config.insert(k.to_owned(), Value::Number(Number::from(v)));
+    }
+    config.insert("seed".to_owned(), Value::Number(Number::from(args.seed)));
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("server_cache".to_owned()),
+    );
+    report.insert("config".to_owned(), Value::Object(config));
+    report.insert("uncached".to_owned(), Value::Object(uncached));
+    report.insert("cached".to_owned(), Value::Object(cached));
+    report.insert(
+        "speedup_mean_latency".to_owned(),
+        Value::Number(Number::from_f64(speedup).unwrap_or_else(|| Number::from(0u64))),
+    );
+    let json = Value::Object(report).to_string();
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("{json}");
+}

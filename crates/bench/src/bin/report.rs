@@ -101,7 +101,10 @@ fn meta_table(schema: &RelSchema, tuples: &[MetaTuple]) -> String {
 }
 
 fn fig1() {
-    heading("FIG1", "Figure 1: database extended with access permissions");
+    heading(
+        "FIG1",
+        "Figure 1: database extended with access permissions",
+    );
     let db = fixtures::paper_database();
     let store = fixtures::paper_store();
     for rel in ["EMPLOYEE", "PROJECT", "ASSIGNMENT"] {
@@ -251,7 +254,11 @@ fn example(n: usize) {
     println!("Final mask A' (after projection and minimization):");
     println!("{}", meta_table(&out_schema, &out.mask.tuples));
 
-    println!("Raw answer A ({} rows, withheld {}):", out.answer.len(), out.masked.withheld);
+    println!(
+        "Raw answer A ({} rows, withheld {}):",
+        out.answer.len(),
+        out.masked.withheld
+    );
     println!("Delivered to {user}:");
     println!("{}", out.render());
 }
@@ -314,7 +321,10 @@ fn util() {
 }
 
 fn ablate() {
-    heading("B-ABLATE", "Refinement ablation: Motro utility per configuration");
+    heading(
+        "B-ABLATE",
+        "Refinement ablation: Motro utility per configuration",
+    );
     let rows = ablation_table(60, 17);
     println!("{}", render_ablation_table(&rows));
 }
@@ -343,8 +353,16 @@ fn storage() {
         "reboot check (Example 1): delivered {} rows before, {} after; permits equal: {}",
         before.masked.len(),
         after.masked.len(),
-        before.permits.iter().map(ToString::to_string).collect::<Vec<_>>()
-            == after.permits.iter().map(ToString::to_string).collect::<Vec<_>>()
+        before
+            .permits
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            == after
+                .permits
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
     );
 }
 
@@ -365,10 +383,13 @@ fn sizes() {
         });
         for (label, config) in [
             ("with R3", RefinementConfig::default()),
-            ("sans R3", RefinementConfig {
-                self_join: false,
-                ..RefinementConfig::default()
-            }),
+            (
+                "sans R3",
+                RefinementConfig {
+                    self_join: false,
+                    ..RefinementConfig::default()
+                },
+            ),
         ] {
             let engine = AuthorizedEngine::with_config(&w.db, &w.store, config);
             let mut mask_rows = 0usize;

@@ -10,5 +10,8 @@
 pub mod util;
 pub mod workload;
 
-pub use util::{ablation_configs, ablation_table, render_ablation_table, render_utility_table, AblationRow, utility_table, ModelScore, UtilityRow, WorkloadClass};
+pub use util::{
+    ablation_configs, ablation_table, render_ablation_table, render_utility_table, utility_table,
+    AblationRow, ModelScore, UtilityRow, WorkloadClass,
+};
 pub use workload::{ScaledWorld, WorldParams};

@@ -222,20 +222,12 @@ fn class_setup(class: WorkloadClass, db: &Database) -> ClassSetup {
                 .target("R1", "F")
                 .target("R0", "K")
                 .target("R0", "C")
-                .where_attr(
-                    AttrRef::new("R1", "F"),
-                    CompOp::Eq,
-                    AttrRef::new("R0", "K"),
-                )
+                .where_attr(AttrRef::new("R1", "F"), CompOp::Eq, AttrRef::new("R0", "K"))
                 .build();
             let query = ConjunctiveQuery::retrieve()
                 .target("R1", "K")
                 .target("R0", "C")
-                .where_attr(
-                    AttrRef::new("R1", "F"),
-                    CompOp::Eq,
-                    AttrRef::new("R0", "K"),
-                )
+                .where_attr(AttrRef::new("R1", "F"), CompOp::Eq, AttrRef::new("R0", "K"))
                 .build();
             let entitled = count_answer_cells(&query, db);
             ClassSetup {
@@ -601,7 +593,12 @@ mod tests {
             assert_eq!(r.system_r_base.delivered, 0, "class {:?}", r.class);
             // No model over-delivers beyond the entitled cells.
             for s in [r.motro, r.motro_plain, r.ingres, r.system_r_view] {
-                assert!(s.utility <= 1.0 + 1e-9, "class {:?}: {}", r.class, s.utility);
+                assert!(
+                    s.utility <= 1.0 + 1e-9,
+                    "class {:?}: {}",
+                    r.class,
+                    s.utility
+                );
             }
         }
         // INGRES: 0 on superset column (asymmetry), multi-relation

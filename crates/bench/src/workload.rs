@@ -153,11 +153,7 @@ impl ScaledWorld {
 /// A random conjunctive statement over the chained scheme: 60%
 /// single-relation, 40% a two-relation foreign-key join; selection
 /// attributes are kept among the targets (the paper's recommendation).
-pub fn random_view(
-    rng: &mut StdRng,
-    relations: usize,
-    name: Option<&str>,
-) -> ConjunctiveQuery {
+pub fn random_view(rng: &mut StdRng, relations: usize, name: Option<&str>) -> ConjunctiveQuery {
     let two = relations >= 2 && rng.gen_bool(0.4);
     let base = if two {
         rng.gen_range(1..relations)
@@ -190,7 +186,11 @@ pub fn random_view(
     }
     if rng.gen_bool(0.5) {
         let bound: i64 = rng.gen_range(100_000..900_000);
-        let op = if rng.gen_bool(0.5) { CompOp::Le } else { CompOp::Ge };
+        let op = if rng.gen_bool(0.5) {
+            CompOp::Le
+        } else {
+            CompOp::Ge
+        };
         if !q.targets.iter().any(|t| t.attr == "V") {
             q.targets.push(AttrRef::new(&rel, "V"));
         }
@@ -253,10 +253,12 @@ mod tests {
 
     #[test]
     fn views_are_stable_across_data_sizes() {
-        let mk = |rows| ScaledWorld::generate(WorldParams {
-            rows_per_relation: rows,
-            ..WorldParams::default()
-        });
+        let mk = |rows| {
+            ScaledWorld::generate(WorldParams {
+                rows_per_relation: rows,
+                ..WorldParams::default()
+            })
+        };
         let a = mk(10);
         let b = mk(1000);
         assert_eq!(a.store.total_meta_tuples(), b.store.total_meta_tuples());

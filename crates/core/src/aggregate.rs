@@ -62,9 +62,9 @@ impl AggregateOutcome {
             AggAccessMode::ViaAggregateView(v) => {
                 out.push_str(&format!("(authorized by aggregate view {v})\n"))
             }
-            AggAccessMode::Derived {
-                complete: true, ..
-            } => out.push_str("(derived from row permissions: complete)\n"),
+            AggAccessMode::Derived { complete: true, .. } => {
+                out.push_str("(derived from row permissions: complete)\n")
+            }
             AggAccessMode::Derived {
                 complete: false,
                 rows_used,
@@ -87,28 +87,18 @@ pub fn matches_aggregate_view(query: &AggregateQuery, view: &AggregateQuery) -> 
         return false;
     }
     // Aggregates must be among the view's.
-    if !query
-        .aggs
-        .iter()
-        .all(|a| view.aggs.iter().any(|b| b == a))
-    {
+    if !query.aggs.iter().all(|a| view.aggs.iter().any(|b| b == a)) {
         return false;
     }
     // The query must carry every view atom…
-    if !view
-        .base
-        .atoms
-        .iter()
-        .all(|a| query.base.atoms.contains(a))
-    {
+    if !view.base.atoms.iter().all(|a| query.base.atoms.contains(a)) {
         return false;
     }
     // …and any extra atom may only be a constant selection on a
     // group-by attribute.
     query.base.atoms.iter().all(|a| {
         view.base.atoms.contains(a)
-            || (matches!(a.rhs, CalcTerm::Const(_))
-                && view.base.targets.contains(&a.lhs))
+            || (matches!(a.rhs, CalcTerm::Const(_)) && view.base.targets.contains(&a.lhs))
     })
 }
 
@@ -372,7 +362,9 @@ mod tests {
         store.permit("ENG", "part").unwrap();
         let engine = AuthorizedEngine::new(&db, &store);
 
-        let full = engine.retrieve_aggregate("full", &avg_by_dept(None)).unwrap();
+        let full = engine
+            .retrieve_aggregate("full", &avg_by_dept(None))
+            .unwrap();
         assert_eq!(
             full.mode,
             AggAccessMode::Derived {
@@ -383,7 +375,9 @@ mod tests {
         );
         assert!(full.result.contains(&tuple!["sales", 80]));
 
-        let part = engine.retrieve_aggregate("part", &avg_by_dept(None)).unwrap();
+        let part = engine
+            .retrieve_aggregate("part", &avg_by_dept(None))
+            .unwrap();
         assert_eq!(
             part.mode,
             AggAccessMode::Derived {
@@ -393,7 +387,10 @@ mod tests {
             }
         );
         assert!(part.result.contains(&tuple!["eng", 110]));
-        assert!(!part.result.iter().any(|t| t.value(0) == &Value::str("sales")));
+        assert!(!part
+            .result
+            .iter()
+            .any(|t| t.value(0) == &Value::str("sales")));
     }
 
     #[test]

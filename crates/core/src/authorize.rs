@@ -21,7 +21,7 @@
 
 use crate::error::CoreResult;
 use crate::mask::{Mask, MaskedRelation, PermitStatement};
-use crate::meta_algebra::{meta_product, meta_select, meta_project, SelectMode};
+use crate::meta_algebra::{meta_product, meta_project, meta_select, SelectMode};
 use crate::metatuple::MetaTuple;
 use crate::store::AuthStore;
 use motro_rel::{CanonicalPlan, Database, Relation};
@@ -207,11 +207,7 @@ impl<'a> AuthorizedEngine<'a> {
 
     /// Compute only the mask (`A'`) for a plan — the meta side of
     /// Figure 2, used on its own by the scaling benchmarks.
-    pub fn mask_for_plan(
-        &self,
-        user: &str,
-        plan: &CanonicalPlan,
-    ) -> CoreResult<(Mask, AuthTrace)> {
+    pub fn mask_for_plan(&self, user: &str, plan: &CanonicalPlan) -> CoreResult<(Mask, AuthTrace)> {
         let scheme = self.store.scheme();
         plan.validate(scheme)?;
         let query_rels: BTreeSet<String> = plan.relations.iter().cloned().collect();
@@ -229,8 +225,7 @@ impl<'a> AuthorizedEngine<'a> {
         }
 
         // Step 2: meta-product (with R1 padding), then closure pruning.
-        let factor_lists: Vec<Vec<MetaTuple>> =
-            candidates.iter().map(|(_, c)| c.clone()).collect();
+        let factor_lists: Vec<Vec<MetaTuple>> = candidates.iter().map(|(_, c)| c.clone()).collect();
         let mut rows = meta_product(&factor_lists, &arities, self.config.product_padding);
         let product_len = rows.len();
         if self.config.closure_pruning {
@@ -258,8 +253,7 @@ impl<'a> AuthorizedEngine<'a> {
         // otherwise kill surviving meta-tuples.
         let mut mask_projection = plan.projection.clone();
         if self.config.extended_masks {
-            let kept: std::collections::BTreeSet<usize> =
-                mask_projection.iter().copied().collect();
+            let kept: std::collections::BTreeSet<usize> = mask_projection.iter().copied().collect();
             let mut aux = std::collections::BTreeSet::new();
             for row in &rows {
                 let mut r = row.clone();
@@ -458,16 +452,12 @@ mod tests {
         let out = engine.retrieve("Brown", &q).unwrap();
         assert!(!out.full_access);
         // Names visible somewhere, salaries nowhere.
-        let vis: Vec<bool> = out
-            .mask
-            .tuples
-            .iter()
-            .fold(vec![false; 4], |mut acc, t| {
-                for (i, c) in t.cells.iter().enumerate() {
-                    acc[i] |= c.starred;
-                }
-                acc
-            });
+        let vis: Vec<bool> = out.mask.tuples.iter().fold(vec![false; 4], |mut acc, t| {
+            for (i, c) in t.cells.iter().enumerate() {
+                acc[i] |= c.starred;
+            }
+            acc
+        });
         assert!(vis[0] && vis[2], "names visible");
         assert!(!vis[1] && !vis[3], "salaries masked");
     }

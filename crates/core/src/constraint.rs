@@ -140,8 +140,7 @@ impl ConstraintSet {
 
     /// Build from atoms, canonicalizing.
     pub fn new(atoms: Vec<ConstraintAtom>) -> Self {
-        let mut atoms: Vec<ConstraintAtom> =
-            atoms.iter().map(ConstraintAtom::normalized).collect();
+        let mut atoms: Vec<ConstraintAtom> = atoms.iter().map(ConstraintAtom::normalized).collect();
         atoms.sort();
         atoms.dedup();
         ConstraintSet { atoms }
@@ -447,9 +446,8 @@ impl Interval {
         // Drop exclusion points outside the interval; exclusions equal to
         // a closed endpoint tighten it over the integers.
         let (lo, hi) = (self.lo.clone(), self.hi.clone());
-        self.excl.retain(|v| {
-            bound_allows_lower(&lo, v) && bound_allows_upper(&hi, v)
-        });
+        self.excl
+            .retain(|v| bound_allows_lower(&lo, v) && bound_allows_upper(&hi, v));
         loop {
             let mut changed = false;
             if let Bound::Incl(Value::Int(k)) = &self.lo {
@@ -484,10 +482,9 @@ impl Interval {
                 return;
             }
         }
-        if let (Some(Ordering::Equal), Bound::Incl(v)) = (
-            cmp_bound_values(&self.lo, &self.hi),
-            &self.lo,
-        ) {
+        if let (Some(Ordering::Equal), Bound::Incl(v)) =
+            (cmp_bound_values(&self.lo, &self.hi), &self.lo)
+        {
             if self.excl.contains(v) {
                 self.empty = true;
             }
@@ -565,8 +562,7 @@ impl Interval {
         }
         // Every value other excludes must be outside self.
         for v in &other.excl {
-            let inside_range =
-                bound_allows_lower(&self.lo, v) && bound_allows_upper(&self.hi, v);
+            let inside_range = bound_allows_lower(&self.lo, v) && bound_allows_upper(&self.hi, v);
             if inside_range && !self.excl.contains(v) {
                 return Some(false);
             }
@@ -742,8 +738,14 @@ mod tests {
 
     #[test]
     fn implication_basics() {
-        assert_eq!(iv(CompOp::Ge, 300).implies(&iv(CompOp::Ge, 250)), Some(true));
-        assert_eq!(iv(CompOp::Ge, 250).implies(&iv(CompOp::Ge, 300)), Some(false));
+        assert_eq!(
+            iv(CompOp::Ge, 300).implies(&iv(CompOp::Ge, 250)),
+            Some(true)
+        );
+        assert_eq!(
+            iv(CompOp::Ge, 250).implies(&iv(CompOp::Ge, 300)),
+            Some(false)
+        );
         assert_eq!(range(3, 4).implies(&range(3, 6)), Some(true));
         assert_eq!(range(3, 7).implies(&range(3, 6)), Some(false));
         assert_eq!(Interval::none().implies(&range(0, 1)), Some(true));
@@ -859,10 +861,7 @@ mod tests {
         ]);
         assert!(s.bind(1, &Value::int(15)));
         // x1 ≥ 10 evaluated away; x1 < x2 becomes x2 > 15.
-        assert_eq!(
-            s.atoms(),
-            &[ConstraintAtom::var_const(2, CompOp::Gt, 15)]
-        );
+        assert_eq!(s.atoms(), &[ConstraintAtom::var_const(2, CompOp::Gt, 15)]);
         let mut s2 = ConstraintSet::new(vec![ConstraintAtom::var_const(1, CompOp::Ge, 10)]);
         assert!(!s2.bind(1, &Value::int(5)));
     }

@@ -205,9 +205,7 @@ fn comparison_implied(
         (Some(Image::Var(x)), CompRhs::Const(b)) => {
             // The query's interval for x must imply `x op b`.
             match query_interval(query, *x) {
-                Some(iv) => {
-                    iv.implies(&Interval::from_op(op, b.clone())) == Some(true)
-                }
+                Some(iv) => iv.implies(&Interval::from_op(op, b.clone())) == Some(true),
                 None => syntactic_atom(query, *x, op, rhs.clone()),
             }
         }
@@ -233,9 +231,7 @@ fn comparison_implied(
         (Some(Image::Const(a)), CompRhs::Var(y)) => match map.get(y) {
             Some(Image::Const(b)) => op.eval(a, b).unwrap_or(false),
             Some(Image::Var(qy)) => match query_interval(query, *qy) {
-                Some(iv) => {
-                    iv.implies(&Interval::from_op(op.flip(), a.clone())) == Some(true)
-                }
+                Some(iv) => iv.implies(&Interval::from_op(op.flip(), a.clone())) == Some(true),
                 None => false,
             },
             _ => false,
@@ -334,7 +330,9 @@ mod tests {
 
     #[test]
     fn different_targets_not_contained() {
-        let names = ConjunctiveQuery::retrieve().target("EMPLOYEE", "NAME").build();
+        let names = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .build();
         let salaries = ConjunctiveQuery::retrieve()
             .target("EMPLOYEE", "SALARY")
             .build();
@@ -411,7 +409,9 @@ mod tests {
     fn self_join_folds_onto_single_atom() {
         // Q: pairs with equal titles projected to one name; V: all
         // names. Q's two EMPLOYEE atoms both map onto V's one.
-        let v = ConjunctiveQuery::retrieve().target("EMPLOYEE", "NAME").build();
+        let v = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .build();
         let q = ConjunctiveQuery::retrieve()
             .target_occ("EMPLOYEE", 1, "NAME")
             .where_attr(
@@ -421,7 +421,10 @@ mod tests {
             )
             .build();
         assert!(c(&q, &v), "folding homomorphism");
-        assert!(!c(&v, &q) || c(&v, &q), "other direction is also true semantically");
+        assert!(
+            !c(&v, &q) || c(&v, &q),
+            "other direction is also true semantically"
+        );
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! grants. Shared by tests, examples, and the experiment report.
 
 use crate::store::AuthStore;
+use motro_rel::CompOp;
 use motro_rel::{tuple, Database, DbSchema, Domain};
 use motro_views::{AttrRef, ConjunctiveQuery};
-use motro_rel::CompOp;
 
 /// The example database scheme (Section 2):
 ///

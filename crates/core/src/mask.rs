@@ -12,10 +12,10 @@
 //! visibility is the union over all mask tuples; tuples with no visible
 //! cell are withheld entirely.
 
+use crate::meta_algebra::cell_admits;
 use crate::metarel::render_table;
 use crate::metatuple::{CellContent, MetaTuple, VarId};
-use crate::meta_algebra::cell_admits;
-use motro_rel::{Relation, RelSchema, Tuple, Value};
+use motro_rel::{RelSchema, Relation, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -50,9 +50,9 @@ impl Mask {
     /// Does some mask tuple grant the entire answer (all columns
     /// starred, no conditions)?
     pub fn is_full(&self) -> bool {
-        self.tuples.iter().any(|t| {
-            t.cells.iter().all(|c| c.starred && c.is_blank()) && t.constraints.is_empty()
-        })
+        self.tuples
+            .iter()
+            .any(|t| t.cells.iter().all(|c| c.starred && c.is_blank()) && t.constraints.is_empty())
     }
 
     /// Drop mask tuples subsumed by another (weaker-or-equal condition,
@@ -396,10 +396,7 @@ mod tests {
         let s = schema().project(&[0, 1]);
         let ans = Relation::from_rows(
             s.clone(),
-            vec![
-                tuple!["bq-45", "Acme"],
-                tuple!["sv-72", "Apex"],
-            ],
+            vec![tuple!["bq-45", "Acme"], tuple!["sv-72", "Apex"]],
         )
         .unwrap();
         let mask = Mask::new(
@@ -426,7 +423,10 @@ mod tests {
     fn column_mask_hides_cells() {
         let s = RelSchema::base("E", &[("NAME", Domain::Str), ("SALARY", Domain::Int)]);
         let ans = Relation::from_rows(s.clone(), vec![tuple!["Brown", 32_000]]).unwrap();
-        let mask = Mask::new(s, vec![mt("ELP", vec![MetaCell::star(), MetaCell::blank()])]);
+        let mask = Mask::new(
+            s,
+            vec![mt("ELP", vec![MetaCell::star(), MetaCell::blank()])],
+        );
         let out = mask.apply(&ans);
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0][0], Some(Value::str("Brown")));
@@ -478,7 +478,10 @@ mod tests {
                         MetaCell::blank(),
                     ],
                 ),
-                mt("B", vec![MetaCell::blank(), MetaCell::blank(), MetaCell::star()]),
+                mt(
+                    "B",
+                    vec![MetaCell::blank(), MetaCell::blank(), MetaCell::star()],
+                ),
             ],
         );
         let out = mask.apply(&answer());
@@ -495,14 +498,13 @@ mod tests {
     #[test]
     fn shared_variable_requires_equal_values() {
         let s = RelSchema::base("E", &[("A", Domain::Str), ("B", Domain::Str)]);
-        let ans = Relation::from_rows(
-            s.clone(),
-            vec![tuple!["x", "x"], tuple!["x", "y"]],
-        )
-        .unwrap();
+        let ans = Relation::from_rows(s.clone(), vec![tuple!["x", "x"], tuple!["x", "y"]]).unwrap();
         let mask = Mask::new(
             s,
-            vec![mt("V", vec![MetaCell::var(1, true), MetaCell::var(1, true)])],
+            vec![mt(
+                "V",
+                vec![MetaCell::var(1, true), MetaCell::var(1, true)],
+            )],
         );
         let out = mask.apply(&ans);
         assert_eq!(out.len(), 1);
@@ -515,8 +517,7 @@ mod tests {
     #[test]
     fn variable_constraints_checked_at_application() {
         let s = RelSchema::base("P", &[("BUDGET", Domain::Int)]);
-        let ans =
-            Relation::from_rows(s.clone(), vec![tuple![300_000], tuple![100_000]]).unwrap();
+        let ans = Relation::from_rows(s.clone(), vec![tuple![300_000], tuple![100_000]]).unwrap();
         let t = MetaTuple::new(
             "V",
             1,
@@ -558,7 +559,10 @@ mod tests {
                 MetaCell::blank(),
             ],
         );
-        let b = mt("B", vec![MetaCell::blank(), MetaCell::blank(), MetaCell::star()]);
+        let b = mt(
+            "B",
+            vec![MetaCell::blank(), MetaCell::blank(), MetaCell::star()],
+        );
         let mask = Mask::new(schema(), vec![a, b]);
         assert_eq!(mask.len(), 2);
     }
@@ -566,10 +570,7 @@ mod tests {
     #[test]
     fn var_var_constraint_in_description_and_application() {
         // "Occurrence 1 earns more than occurrence 2" as a mask.
-        let s = RelSchema::base(
-            "E",
-            &[("SALARY", Domain::Int), ("SALARY", Domain::Int)],
-        );
+        let s = RelSchema::base("E", &[("SALARY", Domain::Int), ("SALARY", Domain::Int)]);
         let t = MetaTuple::new(
             "V",
             1,
@@ -577,16 +578,16 @@ mod tests {
             ConstraintSet::new(vec![ConstraintAtom::var_var(1, CompOp::Gt, 2)]),
         );
         let mask = Mask::new(s.clone(), vec![t]);
-        let ans = Relation::from_rows(
-            s,
-            vec![tuple![20, 10], tuple![10, 20], tuple![5, 5]],
-        )
-        .unwrap();
+        let ans =
+            Relation::from_rows(s, vec![tuple![20, 10], tuple![10, 20], tuple![5, 5]]).unwrap();
         let out = mask.apply(&ans);
         assert_eq!(out.len(), 1);
         assert_eq!(out.rows[0][0], Some(Value::int(20)));
         let d = mask.describe();
-        assert_eq!(d[0].to_string(), "permit (SALARY:1, SALARY:2) where SALARY:1 > SALARY:2");
+        assert_eq!(
+            d[0].to_string(),
+            "permit (SALARY:1, SALARY:2) where SALARY:1 > SALARY:2"
+        );
     }
 
     #[test]
@@ -639,11 +640,8 @@ mod tests {
     fn masked_duplicate_rows_collapse() {
         // Masking SALARY can make two employees look identical.
         let s = RelSchema::base("E", &[("TITLE", Domain::Str), ("SALARY", Domain::Int)]);
-        let ans = Relation::from_rows(
-            s.clone(),
-            vec![tuple!["eng", 10], tuple!["eng", 20]],
-        )
-        .unwrap();
+        let ans =
+            Relation::from_rows(s.clone(), vec![tuple!["eng", 10], tuple!["eng", 20]]).unwrap();
         let mask = Mask::new(s, vec![mt("V", vec![MetaCell::star(), MetaCell::blank()])]);
         let out = mask.apply(&ans);
         assert_eq!(out.len(), 1);

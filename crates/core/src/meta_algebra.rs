@@ -414,11 +414,7 @@ pub fn meta_project(rows: Vec<MetaTuple>, keep: &[usize]) -> Vec<MetaTuple> {
 
 /// Evaluate how a value `v` relates to a meta-cell's condition under a
 /// variable binding being built up; helper shared with mask application.
-pub(crate) fn cell_admits(
-    cell: &MetaCell,
-    v: &Value,
-    binding: &mut HashMap<VarId, Value>,
-) -> bool {
+pub(crate) fn cell_admits(cell: &MetaCell, v: &Value, binding: &mut HashMap<VarId, Value>) -> bool {
     match &cell.content {
         CellContent::Blank => true,
         CellContent::Const(c) => c == v,
@@ -441,12 +437,7 @@ mod tests {
         MetaTuple::new(view, id, cells, ConstraintSet::empty())
     }
 
-    fn t_with(
-        view: &str,
-        id: u32,
-        cells: Vec<MetaCell>,
-        atoms: Vec<ConstraintAtom>,
-    ) -> MetaTuple {
+    fn t_with(view: &str, id: u32, cells: Vec<MetaCell>, atoms: Vec<ConstraintAtom>) -> MetaTuple {
         MetaTuple::new(view, id, cells, ConstraintSet::new(atoms))
     }
 
@@ -651,10 +642,7 @@ mod tests {
         let rows = vec![t(
             "V",
             1,
-            vec![
-                MetaCell::constant("a", true),
-                MetaCell::constant("a", true),
-            ],
+            vec![MetaCell::constant("a", true), MetaCell::constant("a", true)],
         )];
         let eq = PredicateAtom::col_col(0, CompOp::Eq, 1);
         assert_eq!(
@@ -665,10 +653,7 @@ mod tests {
         let rows = vec![t(
             "V",
             1,
-            vec![
-                MetaCell::constant("a", true),
-                MetaCell::constant("b", true),
-            ],
+            vec![MetaCell::constant("a", true), MetaCell::constant("b", true)],
         )];
         assert!(meta_select(rows, &eq, SelectMode::FourCase, &mut nv).is_empty());
         // Const vs blank under Eq propagates the constant.
@@ -772,8 +757,16 @@ mod tests {
     #[test]
     fn project_reorders_and_merges() {
         let rows = vec![
-            t("A", 1, vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()]),
-            t("B", 2, vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()]),
+            t(
+                "A",
+                1,
+                vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()],
+            ),
+            t(
+                "B",
+                2,
+                vec![MetaCell::star(), MetaCell::blank(), MetaCell::star()],
+            ),
         ];
         let out = meta_project(rows, &[2, 0]);
         assert_eq!(out.len(), 1, "identical projections merge");

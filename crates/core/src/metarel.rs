@@ -7,7 +7,7 @@
 //! actual relation's rows, as the paper displays them).
 
 use crate::metatuple::{MetaTuple, TupleId};
-use motro_rel::{Relation, RelSchema};
+use motro_rel::{RelSchema, Relation};
 use serde::{Deserialize, Serialize};
 
 /// The meta-relation `R'` of one base relation.
@@ -137,8 +137,7 @@ mod tests {
             ],
             ConstraintSet::empty(),
         ));
-        let actual =
-            Relation::from_rows(schema(), vec![tuple!["bq-45", "Acme", 300_000]]).unwrap();
+        let actual = Relation::from_rows(schema(), vec![tuple!["bq-45", "Acme", 300_000]]).unwrap();
         let t = mr.to_table(Some(&actual));
         assert!(t.contains("VIEW"));
         assert!(t.contains("bq-45"));

@@ -144,12 +144,7 @@ pub struct MetaTuple {
 
 impl MetaTuple {
     /// Build a meta-tuple for a single stored view row.
-    pub fn new(
-        view: &str,
-        id: TupleId,
-        cells: Vec<MetaCell>,
-        constraints: ConstraintSet,
-    ) -> Self {
+    pub fn new(view: &str, id: TupleId, cells: Vec<MetaCell>, constraints: ConstraintSet) -> Self {
         MetaTuple {
             provenance: BTreeSet::from([view.to_owned()]),
             covers: BTreeSet::from([id]),
@@ -177,10 +172,7 @@ impl MetaTuple {
 
     /// Number of cells holding variable `x`.
     pub fn var_occurrences(&self, x: VarId) -> usize {
-        self.cells
-            .iter()
-            .filter(|c| c.as_var() == Some(x))
-            .count()
+        self.cells.iter().filter(|c| c.as_var() == Some(x)).count()
     }
 
     /// Concatenate with another meta-tuple (the meta-product at tuple
@@ -311,8 +303,18 @@ mod tests {
 
     #[test]
     fn concat_unions_bookkeeping() {
-        let a = MetaTuple::new("SAE", 1, vec![MetaCell::star(), MetaCell::blank()], cset(vec![]));
-        let b = MetaTuple::new("PSA", 2, vec![MetaCell::constant("Acme", true)], cset(vec![]));
+        let a = MetaTuple::new(
+            "SAE",
+            1,
+            vec![MetaCell::star(), MetaCell::blank()],
+            cset(vec![]),
+        );
+        let b = MetaTuple::new(
+            "PSA",
+            2,
+            vec![MetaCell::constant("Acme", true)],
+            cset(vec![]),
+        );
         let c = a.concat(&b);
         assert_eq!(c.arity(), 3);
         assert_eq!(c.provenance.len(), 2);
@@ -371,7 +373,11 @@ mod tests {
         let mut t = MetaTuple::new(
             "V",
             1,
-            vec![MetaCell::var(1, true), MetaCell::var(2, true), MetaCell::var(2, false)],
+            vec![
+                MetaCell::var(1, true),
+                MetaCell::var(2, true),
+                MetaCell::var(2, false),
+            ],
             cset(vec![]),
         );
         t.simplify();
@@ -415,7 +421,11 @@ mod tests {
         let t = MetaTuple::new(
             "V",
             1,
-            vec![MetaCell::var(1, true), MetaCell::var(1, false), MetaCell::blank()],
+            vec![
+                MetaCell::var(1, true),
+                MetaCell::var(1, false),
+                MetaCell::blank(),
+            ],
             cset(vec![ConstraintAtom {
                 lhs: 7,
                 op: CompOp::Lt,

@@ -31,7 +31,7 @@
 use crate::error::{CoreError, CoreResult};
 use crate::metatuple::{CellContent, MetaCell};
 use crate::store::AuthStore;
-use motro_rel::{DbSchema, Domain, Relation, RelSchema, Tuple, Value};
+use motro_rel::{DbSchema, Domain, RelSchema, Relation, Tuple, Value};
 use motro_views::{CompRhs, MembershipAtom, NormalizedView, VarComparison};
 use std::collections::BTreeMap;
 
@@ -43,10 +43,7 @@ pub fn meta_table_name(rel: &str) -> String {
 fn str_columns(names: &[&str]) -> RelSchema {
     RelSchema::base(
         "<storage>",
-        &names
-            .iter()
-            .map(|n| (*n, Domain::Str))
-            .collect::<Vec<_>>(),
+        &names.iter().map(|n| (*n, Domain::Str)).collect::<Vec<_>>(),
     )
 }
 
@@ -96,9 +93,11 @@ fn decode_cell(text: &str, domain: Domain) -> CoreResult<MetaCell> {
     } else if let Some(q) = body.strip_prefix('\'').and_then(|b| b.strip_suffix('\'')) {
         CellContent::Const(Value::str(q))
     } else if looks_like_var(body) {
-        CellContent::Var(body[1..].parse().map_err(|_| {
-            CoreError::Internal(format!("bad variable in storage: {body}"))
-        })?)
+        CellContent::Var(
+            body[1..]
+                .parse()
+                .map_err(|_| CoreError::Internal(format!("bad variable in storage: {body}")))?,
+        )
     } else if domain == Domain::Int {
         CellContent::Const(Value::Int(body.parse().map_err(|_| {
             CoreError::Internal(format!("bad integer constant in storage: {body}"))
@@ -133,9 +132,7 @@ pub fn encode_store(store: &AuthStore) -> CoreResult<BTreeMap<String, Relation>>
             })?;
             let mut row = vec![Value::str(tag), Value::str(ordinal.to_string())];
             row.extend(t.cells.iter().map(|c| Value::str(encode_cell(c))));
-            table
-                .insert(Tuple::new(row))
-                .map_err(CoreError::Rel)?;
+            table.insert(Tuple::new(row)).map_err(CoreError::Rel)?;
         }
         out.insert(meta_table_name(rel), table);
     }
@@ -216,9 +213,10 @@ pub fn decode_store(
             let mut terms = Vec::with_capacity(def.schema.arity());
             let mut starred = Vec::with_capacity(def.schema.arity());
             for i in 0..def.schema.arity() {
-                let text = row.value(i + 2).as_str().ok_or_else(|| {
-                    CoreError::Internal("meta cells must be text".to_owned())
-                })?;
+                let text = row
+                    .value(i + 2)
+                    .as_str()
+                    .ok_or_else(|| CoreError::Internal("meta cells must be text".to_owned()))?;
                 let cell = decode_cell(text, def.schema.domain(i))?;
                 starred.push(cell.starred);
                 terms.push(match cell.content {
@@ -256,13 +254,12 @@ pub fn decode_store(
             let op = parse_op(get(2)?)?;
             let ytext = get(3)?;
             let rhs = if looks_like_var(ytext) {
-                CompRhs::Var(ytext[1..].parse().map_err(|_| {
-                    CoreError::Internal(format!("bad Y in COMPARISON: {ytext}"))
-                })?)
-            } else if let Some(q) = ytext
-                .strip_prefix('\'')
-                .and_then(|b| b.strip_suffix('\''))
-            {
+                CompRhs::Var(
+                    ytext[1..].parse().map_err(|_| {
+                        CoreError::Internal(format!("bad Y in COMPARISON: {ytext}"))
+                    })?,
+                )
+            } else if let Some(q) = ytext.strip_prefix('\'').and_then(|b| b.strip_suffix('\'')) {
                 CompRhs::Const(Value::str(q))
             } else if let Ok(i) = ytext.parse::<i64>() {
                 CompRhs::Const(Value::Int(i))
@@ -471,8 +468,14 @@ mod tests {
             assert_eq!(a.masked.withheld, b.masked.withheld);
             assert_eq!(a.full_access, b.full_access);
             assert_eq!(
-                a.permits.iter().map(ToString::to_string).collect::<Vec<_>>(),
-                b.permits.iter().map(ToString::to_string).collect::<Vec<_>>()
+                a.permits
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>(),
+                b.permits
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
             );
         }
     }
@@ -481,11 +484,7 @@ mod tests {
     fn union_views_and_groups_survive_storage() {
         let mut scheme = DbSchema::new();
         scheme
-            .add_relation_with_key(
-                "P",
-                &[("K", Domain::Str), ("W", Domain::Str)],
-                Some(&["K"]),
-            )
+            .add_relation_with_key("P", &[("K", Domain::Str), ("W", Domain::Str)], Some(&["K"]))
             .unwrap();
         let mut store = AuthStore::new(scheme.clone());
         store

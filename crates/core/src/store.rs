@@ -85,6 +85,15 @@ pub struct AuthStore {
     next_tuple: TupleId,
     next_var: VarId,
     selfjoin_rounds: usize,
+    /// The authorization epoch: a monotone counter bumped by every
+    /// mutation that can change an authorization decision (view
+    /// definitions, grants, revocations, group membership, refinement
+    /// settings). A mask computed for `(user, plan)` is a pure function
+    /// of the store state, so it stays valid exactly while the epoch
+    /// does not move — the invariant external mask caches rely on.
+    /// Absent in pre-epoch serialized states, hence the default.
+    #[serde(default)]
+    epoch: u64,
 }
 
 impl AuthStore {
@@ -108,7 +117,25 @@ impl AuthStore {
             next_tuple: 1,
             next_var: 1,
             selfjoin_rounds: 1,
+            epoch: 0,
         }
+    }
+
+    /// The current authorization epoch. Monotonically increasing; any
+    /// change means previously computed masks may no longer reflect the
+    /// store and must be recomputed.
+    pub fn auth_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the authorization epoch, invalidating externally cached
+    /// masks. Every mutating method of the store calls this itself;
+    /// call it directly only after out-of-band changes that affect
+    /// authorization decisions (e.g. swapping the refinement
+    /// configuration an engine will run with). Returns the new epoch.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
     }
 
     /// Set how many self-join combination rounds refinement R3 runs
@@ -118,6 +145,7 @@ impl AuthStore {
     pub fn set_selfjoin_rounds(&mut self, rounds: usize) {
         self.selfjoin_rounds = rounds;
         self.regenerate_selfjoins();
+        self.bump_epoch();
     }
 
     /// The database scheme the store was built over.
@@ -161,8 +189,10 @@ impl AuthStore {
             let nv = normalize(q, &self.scheme)?;
             entries.push(self.install_normalized(name, q.clone(), &nv)?);
         }
-        self.views.insert(name.to_owned(), ViewEntry { branches: entries });
+        self.views
+            .insert(name.to_owned(), ViewEntry { branches: entries });
         self.regenerate_selfjoins();
+        self.bump_epoch();
         Ok(())
     }
 
@@ -228,8 +258,7 @@ impl AuthStore {
                     }
                 })
                 .collect();
-            let cell_vars: BTreeSet<VarId> =
-                cells.iter().filter_map(MetaCell::as_var).collect();
+            let cell_vars: BTreeSet<VarId> = cells.iter().filter_map(MetaCell::as_var).collect();
             // Attach the comparison atoms that mention this tuple's
             // variables.
             let local_atoms: Vec<ConstraintAtom> = comparisons
@@ -280,17 +309,14 @@ impl AuthStore {
         self.permissions.retain(|(_, v)| v != name);
         self.group_permissions.retain(|(_, v)| v != name);
         self.regenerate_selfjoins();
+        self.bump_epoch();
         Ok(())
     }
 
     fn regenerate_selfjoins(&mut self) {
         self.selfjoins.clear();
         for (rel, mr) in &self.meta {
-            let key = self
-                .scheme
-                .relation(rel)
-                .ok()
-                .and_then(|d| d.key.clone());
+            let key = self.scheme.relation(rel).ok().and_then(|d| d.key.clone());
             let joins = selfjoin::self_joins(&mr.tuples, key.as_deref(), self.selfjoin_rounds);
             if !joins.is_empty() {
                 self.selfjoins.insert(rel.clone(), joins);
@@ -301,15 +327,13 @@ impl AuthStore {
     /// Define an *aggregate view* (the Section 6 extension): grants the
     /// grouped aggregate without any row-level access. The name shares
     /// the view namespace.
-    pub fn define_aggregate_view(
-        &mut self,
-        q: &motro_views::AggregateQuery,
-    ) -> CoreResult<()> {
+    pub fn define_aggregate_view(&mut self, q: &motro_views::AggregateQuery) -> CoreResult<()> {
         let name = crate::aggregate::validate_aggregate_view(q, &self.scheme)?;
         if self.views.contains_key(&name) || self.aggregate_views.contains_key(&name) {
             return Err(CoreError::DuplicateView(name));
         }
         self.aggregate_views.insert(name, q.clone());
+        self.bump_epoch();
         Ok(())
     }
 
@@ -325,6 +349,7 @@ impl AuthStore {
         }
         self.permissions.retain(|(_, v)| v != name);
         self.group_permissions.retain(|(_, v)| v != name);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -336,26 +361,38 @@ impl AuthStore {
             return Err(CoreError::UnknownView(view.to_owned()));
         }
         self.permissions.insert((user.to_owned(), view.to_owned()));
+        self.bump_epoch();
         Ok(())
     }
 
     /// Revoke a grant.
     pub fn revoke(&mut self, view: &str, user: &str) -> CoreResult<()> {
-        if !self
-            .permissions
-            .remove(&(user.to_owned(), view.to_owned()))
-        {
+        if !self.permissions.remove(&(user.to_owned(), view.to_owned())) {
             return Err(CoreError::UnknownGrant {
                 user: user.to_owned(),
                 view: view.to_owned(),
             });
         }
+        self.bump_epoch();
         Ok(())
     }
 
     /// Views granted to `user` — directly or through any group the user
     /// belongs to — in name order.
+    ///
+    /// A principal of the form `group:G` (the same prefix convention the
+    /// `PERMISSION` display table uses) names the group itself: the
+    /// result is exactly the views granted to `G`, letting callers act
+    /// *as* a group principal (the server binds sessions this way).
     pub fn permitted_views(&self, user: &str) -> Vec<&str> {
+        if let Some(group) = user.strip_prefix("group:") {
+            return self
+                .group_permissions
+                .iter()
+                .filter(|(g, _)| g == group)
+                .map(|(_, v)| v.as_str())
+                .collect();
+        }
         let mut out: BTreeSet<&str> = self
             .permissions
             .iter()
@@ -382,6 +419,7 @@ impl AuthStore {
         }
         self.group_permissions
             .insert((group.to_owned(), view.to_owned()));
+        self.bump_epoch();
         Ok(())
     }
 
@@ -396,21 +434,24 @@ impl AuthStore {
                 view: view.to_owned(),
             });
         }
+        self.bump_epoch();
         Ok(())
     }
 
-    /// Add `user` to `group`.
+    /// Add `user` to `group`. Membership changes the user's permission
+    /// set, so this advances the authorization epoch like any grant.
     pub fn add_member(&mut self, group: &str, user: &str) {
         self.membership
             .entry(user.to_owned())
             .or_default()
             .insert(group.to_owned());
+        self.bump_epoch();
     }
 
     /// Remove `user` from `group`. Returns whether the membership
-    /// existed.
+    /// existed (and, if so, advances the authorization epoch).
     pub fn remove_member(&mut self, group: &str, user: &str) -> bool {
-        match self.membership.get_mut(user) {
+        let removed = match self.membership.get_mut(user) {
             Some(gs) => {
                 let removed = gs.remove(group);
                 if gs.is_empty() {
@@ -419,7 +460,11 @@ impl AuthStore {
                 removed
             }
             None => false,
+        };
+        if removed {
+            self.bump_epoch();
         }
+        removed
     }
 
     /// The groups `user` belongs to.
@@ -531,9 +576,7 @@ impl AuthStore {
 
     /// Render the `COMPARISON` relation.
     pub fn comparison_table(&self) -> String {
-        let headers = ["VIEW", "X", "COMPARE", "Y"]
-            .map(str::to_owned)
-            .to_vec();
+        let headers = ["VIEW", "X", "COMPARE", "Y"].map(str::to_owned).to_vec();
         let mut rows = Vec::new();
         for (view, e) in &self.views {
             for b in &e.branches {
@@ -672,6 +715,7 @@ impl AuthStore {
         self.views
             .insert(name.to_owned(), ViewEntry { branches: entries });
         self.regenerate_selfjoins();
+        self.bump_epoch();
         Ok(())
     }
 }
@@ -825,10 +869,7 @@ mod tests {
         assert!(!s.is_closed(&elp_proj));
         // The concatenation of all three ELP tuples is closed.
         let emp = s.candidates("Klein", "EMPLOYEE", &all);
-        let elp_emp = emp
-            .iter()
-            .find(|t| t.render_provenance() == "ELP")
-            .unwrap();
+        let elp_emp = emp.iter().find(|t| t.render_provenance() == "ELP").unwrap();
         let asg = s
             .candidates("Klein", "ASSIGNMENT", &all)
             .into_iter()
@@ -850,6 +891,55 @@ mod tests {
         assert!(p.contains("Klein"));
         let m = s.meta_table("PROJECT", None).unwrap();
         assert!(m.contains("Acme*"));
+    }
+
+    #[test]
+    fn epoch_advances_on_every_auth_mutation() {
+        let mut s = AuthStore::new(fixtures::paper_scheme());
+        let mut last = s.auth_epoch();
+        let mut expect_bump = |s: &AuthStore, what: &str| {
+            assert!(s.auth_epoch() > last, "{what} did not bump the epoch");
+            last = s.auth_epoch();
+        };
+        let v = ConjunctiveQuery::view("V")
+            .target("EMPLOYEE", "NAME")
+            .build();
+        s.define_view(&v).unwrap();
+        expect_bump(&s, "define_view");
+        s.permit("V", "Brown").unwrap();
+        expect_bump(&s, "permit");
+        s.permit_group("V", "eng").unwrap();
+        expect_bump(&s, "permit_group");
+        s.add_member("eng", "Klein");
+        expect_bump(&s, "add_member");
+        assert!(s.remove_member("eng", "Klein"));
+        expect_bump(&s, "remove_member");
+        s.revoke_group("V", "eng").unwrap();
+        expect_bump(&s, "revoke_group");
+        s.revoke("V", "Brown").unwrap();
+        expect_bump(&s, "revoke");
+        s.set_selfjoin_rounds(2);
+        expect_bump(&s, "set_selfjoin_rounds");
+        s.drop_view("V").unwrap();
+        expect_bump(&s, "drop_view");
+        // Failed mutations leave the epoch alone.
+        assert!(s.permit("NOPE", "Brown").is_err());
+        assert_eq!(s.auth_epoch(), last);
+        assert!(!s.remove_member("eng", "Klein"));
+        assert_eq!(s.auth_epoch(), last);
+    }
+
+    #[test]
+    fn group_principal_prefix_lists_group_grants() {
+        let mut s = store();
+        s.permit_group("SAE", "eng").unwrap();
+        s.permit_group("EST", "eng").unwrap();
+        assert_eq!(s.permitted_views("group:eng"), vec!["EST", "SAE"]);
+        assert!(s.permitted_views("group:ops").is_empty());
+        // The prefix names the group itself, not a member.
+        s.add_member("eng", "Klein");
+        assert!(s.permitted_views("Klein").contains(&"SAE"));
+        assert!(!s.permitted_views("group:eng").contains(&"ELP"));
     }
 
     #[test]

@@ -39,7 +39,12 @@ fn identity_plan(engine: &AuthorizedEngine<'_>, rel: &str) -> CoreResult<Canonic
 }
 
 /// Is `user` permitted to fully observe tuple `t` of `rel`?
-fn covers_fully(engine: &AuthorizedEngine<'_>, user: &str, rel: &str, t: &Tuple) -> CoreResult<bool> {
+fn covers_fully(
+    engine: &AuthorizedEngine<'_>,
+    user: &str,
+    rel: &str,
+    t: &Tuple,
+) -> CoreResult<bool> {
     let plan = identity_plan(engine, rel)?;
     let (mask, _) = engine.mask_for_plan(user, &plan)?;
     Ok(mask.coverage(t).iter().all(|&v| v))
@@ -128,12 +133,6 @@ mod tests {
         let db = fixtures::paper_database();
         let store = fixtures::paper_store();
         let engine = AuthorizedEngine::new(&db, &store);
-        assert!(!check_insert(
-            &engine,
-            "Nobody",
-            "ASSIGNMENT",
-            &tuple!["Green", "bq-45"]
-        )
-        .unwrap());
+        assert!(!check_insert(&engine, "Nobody", "ASSIGNMENT", &tuple!["Green", "bq-45"]).unwrap());
     }
 }

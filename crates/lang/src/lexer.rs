@@ -289,10 +289,7 @@ impl<'a> Lexer<'a> {
             && self.peek_at(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
             && self.peek_at(2).map(|c| c.is_ascii_digit()).unwrap_or(false)
             && self.peek_at(3).map(|c| c.is_ascii_digit()).unwrap_or(false)
-            && !self
-                .peek_at(4)
-                .map(|c| c.is_ascii_digit())
-                .unwrap_or(false)
+            && !self.peek_at(4).map(|c| c.is_ascii_digit()).unwrap_or(false)
         {
             digits.push_str(&self.src[self.pos + 1..self.pos + 4]);
             self.pos += 4;

@@ -3,8 +3,8 @@
 
 use crate::error::ParseError;
 use crate::lexer::{Lexer, Token, TokenKind};
-use motro_rel::Value;
 use motro_rel::AggFunc;
+use motro_rel::Value;
 use motro_views::{AggregateQuery, AttrRef, CalcAtom, CalcTerm, ConjunctiveQuery};
 
 /// The grantee of a `permit`/`revoke`: a user or (extension) a group.
@@ -369,8 +369,8 @@ impl Parser {
                 let atoms = disjuncts.pop().expect("one disjunct");
                 // Every reference must stay within the target relation.
                 for a in &atoms {
-                    let bad = a.lhs.rel != rel
-                        || matches!(&a.rhs, CalcTerm::Attr(r) if r.rel != rel);
+                    let bad =
+                        a.lhs.rel != rel || matches!(&a.rhs, CalcTerm::Attr(r) if r.rel != rel);
                     if bad {
                         return Err(ParseError::new(
                             offset,
@@ -451,10 +451,7 @@ mod tests {
         assert_eq!(q.name.as_deref(), Some("ELP"));
         assert_eq!(q.targets.len(), 4);
         assert_eq!(q.atoms.len(), 3);
-        assert_eq!(
-            q.atoms[2].rhs,
-            CalcTerm::Const(Value::int(250_000))
-        );
+        assert_eq!(q.atoms[2].rhs, CalcTerm::Const(Value::int(250_000)));
     }
 
     /// The paper's EST view with occurrence-qualified references.
@@ -629,9 +626,7 @@ mod tests {
 
     #[test]
     fn or_in_aggregate_view_rejected() {
-        assert!(
-            parse_statement("view V (R.A, sum(R.B)) where R.A = x or R.A = y").is_err()
-        );
+        assert!(parse_statement("view V (R.A, sum(R.B)) where R.A = x or R.A = y").is_err());
     }
 
     #[test]
@@ -640,11 +635,7 @@ mod tests {
             parse_statement("insert into EMPLOYEE values (Green, clerk, 18,000)").unwrap(),
             Statement::Insert {
                 rel: "EMPLOYEE".into(),
-                values: vec![
-                    Value::str("Green"),
-                    Value::str("clerk"),
-                    Value::int(18_000)
-                ],
+                values: vec![Value::str("Green"), Value::str("clerk"), Value::int(18_000)],
             }
         );
         let Statement::Delete { rel, atoms } =
@@ -657,10 +648,7 @@ mod tests {
         // Unqualified delete is allowed (delete everything permitted).
         assert!(parse_statement("delete from EMPLOYEE").is_ok());
         // Cross-relation qualifications are rejected.
-        assert!(parse_statement(
-            "delete from EMPLOYEE where PROJECT.BUDGET > 0"
-        )
-        .is_err());
+        assert!(parse_statement("delete from EMPLOYEE where PROJECT.BUDGET > 0").is_err());
         assert!(parse_statement("insert into EMPLOYEE values ()").is_err());
         assert!(parse_statement("insert EMPLOYEE values (x)").is_err());
     }

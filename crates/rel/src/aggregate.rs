@@ -124,21 +124,14 @@ impl fmt::Display for AggFunc {
 /// Group `r` on `keys` and evaluate `aggs` (function, input column) per
 /// group. The output schema is the key columns followed by one column
 /// per aggregate, named `FUNC_ATTR`.
-pub fn group_by(
-    r: &Relation,
-    keys: &[usize],
-    aggs: &[(AggFunc, usize)],
-) -> RelResult<Relation> {
+pub fn group_by(r: &Relation, keys: &[usize], aggs: &[(AggFunc, usize)]) -> RelResult<Relation> {
     let in_schema = r.schema();
     for &k in keys {
         if k >= in_schema.arity() {
             return Err(RelError::UnknownAttribute(format!("#{k}")));
         }
     }
-    let mut columns: Vec<Column> = keys
-        .iter()
-        .map(|&k| in_schema.column(k).clone())
-        .collect();
+    let mut columns: Vec<Column> = keys.iter().map(|&k| in_schema.column(k).clone()).collect();
     for (f, col) in aggs {
         if *col >= in_schema.arity() {
             return Err(RelError::UnknownAttribute(format!("#{col}")));
@@ -147,7 +140,11 @@ pub fn group_by(
         columns.push(Column {
             qual: QualifiedAttr::new(
                 "<agg>",
-                format!("{}_{}", f.to_string().to_uppercase(), in_schema.column(*col).qual.attr),
+                format!(
+                    "{}_{}",
+                    f.to_string().to_uppercase(),
+                    in_schema.column(*col).qual.attr
+                ),
             ),
             domain: dom,
         });
@@ -212,11 +209,7 @@ mod tests {
         let out = group_by(
             &emp(),
             &[1],
-            &[
-                (AggFunc::Count, 0),
-                (AggFunc::Sum, 2),
-                (AggFunc::Avg, 2),
-            ],
+            &[(AggFunc::Count, 0), (AggFunc::Sum, 2), (AggFunc::Avg, 2)],
         )
         .unwrap();
         assert_eq!(out.len(), 2);

@@ -178,8 +178,11 @@ mod tests {
             Some(&["NAME"]),
         )
         .unwrap();
-        s.add_relation("ASSIGNMENT", &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)])
-            .unwrap();
+        s.add_relation(
+            "ASSIGNMENT",
+            &[("E_NAME", Domain::Str), ("P_NO", Domain::Str)],
+        )
+        .unwrap();
         s
     }
 
@@ -213,10 +216,16 @@ mod tests {
     #[test]
     fn instance_insert_delete() {
         let mut db = Database::new(scheme());
-        assert!(db.insert("EMPLOYEE", tuple!["Jones", "manager", 26_000]).unwrap());
-        assert!(!db.insert("EMPLOYEE", tuple!["Jones", "manager", 26_000]).unwrap());
+        assert!(db
+            .insert("EMPLOYEE", tuple!["Jones", "manager", 26_000])
+            .unwrap());
+        assert!(!db
+            .insert("EMPLOYEE", tuple!["Jones", "manager", 26_000])
+            .unwrap());
         assert_eq!(db.total_tuples(), 1);
-        assert!(db.delete("EMPLOYEE", &tuple!["Jones", "manager", 26_000]).unwrap());
+        assert!(db
+            .delete("EMPLOYEE", &tuple!["Jones", "manager", 26_000])
+            .unwrap());
         assert_eq!(db.total_tuples(), 0);
     }
 

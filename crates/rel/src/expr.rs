@@ -160,11 +160,7 @@ impl AlgebraExpr {
                         })?),
                         Term::Const(v) => Term::Const(v.clone()),
                     };
-                    f.selection.atoms.push(PredicateAtom {
-                        lhs,
-                        op: a.op,
-                        rhs,
-                    });
+                    f.selection.atoms.push(PredicateAtom { lhs, op: a.op, rhs });
                 }
                 Ok(f)
             }
@@ -305,11 +301,8 @@ mod tests {
             .unwrap();
         s.add_relation("S", &[("C", Domain::Int)]).unwrap();
         let mut db = Database::new(s);
-        db.insert_all(
-            "R",
-            vec![tuple!["x", 1], tuple!["y", 2], tuple!["z", 3]],
-        )
-        .unwrap();
+        db.insert_all("R", vec![tuple!["x", 1], tuple!["y", 2], tuple!["z", 3]])
+            .unwrap();
         db.insert_all("S", vec![tuple![2], tuple![3]]).unwrap();
         db
     }
@@ -342,9 +335,13 @@ mod tests {
         let e = AlgebraExpr::base("R")
             .project(vec![1, 0])
             .select(Predicate::atom(PredicateAtom::col_const(0, CompOp::Gt, 1)))
-            .product(AlgebraExpr::base("S").select(Predicate::atom(
-                PredicateAtom::col_const(0, CompOp::Lt, 3),
-            )))
+            .product(
+                AlgebraExpr::base("S").select(Predicate::atom(PredicateAtom::col_const(
+                    0,
+                    CompOp::Lt,
+                    3,
+                ))),
+            )
             .project(vec![1, 2]);
         let plan = e.canonicalize(db.schema()).unwrap();
         assert_eq!(plan.relations, vec!["R".to_owned(), "S".to_owned()]);

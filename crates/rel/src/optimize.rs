@@ -277,14 +277,16 @@ mod tests {
             .unwrap();
         s.add_relation("T", &[("E", Domain::Str)]).unwrap();
         let mut db = Database::new(s);
-        db.insert_all(
-            "R",
-            vec![tuple!["x", 1], tuple!["y", 2], tuple!["z", 3]],
-        )
-        .unwrap();
+        db.insert_all("R", vec![tuple!["x", 1], tuple!["y", 2], tuple!["z", 3]])
+            .unwrap();
         db.insert_all(
             "S",
-            vec![tuple![1, "x"], tuple![2, "q"], tuple![3, "z"], tuple![9, "x"]],
+            vec![
+                tuple![1, "x"],
+                tuple![2, "q"],
+                tuple![3, "z"],
+                tuple![9, "x"],
+            ],
         )
         .unwrap();
         db.insert_all("T", vec![tuple!["x"], tuple!["z"]]).unwrap();

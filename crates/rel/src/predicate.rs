@@ -357,10 +357,18 @@ mod tests {
     #[test]
     fn typecheck_catches_bad_columns_and_domains() {
         let s = schema();
-        assert!(PredicateAtom::col_const(9, CompOp::Eq, 1).typecheck(&s).is_err());
-        assert!(PredicateAtom::col_col(0, CompOp::Eq, 9).typecheck(&s).is_err());
-        assert!(PredicateAtom::col_const(0, CompOp::Eq, 1).typecheck(&s).is_err());
-        assert!(PredicateAtom::col_col(1, CompOp::Lt, 2).typecheck(&s).is_ok());
+        assert!(PredicateAtom::col_const(9, CompOp::Eq, 1)
+            .typecheck(&s)
+            .is_err());
+        assert!(PredicateAtom::col_col(0, CompOp::Eq, 9)
+            .typecheck(&s)
+            .is_err());
+        assert!(PredicateAtom::col_const(0, CompOp::Eq, 1)
+            .typecheck(&s)
+            .is_err());
+        assert!(PredicateAtom::col_col(1, CompOp::Lt, 2)
+            .typecheck(&s)
+            .is_ok());
         assert!(PredicateAtom::col_const(0, CompOp::Eq, "x")
             .typecheck(&s)
             .is_ok());

@@ -1,0 +1,109 @@
+//! `motro-serve` — serve an authorization front-end over TCP.
+//!
+//! ```text
+//! motro-serve [ADDR] [--state FILE] [--workers N] [--cache N]
+//!             [--admin USER]...
+//! ```
+//!
+//! With `--state`, the server loads a [`Frontend::to_json`] snapshot;
+//! otherwise it starts from the paper's example database (handy for
+//! demos: `permit`/`view` statements can be issued over the wire).
+
+use motro_authz::{Frontend, SharedFrontend};
+use motro_server::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--cache N] [--admin USER]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut state: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut admins: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state" => state = Some(args.next().unwrap_or_else(|| usage())),
+            "--workers" => {
+                config.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--cache" => {
+                config.cache_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--admin" => admins.push(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            a if a.starts_with('-') => usage(),
+            a => addr = a.to_owned(),
+        }
+    }
+    if !admins.is_empty() {
+        config.admins = Some(admins);
+    }
+
+    let frontend = match &state {
+        Some(path) => {
+            let json = match std::fs::read_to_string(path) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("motro-serve: cannot read {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match Frontend::from_json(&json) {
+                Ok(fe) => fe,
+                Err(e) => {
+                    eprintln!("motro-serve: cannot load {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Frontend::with_database(motro_authz::core::fixtures::paper_database()),
+    };
+
+    let mut server = match Server::bind(&addr, SharedFrontend::new(frontend), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("motro-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "motro-serve: listening on {} ({})",
+        server.local_addr(),
+        match &state {
+            Some(p) => format!("state from {p}"),
+            None => "paper example database".to_owned(),
+        }
+    );
+
+    // Serve until stdin closes or the process is interrupted: reading
+    // stdin keeps the binary portable (no signal-handling deps) while
+    // still giving scripts a clean shutdown ("echo | motro-serve").
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut buf = String::new();
+            let _ = std::io::stdin().read_line(&mut buf);
+            done.store(true, Ordering::SeqCst);
+        });
+    }
+    while !done.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("motro-serve: shutting down");
+    server.shutdown();
+}

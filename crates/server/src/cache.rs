@@ -1,0 +1,247 @@
+//! The epoch-invalidated per-user mask cache.
+//!
+//! The paper's central observation makes masks cacheable: the mask `A'`
+//! is a *pure function* of the user's permission set and the query's
+//! canonical plan — it never looks at the data. The permission set only
+//! changes through administrative statements, each of which advances
+//! the store's monotone *authorization epoch*
+//! ([`motro_authz::core::AuthStore::auth_epoch`]). So a mask computed
+//! for `(user, plan)` at epoch `e` is valid exactly as long as the
+//! epoch still reads `e` — and keying the cache by
+//! `(user, plan-fingerprint, epoch)` makes stale entries *unreachable*
+//! the instant any grant, view, or membership changes, with no
+//! invalidation protocol at all. The data side of a retrieval is always
+//! re-executed live; only the meta side (the expensive
+//! prune/product/select/project pipeline) is reused.
+
+use motro_authz::core::{Mask, PermitStatement};
+use motro_authz::rel::CanonicalPlan;
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The cached meta side of a retrieval.
+#[derive(Debug)]
+pub struct CachedMask {
+    /// The mask `A'`.
+    pub mask: Mask,
+    /// Rendered inferred `permit` statements.
+    pub permits: Vec<String>,
+    /// Whether the mask grants the entire answer.
+    pub full_access: bool,
+}
+
+impl CachedMask {
+    /// Capture the meta side of an access outcome.
+    pub fn new(mask: Mask, permits: &[PermitStatement], full_access: bool) -> CachedMask {
+        CachedMask {
+            mask,
+            permits: permits.iter().map(|p| p.to_string()).collect(),
+            full_access,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    user: String,
+    plan: u64,
+    epoch: u64,
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh mask computation.
+    pub misses: u64,
+    /// Live entries (any epoch).
+    pub entries: usize,
+}
+
+/// A bounded map from `(user, plan-fingerprint, epoch)` to masks.
+#[derive(Debug)]
+pub struct MaskCache {
+    capacity: usize,
+    map: Mutex<HashMap<CacheKey, Arc<CachedMask>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MaskCache {
+    /// A cache holding at most `capacity` masks. A capacity of 0
+    /// disables caching (every lookup misses).
+    pub fn new(capacity: usize) -> MaskCache {
+        MaskCache {
+            capacity,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Fingerprint a canonical plan. Plans are compared structurally via
+    /// their canonical debug form: two textually different statements
+    /// that compile to the same plan share a fingerprint.
+    pub fn fingerprint(plan: &CanonicalPlan) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{plan:?}").hash(&mut h);
+        h.finish()
+    }
+
+    /// Look up the mask for `(user, plan)` at `epoch`.
+    pub fn get(&self, user: &str, plan: &CanonicalPlan, epoch: u64) -> Option<Arc<CachedMask>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let key = CacheKey {
+            user: user.to_owned(),
+            plan: Self::fingerprint(plan),
+            epoch,
+        };
+        let found = self.map.lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert the mask computed for `(user, plan)` at `epoch`.
+    ///
+    /// When the cache is full, entries from other (necessarily older or
+    /// concurrent-superseded) epochs are evicted first; if every entry
+    /// is current the whole cache is dropped — a generation cache, not
+    /// LRU, which keeps the hot path to one hash lookup.
+    pub fn insert(&self, user: &str, plan: &CanonicalPlan, epoch: u64, mask: Arc<CachedMask>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = CacheKey {
+            user: user.to_owned(),
+            plan: Self::fingerprint(plan),
+            epoch,
+        };
+        let mut map = self.map.lock();
+        if map.len() >= self.capacity && !map.contains_key(&key) {
+            map.retain(|k, _| k.epoch == epoch);
+            if map.len() >= self.capacity {
+                map.clear();
+            }
+        }
+        map.insert(key, mask);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use motro_authz::core::fixtures;
+    use motro_authz::lang::{parse_statement, Statement};
+    use motro_authz::views::compile;
+    use motro_authz::Frontend;
+
+    fn plan_of(fe: &Frontend, stmt: &str) -> CanonicalPlan {
+        match parse_statement(stmt).unwrap() {
+            Statement::Retrieve(q) => compile(&q, fe.database().schema()).unwrap(),
+            _ => panic!("not a retrieve"),
+        }
+    }
+
+    fn frontend() -> Frontend {
+        let mut fe = Frontend::with_database(fixtures::paper_database());
+        fe.execute_admin_program(
+            "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+               where PROJECT.SPONSOR = Acme;
+             permit PSA to Brown",
+        )
+        .unwrap();
+        fe
+    }
+
+    fn cached_mask(fe: &Frontend, user: &str, plan: &CanonicalPlan) -> Arc<CachedMask> {
+        let out = fe.engine().retrieve_plan(user, plan).unwrap();
+        Arc::new(CachedMask::new(out.mask, &out.permits, out.full_access))
+    }
+
+    #[test]
+    fn hit_only_at_matching_epoch() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)");
+        let e = fe.auth_epoch();
+        assert!(cache.get("Brown", &plan, e).is_none());
+        cache.insert("Brown", &plan, e, cached_mask(&fe, "Brown", &plan));
+        assert!(cache.get("Brown", &plan, e).is_some());
+        // A bumped epoch makes the entry unreachable — no stale mask.
+        assert!(cache.get("Brown", &plan, e + 1).is_none());
+        // And other users never see it.
+        assert!(cache.get("Klein", &plan, e).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn equivalent_statements_share_a_fingerprint() {
+        let fe = frontend();
+        let a = plan_of(&fe, "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)");
+        let b = plan_of(&fe, "retrieve  ( PROJECT.NUMBER , PROJECT.SPONSOR )");
+        assert_eq!(MaskCache::fingerprint(&a), MaskCache::fingerprint(&b));
+        let c = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        assert_ne!(MaskCache::fingerprint(&a), MaskCache::fingerprint(&c));
+    }
+
+    #[test]
+    fn cached_mask_reproduces_fresh_outcome() {
+        let fe = frontend();
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)");
+        let fresh = fe.engine().retrieve_plan("Brown", &plan).unwrap();
+        let cached = cached_mask(&fe, "Brown", &plan);
+        let answer = motro_authz::rel::execute_optimized(&plan, fe.database()).unwrap();
+        let replayed = cached.mask.apply(&answer);
+        assert_eq!(replayed.rows, fresh.masked.rows);
+        assert_eq!(replayed.withheld, fresh.masked.withheld);
+    }
+
+    #[test]
+    fn capacity_zero_disables() {
+        let fe = frontend();
+        let cache = MaskCache::new(0);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        cache.insert("Brown", &plan, 1, cached_mask(&fe, "Brown", &plan));
+        assert!(cache.get("Brown", &plan, 1).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn full_cache_evicts_other_epochs_first() {
+        let fe = frontend();
+        let cache = MaskCache::new(2);
+        let a = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let b = plan_of(&fe, "retrieve (PROJECT.SPONSOR)");
+        let c = plan_of(&fe, "retrieve (PROJECT.BUDGET)");
+        let m = cached_mask(&fe, "Brown", &a);
+        cache.insert("Brown", &a, 1, m.clone());
+        cache.insert("Brown", &b, 2, m.clone());
+        // Full; inserting at epoch 2 drops the epoch-1 entry, keeps b.
+        cache.insert("Brown", &c, 2, m);
+        assert!(cache.get("Brown", &a, 1).is_none());
+        assert!(cache.get("Brown", &b, 2).is_some());
+        assert!(cache.get("Brown", &c, 2).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

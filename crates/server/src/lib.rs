@@ -1,0 +1,29 @@
+//! `motro-server`: a concurrent authorization-query server.
+//!
+//! Serves a [`motro_authz::SharedFrontend`] over TCP with a
+//! newline-delimited JSON protocol ([`wire`]), a crossbeam worker pool
+//! ([`server`]), and an epoch-invalidated per-user mask cache
+//! ([`cache`]). A blocking [`Client`] speaks the same protocol.
+//!
+//! The performance story is the paper's own separation of meta and
+//! data: Motro's mask `A'` depends only on the user's grants and the
+//! query's canonical plan. Grants change rarely and only through
+//! administrative statements, each of which advances a monotone
+//! *authorization epoch*; keying cached masks by
+//! `(user, plan, epoch)` therefore gives exact, protocol-free
+//! invalidation — a revoked grant bumps the epoch and every cached
+//! mask computed before it becomes unreachable at once. The data side
+//! of every answer is always executed live.
+//!
+//! Built entirely on the workspace's existing dependencies: `std::net`
+//! sockets, `crossbeam` channels, `parking_lot` locks, and
+//! `serde_json` values. No async runtime.
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use cache::{CacheStats, CachedMask, MaskCache};
+pub use client::{Client, ClientError, QueryReply, Rows, ServerStats};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,571 @@
+//! The concurrent authorization-query server.
+//!
+//! Plain `std::net` TCP plus a crossbeam worker pool — no async
+//! runtime. Each connection gets a *reader* thread (framing, `hello`,
+//! backpressure) and a *writer* thread (serialized replies); parsed
+//! requests flow through one bounded job channel into a shared pool of
+//! worker threads that evaluate them against the [`SharedFrontend`]
+//! and the [`MaskCache`]. Replies to pipelined requests may arrive out
+//! of order; the echoed `id` correlates them.
+//!
+//! Backpressure is per connection and end-to-end: a reader admits at
+//! most [`ServerConfig::max_inflight_per_conn`] unanswered requests
+//! before it stops reading the socket, which surfaces to the client as
+//! TCP backpressure rather than unbounded queueing in the server.
+//!
+//! Shutdown is graceful: in-flight requests complete and their replies
+//! are flushed before the sockets close.
+
+use crate::cache::{CachedMask, MaskCache};
+use crate::wire::{self, codes, Request, RowsReply};
+use motro_authz::lang::{parse_statement, Statement};
+use motro_authz::rel::execute_optimized;
+use motro_authz::views::compile;
+use motro_authz::{Frontend, FrontendError, SharedFrontend};
+use parking_lot::{Condvar, Mutex};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads evaluating requests (shared by all connections).
+    pub workers: usize,
+    /// Hard limit on one frame's length in bytes.
+    pub max_line_bytes: usize,
+    /// Unanswered requests a single connection may have in flight.
+    pub max_inflight_per_conn: usize,
+    /// Mask-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Principals allowed to run `admin`/`member` requests; `None`
+    /// leaves administration open (the paper's single-administrator
+    /// model has no in-band authority, so openness is the faithful
+    /// default — deployments pass a list).
+    pub admins: Option<Vec<String>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_line_bytes: 64 * 1024,
+            max_inflight_per_conn: 32,
+            cache_capacity: 1024,
+            admins: None,
+        }
+    }
+}
+
+/// The per-connection in-flight gate (a bounded semaphore).
+struct Gate {
+    count: Mutex<usize>,
+    cv: Condvar,
+    max: usize,
+}
+
+impl Gate {
+    fn new(max: usize) -> Gate {
+        Gate {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+            max: max.max(1),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut n = self.count.lock();
+        while *n >= self.max {
+            self.cv.wait(&mut n);
+        }
+        *n += 1;
+    }
+
+    fn release(&self) {
+        let mut n = self.count.lock();
+        *n -= 1;
+        self.cv.notify_one();
+    }
+}
+
+/// One unit of work for the pool.
+struct Job {
+    request: Request,
+    principal: String,
+    reply: mpsc::Sender<String>,
+    gate: Arc<Gate>,
+}
+
+/// A running server. Dropping it shuts it down.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    cache: Arc<MaskCache>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    job_tx: Option<crossbeam::channel::Sender<Job>>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `fe`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        fe: SharedFrontend,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let cache = Arc::new(MaskCache::new(config.cache_capacity));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (job_tx, job_rx) = crossbeam::channel::bounded::<Job>(
+            config.workers.max(1) * config.max_inflight_per_conn.max(1),
+        );
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = job_rx.clone();
+                let fe = fe.clone();
+                let cache = cache.clone();
+                let admins = config.admins.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let reply =
+                            dispatch(&fe, &cache, admins.as_deref(), &job.principal, job.request);
+                        let _ = job.reply.send(reply.to_string());
+                        job.gate.release();
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            let fe = fe.clone();
+            let conns = conns.clone();
+            let readers = readers.clone();
+            let job_tx = job_tx.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let next_conn = AtomicU64::new(0);
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Replies are small frames; never trade latency for
+                    // coalescing.
+                    let _ = stream.set_nodelay(true);
+                    let id = next_conn.fetch_add(1, Ordering::SeqCst);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().insert(id, clone);
+                    }
+                    let fe = fe.clone();
+                    let job_tx = job_tx.clone();
+                    let shutdown = shutdown.clone();
+                    let conns_done = conns.clone();
+                    let config = config.clone();
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(stream, fe, job_tx, shutdown, &config);
+                        conns_done.lock().remove(&id);
+                    });
+                    readers.lock().push(handle);
+                }
+            })
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            cache,
+            acceptor: Some(acceptor),
+            workers,
+            job_tx: Some(job_tx),
+            conns,
+            readers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared mask cache (counters readable for tests/benchmarks).
+    pub fn cache(&self) -> &MaskCache {
+        &self.cache
+    }
+
+    /// Stop accepting, drain in-flight requests, flush replies, join
+    /// every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor: it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Close every live connection; readers see EOF and exit after
+        // their in-flight jobs are already queued.
+        for (_, s) in self.conns.lock().iter() {
+            let _ = s.shutdown(Shutdown::Read);
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.readers.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        // All reader-held job senders are gone; dropping ours
+        // disconnects the channel once drained, stopping the workers
+        // after the last queued request is answered.
+        self.job_tx.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        for (_, s) in self.conns.lock().drain() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// What one framing read produced.
+enum Frame {
+    Line(String),
+    TooLarge,
+    Eof,
+}
+
+/// Read one `\n`-terminated line, enforcing the size limit without
+/// buffering an oversized frame (the tail is discarded, the connection
+/// survives).
+fn read_frame(reader: &mut BufReader<TcpStream>, max: usize) -> std::io::Result<Frame> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Frame::Eof);
+    }
+    if buf.last() != Some(&b'\n') && n > max {
+        // Oversized: skim to the end of the line, then report.
+        let mut rest = Vec::new();
+        loop {
+            rest.clear();
+            let m = reader.by_ref().take(4096).read_until(b'\n', &mut rest)?;
+            if m == 0 || rest.last() == Some(&b'\n') {
+                break;
+            }
+        }
+        return Ok(Frame::TooLarge);
+    }
+    Ok(Frame::Line(String::from_utf8_lossy(&buf).trim().to_owned()))
+}
+
+/// The per-connection reader: framing, `hello`, dispatch, backpressure.
+fn serve_connection(
+    stream: TcpStream,
+    fe: SharedFrontend,
+    job_tx: crossbeam::channel::Sender<Job>,
+    shutdown: Arc<AtomicBool>,
+    config: &ServerConfig,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || {
+        let mut out = std::io::BufWriter::new(write_half);
+        for line in reply_rx {
+            if out
+                .write_all(line.as_bytes())
+                .and_then(|_| out.write_all(b"\n"))
+                .and_then(|_| out.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let mut reader = BufReader::new(stream);
+    let gate = Arc::new(Gate::new(config.max_inflight_per_conn));
+    let mut principal: Option<String> = None;
+    while let Ok(frame) = read_frame(&mut reader, config.max_line_bytes) {
+        let line = match frame {
+            Frame::Eof => break,
+            Frame::TooLarge => {
+                let e = wire::error(
+                    None,
+                    codes::FRAME_TOO_LARGE,
+                    &format!("frame exceeds {} bytes", config.max_line_bytes),
+                );
+                if reply_tx.send(e.to_string()).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Frame::Line(l) => l,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let request = match wire::parse_request(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                let reply = wire::error(e.id, e.code, &e.message);
+                if reply_tx.send(reply.to_string()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let reply = match request {
+            Request::Hello { principal: p } => {
+                let epoch = fe.auth_epoch();
+                principal = Some(p.clone());
+                wire::welcome(&p, epoch)
+            }
+            req => {
+                let Some(p) = principal.clone() else {
+                    let reply = wire::error(
+                        req.id(),
+                        codes::UNAUTHENTICATED,
+                        "say hello before issuing requests",
+                    );
+                    if reply_tx.send(reply.to_string()).is_err() {
+                        break;
+                    }
+                    continue;
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    wire::error(req.id(), codes::SHUTTING_DOWN, "server is shutting down")
+                } else {
+                    gate.acquire();
+                    let job = Job {
+                        request: req,
+                        principal: p,
+                        reply: reply_tx.clone(),
+                        gate: gate.clone(),
+                    };
+                    match job_tx.send(job) {
+                        Ok(()) => continue,
+                        Err(crossbeam::channel::SendError(job)) => {
+                            job.gate.release();
+                            wire::error(
+                                job.request.id(),
+                                codes::SHUTTING_DOWN,
+                                "server is shutting down",
+                            )
+                        }
+                    }
+                }
+            }
+        };
+        if reply_tx.send(reply.to_string()).is_err() {
+            break;
+        }
+    }
+    // Wait for our in-flight jobs so every accepted request is
+    // answered before the writer channel closes.
+    {
+        let mut n = gate.count.lock();
+        while *n > 0 {
+            gate.cv.wait(&mut n);
+        }
+    }
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn error_code(e: &FrontendError) -> &'static str {
+    match e {
+        FrontendError::Parse(_) => codes::PARSE,
+        _ => codes::EXEC,
+    }
+}
+
+/// Evaluate one request against the shared front-end.
+fn dispatch(
+    fe: &SharedFrontend,
+    cache: &MaskCache,
+    admins: Option<&[String]>,
+    principal: &str,
+    request: Request,
+) -> Value {
+    let admin_allowed =
+        |admins: Option<&[String]>| admins.is_none_or(|a| a.iter().any(|p| p == principal));
+    match request {
+        Request::Hello { .. } => unreachable!("hello is handled by the reader"),
+        Request::Ping { id } => wire::pong(id),
+        Request::Stats { id } => {
+            let s = cache.stats();
+            wire::stats(id, fe.auth_epoch(), s.hits, s.misses, s.entries)
+        }
+        Request::Retrieve { id, stmt } => retrieve_cached(fe, cache, principal, id, &stmt),
+        Request::Query { id, stmt } => match is_aggregate(&stmt) {
+            Some(true) => fe.with_read(|f| match f.query(principal, &stmt) {
+                Ok(out) => wire::aggregate(id, f.auth_epoch(), &out.render()),
+                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
+            }),
+            _ => retrieve_cached(fe, cache, principal, id, &stmt),
+        },
+        Request::Admin { id, stmt } => {
+            if !admin_allowed(admins) {
+                return wire::error(
+                    Some(id),
+                    codes::ADMIN_DENIED,
+                    &format!("{principal} may not administer the store"),
+                );
+            }
+            match fe.execute_admin_program(&stmt) {
+                Ok(messages) => wire::ok(id, fe.auth_epoch(), &messages),
+                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
+            }
+        }
+        Request::Update { id, stmt } => {
+            match fe.with_write(|f| f.execute_update(principal, &stmt)) {
+                Ok(message) => wire::ok(id, fe.auth_epoch(), &[message]),
+                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
+            }
+        }
+        Request::Member {
+            id,
+            add,
+            group,
+            user,
+        } => {
+            if !admin_allowed(admins) {
+                return wire::error(
+                    Some(id),
+                    codes::ADMIN_DENIED,
+                    &format!("{principal} may not administer the store"),
+                );
+            }
+            let message = if add {
+                fe.add_member(&group, &user);
+                format!("added {user} to {group}")
+            } else if fe.remove_member(&group, &user) {
+                format!("removed {user} from {group}")
+            } else {
+                format!("{user} was not a member of {group}")
+            };
+            wire::ok(id, fe.auth_epoch(), &[message])
+        }
+        Request::Save { id } => match fe.to_json() {
+            Ok(snapshot) => wire::state(id, fe.auth_epoch(), &snapshot),
+            Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
+        },
+    }
+}
+
+/// Cheap syntactic pre-classification: `Some(true)` when the statement
+/// parses as an aggregate retrieval, `Some(false)` for row-level,
+/// `None` when it does not parse (the row path reports the error).
+fn is_aggregate(stmt: &str) -> Option<bool> {
+    match parse_statement(stmt) {
+        Ok(Statement::RetrieveAggregate(_)) => Some(true),
+        Ok(_) => Some(false),
+        Err(_) => None,
+    }
+}
+
+/// The cached retrieval path.
+///
+/// Soundness: the mask is a pure function of `(user, plan, epoch)`, so
+/// a cache hit replays a mask computed under the *same* epoch the
+/// current read lock observes — administrative statements take the
+/// write lock and bump the epoch atomically with their change, so a
+/// hit can never pair a stale mask with fresh grants. The data side
+/// (`execute_optimized` + `Mask::apply`) always runs live. Masks under
+/// the Section 6 extended-mask configuration take a different apply
+/// path, so that configuration bypasses the cache entirely.
+fn retrieve_cached(
+    fe: &SharedFrontend,
+    cache: &MaskCache,
+    user: &str,
+    id: u64,
+    stmt: &str,
+) -> Value {
+    fe.with_read(|f: &Frontend| {
+        let query = match parse_statement(stmt) {
+            Ok(Statement::Retrieve(q)) => q,
+            Ok(_) => {
+                return wire::error(
+                    Some(id),
+                    codes::BAD_REQUEST,
+                    "expected a row-level retrieve statement",
+                )
+            }
+            Err(e) => return wire::error(Some(id), codes::PARSE, &e.to_string()),
+        };
+        let plan = match compile(&query, f.database().schema()) {
+            Ok(p) => p,
+            Err(e) => return wire::error(Some(id), codes::PARSE, &e.to_string()),
+        };
+        let epoch = f.auth_epoch();
+        let bypass = f.engine().config().extended_masks;
+        if !bypass {
+            if let Some(hit) = cache.get(user, &plan, epoch) {
+                return match execute_optimized(&plan, f.database()) {
+                    Ok(answer) => {
+                        let masked = hit.mask.apply(&answer);
+                        wire::rows(&RowsReply {
+                            id,
+                            epoch,
+                            cached: true,
+                            columns: masked.schema.display_headers(),
+                            withheld: masked.withheld,
+                            rows: masked.rows,
+                            full_access: hit.full_access,
+                            permits: hit.permits.clone(),
+                        })
+                    }
+                    Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
+                };
+            }
+        }
+        match f.engine().retrieve_plan(user, &plan) {
+            Ok(out) => {
+                let reply = wire::rows(&RowsReply {
+                    id,
+                    epoch,
+                    cached: false,
+                    columns: out.masked.schema.display_headers(),
+                    withheld: out.masked.withheld,
+                    rows: out.masked.rows,
+                    full_access: out.full_access,
+                    permits: out.permits.iter().map(|p| p.to_string()).collect(),
+                });
+                if !bypass {
+                    cache.insert(
+                        user,
+                        &plan,
+                        epoch,
+                        Arc::new(CachedMask {
+                            mask: out.mask,
+                            permits: out.permits.iter().map(|p| p.to_string()).collect(),
+                            full_access: out.full_access,
+                        }),
+                    );
+                }
+                reply
+            }
+            Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
+        }
+    })
+}

@@ -1,0 +1,496 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one JSON object on one line. The client opens with a
+//! `hello` binding the connection to a principal; every subsequent
+//! request carries a client-chosen `id` that the server echoes in the
+//! reply, so requests may be pipelined and answered out of order.
+//!
+//! Requests (client → server):
+//!
+//! | frame | fields | meaning |
+//! |---|---|---|
+//! | `hello` | `user` *or* `group` | bind the session to a principal |
+//! | `retrieve` | `id`, `stmt` | row-level retrieval (mask-cached) |
+//! | `query` | `id`, `stmt` | any retrieval, row or aggregate |
+//! | `admin` | `id`, `stmt` | `;`-separated administrative program |
+//! | `update` | `id`, `stmt` | `insert into` / `delete from` |
+//! | `member` | `id`, `op`, `group`, `user` | group membership change |
+//! | `save` | `id` | snapshot the whole state as JSON |
+//! | `stats` | `id` | cache statistics |
+//! | `ping` | `id` | liveness |
+//!
+//! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
+//! `state`, `stats`, `pong`, and `error` (with a machine-readable
+//! `code`). Every data-bearing reply carries the authorization `epoch`
+//! it was computed under, so a client — or a soundness test — can
+//! correlate an answer with the grant state that produced it.
+//!
+//! This module is pure data: no sockets, so the framing logic is unit
+//! tested directly.
+
+use motro_authz::rel::Value as RelValue;
+use serde_json::{Map, Number, Value};
+
+/// Machine-readable error codes carried by `error` replies.
+pub mod codes {
+    /// A request arrived before `hello`.
+    pub const UNAUTHENTICATED: &str = "unauthenticated";
+    /// The line was not a JSON object.
+    pub const BAD_FRAME: &str = "bad_frame";
+    /// The line exceeded the configured size limit.
+    pub const FRAME_TOO_LARGE: &str = "frame_too_large";
+    /// A structurally valid frame with missing/ill-typed fields, or an
+    /// unknown `type`.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The statement failed to parse or compile.
+    pub const PARSE: &str = "parse";
+    /// Authorization or execution failed.
+    pub const EXEC: &str = "exec";
+    /// The principal may not administer the store.
+    pub const ADMIN_DENIED: &str = "admin_denied";
+    /// The server is shutting down.
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Bind the connection to a principal.
+    Hello {
+        /// `"Brown"` for a user, `"group:eng"` for a group principal.
+        principal: String,
+    },
+    /// A row-level retrieval (served through the mask cache).
+    Retrieve { id: u64, stmt: String },
+    /// Any retrieval — row-level or aggregate.
+    Query { id: u64, stmt: String },
+    /// An administrative program.
+    Admin { id: u64, stmt: String },
+    /// An `insert`/`delete` statement.
+    Update { id: u64, stmt: String },
+    /// A membership change (`op` is `add` or `remove`).
+    Member {
+        id: u64,
+        add: bool,
+        group: String,
+        user: String,
+    },
+    /// Snapshot the state.
+    Save { id: u64 },
+    /// Cache statistics.
+    Stats { id: u64 },
+    /// Liveness probe.
+    Ping { id: u64 },
+}
+
+impl Request {
+    /// The request id, when the frame carries one (`hello` does not).
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Hello { .. } => None,
+            Request::Retrieve { id, .. }
+            | Request::Query { id, .. }
+            | Request::Admin { id, .. }
+            | Request::Update { id, .. }
+            | Request::Member { id, .. }
+            | Request::Save { id }
+            | Request::Stats { id }
+            | Request::Ping { id } => Some(*id),
+        }
+    }
+}
+
+/// Why a line failed to parse as a request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameError {
+    /// One of [`codes`].
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// The request id, when the frame was well-formed enough to have
+    /// one (so the error reply can be correlated).
+    pub id: Option<u64>,
+}
+
+impl FrameError {
+    fn bad_frame(message: impl Into<String>) -> FrameError {
+        FrameError {
+            code: codes::BAD_FRAME,
+            message: message.into(),
+            id: None,
+        }
+    }
+
+    fn bad_request(id: Option<u64>, message: impl Into<String>) -> FrameError {
+        FrameError {
+            code: codes::BAD_REQUEST,
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+fn str_field(obj: &Map<String, Value>, key: &str) -> Option<String> {
+    obj.get(key).and_then(Value::as_str).map(str::to_owned)
+}
+
+/// Parse one line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, FrameError> {
+    let value: Value = line
+        .parse()
+        .map_err(|e| FrameError::bad_frame(format!("not JSON: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| FrameError::bad_frame("frame must be a JSON object"))?;
+    let id = obj.get("id").and_then(Value::as_u64);
+    let ty =
+        str_field(obj, "type").ok_or_else(|| FrameError::bad_request(id, "missing \"type\""))?;
+    let need_id =
+        || id.ok_or_else(|| FrameError::bad_request(None, format!("{ty} requires an \"id\"")));
+    let need_stmt = || {
+        str_field(obj, "stmt")
+            .ok_or_else(|| FrameError::bad_request(id, format!("{ty} requires a \"stmt\"")))
+    };
+    match ty.as_str() {
+        "hello" => {
+            let principal = match (str_field(obj, "user"), str_field(obj, "group")) {
+                (Some(u), None) => u,
+                (None, Some(g)) => format!("group:{g}"),
+                (Some(_), Some(_)) => {
+                    return Err(FrameError::bad_request(
+                        id,
+                        "hello takes \"user\" or \"group\", not both",
+                    ))
+                }
+                (None, None) => {
+                    return Err(FrameError::bad_request(
+                        id,
+                        "hello requires \"user\" or \"group\"",
+                    ))
+                }
+            };
+            Ok(Request::Hello { principal })
+        }
+        "retrieve" => Ok(Request::Retrieve {
+            id: need_id()?,
+            stmt: need_stmt()?,
+        }),
+        "query" => Ok(Request::Query {
+            id: need_id()?,
+            stmt: need_stmt()?,
+        }),
+        "admin" => Ok(Request::Admin {
+            id: need_id()?,
+            stmt: need_stmt()?,
+        }),
+        "update" => Ok(Request::Update {
+            id: need_id()?,
+            stmt: need_stmt()?,
+        }),
+        "member" => {
+            let id = need_id()?;
+            let op = str_field(obj, "op")
+                .ok_or_else(|| FrameError::bad_request(Some(id), "member requires \"op\""))?;
+            let add = match op.as_str() {
+                "add" => true,
+                "remove" => false,
+                other => {
+                    return Err(FrameError::bad_request(
+                        Some(id),
+                        format!("unknown member op {other:?} (want \"add\" or \"remove\")"),
+                    ))
+                }
+            };
+            let group = str_field(obj, "group")
+                .ok_or_else(|| FrameError::bad_request(Some(id), "member requires \"group\""))?;
+            let user = str_field(obj, "user")
+                .ok_or_else(|| FrameError::bad_request(Some(id), "member requires \"user\""))?;
+            Ok(Request::Member {
+                id,
+                add,
+                group,
+                user,
+            })
+        }
+        "save" => Ok(Request::Save { id: need_id()? }),
+        "stats" => Ok(Request::Stats { id: need_id()? }),
+        "ping" => Ok(Request::Ping { id: need_id()? }),
+        other => Err(FrameError::bad_request(
+            id,
+            format!("unknown request type {other:?}"),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reply construction. Replies are built as `serde_json::Value` trees and
+// rendered with `Display` (compact, single-line — never embeds a raw
+// newline, preserving the framing).
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k.to_owned(), v);
+    }
+    Value::Object(m)
+}
+
+/// A relational cell on the wire: integers as JSON numbers, strings as
+/// JSON strings, masked cells as `null`.
+pub fn cell_to_value(cell: &Option<RelValue>) -> Value {
+    match cell {
+        None => Value::Null,
+        Some(RelValue::Int(n)) => Value::Number(Number::from(*n)),
+        Some(RelValue::Str(s)) => Value::String(s.clone()),
+    }
+}
+
+/// Parse a wire cell back into a relational cell.
+pub fn value_to_cell(v: &Value) -> Result<Option<RelValue>, String> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Number(n) => n
+            .as_i64()
+            .map(|n| Some(RelValue::Int(n)))
+            .ok_or_else(|| format!("non-integer number {n}")),
+        Value::String(s) => Ok(Some(RelValue::Str(s.clone()))),
+        other => Err(format!("unexpected cell {other}")),
+    }
+}
+
+/// `welcome` — the reply to `hello`.
+pub fn welcome(principal: &str, epoch: u64) -> Value {
+    obj(vec![
+        ("type", Value::from("welcome")),
+        ("principal", Value::from(principal)),
+        ("epoch", Value::from(epoch)),
+    ])
+}
+
+/// The payload of a `rows` reply (the masked answer).
+pub struct RowsReply {
+    pub id: u64,
+    /// The authorization epoch the mask was computed under.
+    pub epoch: u64,
+    /// Whether the mask came from the cache.
+    pub cached: bool,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Option<RelValue>>>,
+    pub withheld: usize,
+    pub full_access: bool,
+    /// Rendered inferred `permit` statements.
+    pub permits: Vec<String>,
+}
+
+/// `rows` — a masked row-level answer.
+pub fn rows(reply: &RowsReply) -> Value {
+    obj(vec![
+        ("type", Value::from("rows")),
+        ("id", Value::from(reply.id)),
+        ("epoch", Value::from(reply.epoch)),
+        ("cached", Value::from(reply.cached)),
+        (
+            "columns",
+            Value::Array(
+                reply
+                    .columns
+                    .iter()
+                    .map(|c| Value::from(c.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Value::Array(
+                reply
+                    .rows
+                    .iter()
+                    .map(|r| Value::Array(r.iter().map(cell_to_value).collect()))
+                    .collect(),
+            ),
+        ),
+        ("withheld", Value::from(reply.withheld)),
+        ("full_access", Value::from(reply.full_access)),
+        (
+            "permits",
+            Value::Array(
+                reply
+                    .permits
+                    .iter()
+                    .map(|p| Value::from(p.as_str()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// `aggregate` — a rendered aggregate answer.
+pub fn aggregate(id: u64, epoch: u64, rendered: &str) -> Value {
+    obj(vec![
+        ("type", Value::from("aggregate")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("rendered", Value::from(rendered)),
+    ])
+}
+
+/// `ok` — an administrative acknowledgement.
+pub fn ok(id: u64, epoch: u64, messages: &[String]) -> Value {
+    obj(vec![
+        ("type", Value::from("ok")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        (
+            "messages",
+            Value::Array(messages.iter().map(|m| Value::from(m.as_str())).collect()),
+        ),
+    ])
+}
+
+/// `state` — a whole-state snapshot.
+pub fn state(id: u64, epoch: u64, snapshot: &str) -> Value {
+    obj(vec![
+        ("type", Value::from("state")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("snapshot", Value::from(snapshot)),
+    ])
+}
+
+/// `stats` — cache statistics.
+pub fn stats(id: u64, epoch: u64, hits: u64, misses: u64, entries: usize) -> Value {
+    obj(vec![
+        ("type", Value::from("stats")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("hits", Value::from(hits)),
+        ("misses", Value::from(misses)),
+        ("entries", Value::from(entries)),
+    ])
+}
+
+/// `pong` — the reply to `ping`.
+pub fn pong(id: u64) -> Value {
+    obj(vec![("type", Value::from("pong")), ("id", Value::from(id))])
+}
+
+/// `error` — a structured failure.
+pub fn error(id: Option<u64>, code: &str, message: &str) -> Value {
+    let mut pairs = vec![("type", Value::from("error"))];
+    if let Some(id) = id {
+        pairs.push(("id", Value::from(id)));
+    }
+    pairs.push(("code", Value::from(code)));
+    pairs.push(("message", Value::from(message)));
+    obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_request_type() {
+        assert_eq!(
+            parse_request(r#"{"type":"hello","user":"Brown"}"#).unwrap(),
+            Request::Hello {
+                principal: "Brown".to_owned()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"hello","group":"eng"}"#).unwrap(),
+            Request::Hello {
+                principal: "group:eng".to_owned()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"retrieve","id":7,"stmt":"retrieve (R.A)"}"#).unwrap(),
+            Request::Retrieve {
+                id: 7,
+                stmt: "retrieve (R.A)".to_owned()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"member","id":1,"op":"add","group":"eng","user":"Klein"}"#)
+                .unwrap(),
+            Request::Member {
+                id: 1,
+                add: true,
+                group: "eng".to_owned(),
+                user: "Klein".to_owned()
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"ping","id":9}"#).unwrap(),
+            Request::Ping { id: 9 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        assert_eq!(
+            parse_request("not json").unwrap_err().code,
+            codes::BAD_FRAME
+        );
+        assert_eq!(parse_request("[1,2]").unwrap_err().code, codes::BAD_FRAME);
+        let e = parse_request(r#"{"type":"retrieve","id":3}"#).unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
+        assert_eq!(e.id, Some(3), "error must carry the request id");
+        assert_eq!(
+            parse_request(r#"{"type":"wat","id":1}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"hello"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"hello","user":"a","group":"b"}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn replies_are_single_line_json() {
+        let reply = rows(&RowsReply {
+            id: 4,
+            epoch: 2,
+            cached: true,
+            columns: vec!["PROJECT.NUMBER".to_owned()],
+            rows: vec![
+                vec![Some(RelValue::Int(17))],
+                vec![Some(RelValue::Str("x\ny".to_owned())), None],
+            ],
+            withheld: 1,
+            full_access: false,
+            permits: vec!["permit ...".to_owned()],
+        });
+        let line = reply.to_string();
+        assert!(!line.contains('\n'), "framing requires one line: {line}");
+        // Round-trip: the rendered reply parses back.
+        let back: Value = line.parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("rows"));
+        assert_eq!(back.get("id").and_then(Value::as_u64), Some(4));
+        assert_eq!(back.get("cached").and_then(Value::as_bool), Some(true));
+        let rows_v = back.get("rows").and_then(Value::as_array).unwrap();
+        assert_eq!(
+            value_to_cell(&rows_v[0].as_array().unwrap()[0]).unwrap(),
+            Some(RelValue::Int(17))
+        );
+        assert_eq!(
+            value_to_cell(&rows_v[1].as_array().unwrap()[1]).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn error_reply_shape() {
+        let e = error(Some(5), codes::PARSE, "bad statement");
+        let back: Value = e.to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("error"));
+        assert_eq!(back.get("code").and_then(Value::as_str), Some(codes::PARSE));
+        assert_eq!(back.get("id").and_then(Value::as_u64), Some(5));
+    }
+}

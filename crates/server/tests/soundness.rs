@@ -1,0 +1,128 @@
+//! Cache-soundness stress test: concurrent retrievals race grant
+//! changes, and every delivered answer must match the grant state of
+//! the epoch it reports — no answer may ever reflect a *revoked* grant
+//! at an epoch after the revocation.
+//!
+//! The protocol makes this checkable exactly: every `rows` reply
+//! carries the authorization epoch its mask was computed under, and a
+//! single admin connection serializes the grant flips, so the admin's
+//! `ok` replies (each carrying the post-statement epoch) reconstruct
+//! the grant state as a step function over epochs.
+
+use motro_authz::core::fixtures;
+use motro_authz::{Frontend, SharedFrontend};
+use motro_server::{Client, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const Q: &str = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
+
+#[test]
+fn concurrent_retrievals_never_see_stale_masks() {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme",
+    )
+    .unwrap();
+    let shared = SharedFrontend::new(fe);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        shared.clone(),
+        ServerConfig {
+            workers: 6,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // The admin thread flips Klein's PSA grant and logs, for each flip,
+    // the epoch at which the new state took effect.
+    let stop = Arc::new(AtomicBool::new(false));
+    let admin = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr, "admin").unwrap();
+            // (epoch, granted): Klein's grant state from this epoch on.
+            let mut log: Vec<(u64, bool)> = vec![(0, false)];
+            let mut granted = false;
+            let mut flips = 0u32;
+            while flips < 60 && !stop.load(Ordering::SeqCst) {
+                granted = !granted;
+                let stmt = if granted {
+                    "permit PSA to Klein"
+                } else {
+                    "revoke PSA from Klein"
+                };
+                c.admin(stmt).unwrap();
+                log.push((c.epoch(), granted));
+                flips += 1;
+                std::thread::yield_now();
+            }
+            log
+        })
+    };
+
+    // Reader threads hammer the cached retrieval path as Klein and
+    // record (epoch, delivered-row-count, cached) per answer.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, "Klein").unwrap();
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let rows = c.retrieve(Q).unwrap();
+                    seen.push((rows.epoch, rows.rows.len(), rows.cached));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let log = admin.join().unwrap();
+    stop.store(true, Ordering::SeqCst);
+    let observations: Vec<(u64, usize, bool)> = readers
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    assert!(
+        observations.len() >= 100,
+        "stress produced too few answers ({})",
+        observations.len()
+    );
+    assert!(
+        observations.iter().any(|(_, _, cached)| *cached),
+        "the cache was never exercised"
+    );
+
+    // The grant state at epoch e = the last flip at or before e.
+    let granted_at = |epoch: u64| -> bool {
+        log.iter()
+            .rev()
+            .find(|(e, _)| *e <= epoch)
+            .map(|(_, g)| *g)
+            .unwrap_or(false)
+    };
+    for (epoch, delivered, cached) in &observations {
+        let expected = if granted_at(*epoch) { 1 } else { 0 };
+        assert_eq!(
+            *delivered, expected,
+            "answer at epoch {epoch} (cached: {cached}) delivered {delivered} rows, \
+             but Klein's grant state at that epoch implies {expected} — \
+             a stale or premature mask leaked through the cache"
+        );
+    }
+
+    // Belt and braces: the final cached answer equals a fresh, entirely
+    // uncached computation on the shared front-end itself.
+    let mut c = Client::connect(addr, "Klein").unwrap();
+    let via_server = c.retrieve(Q).unwrap();
+    let fresh = shared.retrieve("Klein", Q).unwrap();
+    assert_eq!(via_server.rows.len(), fresh.masked.len());
+    assert_eq!(via_server.withheld, fresh.masked.withheld);
+    for (a, b) in via_server.rows.iter().zip(fresh.masked.rows.iter()) {
+        assert_eq!(a, b);
+    }
+}

@@ -413,8 +413,14 @@ mod tests {
 
     #[test]
     fn occurrence_display() {
-        assert_eq!(AttrRef::occ("EMPLOYEE", 2, "NAME").to_string(), "EMPLOYEE:2.NAME");
-        assert_eq!(AttrRef::new("EMPLOYEE", "NAME").to_string(), "EMPLOYEE.NAME");
+        assert_eq!(
+            AttrRef::occ("EMPLOYEE", 2, "NAME").to_string(),
+            "EMPLOYEE:2.NAME"
+        );
+        assert_eq!(
+            AttrRef::new("EMPLOYEE", "NAME").to_string(),
+            "EMPLOYEE.NAME"
+        );
     }
 
     #[test]

@@ -84,11 +84,7 @@ pub fn compile(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<CanonicalPl
             CalcTerm::Attr(r) => Term::Col(resolved.column_of(r, scheme)?),
             CalcTerm::Const(v) => Term::Const(v.clone()),
         };
-        atoms.push(PredicateAtom {
-            lhs,
-            op: a.op,
-            rhs,
-        });
+        atoms.push(PredicateAtom { lhs, op: a.op, rhs });
     }
     let projection = q
         .targets
@@ -258,7 +254,9 @@ mod tests {
 
     #[test]
     fn unknown_attribute_rejected() {
-        let q = ConjunctiveQuery::retrieve().target("EMPLOYEE", "WAGE").build();
+        let q = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "WAGE")
+            .build();
         assert!(compile(&q, &scheme()).is_err());
     }
 
@@ -294,7 +292,8 @@ mod tests {
         let r = resolve_factors(&q, &s).unwrap();
         assert_eq!(r.factor_offsets, vec![0, 3]);
         assert_eq!(
-            r.column_of(&AttrRef::occ("EMPLOYEE", 2, "SALARY"), &s).unwrap(),
+            r.column_of(&AttrRef::occ("EMPLOYEE", 2, "SALARY"), &s)
+                .unwrap(),
             5
         );
     }

@@ -192,7 +192,9 @@ impl Classes {
             }
             _ => {}
         }
-        let keep = self.constant[ra].clone().or_else(|| self.constant[rb].clone());
+        let keep = self.constant[ra]
+            .clone()
+            .or_else(|| self.constant[rb].clone());
         self.parent[rb] = ra;
         self.constant[ra] = keep;
         self.head[ra] = self.head[ra] || self.head[rb];
@@ -241,10 +243,7 @@ pub fn normalize(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<Normalize
         let dom = resolved.product_schema.domain(col);
         if v.domain() != dom {
             return Err(RelError::TypeMismatch {
-                expected: format!(
-                    "{dom} in {}",
-                    resolved.product_schema.column(col).qual
-                ),
+                expected: format!("{dom} in {}", resolved.product_schema.column(col).qual),
                 found: format!("{v} ({})", v.domain()),
             });
         }

@@ -87,7 +87,10 @@ fn main() {
 
     println!("== nurse: all patients (row masking) ==\n");
     let out = fe
-        .retrieve("nurse", "retrieve (PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)")
+        .retrieve(
+            "nurse",
+            "retrieve (PATIENT.NAME, PATIENT.WARD, PATIENT.AGE)",
+        )
         .unwrap();
     println!("{}", out.render());
 

@@ -12,6 +12,9 @@
 //! * `show REL` — print a relation with its meta-relation (Figure 1
 //!   style); `show permissions` / `show comparisons`;
 //! * `save FILE` / `load FILE` — persist or restore the whole state;
+//! * `serve ADDR` — serve a snapshot of the current state over TCP
+//!   (the `motro-server` wire protocol); `connect ADDR USER` — open a
+//!   client session against any such server;
 //! * `help`, `quit`.
 //!
 //! The session starts preloaded with the paper's Figure 1 database and
@@ -19,7 +22,8 @@
 //! PROJECT.BUDGET >= 250,000` reproduces Example 1 immediately.
 
 use motro_authz::core::fixtures;
-use motro_authz::Frontend;
+use motro_authz::{Frontend, SharedFrontend};
+use motro_server::{Client, QueryReply, Rows, Server, ServerConfig};
 use std::io::{BufRead, Write};
 
 fn paper_frontend() -> Frontend {
@@ -53,10 +57,14 @@ const HELP: &str = "commands:
   as USER delete from R [where ...]         checked (reduced) delete
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
+  serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
+  connect ADDR USER                     client session against a server
   help | quit";
 
 fn main() {
     let mut fe = paper_frontend();
+    // Servers started with `serve` stay alive for the session.
+    let mut servers: Vec<Server> = Vec::new();
     println!("motro-authz repl — Figure 1 database preloaded. Type 'help'.");
     let stdin = std::io::stdin();
     let mut line = String::new();
@@ -71,12 +79,132 @@ fn main() {
         if input.is_empty() {
             continue;
         }
+        if let Some(rest) = input.strip_prefix("serve ") {
+            match Server::bind(
+                rest.trim(),
+                SharedFrontend::new(fe.clone()),
+                ServerConfig::default(),
+            ) {
+                Ok(server) => {
+                    println!(
+                        "serving a snapshot of the current state on {} \
+                         (later repl edits stay local)",
+                        server.local_addr()
+                    );
+                    servers.push(server);
+                }
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        if let Some(rest) = input.strip_prefix("connect ") {
+            match rest.trim().split_once(' ') {
+                Some((addr, user)) => client_repl(addr.trim(), user.trim()),
+                None => println!("usage: connect ADDR USER"),
+            }
+            continue;
+        }
         match dispatch(&mut fe, input) {
             Ok(Some(output)) => println!("{output}"),
             Ok(None) => break,
             Err(e) => println!("error: {e}"),
         }
     }
+    for mut s in servers {
+        s.shutdown();
+    }
+}
+
+/// A nested client session: retrievals and administrative statements
+/// go over the wire; `quit` (or EOF) returns to the local prompt.
+fn client_repl(addr: &str, user: &str) {
+    let mut client = match Client::connect(addr, user) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    println!(
+        "connected to {addr} as {user} (epoch {}); 'quit' returns",
+        client.epoch()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("{user}@{addr}> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let input = line.trim();
+        if input.is_empty() {
+            continue;
+        }
+        if input.eq_ignore_ascii_case("quit") || input.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        let head = input
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        let outcome = match head.as_str() {
+            "retrieve" => client.query(input).map(|reply| match reply {
+                QueryReply::Rows(rows) => render_rows(&rows),
+                QueryReply::Aggregate { rendered, .. } => rendered,
+            }),
+            "insert" | "delete" => client.update(input).map(|m| m.join("\n")),
+            "stats" => client.stats().map(|s| {
+                format!(
+                    "epoch {}: {} hits, {} misses, {} cached masks",
+                    s.epoch, s.hits, s.misses, s.entries
+                )
+            }),
+            _ => client.admin(input).map(|m| m.join("\n")),
+        };
+        match outcome {
+            Ok(output) => println!("{output}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Render a wire answer in the local `retrieve` style.
+fn render_rows(rows: &Rows) -> String {
+    use motro_authz::rel::Value;
+    let mut out = String::new();
+    out.push_str(&format!("({})\n", rows.columns.join(", ")));
+    for row in &rows.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| match c {
+                None => "-".to_owned(),
+                Some(Value::Int(n)) => n.to_string(),
+                Some(Value::Str(s)) => s.clone(),
+            })
+            .collect();
+        out.push_str(&format!("({})\n", cells.join(", ")));
+    }
+    out.push_str(&format!(
+        "[{} row(s), {} withheld{}{}]",
+        rows.rows.len(),
+        rows.withheld,
+        if rows.cached { ", cached mask" } else { "" },
+        if rows.full_access {
+            ", full access"
+        } else {
+            ""
+        },
+    ));
+    if !rows.permits.is_empty() {
+        out.push_str("\npermits:");
+        for p in &rows.permits {
+            out.push_str(&format!("\n  {p}"));
+        }
+    }
+    out
 }
 
 fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
@@ -95,8 +223,8 @@ fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
         } else if what.eq_ignore_ascii_case("storage") {
             // The paper's literal storage model: every meta-relation as
             // an ordinary relation.
-            let tables = motro_authz::core::encode_store(fe.auth_store())
-                .map_err(|e| e.to_string())?;
+            let tables =
+                motro_authz::core::encode_store(fe.auth_store()).map_err(|e| e.to_string())?;
             let mut out = String::new();
             for (name, t) in tables {
                 out.push_str(&format!("{name}:\n{}\n", t.to_table()));
@@ -126,7 +254,10 @@ fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
             .ok_or_else(|| "usage: as USER retrieve (...)".to_owned())?;
         let head = stmt.trim_start().to_ascii_lowercase();
         if head.starts_with("insert") || head.starts_with("delete") {
-            return fe.execute_update(user, stmt).map(Some).map_err(|e| e.to_string());
+            return fe
+                .execute_update(user, stmt)
+                .map(Some)
+                .map_err(|e| e.to_string());
         }
         let out = fe.query(user, stmt).map_err(|e| e.to_string())?;
         return Ok(Some(out.render()));

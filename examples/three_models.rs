@@ -7,9 +7,7 @@
 //! cargo run --example three_models
 //! ```
 
-use motro_authz::baselines::{
-    IngresOutcome, IngresPermission, IngresStore, Privilege, SystemR,
-};
+use motro_authz::baselines::{IngresOutcome, IngresPermission, IngresStore, Privilege, SystemR};
 use motro_authz::core::fixtures;
 use motro_authz::core::{AuthStore, AuthorizedEngine};
 use motro_authz::rel::{CompOp, Value};

@@ -38,9 +38,26 @@ impl SharedFrontend {
         self.inner.write().execute_admin_program(src)
     }
 
-    /// Add a user to a group (exclusive).
+    /// Add a user to a group (exclusive). Group membership changes the
+    /// user's permission set, so this advances the authorization epoch
+    /// (via [`motro_core::AuthStore::add_member`]) and invalidates any
+    /// cached masks.
     pub fn add_member(&self, group: &str, user: &str) {
         self.inner.write().add_member(group, user);
+    }
+
+    /// Remove a user from a group (exclusive). Advances the epoch when
+    /// the membership existed.
+    pub fn remove_member(&self, group: &str, user: &str) -> bool {
+        self.inner
+            .write()
+            .auth_store_mut()
+            .remove_member(group, user)
+    }
+
+    /// The current authorization epoch (shared).
+    pub fn auth_epoch(&self) -> u64 {
+        self.inner.read().auth_epoch()
     }
 
     /// An authorized row retrieval (shared: runs in parallel with other
@@ -49,9 +66,37 @@ impl SharedFrontend {
         self.inner.read().retrieve(user, stmt)
     }
 
+    /// Non-blocking [`SharedFrontend::retrieve`]: returns `None` when
+    /// the lock is held exclusively (an administrative statement is in
+    /// flight), so callers — a loaded server, say — can shed the
+    /// request instead of queueing behind the write.
+    pub fn try_retrieve(
+        &self,
+        user: &str,
+        stmt: &str,
+    ) -> Option<Result<AccessOutcome, FrontendError>> {
+        self.inner.try_read().map(|fe| fe.retrieve(user, stmt))
+    }
+
     /// Any authorized retrieval, row-level or aggregate (shared).
     pub fn query(&self, user: &str, stmt: &str) -> Result<RetrieveOutcome, FrontendError> {
         self.inner.read().query(user, stmt)
+    }
+
+    /// Non-blocking [`SharedFrontend::query`]; `None` when an exclusive
+    /// administrative statement holds the lock.
+    pub fn try_query(
+        &self,
+        user: &str,
+        stmt: &str,
+    ) -> Option<Result<RetrieveOutcome, FrontendError>> {
+        self.inner.try_read().map(|fe| fe.query(user, stmt))
+    }
+
+    /// Run a closure with read access if the lock is free, without
+    /// blocking; `None` otherwise.
+    pub fn try_with_read<T>(&self, f: impl FnOnce(&Frontend) -> T) -> Option<T> {
+        self.inner.try_read().map(|fe| f(&fe))
     }
 
     /// Run a closure with read access to the underlying front-end.
@@ -114,9 +159,7 @@ mod tests {
                 let h = fe.clone();
                 s.spawn(move |_| {
                     for _ in 0..100 {
-                        let out = h
-                            .retrieve("Klein", "retrieve (PROJECT.NUMBER)")
-                            .unwrap();
+                        let out = h.retrieve("Klein", "retrieve (PROJECT.NUMBER)").unwrap();
                         // Klein either has the grant or not — never a
                         // torn state: delivered is 1 (Acme row) or 0.
                         assert!(out.masked.len() <= 1);
@@ -135,6 +178,95 @@ mod tests {
             });
         })
         .unwrap();
+    }
+
+    /// Regression: `add_member` must advance the authorization epoch —
+    /// membership changes permissions, and an epoch-keyed mask cache
+    /// would otherwise keep serving the pre-membership mask.
+    #[test]
+    fn add_member_bumps_epoch() {
+        let fe = shared();
+        fe.execute_admin("permit PSA to group acme-staff").unwrap();
+        let before = fe.auth_epoch();
+        // Alice is not yet a member: nothing delivered.
+        let out = fe
+            .retrieve("Alice", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)")
+            .unwrap();
+        assert_eq!(out.masked.len(), 0);
+        fe.add_member("acme-staff", "Alice");
+        assert!(
+            fe.auth_epoch() > before,
+            "group membership must invalidate cached masks"
+        );
+        // And the fresh mask actually reflects the membership.
+        let out = fe
+            .retrieve("Alice", "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)")
+            .unwrap();
+        assert_eq!(out.masked.len(), 1);
+        let epoch_after = fe.auth_epoch();
+        assert!(fe.remove_member("acme-staff", "Alice"));
+        assert!(fe.auth_epoch() > epoch_after);
+    }
+
+    /// `try_retrieve` returns `None` (sheds load) while a writer holds
+    /// the lock, and `Some` once it is released — readers interleave
+    /// with writers without ever blocking.
+    #[test]
+    fn try_retrieve_sheds_under_writer() {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let fe = shared();
+        let writer_in = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        let shed = AtomicUsize::new(0);
+        let served = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            let h = fe.clone();
+            let writer_in = &writer_in;
+            let release = &release;
+            s.spawn(move |_| {
+                h.with_write(|f| {
+                    writer_in.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    f.execute_admin("permit PSA to Klein").unwrap();
+                });
+            });
+            for _ in 0..4 {
+                let h = fe.clone();
+                let (shed, served) = (&shed, &served);
+                s.spawn(move |_| {
+                    while !writer_in.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    // Writer holds the lock: must shed, not block.
+                    match h.try_retrieve("Brown", "retrieve (PROJECT.NUMBER)") {
+                        None => {
+                            shed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Some(out) => {
+                            // Possible only after the writer released.
+                            out.unwrap();
+                            served.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                    release.store(true, Ordering::SeqCst);
+                    // After the writer commits, try_retrieve succeeds
+                    // (eventually: other readers never starve it).
+                    loop {
+                        if let Some(out) = h.try_retrieve("Brown", "retrieve (PROJECT.NUMBER)") {
+                            out.unwrap();
+                            served.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(shed.load(Ordering::SeqCst) >= 1, "no reader shed load");
+        assert!(served.load(Ordering::SeqCst) >= 4);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub use motro_lang as lang;
 pub use motro_rel as rel;
 pub use motro_views as views;
 
-use motro_core::{AccessOutcome, AggregateOutcome, AuthStore, AuthorizedEngine, CoreError, RefinementConfig};
+use motro_core::{
+    AccessOutcome, AggregateOutcome, AuthStore, AuthorizedEngine, CoreError, RefinementConfig,
+};
 use motro_lang::{parse_program, parse_statement, ParseError, Principal, Statement};
 use motro_rel::{Database, DbSchema, RelError};
 use serde::{Deserialize, Serialize};
@@ -148,9 +150,21 @@ impl Frontend {
         }
     }
 
-    /// Override the refinement configuration.
+    /// Override the refinement configuration. Advances the
+    /// authorization epoch: the configuration changes which masks the
+    /// engine computes, so cached masks must not outlive it.
     pub fn set_config(&mut self, config: RefinementConfig) {
         self.config = config;
+        self.store.bump_epoch();
+    }
+
+    /// The current authorization epoch (see
+    /// [`motro_core::AuthStore::auth_epoch`]): bumped by every `view`,
+    /// `permit`, `revoke`, and group-membership mutation. A mask for
+    /// `(user, plan)` computed at epoch `e` is valid exactly while
+    /// `auth_epoch() == e`.
+    pub fn auth_epoch(&self) -> u64 {
+        self.store.auth_epoch()
     }
 
     /// Mutable access to the database (loading data is an administrator
@@ -215,15 +229,12 @@ impl Frontend {
             },
             Statement::Retrieve(_) | Statement::RetrieveAggregate(_) => {
                 Err(FrontendError::Unexpected(
-                    "retrieve statements go through Frontend::retrieve with a user"
-                        .to_owned(),
+                    "retrieve statements go through Frontend::retrieve with a user".to_owned(),
                 ))
             }
-            Statement::Insert { .. } | Statement::Delete { .. } => {
-                Err(FrontendError::Unexpected(
-                    "updates go through Frontend::execute_update with a user".to_owned(),
-                ))
-            }
+            Statement::Insert { .. } | Statement::Delete { .. } => Err(FrontendError::Unexpected(
+                "updates go through Frontend::execute_update with a user".to_owned(),
+            )),
         }
     }
 
@@ -302,8 +313,7 @@ impl Frontend {
                     .check_against(self.db.schema().schema_of(&rel)?)
                     .map_err(FrontendError::Rel)?;
                 let allowed = {
-                    let engine =
-                        AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+                    let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
                     motro_core::update::check_insert(&engine, user, &rel, &tuple)?
                 };
                 if !allowed {
@@ -325,15 +335,12 @@ impl Frontend {
                 let query = motro_views::ConjunctiveQuery {
                     name: None,
                     targets: (0..schema.arity())
-                        .map(|i| {
-                            motro_views::AttrRef::new(&rel, &schema.column(i).qual.attr)
-                        })
+                        .map(|i| motro_views::AttrRef::new(&rel, &schema.column(i).qual.attr))
                         .collect(),
                     atoms,
                 };
                 let (permitted, denied): (Vec<motro_rel::Tuple>, usize) = {
-                    let engine =
-                        AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+                    let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
                     let plan = motro_views::compile(&query, self.db.schema())?;
                     let matching = plan.execute(&self.db)?;
                     let mut ok = Vec::new();

@@ -16,17 +16,15 @@ fn scheme() -> motro_authz::rel::DbSchema {
 }
 
 fn db_strategy() -> impl Strategy<Value = Database> {
-    proptest::collection::vec(
-        (0..NAMES.len(), 0..TITLES.len(), 10_000i64..50_000),
-        0..6,
+    proptest::collection::vec((0..NAMES.len(), 0..TITLES.len(), 10_000i64..50_000), 0..6).prop_map(
+        |rows| {
+            let mut db = Database::new(scheme());
+            for (n, t, s) in rows {
+                let _ = db.insert("EMPLOYEE", tuple![NAMES[n], TITLES[t], s]);
+            }
+            db
+        },
     )
-    .prop_map(|rows| {
-        let mut db = Database::new(scheme());
-        for (n, t, s) in rows {
-            let _ = db.insert("EMPLOYEE", tuple![NAMES[n], TITLES[t], s]);
-        }
-        db
-    })
 }
 
 /// Views in the paper-recommended shape (selection attrs projected):
@@ -60,9 +58,7 @@ fn view_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
                     q.atoms.push(motro_authz::views::CalcAtom {
                         lhs: AttrRef::new("EMPLOYEE", "SALARY"),
                         op: CompOp::Le,
-                        rhs: motro_authz::views::CalcTerm::Const(Value::int(
-                            20_000 + k * 8_000,
-                        )),
+                        rhs: motro_authz::views::CalcTerm::Const(Value::int(20_000 + k * 8_000)),
                     });
                 }
                 _ => {

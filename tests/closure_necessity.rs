@@ -85,9 +85,11 @@ fn disabling_closure_pruning_leaks() {
     // The dangling-variable row binds freely at mask application and
     // reveals unaudited names — exactly the leak the theorem's pruning
     // prevents.
-    let leaked = out.masked.rows.iter().any(|r| {
-        matches!(&r[0], Some(v) if v.as_str() != Some("Ada"))
-    });
+    let leaked = out
+        .masked
+        .rows
+        .iter()
+        .any(|r| matches!(&r[0], Some(v) if v.as_str() != Some("Ada")));
     assert!(
         leaked,
         "expected the unsound configuration to leak (if this fails, the \

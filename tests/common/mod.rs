@@ -94,11 +94,7 @@ pub fn view_cells(v: &ConjunctiveQuery, db: &Database) -> BTreeSet<BaseCell> {
 }
 
 /// The union of base cells every view granted to `user` exposes.
-pub fn permitted_cells(
-    store: &AuthStore,
-    db: &Database,
-    user: &str,
-) -> BTreeSet<BaseCell> {
+pub fn permitted_cells(store: &AuthStore, db: &Database, user: &str) -> BTreeSet<BaseCell> {
     let mut cells = BTreeSet::new();
     for vname in store.permitted_views(user) {
         let entry = store.view(vname).expect("granted views exist");
@@ -139,9 +135,9 @@ pub fn assert_outcome_sound(
         for (j, cell) in row.iter().enumerate() {
             let Some(v) = cell else { continue };
             let (f, a) = proj[j];
-            let ok = matching.iter().any(|prov| {
-                permitted.contains(&(plan.relations[f].clone(), prov[f].clone(), a))
-            });
+            let ok = matching
+                .iter()
+                .any(|prov| permitted.contains(&(plan.relations[f].clone(), prov[f].clone(), a)));
             assert!(
                 ok,
                 "delivered cell {v} (column {j}, relation {}, attribute {a}) \

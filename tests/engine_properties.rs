@@ -1,10 +1,10 @@
 //! Property tests on the substrate: algebra laws, plan canonicalization,
 //! and the interval solver checked against brute-force semantics.
 
-use motro_authz::core::{Interval, ConstraintAtom, ConstraintSet};
+use motro_authz::core::{ConstraintAtom, ConstraintSet, Interval};
 use motro_authz::rel::{
     algebra, tuple, AlgebraExpr, CompOp, Database, DbSchema, Domain, Predicate, PredicateAtom,
-    Relation, RelSchema, Value,
+    RelSchema, Relation, Value,
 };
 use proptest::prelude::*;
 
@@ -47,9 +47,8 @@ fn expr_strategy() -> impl Strategy<Value = AlgebraExpr> {
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             // Product.
-            (inner.clone(), inner.clone()).prop_map(|((a, na), (b, nb))| {
-                (a.product(b), na + nb)
-            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|((a, na), (b, nb))| { (a.product(b), na + nb) }),
             // Selection with a well-formed atom.
             (inner.clone(), 0usize..4, 0usize..6, 0i64..4, any::<bool>()).prop_map(
                 |((e, n), col, op, v, col_vs_col)| {
@@ -188,11 +187,7 @@ proptest! {
 #[test]
 fn projection_chain_dedups() {
     let schema = RelSchema::base("R", &[("A", Domain::Int), ("B", Domain::Int)]);
-    let r = Relation::from_rows(
-        schema,
-        vec![tuple![1, 1], tuple![1, 2], tuple![1, 3]],
-    )
-    .unwrap();
+    let r = Relation::from_rows(schema, vec![tuple![1, 1], tuple![1, 2], tuple![1, 3]]).unwrap();
     let out = algebra::project(&algebra::project(&r, &[0, 1]), &[0]);
     assert_eq!(out.len(), 1);
 }

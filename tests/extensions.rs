@@ -234,7 +234,11 @@ fn extended_masks_recover_unrequested_condition_columns() {
     let out = fe.retrieve("auditor", q).unwrap();
     assert_eq!(out.masked.len(), 2, "{:?}", out.mask.tuples);
     assert_eq!(out.masked.withheld, 1);
-    assert_eq!(out.masked.schema.arity(), 2, "delivered shape is the request");
+    assert_eq!(
+        out.masked.schema.arity(),
+        2,
+        "delivered shape is the request"
+    );
     for row in &out.masked.rows {
         assert!(row.iter().all(Option::is_some));
         assert_ne!(row[1], Some(Value::str("chemo")));
@@ -291,8 +295,8 @@ fn extended_masks_remain_sound() {
 
 #[test]
 fn optimizer_agrees_on_authorization_workload() {
-    use motro_authz::views::{AttrRef, ConjunctiveQuery};
     use motro_authz::rel::CompOp;
+    use motro_authz::views::{AttrRef, ConjunctiveQuery};
     let fe = clinic();
     let db = fe.database();
     let queries = [
@@ -408,7 +412,10 @@ fn aggregate_view_through_frontend() {
     )
     .unwrap();
     let out = fe
-        .query("board", "retrieve (sum(TREATMENT.COST), count(TREATMENT.PID))")
+        .query(
+            "board",
+            "retrieve (sum(TREATMENT.COST), count(TREATMENT.PID))",
+        )
         .unwrap();
     let RetrieveOutcome::Aggregate(a) = out else {
         panic!("expected aggregate outcome");

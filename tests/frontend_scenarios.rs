@@ -85,10 +85,11 @@ fn revoke_and_drop_view_lifecycle() {
          permit ALLP to alice",
     )
     .unwrap();
-    assert!(fe
-        .retrieve("alice", "retrieve (PATIENT.NAME)")
-        .unwrap()
-        .full_access);
+    assert!(
+        fe.retrieve("alice", "retrieve (PATIENT.NAME)")
+            .unwrap()
+            .full_access
+    );
 
     fe.execute_admin("revoke ALLP from alice").unwrap();
     let out = fe.retrieve("alice", "retrieve (PATIENT.NAME)").unwrap();

@@ -49,18 +49,18 @@ proptest! {
 fn hostile_statements_error_cleanly() {
     let mut fe = Frontend::with_database(fixtures::paper_database());
     let cases = [
-        "view V ()",                                      // empty targets
-        "view V (NOPE.X)",                                // unknown relation
-        "view V (EMPLOYEE.WAGE)",                         // unknown attribute
+        "view V ()",                                           // empty targets
+        "view V (NOPE.X)",                                     // unknown relation
+        "view V (EMPLOYEE.WAGE)",                              // unknown attribute
         "view V (EMPLOYEE.NAME) where EMPLOYEE.SALARY = five", // domain clash
-        "view V (EMPLOYEE:9.NAME)",                       // sparse occurrence
+        "view V (EMPLOYEE:9.NAME)",                            // sparse occurrence
         "view V (EMPLOYEE.NAME) where EMPLOYEE.NAME = a and EMPLOYEE.NAME = b",
-        "permit GHOST to anyone",                         // unknown view
+        "permit GHOST to anyone", // unknown view
         "revoke GHOST from anyone",
-        "view V (count(EMPLOYEE.NAME, EMPLOYEE.TITLE))",  // bad agg arity
+        "view V (count(EMPLOYEE.NAME, EMPLOYEE.TITLE))", // bad agg arity
         "retrieve (EMPLOYEE.NAME) where 3 = EMPLOYEE.SALARY", // const lhs
-        "view 'X' (EMPLOYEE.NAME)",                       // string as name
-        "view V (EMPLOYEE.NAME) where",                   // dangling where
+        "view 'X' (EMPLOYEE.NAME)",                      // string as name
+        "view V (EMPLOYEE.NAME) where",                  // dangling where
     ];
     for c in cases {
         assert!(fe.execute_admin(c).is_err(), "should reject: {c}");
@@ -68,7 +68,11 @@ fn hostile_statements_error_cleanly() {
     // A valid definition still works afterwards (no poisoned state).
     fe.execute_admin("view OK (EMPLOYEE.NAME)").unwrap();
     fe.execute_admin("permit OK to u").unwrap();
-    assert!(fe.retrieve("u", "retrieve (EMPLOYEE.NAME)").unwrap().full_access);
+    assert!(
+        fe.retrieve("u", "retrieve (EMPLOYEE.NAME)")
+            .unwrap()
+            .full_access
+    );
 }
 
 /// Queries with errors leave retrievals unaffected too.
@@ -87,5 +91,9 @@ fn hostile_queries_error_cleanly() {
     ] {
         assert!(fe.query("u", q).is_err(), "should reject: {q}");
     }
-    assert!(fe.retrieve("u", "retrieve (EMPLOYEE.NAME)").unwrap().full_access);
+    assert!(
+        fe.retrieve("u", "retrieve (EMPLOYEE.NAME)")
+            .unwrap()
+            .full_access
+    );
 }

@@ -43,7 +43,10 @@ fn fig1_meta_relations_match_paper() {
     let store = fe.auth_store();
 
     let emp = store
-        .meta_table("EMPLOYEE", Some(fe.database().relation("EMPLOYEE").unwrap()))
+        .meta_table(
+            "EMPLOYEE",
+            Some(fe.database().relation("EMPLOYEE").unwrap()),
+        )
         .unwrap();
     // Actual rows and meta rows share one table, like the paper's
     // display.
@@ -148,12 +151,8 @@ fn example_2_through_frontend() {
     // The paper prunes EMPLOYEE' to ELP + EST(×2), PROJECT' and
     // ASSIGNMENT' to ELP.
     let emp_cands = &out.trace.candidates[0].1;
-    assert!(emp_cands
-        .iter()
-        .any(|t| t.render_provenance() == "ELP"));
-    assert!(emp_cands
-        .iter()
-        .any(|t| t.render_provenance() == "EST"));
+    assert!(emp_cands.iter().any(|t| t.render_provenance() == "ELP"));
+    assert!(emp_cands.iter().any(|t| t.render_provenance() == "EST"));
 
     let permitted = common::permitted_cells(fe.auth_store(), fe.database(), "Klein");
     common::assert_outcome_sound(&out, fe.database(), &permitted);
@@ -183,7 +182,10 @@ fn example_3_through_frontend() {
     // self-pairs; every cell is delivered.
     assert_eq!(out.answer.len(), 3);
     assert!(out.full_access);
-    assert!(out.permits.is_empty(), "no permit statements on full access");
+    assert!(
+        out.permits.is_empty(),
+        "no permit statements on full access"
+    );
     assert_eq!(out.masked.len(), 3);
     assert_eq!(out.masked.withheld, 0);
     assert_eq!(out.masked.visible_cells(), 12);
@@ -251,9 +253,7 @@ fn outcome_rendering() {
         .unwrap();
     assert!(full.render().contains("full access"), "{}", full.render());
 
-    let nothing = fe
-        .retrieve("Klein", "retrieve (PROJECT.SPONSOR)")
-        .unwrap();
+    let nothing = fe.retrieve("Klein", "retrieve (PROJECT.SPONSOR)").unwrap();
     assert!(
         nothing.render().contains("no portion"),
         "{}",

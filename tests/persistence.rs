@@ -36,12 +36,20 @@ fn json_round_trip_preserves_outcomes() {
     assert_eq!(a.masked.rows, b.masked.rows);
     assert_eq!(a.masked.withheld, b.masked.withheld);
     assert_eq!(
-        a.permits.iter().map(ToString::to_string).collect::<Vec<_>>(),
-        b.permits.iter().map(ToString::to_string).collect::<Vec<_>>()
+        a.permits
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
+        b.permits
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
     );
 
     // Group membership survives.
-    let c = back.retrieve("carol", "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)").unwrap();
+    let c = back
+        .retrieve("carol", "retrieve (EMPLOYEE.NAME, EMPLOYEE.SALARY)")
+        .unwrap();
     assert!(c.full_access);
 }
 

@@ -22,9 +22,7 @@
 use motro_authz::core::constraint::{ConstraintAtom, ConstraintSet};
 use motro_authz::core::meta_algebra::{meta_project, meta_select, SelectMode};
 use motro_authz::core::{Mask, MetaCell, MetaTuple};
-use motro_authz::rel::{
-    tuple, CompOp, Domain, PredicateAtom, RelSchema, Tuple, Value,
-};
+use motro_authz::rel::{tuple, CompOp, Domain, PredicateAtom, RelSchema, Tuple, Value};
 use proptest::prelude::*;
 
 fn schema3() -> RelSchema {
@@ -71,18 +69,16 @@ fn cell_strategy(dom: Domain, var_base: u32) -> impl Strategy<Value = MetaCell> 
         Domain::Str => (0..STRS.len()).prop_map(|i| Value::str(STRS[i])).boxed(),
         Domain::Int => (0i64..4).prop_map(Value::int).boxed(),
     };
-    (0..3u8, const_val, 0..2u32, any::<bool>()).prop_map(move |(kind, cv, v, starred)| {
-        match kind {
-            0 => MetaCell {
-                content: motro_authz::core::CellContent::Blank,
-                starred,
-            },
-            1 => MetaCell {
-                content: motro_authz::core::CellContent::Const(cv),
-                starred,
-            },
-            _ => MetaCell::var(var_base + v, starred),
-        }
+    (0..3u8, const_val, 0..2u32, any::<bool>()).prop_map(move |(kind, cv, v, starred)| match kind {
+        0 => MetaCell {
+            content: motro_authz::core::CellContent::Blank,
+            starred,
+        },
+        1 => MetaCell {
+            content: motro_authz::core::CellContent::Const(cv),
+            starred,
+        },
+        _ => MetaCell::var(var_base + v, starred),
     })
 }
 
@@ -98,10 +94,7 @@ fn meta3_strategy(var_base: u32) -> impl Strategy<Value = MetaTuple> {
         .prop_map(move |(a, b, c, atoms)| {
             let cells = vec![a, b, c];
             // Attach atoms only to int-column variables actually present.
-            let int_vars: Vec<u32> = cells[1..]
-                .iter()
-                .filter_map(MetaCell::as_var)
-                .collect();
+            let int_vars: Vec<u32> = cells[1..].iter().filter_map(MetaCell::as_var).collect();
             let catoms: Vec<ConstraintAtom> = atoms
                 .into_iter()
                 .filter_map(|(op, v)| {
@@ -130,15 +123,12 @@ fn meta2_strategy(var_base: u32) -> impl Strategy<Value = MetaTuple> {
         cell_strategy(Domain::Str, var_base),
         cell_strategy(Domain::Int, var_base + 2),
     )
-        .prop_map(move |(d, e)| {
-            MetaTuple::new("W", var_base, vec![d, e], ConstraintSet::empty())
-        })
+        .prop_map(move |(d, e)| MetaTuple::new("W", var_base, vec![d, e], ConstraintSet::empty()))
 }
 
 fn rows3_strategy() -> impl Strategy<Value = Vec<Tuple>> {
     proptest::collection::vec(
-        (0..STRS.len(), 0i64..4, 0i64..4)
-            .prop_map(|(a, b, c)| tuple![STRS[a], b, c]),
+        (0..STRS.len(), 0i64..4, 0i64..4).prop_map(|(a, b, c)| tuple![STRS[a], b, c]),
         1..8,
     )
 }

@@ -30,10 +30,7 @@ const NUMBERS: [&str; 4] = ["p1", "p2", "p3", "p4"];
 /// Random database over the paper scheme with small value pools so
 /// joins and selections actually match.
 fn db_strategy() -> impl Strategy<Value = Database> {
-    let emp = proptest::collection::vec(
-        (0..NAMES.len(), 0..TITLES.len(), 10_000i64..50_000),
-        0..4,
-    );
+    let emp = proptest::collection::vec((0..NAMES.len(), 0..TITLES.len(), 10_000i64..50_000), 0..4);
     let proj = proptest::collection::vec(
         (0..NUMBERS.len(), 0..SPONSORS.len(), 50_000i64..600_000),
         0..4,
@@ -102,11 +99,7 @@ fn stmt_strategy(
     name: Option<&'static str>,
     include_selection_in_targets: bool,
 ) -> impl Strategy<Value = ConjunctiveQuery> {
-    let rels = prop_oneof![
-        Just("EMPLOYEE"),
-        Just("PROJECT"),
-        Just("ASSIGNMENT")
-    ];
+    let rels = prop_oneof![Just("EMPLOYEE"), Just("PROJECT"), Just("ASSIGNMENT")];
     (
         rels,
         proptest::collection::vec(any::<bool>(), 3),
@@ -170,7 +163,9 @@ fn store_with(views: Vec<ConjunctiveQuery>) -> AuthStore {
 
 /// Cells delivered by an outcome, as (row-index-free) multiset of
 /// (column, value) pairs plus row count — enough for ⊇ comparisons.
-fn delivered(outcome: &motro_authz::core::AccessOutcome) -> Vec<Vec<Option<motro_authz::rel::Value>>> {
+fn delivered(
+    outcome: &motro_authz::core::AccessOutcome,
+) -> Vec<Vec<Option<motro_authz::rel::Value>>> {
     outcome.masked.rows.clone()
 }
 

@@ -151,7 +151,10 @@ fn faculty_statistics_without_rows() {
     else {
         panic!("expected aggregate outcome");
     };
-    assert_eq!(stats.mode, AggAccessMode::ViaAggregateView("GRADESTATS".into()));
+    assert_eq!(
+        stats.mode,
+        AggAccessMode::ViaAggregateView("GRADESTATS".into())
+    );
     assert!(stats.result.contains(&tuple!["cs101", 88, 2]));
     assert!(stats.result.contains(&tuple!["ma201", 86, 2]));
     // Narrowing by course (a group key) is fine…
@@ -240,27 +243,15 @@ fn containment_certifies_advisor_subqueries() {
 fn updates_respect_branch_scopes() {
     let fe = university();
     let engine = fe.engine();
-    assert!(update::check_insert(
-        &engine,
-        "mora",
-        "STUDENT",
-        &tuple!["s9", "Eli", "cs", 1]
-    )
-    .unwrap());
-    assert!(update::check_insert(
-        &engine,
-        "mora",
-        "STUDENT",
-        &tuple!["s9", "Eli", "math", 1]
-    )
-    .unwrap());
-    assert!(!update::check_insert(
-        &engine,
-        "mora",
-        "STUDENT",
-        &tuple!["s9", "Eli", "bio", 1]
-    )
-    .unwrap());
+    assert!(
+        update::check_insert(&engine, "mora", "STUDENT", &tuple!["s9", "Eli", "cs", 1]).unwrap()
+    );
+    assert!(
+        update::check_insert(&engine, "mora", "STUDENT", &tuple!["s9", "Eli", "math", 1]).unwrap()
+    );
+    assert!(
+        !update::check_insert(&engine, "mora", "STUDENT", &tuple!["s9", "Eli", "bio", 1]).unwrap()
+    );
 }
 
 #[test]
@@ -272,7 +263,8 @@ fn revocation_and_persistence_round_trip() {
     // expressed on it — the paper's expressibility rule.)
     let q = "retrieve (STUDENT.NAME, STUDENT.MAJOR)";
     let snapshot = fe.to_json().unwrap();
-    fe.execute_admin("revoke SCIENCE from group ADVISORS").unwrap();
+    fe.execute_admin("revoke SCIENCE from group ADVISORS")
+        .unwrap();
     let out = fe.retrieve("mora", q).unwrap();
     assert!(out.masked.is_empty());
 
