@@ -10,10 +10,18 @@
 //! ```text
 //! loadgen [--clients N] [--requests N] [--relations N] [--rows N]
 //!         [--views N] [--users N] [--grants N] [--seed S] [--out FILE]
+//!         [--obs-report FILE] [--assert-overhead PCT]
 //! ```
 //!
 //! Writes `BENCH_server_cache.json` (or `--out`) in the workspace
 //! BENCH_* convention.
+//!
+//! With `--obs-report`, additionally measures the cost of the
+//! observability layer: three interleaved pairs of runs with metrics
+//! disabled/enabled, reporting the smallest per-pair p50 ratio (the
+//! minimum damps scheduler noise) plus the resulting metrics snapshot
+//! (verified to parse as JSON). `--assert-overhead PCT` exits non-zero
+//! when the measured overhead exceeds the bound — the CI guardrail.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_bench::{ScaledWorld, WorldParams};
@@ -31,6 +39,8 @@ struct Args {
     grants: usize,
     seed: u64,
     out: String,
+    obs_report: Option<String>,
+    assert_overhead: Option<f64>,
 }
 
 impl Default for Args {
@@ -49,6 +59,8 @@ impl Default for Args {
             grants: 250,
             seed: 7,
             out: "BENCH_server_cache.json".to_owned(),
+            obs_report: None,
+            assert_overhead: None,
         }
     }
 }
@@ -78,6 +90,14 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage())
             }
             "--out" => a.out = it.next().unwrap_or_else(|| usage()),
+            "--obs-report" => a.obs_report = Some(it.next().unwrap_or_else(|| usage())),
+            "--assert-overhead" => {
+                a.assert_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -87,7 +107,8 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--clients N] [--requests N] [--relations N] [--rows N] \
-         [--views N] [--users N] [--grants N] [--seed S] [--out FILE]"
+         [--views N] [--users N] [--grants N] [--seed S] [--out FILE] \
+         [--obs-report FILE] [--assert-overhead PCT]"
     );
     std::process::exit(2);
 }
@@ -184,6 +205,87 @@ fn mean_of(m: &Map<String, Value>) -> f64 {
     m.get("mean_us").and_then(Value::as_u64).unwrap_or(1) as f64
 }
 
+fn p50_of(mut latencies: Vec<u64>) -> u64 {
+    latencies.sort_unstable();
+    percentile(&latencies, 50)
+}
+
+fn mean_ns(latencies: &[u64]) -> f64 {
+    latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64
+}
+
+/// Measure the observability layer's cost: interleaved disabled/enabled
+/// run pairs over the same world and statements. Returns the report map
+/// and the overhead percentage (smallest per-pair p50 ratio).
+fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
+    const PAIRS: usize = 3;
+    let mut pairs = Vec::new();
+    let mut best_ratio = f64::INFINITY;
+    for i in 0..PAIRS {
+        motro_obs::set_enabled(false);
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024);
+        motro_obs::set_enabled(true);
+        let (lat_on, _, _, _) = run(world, stmts, args, 1024);
+        let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
+        let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
+        best_ratio = best_ratio.min(ratio);
+        eprintln!(
+            "  obs pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
+            i + 1,
+            p50_off / 1_000,
+            p50_on / 1_000
+        );
+        let mut pair = Map::new();
+        let num = |v: u64| Value::Number(Number::from(v));
+        pair.insert("off_p50_us".to_owned(), num(p50_off / 1_000));
+        pair.insert("on_p50_us".to_owned(), num(p50_on / 1_000));
+        pair.insert(
+            "off_mean_us".to_owned(),
+            num(mean_ns(&lat_off) as u64 / 1_000),
+        );
+        pair.insert(
+            "on_mean_us".to_owned(),
+            num(mean_ns(&lat_on) as u64 / 1_000),
+        );
+        pairs.push(Value::Object(pair));
+    }
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
+
+    // The enabled runs populated the registry; the snapshot must be
+    // well-formed JSON and carry the pipeline histograms and cache
+    // counters the `stats` wire command exposes.
+    let snapshot = motro_obs::metrics::registry().snapshot();
+    let snapshot_json = snapshot.to_json();
+    let parsed: Value = snapshot_json
+        .parse()
+        .expect("metrics snapshot must parse as JSON");
+    for h in ["meta.eval_ns", "mask.apply_ns", "plan.compile_ns"] {
+        assert!(
+            parsed.get("histograms").and_then(|v| v.get(h)).is_some(),
+            "snapshot missing histogram {h}"
+        );
+    }
+    for c in ["server.cache.hits", "server.cache.misses"] {
+        assert!(
+            parsed.get("counters").and_then(|v| v.get(c)).is_some(),
+            "snapshot missing counter {c}"
+        );
+    }
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("obs_overhead".to_owned()),
+    );
+    report.insert("pairs".to_owned(), Value::Array(pairs));
+    report.insert(
+        "overhead_pct".to_owned(),
+        Value::Number(Number::from_f64(overhead_pct).unwrap_or_else(|| Number::from(0u64))),
+    );
+    report.insert("metrics_snapshot".to_owned(), parsed);
+    (report, overhead_pct)
+}
+
 fn main() {
     let args = parse_args();
     let world = ScaledWorld::generate(WorldParams {
@@ -248,4 +350,25 @@ fn main() {
     let json = Value::Object(report).to_string();
     std::fs::write(&args.out, &json).expect("write report");
     println!("{json}");
+
+    if let Some(path) = &args.obs_report {
+        eprintln!("loadgen: measuring observability overhead");
+        let (mut report, overhead_pct) = obs_overhead(&world, &stmts, &args);
+        let bound = args.assert_overhead;
+        if let Some(b) = bound {
+            report.insert(
+                "bound_pct".to_owned(),
+                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
+            );
+        }
+        let json = Value::Object(report).to_string();
+        std::fs::write(path, &json).expect("write obs report");
+        eprintln!("  obs overhead: {overhead_pct:.2}% (report: {path})");
+        if let Some(b) = bound {
+            if overhead_pct > b {
+                eprintln!("loadgen: overhead {overhead_pct:.2}% exceeds bound {b}%");
+                std::process::exit(1);
+            }
+        }
+    }
 }

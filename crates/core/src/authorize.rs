@@ -21,7 +21,9 @@
 
 use crate::error::CoreResult;
 use crate::mask::{Mask, MaskedRelation, PermitStatement};
-use crate::meta_algebra::{meta_product, meta_project, meta_select, SelectMode};
+use crate::meta_algebra::{
+    meta_product, meta_project, meta_select_logged, DecisionRecord, SelectMode,
+};
 use crate::metatuple::MetaTuple;
 use crate::store::AuthStore;
 use motro_rel::{CanonicalPlan, Database, Relation};
@@ -91,12 +93,28 @@ pub struct AuthTrace {
     pub product_len: usize,
     /// Rows surviving the product (after closure pruning).
     pub product: Vec<MetaTuple>,
+    /// Per-selection-atom R2 decision logs, in plan order (recorded only
+    /// when the mask was computed with tracing — see
+    /// [`AuthorizedEngine::mask_for_plan_traced`]; empty otherwise).
+    pub steps: Vec<SelectionStep>,
     /// Rows surviving all selections.
     pub after_selection: Vec<MetaTuple>,
     /// The projection the mask was computed over: the plan's projection
     /// plus, under [`RefinementConfig::extended_masks`], the auxiliary
     /// condition columns appended after it.
     pub mask_projection: Vec<usize>,
+}
+
+/// One meta-selection step: the predicate atom applied and what R2
+/// decided for each meta-tuple that entered it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionStep {
+    /// Index of the atom in the plan's selection predicate.
+    pub atom_index: usize,
+    /// The atom, rendered against the plan's product schema.
+    pub atom: String,
+    /// One record per meta-tuple that entered this selection.
+    pub decisions: Vec<DecisionRecord>,
 }
 
 /// The result of an authorized retrieval.
@@ -208,8 +226,31 @@ impl<'a> AuthorizedEngine<'a> {
     /// Compute only the mask (`A'`) for a plan — the meta side of
     /// Figure 2, used on its own by the scaling benchmarks.
     pub fn mask_for_plan(&self, user: &str, plan: &CanonicalPlan) -> CoreResult<(Mask, AuthTrace)> {
+        self.mask_for_plan_inner(user, plan, false)
+    }
+
+    /// [`Self::mask_for_plan`] with R2 decision logging: the returned
+    /// trace's [`AuthTrace::steps`] records, per selection atom, what
+    /// the four-case analysis decided for every meta-tuple. Used by the
+    /// EXPLAIN layer; slightly more expensive (renders each meta-tuple).
+    pub fn mask_for_plan_traced(
+        &self,
+        user: &str,
+        plan: &CanonicalPlan,
+    ) -> CoreResult<(Mask, AuthTrace)> {
+        self.mask_for_plan_inner(user, plan, true)
+    }
+
+    fn mask_for_plan_inner(
+        &self,
+        user: &str,
+        plan: &CanonicalPlan,
+        logged: bool,
+    ) -> CoreResult<(Mask, AuthTrace)> {
+        let t_eval = motro_obs::start();
         let scheme = self.store.scheme();
         plan.validate(scheme)?;
+        let prod_schema = plan.product_schema(scheme)?;
         let query_rels: BTreeSet<String> = plan.relations.iter().cloned().collect();
 
         // Step 1: prune per factor.
@@ -223,14 +264,18 @@ impl<'a> AuthorizedEngine<'a> {
             arities.push(scheme.schema_of(rel)?.arity());
             candidates.push((rel.clone(), cands));
         }
+        motro_obs::counter!("meta.candidates.tuples")
+            .add(candidates.iter().map(|(_, c)| c.len() as u64).sum());
 
         // Step 2: meta-product (with R1 padding), then closure pruning.
         let factor_lists: Vec<Vec<MetaTuple>> = candidates.iter().map(|(_, c)| c.clone()).collect();
         let mut rows = meta_product(&factor_lists, &arities, self.config.product_padding);
         let product_len = rows.len();
+        motro_obs::counter!("meta.product.rows").add(product_len as u64);
         if self.config.closure_pruning {
             rows.retain(|t| self.store.is_closed(t));
         }
+        motro_obs::counter!("meta.product.pruned").add((product_len - rows.len()) as u64);
         let product = rows.clone();
 
         // Step 3: meta-selections.
@@ -240,12 +285,23 @@ impl<'a> AuthorizedEngine<'a> {
             SelectMode::Basic
         };
         let mut next_var = self.store.next_var_hint();
-        for atom in &plan.selection.atoms {
-            rows = meta_select(rows, atom, mode, &mut next_var);
+        let mut steps: Vec<SelectionStep> = Vec::new();
+        motro_obs::counter!("meta.select.in").add(rows.len() as u64);
+        for (atom_index, atom) in plan.selection.atoms.iter().enumerate() {
+            let mut decisions = if logged { Some(Vec::new()) } else { None };
+            rows = meta_select_logged(rows, atom, mode, &mut next_var, decisions.as_mut());
+            if let Some(decisions) = decisions {
+                steps.push(SelectionStep {
+                    atom_index,
+                    atom: render_atom(atom, &prod_schema),
+                    decisions,
+                });
+            }
             if rows.is_empty() {
                 break;
             }
         }
+        motro_obs::counter!("meta.select.out").add(rows.len() as u64);
         let after_selection = rows.clone();
 
         // Step 4: meta-projection. Under the Section 6 extension, first
@@ -266,10 +322,11 @@ impl<'a> AuthorizedEngine<'a> {
             }
             mask_projection.extend(aux);
         }
+        motro_obs::counter!("meta.project.in").add(rows.len() as u64);
         rows = meta_project(rows, &mask_projection);
         rows.retain(MetaTuple::any_starred);
+        motro_obs::counter!("meta.project.out").add(rows.len() as u64);
 
-        let prod_schema = plan.product_schema(scheme)?;
         let schema = prod_schema.project(&mask_projection);
         let mask = Mask::new(schema, rows);
         let trace = AuthTrace {
@@ -277,10 +334,47 @@ impl<'a> AuthorizedEngine<'a> {
             candidates,
             product_len,
             product,
+            steps,
             after_selection,
             mask_projection,
         };
+        motro_obs::histogram!("meta.eval_ns").record_since(t_eval);
         Ok((mask, trace))
+    }
+
+    /// Audit a `retrieve` for `user`: run the authorization with R2
+    /// decision logging and explain every cell of the answer — which
+    /// mask tuples granted it, or why each declined.
+    pub fn explain(
+        &self,
+        user: &str,
+        query: &ConjunctiveQuery,
+    ) -> CoreResult<crate::explain::AuthExplain> {
+        let plan = compile(query, self.db.schema())?;
+        self.explain_plan(user, &plan)
+    }
+
+    /// [`Self::explain`] over a pre-compiled plan.
+    pub fn explain_plan(
+        &self,
+        user: &str,
+        plan: &CanonicalPlan,
+    ) -> CoreResult<crate::explain::AuthExplain> {
+        let (mask, trace) = self.mask_for_plan_traced(user, plan)?;
+        // The mask's schema may be wider than the request (extended
+        // masks): evaluate the answer over the mask projection so every
+        // mask column has a value to explain against.
+        let eval_plan = if trace.mask_projection == plan.projection {
+            plan.clone()
+        } else {
+            CanonicalPlan {
+                relations: plan.relations.clone(),
+                selection: plan.selection.clone(),
+                projection: trace.mask_projection.clone(),
+            }
+        };
+        let answer = motro_rel::execute_optimized(&eval_plan, self.db)?;
+        Ok(crate::explain::build(user, &mask, &trace, &answer))
     }
 
     /// Convenience: is `user` allowed to see *anything* of `query`?
@@ -298,6 +392,19 @@ impl<'a> AuthorizedEngine<'a> {
     /// The authorization store this engine consults.
     pub fn auth_store(&self) -> &AuthStore {
         self.store
+    }
+}
+
+/// Render a predicate atom with product-schema column names
+/// (`PROJECT.BUDGET >= 250000` rather than `#3 >= 250000`).
+pub(crate) fn render_atom(
+    atom: &motro_rel::PredicateAtom,
+    schema: &motro_rel::RelSchema,
+) -> String {
+    let lhs = schema.column(atom.lhs).qual.to_string();
+    match &atom.rhs {
+        motro_rel::Term::Col(j) => format!("{} {} {}", lhs, atom.op, schema.column(*j).qual),
+        motro_rel::Term::Const(v) => format!("{} {} {}", lhs, atom.op, v),
     }
 }
 

@@ -45,12 +45,17 @@ enum Image {
 /// additionally requires the i-th target of `view` to map onto the
 /// i-th target of `query`.
 pub fn contained_in(query: &NormalizedView, view: &NormalizedView) -> bool {
+    motro_obs::counter!("containment.checks").inc();
     if head_arity(query) != head_arity(view) {
         return false;
     }
     // Backtracking assignment of view atoms to query atoms.
     let mut assignment: Vec<Option<usize>> = vec![None; view.atoms.len()];
-    search(query, view, 0, &mut assignment)
+    let held = search(query, view, 0, &mut assignment);
+    if held {
+        motro_obs::counter!("containment.held").inc();
+    }
+    held
 }
 
 fn head_arity(v: &NormalizedView) -> usize {
@@ -264,6 +269,7 @@ pub fn query_contained_in(
     scheme: &DbSchema,
 ) -> bool {
     let (Ok(q), Ok(v)) = (normalize(query, scheme), normalize(view, scheme)) else {
+        motro_obs::counter!("containment.conservative").inc();
         return false;
     };
     contained_in(&q, &v)

@@ -47,6 +47,7 @@ pub mod authorize;
 pub mod constraint;
 pub mod containment;
 pub mod error;
+pub mod explain;
 pub mod fixtures;
 pub mod mask;
 pub mod meta_algebra;
@@ -58,11 +59,13 @@ pub mod store;
 pub mod update;
 
 pub use aggregate::{AggAccessMode, AggregateOutcome};
-pub use authorize::{AccessOutcome, AuthTrace, AuthorizedEngine, RefinementConfig};
+pub use authorize::{AccessOutcome, AuthTrace, AuthorizedEngine, RefinementConfig, SelectionStep};
 pub use constraint::{ConstraintAtom, ConstraintSet, Interval, Rhs};
 pub use containment::{contained_in, query_contained_in};
 pub use error::{CoreError, CoreResult};
+pub use explain::{AuthExplain, CellDenial, CellExplain, MaskTupleExplain, RowExplain};
 pub use mask::{Mask, MaskedRelation, PermitCondition, PermitStatement};
+pub use meta_algebra::{DecisionRecord, R2Decision};
 pub use metarel::MetaRelation;
 pub use metatuple::{CellContent, MetaCell, MetaTuple, TupleId, VarId};
 pub use storage::{decode_store, encode_store};

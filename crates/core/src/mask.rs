@@ -92,6 +92,7 @@ impl Mask {
 
     /// Apply the mask to the answer.
     pub fn apply(&self, answer: &Relation) -> MaskedRelation {
+        let t_apply = motro_obs::start();
         let mut rows = Vec::new();
         let mut withheld = 0usize;
         for t in answer.rows() {
@@ -112,11 +113,28 @@ impl Mask {
         // apply to what the user sees.
         let mut seen = std::collections::BTreeSet::new();
         rows.retain(|r| seen.insert(format!("{r:?}")));
-        MaskedRelation {
+        let out = MaskedRelation {
             schema: self.schema.clone(),
             rows,
             withheld,
-        }
+        };
+        motro_obs::histogram!("mask.apply_ns").record_since(t_apply);
+        motro_obs::counter!("mask.rows.delivered").add(out.rows.len() as u64);
+        motro_obs::counter!("mask.rows.withheld").add(withheld as u64);
+        motro_obs::counter!("mask.cells.delivered").add(out.visible_cells() as u64);
+        motro_obs::counter!("mask.cells.masked")
+            .add((out.total_cells() - out.visible_cells()) as u64);
+        out
+    }
+
+    /// Per-mask-tuple coverage of one answer tuple: for each mask tuple
+    /// (in order), `Ok(())` when it admits the row, `Err(reason)` with a
+    /// human-readable explanation when it does not. Drives EXPLAIN.
+    pub fn admit_reasons(&self, tuple: &Tuple) -> Vec<Result<(), String>> {
+        self.tuples
+            .iter()
+            .map(|mt| admit_explain(mt, tuple, &self.schema))
+            .collect()
     }
 
     /// The inferred `permit` statements describing the delivered
@@ -156,6 +174,47 @@ fn subsumes(q: &MetaTuple, t: &MetaTuple) -> bool {
         .atoms()
         .iter()
         .all(|a| t.constraints.atoms().contains(a))
+}
+
+/// [`admits`] with a reason on failure, rendered against `schema`'s
+/// column names.
+fn admit_explain(mt: &MetaTuple, t: &Tuple, schema: &RelSchema) -> Result<(), String> {
+    let headers = schema.display_headers();
+    let mut binding: HashMap<VarId, Value> = HashMap::new();
+    let mut first_pos: HashMap<VarId, usize> = HashMap::new();
+    for (i, (cell, v)) in mt.cells.iter().zip(t.values()).enumerate() {
+        match &cell.content {
+            CellContent::Blank => {}
+            CellContent::Const(c) => {
+                if c != v {
+                    return Err(format!("requires {} = {c}, row has {v}", headers[i]));
+                }
+            }
+            CellContent::Var(x) => match binding.get(x) {
+                Some(b) if b != v => {
+                    let j = first_pos[x];
+                    return Err(format!(
+                        "requires {} = {} (shared variable), row has {b} vs {v}",
+                        headers[j], headers[i]
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    binding.insert(*x, v.clone());
+                    first_pos.insert(*x, i);
+                }
+            },
+        }
+    }
+    if mt
+        .constraints
+        .eval(&|x| binding.get(&x).cloned())
+        .unwrap_or(false)
+    {
+        Ok(())
+    } else {
+        Err(format!("condition {} fails for this row", mt.constraints))
+    }
 }
 
 /// Does `mt` cover answer tuple `t`?

@@ -24,7 +24,9 @@
 use crate::constraint::{ConstraintAtom, Interval, Rhs, SelectionCase};
 use crate::metatuple::{CellContent, MetaCell, MetaTuple, VarId};
 use motro_rel::{CompOp, PredicateAtom, Term, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Selection behavior: the plain Definition 2, or the §4.2 refinement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,60 @@ pub enum SelectMode {
     Basic,
     /// Case analysis: clear / retain / discard / modify.
     FourCase,
+}
+
+/// The outcome of one R2 (§4.2) selection decision on one meta-tuple,
+/// as recorded for the tallies and the EXPLAIN trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum R2Decision {
+    /// λ ⊨ µ: the query predicate implies the field condition — the
+    /// condition is erased (the cell becomes blank).
+    Clear,
+    /// µ ⊨ λ: the field condition implies the query predicate — the
+    /// meta-tuple survives unchanged.
+    Retain,
+    /// µ and λ overlap: the conjunction µ ∧ λ is represented (a
+    /// constraint is added, a variable bound, or a cell linked).
+    Modify,
+    /// µ ∧ λ is unsatisfiable (or a selected attribute is not starred):
+    /// the meta-tuple is dropped.
+    Discard,
+    /// λ ⊨ µ held but the variable could not be cleared (it links other
+    /// cells or variables), so the sound retain fallback was taken.
+    ClearFallback,
+}
+
+impl R2Decision {
+    /// Stable lower-case label (used in metrics names and JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            R2Decision::Clear => "clear",
+            R2Decision::Retain => "retain",
+            R2Decision::Modify => "modify",
+            R2Decision::Discard => "discard",
+            R2Decision::ClearFallback => "clear-fallback",
+        }
+    }
+}
+
+impl fmt::Display for R2Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded R2 decision: which meta-tuple (by provenance and
+/// rendered form), what the case analysis decided, and what survived.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Views the meta-tuple derives from.
+    pub provenance: Vec<String>,
+    /// The meta-tuple as it entered the selection.
+    pub before: String,
+    /// The case taken.
+    pub case: R2Decision,
+    /// The surviving meta-tuple (None when discarded).
+    pub after: Option<String>,
 }
 
 /// Merge replications: rows equal in (cells, constraints) are unioned
@@ -140,13 +196,50 @@ pub fn meta_select(
     mode: SelectMode,
     next_var: &mut VarId,
 ) -> Vec<MetaTuple> {
+    meta_select_logged(rows, atom, mode, next_var, None)
+}
+
+/// [`meta_select`] with per-meta-tuple decision logging: when `log` is
+/// given, one [`DecisionRecord`] is appended per input row. Decision
+/// tallies always go to the `meta.r2.*` metrics counters.
+pub fn meta_select_logged(
+    rows: Vec<MetaTuple>,
+    atom: &PredicateAtom,
+    mode: SelectMode,
+    next_var: &mut VarId,
+    mut log: Option<&mut Vec<DecisionRecord>>,
+) -> Vec<MetaTuple> {
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
-        if let Some(t) = select_one(row, atom, mode, next_var) {
+        let before = log
+            .as_ref()
+            .map(|_| (row.provenance.iter().cloned().collect(), row.to_string()));
+        let (survivor, case) = select_one(row, atom, mode, next_var);
+        tally(case);
+        if let Some(log) = log.as_deref_mut() {
+            let (provenance, before) = before.expect("rendered when logging");
+            log.push(DecisionRecord {
+                provenance,
+                before,
+                case,
+                after: survivor.as_ref().map(MetaTuple::to_string),
+            });
+        }
+        if let Some(t) = survivor {
             out.push(t);
         }
     }
     dedup_merge(out)
+}
+
+fn tally(case: R2Decision) {
+    match case {
+        R2Decision::Clear => motro_obs::counter!("meta.r2.clear").inc(),
+        R2Decision::Retain => motro_obs::counter!("meta.r2.retain").inc(),
+        R2Decision::Modify => motro_obs::counter!("meta.r2.modify").inc(),
+        R2Decision::Discard => motro_obs::counter!("meta.r2.discard").inc(),
+        R2Decision::ClearFallback => motro_obs::counter!("meta.r2.clear_fallback").inc(),
+    }
 }
 
 fn fresh(next_var: &mut VarId) -> VarId {
@@ -160,17 +253,17 @@ fn select_one(
     atom: &PredicateAtom,
     mode: SelectMode,
     next_var: &mut VarId,
-) -> Option<MetaTuple> {
+) -> (Option<MetaTuple>, R2Decision) {
     match &atom.rhs {
         Term::Const(c) => {
             // λ = Aᵢ θ c. The selected attribute must be starred.
             if !row.cells[atom.lhs].starred {
-                return None;
+                return (None, R2Decision::Discard);
             }
             match row.cells[atom.lhs].content.clone() {
                 CellContent::Blank => {
                     match mode {
-                        SelectMode::FourCase => Some(row), // λ ⊨ true → clear
+                        SelectMode::FourCase => (Some(row), R2Decision::Clear), // λ ⊨ true
                         SelectMode::Basic => {
                             // Represent λ ∧ true = λ.
                             match atom.op {
@@ -187,14 +280,14 @@ fn select_one(
                                     });
                                 }
                             }
-                            Some(row)
+                            (Some(row), R2Decision::Modify)
                         }
                     }
                 }
                 CellContent::Const(k) => {
                     // µ = (Aᵢ = k).
                     if !atom.op.eval(&k, c).unwrap_or(false) {
-                        return None; // contradiction → discard
+                        return (None, R2Decision::Discard); // contradiction
                     }
                     // In FourCase mode, λ ⊨ µ clears the constant ("the
                     // variable or the constant is replaced by ⊔"),
@@ -204,9 +297,10 @@ fn select_one(
                         let lambda = Interval::from_op(atom.op, c.clone());
                         if lambda.implies(&Interval::point(k)) == Some(true) {
                             row.cells[atom.lhs].content = CellContent::Blank;
+                            return (Some(row), R2Decision::Clear);
                         }
                     }
-                    Some(row)
+                    (Some(row), R2Decision::Retain)
                 }
                 CellContent::Var(x) => {
                     let lambda = Interval::from_op(atom.op, c.clone());
@@ -219,13 +313,14 @@ fn select_one(
                         SelectionCase::Clear => {
                             if clearable(&row, x, 1) {
                                 row.clear_var(x);
-                                Some(row)
+                                (Some(row), R2Decision::Clear)
                             } else {
-                                Some(row) // retain: sound fallback
+                                // retain: sound fallback
+                                (Some(row), R2Decision::ClearFallback)
                             }
                         }
-                        SelectionCase::Retain => Some(row),
-                        SelectionCase::Discard => None,
+                        SelectionCase::Retain => (Some(row), R2Decision::Retain),
+                        SelectionCase::Discard => (None, R2Decision::Discard),
                         SelectionCase::Modify => {
                             // Represent µ ∧ λ; bind when it pins a point.
                             let point = row
@@ -236,9 +331,9 @@ fn select_one(
                             match point {
                                 Some(p) => {
                                     if row.bind_var(x, &p) {
-                                        Some(row)
+                                        (Some(row), R2Decision::Modify)
                                     } else {
-                                        None
+                                        (None, R2Decision::Discard)
                                     }
                                 }
                                 None => {
@@ -248,9 +343,9 @@ fn select_one(
                                         rhs: Rhs::Const(c.clone()),
                                     });
                                     if row.constraints.obviously_unsat(x) {
-                                        None
+                                        (None, R2Decision::Discard)
                                     } else {
-                                        Some(row)
+                                        (Some(row), R2Decision::Modify)
                                     }
                                 }
                             }
@@ -263,7 +358,7 @@ fn select_one(
             // λ = Aᵢ θ Aⱼ. Both attributes must be starred.
             let (i, j) = (atom.lhs, *j);
             if !row.cells[i].starred || !row.cells[j].starred {
-                return None;
+                return (None, R2Decision::Discard);
             }
             let (ci, cj) = (row.cells[i].content.clone(), row.cells[j].content.clone());
             match (ci, cj) {
@@ -275,14 +370,16 @@ fn select_one(
                         let x = fresh(next_var);
                         row.cells[i].content = CellContent::Var(x);
                         row.cells[j].content = CellContent::Var(x);
+                        (Some(row), R2Decision::Modify)
+                    } else {
+                        (Some(row), R2Decision::Clear)
                     }
-                    Some(row)
                 }
                 (CellContent::Const(a), CellContent::Const(b)) => {
                     if atom.op.eval(&a, &b).unwrap_or(false) {
-                        Some(row)
+                        (Some(row), R2Decision::Retain)
                     } else {
-                        None
+                        (None, R2Decision::Discard)
                     }
                 }
                 (CellContent::Var(x), CellContent::Var(y)) if x == y => {
@@ -299,19 +396,21 @@ fn select_one(
                                 && !row.constraints.mentions(x)
                             {
                                 row.clear_var(x);
+                                (Some(row), R2Decision::Clear)
+                            } else {
+                                (Some(row), R2Decision::Retain)
                             }
-                            Some(row)
                         }
                         // x θ x is unsatisfiable for <, >, ≠.
-                        CompOp::Lt | CompOp::Gt | CompOp::Ne => None,
+                        CompOp::Lt | CompOp::Gt | CompOp::Ne => (None, R2Decision::Discard),
                     }
                 }
                 (CellContent::Var(x), CellContent::Var(y)) => {
                     if atom.op == CompOp::Eq {
                         if row.unify_vars(x, y) {
-                            Some(row)
+                            (Some(row), R2Decision::Modify)
                         } else {
-                            None
+                            (None, R2Decision::Discard)
                         }
                     } else {
                         row.constraints.push(ConstraintAtom {
@@ -319,7 +418,7 @@ fn select_one(
                             op: atom.op,
                             rhs: Rhs::Var(y),
                         });
-                        Some(row)
+                        (Some(row), R2Decision::Modify)
                     }
                 }
                 (CellContent::Var(x), CellContent::Const(a))
@@ -332,9 +431,9 @@ fn select_one(
                     };
                     if op == CompOp::Eq {
                         if row.bind_var(x, &a) {
-                            Some(row)
+                            (Some(row), R2Decision::Modify)
                         } else {
-                            None
+                            (None, R2Decision::Discard)
                         }
                     } else {
                         row.constraints.push(ConstraintAtom {
@@ -343,9 +442,9 @@ fn select_one(
                             rhs: Rhs::Const(a.clone()),
                         });
                         if row.constraints.obviously_unsat(x) {
-                            None
+                            (None, R2Decision::Discard)
                         } else {
-                            Some(row)
+                            (Some(row), R2Decision::Modify)
                         }
                     }
                 }
@@ -359,10 +458,10 @@ fn select_one(
                             j
                         };
                         row.cells[blank_idx].content = CellContent::Var(x);
-                        Some(row)
+                        (Some(row), R2Decision::Modify)
                     } else {
                         // Retain: sound (the answer satisfies λ).
-                        Some(row)
+                        (Some(row), R2Decision::Retain)
                     }
                 }
                 (CellContent::Const(a), CellContent::Blank)
@@ -374,8 +473,10 @@ fn select_one(
                             j
                         };
                         row.cells[blank_idx].content = CellContent::Const(a.clone());
+                        (Some(row), R2Decision::Modify)
+                    } else {
+                        (Some(row), R2Decision::Retain)
                     }
-                    Some(row)
                 }
             }
         }

@@ -403,35 +403,53 @@ impl Parser {
 /// Parse a single statement (trailing `;` optional; trailing input is an
 /// error).
 pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
-    let tokens = Lexer::new(src).tokenize()?;
-    let mut p = Parser { tokens, pos: 0 };
-    let stmt = p.statement()?;
-    if p.peek() == &TokenKind::Semicolon {
-        p.bump();
+    let t = motro_obs::start();
+    let result = (|| {
+        let tokens = Lexer::new(src).tokenize()?;
+        let mut p = Parser { tokens, pos: 0 };
+        let stmt = p.statement()?;
+        if p.peek() == &TokenKind::Semicolon {
+            p.bump();
+        }
+        if p.peek() != &TokenKind::Eof {
+            return Err(ParseError::new(
+                p.offset(),
+                format!("unexpected trailing input: {:?}", p.peek()),
+            ));
+        }
+        Ok(stmt)
+    })();
+    motro_obs::histogram!("lang.parse_ns").record_since(t);
+    match &result {
+        Ok(_) => motro_obs::counter!("lang.statements").inc(),
+        Err(_) => motro_obs::counter!("lang.parse_errors").inc(),
     }
-    if p.peek() != &TokenKind::Eof {
-        return Err(ParseError::new(
-            p.offset(),
-            format!("unexpected trailing input: {:?}", p.peek()),
-        ));
-    }
-    Ok(stmt)
+    result
 }
 
 /// Parse a `;`-separated program.
 pub fn parse_program(src: &str) -> Result<Vec<Statement>, ParseError> {
-    let tokens = Lexer::new(src).tokenize()?;
-    let mut p = Parser { tokens, pos: 0 };
-    let mut out = Vec::new();
-    loop {
-        while p.peek() == &TokenKind::Semicolon {
-            p.bump();
+    let t = motro_obs::start();
+    let result = (|| {
+        let tokens = Lexer::new(src).tokenize()?;
+        let mut p = Parser { tokens, pos: 0 };
+        let mut out = Vec::new();
+        loop {
+            while p.peek() == &TokenKind::Semicolon {
+                p.bump();
+            }
+            if p.peek() == &TokenKind::Eof {
+                return Ok(out);
+            }
+            out.push(p.statement()?);
         }
-        if p.peek() == &TokenKind::Eof {
-            return Ok(out);
-        }
-        out.push(p.statement()?);
+    })();
+    motro_obs::histogram!("lang.parse_ns").record_since(t);
+    match &result {
+        Ok(stmts) => motro_obs::counter!("lang.statements").add(stmts.len() as u64),
+        Err(_) => motro_obs::counter!("lang.parse_errors").inc(),
     }
+    result
 }
 
 #[cfg(test)]

@@ -1,0 +1,150 @@
+//! Structured logging to stderr, with runtime-switchable text / JSON
+//! line formats. This replaces ad-hoc `eprintln!` call sites in the
+//! server binary; unlike metrics and spans it is NOT gated behind
+//! [`crate::enabled`] — operational logs should flow even when
+//! profiling instrumentation is off.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::json_escape;
+
+/// Output format for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// `level message k=v k=v` — human-oriented.
+    Text,
+    /// One JSON object per line: `{"level":...,"msg":...,...}`.
+    Json,
+}
+
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Set the global log format.
+pub fn set_format(f: LogFormat) {
+    FORMAT.store(
+        match f {
+            LogFormat::Text => 0,
+            LogFormat::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// Current global log format.
+pub fn format() -> LogFormat {
+    match FORMAT.load(Ordering::Relaxed) {
+        1 => LogFormat::Json,
+        _ => LogFormat::Text,
+    }
+}
+
+/// Severity of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Normal operational events.
+    Info,
+    /// Unexpected but tolerated conditions.
+    Warn,
+    /// Failures.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Render a log line in the given format (exposed for tests).
+pub fn render(format: LogFormat, level: Level, msg: &str, fields: &[(&str, String)]) -> String {
+    match format {
+        LogFormat::Text => {
+            let mut out = format!("[{}] {}", level.as_str(), msg);
+            for (k, v) in fields {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out
+        }
+        LogFormat::Json => {
+            let mut out = String::from("{\"level\":\"");
+            out.push_str(level.as_str());
+            out.push_str("\",\"msg\":\"");
+            out.push_str(&json_escape(msg));
+            out.push('"');
+            for (k, v) in fields {
+                out.push_str(",\"");
+                out.push_str(&json_escape(k));
+                out.push_str("\":\"");
+                out.push_str(&json_escape(v));
+                out.push('"');
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Emit a log line to stderr in the global format.
+pub fn log(level: Level, msg: &str, fields: &[(&str, String)]) {
+    eprintln!("{}", render(format(), level, msg, fields));
+}
+
+/// Emit an info line.
+pub fn info(msg: &str, fields: &[(&str, String)]) {
+    log(Level::Info, msg, fields);
+}
+
+/// Emit a warning line.
+pub fn warn(msg: &str, fields: &[(&str, String)]) {
+    log(Level::Warn, msg, fields);
+}
+
+/// Emit an error line.
+pub fn error(msg: &str, fields: &[(&str, String)]) {
+    log(Level::Error, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_renders_fields() {
+        let line = render(
+            LogFormat::Text,
+            Level::Info,
+            "listening",
+            &[("addr", "127.0.0.1:7070".to_string())],
+        );
+        assert_eq!(line, "[info] listening addr=127.0.0.1:7070");
+    }
+
+    #[test]
+    fn json_format_escapes() {
+        let line = render(
+            LogFormat::Json,
+            Level::Error,
+            "bad \"frame\"",
+            &[("peer", "x".to_string())],
+        );
+        assert_eq!(
+            line,
+            "{\"level\":\"error\",\"msg\":\"bad \\\"frame\\\"\",\"peer\":\"x\"}"
+        );
+    }
+
+    #[test]
+    fn format_switch_round_trips() {
+        set_format(LogFormat::Json);
+        assert_eq!(format(), LogFormat::Json);
+        set_format(LogFormat::Text);
+        assert_eq!(format(), LogFormat::Text);
+    }
+}

@@ -1,0 +1,471 @@
+//! Lock-cheap metrics: atomic counters, gauges, and fixed-bucket
+//! latency histograms behind a global name-keyed registry.
+//!
+//! Updates are relaxed atomic ops on `&'static` metric handles; the
+//! registry lock is only taken when a call site resolves its name the
+//! first time (the [`counter!`]/[`gauge!`]/[`histogram!`] macros cache
+//! the handle in a `OnceLock`) and when a snapshot is taken.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`. No-op while recording is disabled.
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a signed value that can move both ways (e.g. open
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: 1ns..~4.3s in powers of four, plus an
+/// overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 17;
+
+/// Upper bound (inclusive, in ns) of bucket `i`: `4^(i+1)` ns, so the
+/// buckets are 4ns, 16ns, 64ns, ... ~17s; the last bucket is +inf.
+pub fn bucket_bound(i: usize) -> u64 {
+    4u64.saturating_pow(i as u32 + 1)
+}
+
+fn bucket_index(ns: u64) -> usize {
+    for i in 0..HISTOGRAM_BUCKETS - 1 {
+        if ns <= bucket_bound(i) {
+            return i;
+        }
+    }
+    HISTOGRAM_BUCKETS - 1
+}
+
+/// A fixed-bucket latency histogram over nanoseconds. Recording is one
+/// relaxed `fetch_add` on the bucket plus two on count/sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record a duration in nanoseconds. No-op while disabled.
+    pub fn record_ns(&self, ns: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record the time elapsed since a [`crate::start`] timestamp.
+    /// `None` (recording was disabled at start) records nothing.
+    pub fn record_since(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.record_ns(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    fn load_buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The global metric registry: name → leaked `&'static` handle.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock();
+        map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.gauges.lock();
+        map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock();
+        map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// Capture a point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.to_string(),
+                        HistogramSnapshot {
+                            buckets: v.load_buckets(),
+                            count: v.count(),
+                            sum_ns: v.sum_ns(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Reset every registered metric to zero (tests, benchmark phases).
+    pub fn reset(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().values() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-global registry used by the `counter!`/`gauge!`/
+/// `histogram!` macros.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// A point-in-time copy of one histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bound`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed durations in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (0.0..=1.0) in nanoseconds from the
+    /// bucket counts: returns the upper bound of the bucket containing
+    /// the target rank.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Render the snapshot as a JSON object string. Hand-rolled so it
+    /// works identically with or without serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_entries(&mut out, self.counters.iter(), |v| v.to_string());
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, self.gauges.iter(), |v| v.to_string());
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&json_escape(name));
+            out.push_str("\":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum_ns\":");
+            out.push_str(&h.sum_ns.to_string());
+            out.push_str(",\"mean_ns\":");
+            out.push_str(&h.mean_ns().to_string());
+            out.push_str(",\"p50_ns\":");
+            out.push_str(&h.quantile_ns(0.50).to_string());
+            out.push_str(",\"p99_ns\":");
+            out.push_str(&h.quantile_ns(0.99).to_string());
+            out.push_str(",\"buckets\":[");
+            for (i, n) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&n.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    render: impl Fn(&V) -> String,
+) {
+    let mut first = true;
+    for (name, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&json_escape(name));
+        out.push_str("\":");
+        out.push_str(&render(v));
+    }
+}
+
+/// Resolve (once per call site) a counter from the global registry.
+/// The name is resolved once and cached: pass a fixed literal, never an
+/// expression whose value can differ between invocations.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static H: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::metrics::registry().counter($name))
+    }};
+}
+
+/// Resolve (once per call site) a gauge from the global registry.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static H: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::metrics::registry().gauge($name))
+    }};
+}
+
+/// Resolve (once per call site) a histogram from the global registry.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static H: ::std::sync::OnceLock<&'static $crate::Histogram> = ::std::sync::OnceLock::new();
+        *H.get_or_init(|| $crate::metrics::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        let c = r.counter("t.c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("t.g");
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        // same name → same handle
+        assert_eq!(r.counter("t.c").get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        for ns in [3, 10, 100, 1000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1_001_113);
+        let snap = HistogramSnapshot {
+            buckets: h.load_buckets(),
+            count: h.count(),
+            sum_ns: h.sum_ns(),
+        };
+        // p50 (3rd of 5) is the 100ns observation → bucket bound 256.
+        assert_eq!(snap.quantile_ns(0.5), 256);
+        assert!(snap.quantile_ns(1.0) >= 1_000_000);
+        assert_eq!(snap.mean_ns(), 1_001_113 / 5);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = crate::test_guard();
+        let r = Registry::default();
+        let c = r.counter("t.off");
+        let h = r.histogram("t.off_h");
+        crate::set_enabled(false);
+        c.inc();
+        h.record_ns(10);
+        h.record_since(crate::start());
+        crate::set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_json_parses_shape() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        r.counter("a.count").add(2);
+        r.gauge("b.gauge").set(-3);
+        r.histogram("c.hist_ns").record_ns(50);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.count\":2"));
+        assert!(json.contains("\"b.gauge\":-3"));
+        assert!(json.contains("\"c.hist_ns\""));
+        assert!(json.contains("\"count\":1"));
+        r.reset();
+        assert_eq!(r.snapshot().counter("a.count"), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_monotone() {
+        let _g = crate::test_guard();
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Structured tracing: spans with monotonic timings and key/value
+//! fields, a bounded ring-buffer recorder, and pluggable sinks.
+//!
+//! A [`Span`] is started with [`span`], annotated with
+//! [`Span::field`], and finished either explicitly ([`Span::finish`])
+//! or on drop. Finishing produces a [`SpanEvent`] that is (a) appended
+//! to a global ring buffer (for post-hoc inspection), (b) forwarded to
+//! every installed [`Sink`], and (c) recorded into the histogram of
+//! the same name, so span timings appear in the metrics snapshot.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json_escape;
+
+/// A finished span: name, wall duration, and key/value fields.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span name (also the histogram it was recorded into).
+    pub name: &'static str,
+    /// Elapsed wall time between start and finish.
+    pub duration: Duration,
+    /// Key/value annotations added via [`Span::field`].
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl SpanEvent {
+    /// Render as a single JSON object line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"span\":\"");
+        out.push_str(&json_escape(self.name));
+        out.push_str("\",\"duration_ns\":");
+        out.push_str(&(self.duration.as_nanos() as u64).to_string());
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            out.push_str(&json_escape(k));
+            out.push_str("\":\"");
+            out.push_str(&json_escape(v));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Receives finished spans. Implementations must be cheap or buffered:
+/// they run on the instrumented thread.
+pub trait Sink: Send + Sync {
+    /// Called once per finished span while recording is enabled.
+    fn record(&self, event: &SpanEvent);
+}
+
+/// A sink that writes each span as a JSON line to stderr.
+#[derive(Debug, Default)]
+pub struct StderrJsonSink;
+
+impl Sink for StderrJsonSink {
+    fn record(&self, event: &SpanEvent) {
+        eprintln!("{}", event.to_json());
+    }
+}
+
+/// An in-memory sink for tests: collects every span it sees.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl MemorySink {
+    /// Create an empty sink (wrap in `Arc` to install and inspect).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Names of recorded spans, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.events.lock().iter().map(|e| e.name).collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &SpanEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Default capacity of the global span ring buffer.
+pub const RING_CAPACITY: usize = 1024;
+
+struct RecorderState {
+    ring: VecDeque<SpanEvent>,
+    capacity: usize,
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+fn with_state<R>(f: impl FnOnce(&mut RecorderState) -> R) -> R {
+    static RECORDER: std::sync::OnceLock<Mutex<RecorderState>> = std::sync::OnceLock::new();
+    let state = RECORDER.get_or_init(|| {
+        Mutex::new(RecorderState {
+            ring: VecDeque::with_capacity(RING_CAPACITY),
+            capacity: RING_CAPACITY,
+            sinks: Vec::new(),
+        })
+    });
+    f(&mut state.lock())
+}
+
+/// Install a sink; every subsequently finished span is forwarded to it.
+pub fn add_sink(sink: Arc<dyn Sink>) {
+    with_state(|s| s.sinks.push(sink));
+}
+
+/// Remove all installed sinks (tests).
+pub fn clear_sinks() {
+    with_state(|s| s.sinks.clear());
+}
+
+/// Copy out the ring buffer of recent spans (oldest first).
+pub fn recent_spans() -> Vec<SpanEvent> {
+    with_state(|s| s.ring.iter().cloned().collect())
+}
+
+/// Empty the ring buffer.
+pub fn clear_spans() {
+    with_state(|s| s.ring.clear());
+}
+
+fn publish(event: SpanEvent) {
+    let sinks: Vec<Arc<dyn Sink>> = with_state(|s| {
+        if s.ring.len() >= s.capacity {
+            s.ring.pop_front();
+        }
+        s.ring.push_back(event.clone());
+        s.sinks.clone()
+    });
+    for sink in sinks {
+        sink.record(&event);
+    }
+}
+
+/// A live span. Finishes (and records) on drop unless recording was
+/// disabled when it started.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// Start a span named `name`. While recording is disabled this is a
+/// no-op handle (one relaxed atomic load).
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: crate::start(),
+        fields: Vec::new(),
+    }
+}
+
+impl Span {
+    /// Attach a key/value field (no-op on a disabled span).
+    pub fn field(&mut self, key: &'static str, value: impl ToString) -> &mut Self {
+        if self.start.is_some() {
+            self.fields.push((key, value.to_string()));
+        }
+        self
+    }
+
+    /// Is this span actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Finish now and return the elapsed duration (None if disabled).
+    pub fn finish(mut self) -> Option<Duration> {
+        self.finish_inner()
+    }
+
+    fn finish_inner(&mut self) -> Option<Duration> {
+        let start = self.start.take()?;
+        let duration = start.elapsed();
+        crate::metrics::registry()
+            .histogram(self.name)
+            .record_ns(duration.as_nanos() as u64);
+        publish(SpanEvent {
+            name: self.name,
+            duration,
+            fields: std::mem::take(&mut self.fields),
+        });
+        Some(duration)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_to_ring_sink_and_histogram() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_sinks();
+        clear_spans();
+        let sink = MemorySink::new();
+        add_sink(sink.clone());
+
+        let before = crate::metrics::registry().histogram("test.span_ns").count();
+        let mut s = span("test.span_ns");
+        s.field("user", "brown");
+        drop(s);
+
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "test.span_ns");
+        assert_eq!(events[0].fields, vec![("user", "brown".to_string())]);
+        assert!(recent_spans().iter().any(|e| e.name == "test.span_ns"));
+        assert_eq!(
+            crate::metrics::registry().histogram("test.span_ns").count(),
+            before + 1
+        );
+        clear_sinks();
+    }
+
+    #[test]
+    fn disabled_span_is_silent() {
+        let _g = crate::test_guard();
+        clear_sinks();
+        clear_spans();
+        let sink = MemorySink::new();
+        add_sink(sink.clone());
+        crate::set_enabled(false);
+        let mut s = span("test.silent_ns");
+        s.field("k", "v");
+        assert!(!s.is_recording());
+        assert_eq!(s.finish(), None);
+        crate::set_enabled(true);
+        assert!(sink.events().is_empty());
+        clear_sinks();
+    }
+
+    #[test]
+    fn ring_buffer_caps() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        clear_sinks();
+        clear_spans();
+        for _ in 0..RING_CAPACITY + 10 {
+            span("test.ring_ns").finish();
+        }
+        assert_eq!(recent_spans().len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn span_event_json_escapes() {
+        let _g = crate::test_guard();
+        let e = SpanEvent {
+            name: "n",
+            duration: Duration::from_nanos(5),
+            fields: vec![("q", "say \"hi\"".to_string())],
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"span\":\"n\",\"duration_ns\":5,\"q\":\"say \\\"hi\\\"\"}"
+        );
+    }
+}

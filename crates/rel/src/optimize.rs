@@ -31,6 +31,16 @@ use crate::schema::RelSchema;
 /// Execute `plan` with pushdown and greedy join ordering. Produces the
 /// same relation as [`CanonicalPlan::execute`].
 pub fn execute_optimized(plan: &CanonicalPlan, db: &Database) -> RelResult<Relation> {
+    let t = motro_obs::start();
+    let result = execute_optimized_inner(plan, db);
+    motro_obs::histogram!("rel.execute_ns").record_since(t);
+    if let Ok(r) = &result {
+        motro_obs::counter!("rel.rows_produced").add(r.len() as u64);
+    }
+    result
+}
+
+fn execute_optimized_inner(plan: &CanonicalPlan, db: &Database) -> RelResult<Relation> {
     let k = plan.relations.len();
     if k == 0 {
         return plan.execute(db);

@@ -2,21 +2,26 @@
 //!
 //! ```text
 //! motro-serve [ADDR] [--state FILE] [--workers N] [--cache N]
-//!             [--admin USER]...
+//!             [--admin USER]... [--log-format text|json]
 //! ```
 //!
 //! With `--state`, the server loads a [`Frontend::to_json`] snapshot;
 //! otherwise it starts from the paper's example database (handy for
 //! demos: `permit`/`view` statements can be issued over the wire).
+//! Diagnostics go to stderr through the structured log sink
+//! ([`motro_obs::log`]); `--log-format json` emits one JSON object per
+//! line for log shippers.
 
 use motro_authz::{Frontend, SharedFrontend};
+use motro_obs::log::{self, LogFormat};
 use motro_server::{Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--cache N] [--admin USER]..."
+        "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--cache N] [--admin USER]... \
+         [--log-format text|json]"
     );
     std::process::exit(2);
 }
@@ -44,6 +49,11 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--admin" => admins.push(args.next().unwrap_or_else(|| usage())),
+            "--log-format" => match args.next().as_deref() {
+                Some("text") => log::set_format(LogFormat::Text),
+                Some("json") => log::set_format(LogFormat::Json),
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => usage(),
             a => addr = a.to_owned(),
@@ -58,14 +68,20 @@ fn main() {
             let json = match std::fs::read_to_string(path) {
                 Ok(j) => j,
                 Err(e) => {
-                    eprintln!("motro-serve: cannot read {path}: {e}");
+                    log::error(
+                        "cannot read state file",
+                        &[("path", path.clone()), ("error", e.to_string())],
+                    );
                     std::process::exit(1);
                 }
             };
             match Frontend::from_json(&json) {
                 Ok(fe) => fe,
                 Err(e) => {
-                    eprintln!("motro-serve: cannot load {path}: {e}");
+                    log::error(
+                        "cannot load state file",
+                        &[("path", path.clone()), ("error", e.to_string())],
+                    );
                     std::process::exit(1);
                 }
             }
@@ -76,17 +92,25 @@ fn main() {
     let mut server = match Server::bind(&addr, SharedFrontend::new(frontend), config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("motro-serve: cannot bind {addr}: {e}");
+            log::error(
+                "cannot bind",
+                &[("addr", addr.clone()), ("error", e.to_string())],
+            );
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "motro-serve: listening on {} ({})",
-        server.local_addr(),
-        match &state {
-            Some(p) => format!("state from {p}"),
-            None => "paper example database".to_owned(),
-        }
+    log::info(
+        "listening",
+        &[
+            ("addr", server.local_addr().to_string()),
+            (
+                "state",
+                match &state {
+                    Some(p) => p.clone(),
+                    None => "paper example database".to_owned(),
+                },
+            ),
+        ],
     );
 
     // Serve until stdin closes or the process is interrupted: reading
@@ -104,6 +128,6 @@ fn main() {
     while !done.load(Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
-    eprintln!("motro-serve: shutting down");
+    log::info("shutting down", &[]);
     server.shutdown();
 }

@@ -61,6 +61,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Live entries (any epoch).
     pub entries: usize,
+    /// Entries evicted because their epoch was superseded (stale masks
+    /// made unreachable by an administrative statement).
+    pub epoch_evictions: u64,
+    /// Entries evicted to stay within capacity while still current.
+    pub capacity_evictions: u64,
 }
 
 /// A bounded map from `(user, plan-fingerprint, epoch)` to masks.
@@ -70,6 +75,8 @@ pub struct MaskCache {
     map: Mutex<HashMap<CacheKey, Arc<CachedMask>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    epoch_evictions: AtomicU64,
+    capacity_evictions: AtomicU64,
 }
 
 impl MaskCache {
@@ -81,6 +88,8 @@ impl MaskCache {
             map: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch_evictions: AtomicU64::new(0),
+            capacity_evictions: AtomicU64::new(0),
         }
     }
 
@@ -106,8 +115,14 @@ impl MaskCache {
         };
         let found = self.map.lock().get(&key).cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.hits").inc();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.misses").inc();
+            }
         };
         found
     }
@@ -129,9 +144,19 @@ impl MaskCache {
         };
         let mut map = self.map.lock();
         if map.len() >= self.capacity && !map.contains_key(&key) {
+            let before = map.len();
             map.retain(|k, _| k.epoch == epoch);
+            let stale = (before - map.len()) as u64;
+            if stale > 0 {
+                self.epoch_evictions.fetch_add(stale, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.epoch_evictions").add(stale);
+            }
             if map.len() >= self.capacity {
+                let dropped = map.len() as u64;
                 map.clear();
+                self.capacity_evictions
+                    .fetch_add(dropped, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.capacity_evictions").add(dropped);
             }
         }
         map.insert(key, mask);
@@ -143,6 +168,8 @@ impl MaskCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().len(),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
+            capacity_evictions: self.capacity_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -242,6 +269,29 @@ mod tests {
         assert!(cache.get("Brown", &a, 1).is_none());
         assert!(cache.get("Brown", &b, 2).is_some());
         assert!(cache.get("Brown", &c, 2).is_some());
-        assert_eq!(cache.stats().entries, 2);
+        let s = cache.stats();
+        assert_eq!(s.entries, 2);
+        // The epoch-1 entry was evicted as stale, not for capacity.
+        assert_eq!(s.epoch_evictions, 1);
+        assert_eq!(s.capacity_evictions, 0);
+    }
+
+    #[test]
+    fn full_cache_of_current_entries_evicts_for_capacity() {
+        let fe = frontend();
+        let cache = MaskCache::new(2);
+        let a = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let b = plan_of(&fe, "retrieve (PROJECT.SPONSOR)");
+        let c = plan_of(&fe, "retrieve (PROJECT.BUDGET)");
+        let m = cached_mask(&fe, "Brown", &a);
+        cache.insert("Brown", &a, 1, m.clone());
+        cache.insert("Brown", &b, 1, m.clone());
+        // Full at a single epoch: the generation drop is a capacity
+        // eviction, not an epoch one.
+        cache.insert("Brown", &c, 1, m);
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.epoch_evictions, 0);
+        assert_eq!(s.capacity_evictions, 2);
     }
 }

@@ -60,13 +60,30 @@ pub struct Rows {
     pub permits: Vec<String>,
 }
 
-/// A parsed `stats` reply.
+/// A parsed `stats` reply (the cache counters; the metrics snapshot
+/// rides alongside in [`Client::stats_full`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
     pub epoch: u64,
     pub hits: u64,
     pub misses: u64,
     pub entries: usize,
+    /// Entries evicted because an administrative statement superseded
+    /// their epoch.
+    pub epoch_evictions: u64,
+    /// Entries evicted purely to stay within capacity.
+    pub capacity_evictions: u64,
+}
+
+/// A parsed `explain` reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReply {
+    pub epoch: u64,
+    /// Human-readable audit (always present).
+    pub rendered: String,
+    /// The structured [`AuthExplain`](motro_authz::core::AuthExplain)
+    /// as raw JSON (`null` if the server could not serialize it).
+    pub audit: Value,
 }
 
 /// A blocking connection bound to one principal.
@@ -290,12 +307,38 @@ impl Client {
 
     /// Cache statistics.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        Ok(self.stats_full()?.0)
+    }
+
+    /// Cache statistics plus the server's metrics snapshot (counters,
+    /// gauges, latency histograms) as raw JSON.
+    pub fn stats_full(&mut self) -> Result<(ServerStats, Value), ClientError> {
         let reply = self.call("stats", "")?;
-        Ok(ServerStats {
+        let stats = ServerStats {
             epoch: field_u64(&reply, "epoch")?,
             hits: field_u64(&reply, "hits")?,
             misses: field_u64(&reply, "misses")?,
             entries: field_u64(&reply, "entries")? as usize,
+            epoch_evictions: field_u64(&reply, "epoch_evictions").unwrap_or(0),
+            capacity_evictions: field_u64(&reply, "capacity_evictions").unwrap_or(0),
+        };
+        let metrics = reply.get("metrics").cloned().unwrap_or(Value::Null);
+        Ok((stats, metrics))
+    }
+
+    /// Audit a retrieval: why is each region delivered or masked?
+    /// `user: None` audits this session's own principal; `Some(other)`
+    /// requires the administrative capability.
+    pub fn explain(&mut self, stmt: &str, user: Option<&str>) -> Result<ExplainReply, ClientError> {
+        let mut extra = Self::stmt_field(stmt);
+        if let Some(u) = user {
+            extra.push_str(&format!(r#","user":{}"#, Value::from(u)));
+        }
+        let reply = self.call("explain", &extra)?;
+        Ok(ExplainReply {
+            epoch: field_u64(&reply, "epoch")?,
+            rendered: field_str(&reply, "rendered")?,
+            audit: reply.get("audit").cloned().unwrap_or(Value::Null),
         })
     }
 

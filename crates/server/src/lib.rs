@@ -25,5 +25,5 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, CachedMask, MaskCache};
-pub use client::{Client, ClientError, QueryReply, Rows, ServerStats};
+pub use client::{Client, ClientError, ExplainReply, QueryReply, Rows, ServerStats};
 pub use server::{Server, ServerConfig};

@@ -98,6 +98,25 @@ struct Job {
     principal: String,
     reply: mpsc::Sender<String>,
     gate: Arc<Gate>,
+    /// When the reader queued the job (None while observability is
+    /// disabled), for the `server.queue_wait_ns` histogram.
+    queued: Option<std::time::Instant>,
+}
+
+/// The request's wire `type`, for span labels.
+fn request_label(request: &Request) -> &'static str {
+    match request {
+        Request::Hello { .. } => "hello",
+        Request::Retrieve { .. } => "retrieve",
+        Request::Query { .. } => "query",
+        Request::Admin { .. } => "admin",
+        Request::Update { .. } => "update",
+        Request::Member { .. } => "member",
+        Request::Save { .. } => "save",
+        Request::Stats { .. } => "stats",
+        Request::Explain { .. } => "explain",
+        Request::Ping { .. } => "ping",
+    }
 }
 
 /// A running server. Dropping it shuts it down.
@@ -137,8 +156,14 @@ impl Server {
                 let admins = config.admins.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        motro_obs::histogram!("server.queue_wait_ns").record_since(job.queued);
+                        motro_obs::counter!("server.requests").inc();
+                        let mut span = motro_obs::span("server.request_ns");
+                        span.field("type", request_label(&job.request));
+                        span.field("principal", &job.principal);
                         let reply =
                             dispatch(&fe, &cache, admins.as_deref(), &job.principal, job.request);
+                        drop(span);
                         let _ = job.reply.send(reply.to_string());
                         job.gate.release();
                     }
@@ -287,6 +312,8 @@ fn serve_connection(
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    motro_obs::gauge!("server.connections").inc();
+    motro_obs::counter!("server.connections.accepted").inc();
     let (reply_tx, reply_rx) = mpsc::channel::<String>();
     let writer = std::thread::spawn(move || {
         let mut out = std::io::BufWriter::new(write_half);
@@ -361,6 +388,7 @@ fn serve_connection(
                         principal: p,
                         reply: reply_tx.clone(),
                         gate: gate.clone(),
+                        queued: motro_obs::start(),
                     };
                     match job_tx.send(job) {
                         Ok(()) => continue,
@@ -390,6 +418,7 @@ fn serve_connection(
     }
     drop(reply_tx);
     let _ = writer.join();
+    motro_obs::gauge!("server.connections").dec();
 }
 
 fn error_code(e: &FrontendError) -> &'static str {
@@ -413,8 +442,34 @@ fn dispatch(
         Request::Hello { .. } => unreachable!("hello is handled by the reader"),
         Request::Ping { id } => wire::pong(id),
         Request::Stats { id } => {
-            let s = cache.stats();
-            wire::stats(id, fe.auth_epoch(), s.hits, s.misses, s.entries)
+            let metrics = motro_obs::metrics::registry()
+                .snapshot()
+                .to_json()
+                .parse::<Value>()
+                .unwrap_or(Value::Null);
+            wire::stats(id, fe.auth_epoch(), &cache.stats(), metrics)
+        }
+        Request::Explain { id, stmt, user } => {
+            let target = user.unwrap_or_else(|| principal.to_owned());
+            if target != principal && !admin_allowed(admins) {
+                return wire::error(
+                    Some(id),
+                    codes::ADMIN_DENIED,
+                    &format!("{principal} may not audit access for {target}"),
+                );
+            }
+            fe.with_read(|f| match f.explain_query(&target, &stmt) {
+                Ok(audit) => {
+                    // A serialization failure degrades `audit` to null;
+                    // the rendered form still carries the explanation.
+                    let value = serde_json::to_string(&audit)
+                        .ok()
+                        .and_then(|s| s.parse::<Value>().ok())
+                        .unwrap_or(Value::Null);
+                    wire::explain(id, f.auth_epoch(), value, &audit.render())
+                }
+                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
+            })
         }
         Request::Retrieve { id, stmt } => retrieve_cached(fe, cache, principal, id, &stmt),
         Request::Query { id, stmt } => match is_aggregate(&stmt) {

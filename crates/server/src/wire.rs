@@ -16,14 +16,22 @@
 //! | `update` | `id`, `stmt` | `insert into` / `delete from` |
 //! | `member` | `id`, `op`, `group`, `user` | group membership change |
 //! | `save` | `id` | snapshot the whole state as JSON |
-//! | `stats` | `id` | cache statistics |
+//! | `stats` | `id` | cache statistics and a metrics snapshot |
+//! | `explain` | `id`, `stmt` [, `user`] | audit a retrieval (see below) |
 //! | `ping` | `id` | liveness |
 //!
 //! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
-//! `state`, `stats`, `pong`, and `error` (with a machine-readable
-//! `code`). Every data-bearing reply carries the authorization `epoch`
-//! it was computed under, so a client — or a soundness test — can
-//! correlate an answer with the grant state that produced it.
+//! `state`, `stats`, `explain`, `pong`, and `error` (with a
+//! machine-readable `code`). Every data-bearing reply carries the
+//! authorization `epoch` it was computed under, so a client — or a
+//! soundness test — can correlate an answer with the grant state that
+//! produced it.
+//!
+//! `explain` audits the session principal's own access by default; the
+//! optional `user` field audits another principal and requires the
+//! administrative capability. The reply embeds the full
+//! [`motro_authz::core::AuthExplain`] structure (as `audit`) plus its
+//! human-readable rendering (as `rendered`).
 //!
 //! This module is pure data: no sockets, so the framing logic is unit
 //! tested directly.
@@ -79,6 +87,13 @@ pub enum Request {
     Save { id: u64 },
     /// Cache statistics.
     Stats { id: u64 },
+    /// Audit a retrieval: why is each region delivered or masked?
+    Explain {
+        id: u64,
+        stmt: String,
+        /// Audit this principal instead of the session's own (admin).
+        user: Option<String>,
+    },
     /// Liveness probe.
     Ping { id: u64 },
 }
@@ -95,6 +110,7 @@ impl Request {
             | Request::Member { id, .. }
             | Request::Save { id }
             | Request::Stats { id }
+            | Request::Explain { id, .. }
             | Request::Ping { id } => Some(*id),
         }
     }
@@ -214,6 +230,11 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
         }
         "save" => Ok(Request::Save { id: need_id()? }),
         "stats" => Ok(Request::Stats { id: need_id()? }),
+        "explain" => Ok(Request::Explain {
+            id: need_id()?,
+            stmt: need_stmt()?,
+            user: str_field(obj, "user"),
+        }),
         "ping" => Ok(Request::Ping { id: need_id()? }),
         other => Err(FrameError::bad_request(
             id,
@@ -357,15 +378,35 @@ pub fn state(id: u64, epoch: u64, snapshot: &str) -> Value {
     ])
 }
 
-/// `stats` — cache statistics.
-pub fn stats(id: u64, epoch: u64, hits: u64, misses: u64, entries: usize) -> Value {
+/// `stats` — cache statistics plus a process-wide metrics snapshot.
+///
+/// `metrics` is the JSON form of
+/// [`motro_obs::MetricsSnapshot::to_json`] (counters, gauges, and
+/// latency histograms), already parsed into a [`Value`].
+pub fn stats(id: u64, epoch: u64, cache: &crate::cache::CacheStats, metrics: Value) -> Value {
     obj(vec![
         ("type", Value::from("stats")),
         ("id", Value::from(id)),
         ("epoch", Value::from(epoch)),
-        ("hits", Value::from(hits)),
-        ("misses", Value::from(misses)),
-        ("entries", Value::from(entries)),
+        ("hits", Value::from(cache.hits)),
+        ("misses", Value::from(cache.misses)),
+        ("entries", Value::from(cache.entries)),
+        ("epoch_evictions", Value::from(cache.epoch_evictions)),
+        ("capacity_evictions", Value::from(cache.capacity_evictions)),
+        ("metrics", metrics),
+    ])
+}
+
+/// `explain` — the audit of one retrieval. `audit` is the serialized
+/// [`motro_authz::core::AuthExplain`]; `rendered` its human-readable
+/// form for clients that just want to print it.
+pub fn explain(id: u64, epoch: u64, audit: Value, rendered: &str) -> Value {
+    obj(vec![
+        ("type", Value::from("explain")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("audit", audit),
+        ("rendered", Value::from(rendered)),
     ])
 }
 
@@ -421,9 +462,57 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request(r#"{"type":"explain","id":5,"stmt":"retrieve (R.A)"}"#).unwrap(),
+            Request::Explain {
+                id: 5,
+                stmt: "retrieve (R.A)".to_owned(),
+                user: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"explain","id":6,"stmt":"retrieve (R.A)","user":"Klein"}"#)
+                .unwrap(),
+            Request::Explain {
+                id: 6,
+                stmt: "retrieve (R.A)".to_owned(),
+                user: Some("Klein".to_owned())
+            }
+        );
+        assert_eq!(
             parse_request(r#"{"type":"ping","id":9}"#).unwrap(),
             Request::Ping { id: 9 }
         );
+    }
+
+    #[test]
+    fn stats_reply_carries_evictions_and_metrics() {
+        let cache = crate::cache::CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 1,
+            epoch_evictions: 4,
+            capacity_evictions: 5,
+        };
+        let metrics: Value = motro_obs::metrics::registry()
+            .snapshot()
+            .to_json()
+            .parse()
+            .unwrap();
+        let reply = stats(9, 7, &cache, metrics);
+        let back: Value = reply.to_string().parse().unwrap();
+        assert_eq!(back.get("epoch_evictions").and_then(Value::as_u64), Some(4));
+        assert_eq!(
+            back.get("capacity_evictions").and_then(Value::as_u64),
+            Some(5)
+        );
+        assert!(back
+            .get("metrics")
+            .and_then(|m| m.get("counters"))
+            .is_some());
+        assert!(back
+            .get("metrics")
+            .and_then(|m| m.get("histograms"))
+            .is_some());
     }
 
     #[test]

@@ -362,3 +362,95 @@ fn query_routes_rows_and_rejects_non_retrievals() {
         Ok(_) => panic!("a permit statement is not a retrieval"),
     }
 }
+
+#[test]
+fn explain_audits_the_masked_answer_over_the_wire() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    let audit = c.explain(Q, None).unwrap();
+    assert_eq!(audit.epoch, c.epoch());
+    // The rendering names the granting view and the per-row verdicts.
+    assert!(
+        audit.rendered.contains("explain for Brown"),
+        "{}",
+        audit.rendered
+    );
+    assert!(audit.rendered.contains("PSA"), "{}", audit.rendered);
+    assert!(audit.rendered.contains("withheld"), "{}", audit.rendered);
+    // A principal with no grants sees the empty-mask audit.
+    let mut k = Client::connect(server.local_addr(), "Klein").unwrap();
+    let empty = k.explain(Q, None).unwrap();
+    assert!(empty.rendered.contains("mask: empty"), "{}", empty.rendered);
+}
+
+#[test]
+fn explaining_another_user_requires_the_admin_capability() {
+    let server = start(ServerConfig {
+        admins: Some(vec!["root".to_owned()]),
+        ..ServerConfig::default()
+    });
+    let mut brown = Client::connect(server.local_addr(), "Brown").unwrap();
+    // Auditing yourself is always allowed.
+    brown.explain(Q, None).unwrap();
+    brown.explain(Q, Some("Brown")).unwrap();
+    // Auditing someone else is not.
+    match brown.explain(Q, Some("Klein")) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "admin_denied"),
+        other => panic!("expected admin_denied, got {other:?}"),
+    }
+    // The administrator may audit any principal.
+    let mut root = Client::connect(server.local_addr(), "root").unwrap();
+    let audit = root.explain(Q, Some("Brown")).unwrap();
+    assert!(
+        audit.rendered.contains("explain for Brown"),
+        "{}",
+        audit.rendered
+    );
+}
+
+#[test]
+fn stats_reports_evictions_and_a_metrics_snapshot() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.retrieve(Q).unwrap();
+    c.retrieve(Q).unwrap();
+    let (stats, metrics) = c.stats_full().unwrap();
+    assert!(stats.hits >= 1 && stats.misses >= 1, "stats: {stats:?}");
+    assert_eq!(stats.epoch_evictions, 0);
+    assert_eq!(stats.capacity_evictions, 0);
+    // The snapshot carries the pipeline latency histograms and the
+    // cache counters (process-global, so >= what this session caused).
+    let histograms = metrics.get("histograms").expect("snapshot histograms");
+    for h in [
+        "lang.parse_ns",
+        "plan.compile_ns",
+        "meta.eval_ns",
+        "mask.apply_ns",
+    ] {
+        assert!(
+            histograms.get(h).is_some(),
+            "missing histogram {h} in {metrics}"
+        );
+        let count = histograms
+            .get(h)
+            .and_then(|v| v.get("count"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap();
+        assert!(count >= 1, "histogram {h} never recorded");
+    }
+    let counters = metrics.get("counters").expect("snapshot counters");
+    for k in [
+        "server.cache.hits",
+        "server.cache.misses",
+        "server.requests",
+    ] {
+        assert!(
+            counters
+                .get(k)
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+                >= 1,
+            "counter {k} never advanced: {metrics}"
+        );
+    }
+}

@@ -73,6 +73,18 @@ pub fn resolve_factors(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<Res
 /// against `scheme` (relations exist, attributes resolve, comparisons are
 /// within-domain, at least one target).
 pub fn compile(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<CanonicalPlan> {
+    let t = motro_obs::start();
+    let result = compile_inner(q, scheme);
+    motro_obs::histogram!("plan.compile_ns").record_since(t);
+    if result.is_ok() {
+        motro_obs::counter!("plan.compiled").inc();
+    } else {
+        motro_obs::counter!("plan.compile_errors").inc();
+    }
+    result
+}
+
+fn compile_inner(q: &ConjunctiveQuery, scheme: &DbSchema) -> RelResult<CanonicalPlan> {
     if q.targets.is_empty() {
         return Err(RelError::Invalid("empty target list".to_owned()));
     }

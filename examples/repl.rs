@@ -55,6 +55,9 @@ const HELP: &str = "commands:
   as USER retrieve (R.A, ...) [where ...]   authorized retrieval
   as USER insert into R values (...)        checked insert
   as USER delete from R [where ...]         checked (reduced) delete
+  explain USER retrieve (R.A, ...) [where ...]   audit: why is each
+                                        region delivered or masked?
+  stats                                 metrics snapshot (latencies, counters)
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -156,12 +159,16 @@ fn client_repl(addr: &str, user: &str) {
                 QueryReply::Aggregate { rendered, .. } => rendered,
             }),
             "insert" | "delete" => client.update(input).map(|m| m.join("\n")),
-            "stats" => client.stats().map(|s| {
+            "stats" => client.stats_full().map(|(s, metrics)| {
                 format!(
-                    "epoch {}: {} hits, {} misses, {} cached masks",
-                    s.epoch, s.hits, s.misses, s.entries
+                    "epoch {}: {} hits, {} misses, {} cached masks, \
+                     {} epoch / {} capacity evictions\nmetrics: {metrics}",
+                    s.epoch, s.hits, s.misses, s.entries, s.epoch_evictions, s.capacity_evictions
                 )
             }),
+            "explain" => client
+                .explain(input.strip_prefix("explain").unwrap_or(input).trim(), None)
+                .map(|r| r.rendered),
             _ => client.admin(input).map(|m| m.join("\n")),
         };
         match outcome {
@@ -247,6 +254,18 @@ fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
         let json = std::fs::read_to_string(rest.trim()).map_err(|e| e.to_string())?;
         *fe = Frontend::from_json(&json).map_err(|e| e.to_string())?;
         return Ok(Some(format!("loaded from {}", rest.trim())));
+    }
+    if let Some(rest) = input.strip_prefix("explain ") {
+        let (user, stmt) = rest
+            .split_once(' ')
+            .ok_or_else(|| "usage: explain USER retrieve (...)".to_owned())?;
+        let audit = fe.explain_query(user, stmt).map_err(|e| e.to_string())?;
+        return Ok(Some(audit.render()));
+    }
+    if input.eq_ignore_ascii_case("stats") {
+        return Ok(Some(
+            motro_authz::obs::metrics::registry().snapshot().to_json(),
+        ));
     }
     if let Some(rest) = input.strip_prefix("as ") {
         let (user, stmt) = rest

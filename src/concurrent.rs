@@ -83,6 +83,15 @@ impl SharedFrontend {
         self.inner.read().query(user, stmt)
     }
 
+    /// Audit a retrieval (shared): [`Frontend::explain_query`].
+    pub fn explain_query(
+        &self,
+        user: &str,
+        stmt: &str,
+    ) -> Result<motro_core::AuthExplain, FrontendError> {
+        self.inner.read().explain_query(user, stmt)
+    }
+
     /// Non-blocking [`SharedFrontend::query`]; `None` when an exclusive
     /// administrative statement holds the lock.
     pub fn try_query(

@@ -45,11 +45,13 @@ pub use concurrent::SharedFrontend;
 pub use motro_baselines as baselines;
 pub use motro_core as core;
 pub use motro_lang as lang;
+pub use motro_obs as obs;
 pub use motro_rel as rel;
 pub use motro_views as views;
 
 use motro_core::{
-    AccessOutcome, AggregateOutcome, AuthStore, AuthorizedEngine, CoreError, RefinementConfig,
+    AccessOutcome, AggregateOutcome, AuthExplain, AuthStore, AuthorizedEngine, CoreError,
+    RefinementConfig,
 };
 use motro_lang::{parse_program, parse_statement, ParseError, Principal, Statement};
 use motro_rel::{Database, DbSchema, RelError};
@@ -273,6 +275,20 @@ impl Frontend {
             Statement::RetrieveAggregate(q) => Ok(RetrieveOutcome::Aggregate(
                 engine.retrieve_aggregate(user, &q)?,
             )),
+            _ => Err(FrontendError::Unexpected(
+                "expected a retrieve statement".to_owned(),
+            )),
+        }
+    }
+
+    /// Audit a `retrieve` statement for `user` without delivering the
+    /// answer: returns the full [`AuthExplain`] — candidate meta-tuples,
+    /// per-atom R2 decisions, the surviving mask, and cell-by-cell
+    /// grant/denial reasons. Masked values are never included.
+    pub fn explain_query(&self, user: &str, stmt: &str) -> Result<AuthExplain, FrontendError> {
+        let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+        match parse_statement(stmt)? {
+            Statement::Retrieve(q) => Ok(engine.explain(user, &q)?),
             _ => Err(FrontendError::Unexpected(
                 "expected a retrieve statement".to_owned(),
             )),

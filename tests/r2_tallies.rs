@@ -1,0 +1,177 @@
+//! The R2 refinement's four-case analysis (§4.2), audited: for each of
+//! clear / retain / modify / discard, the decision log produced by
+//! `explain_query`, the `meta.r2.*` metrics counters, and the mask
+//! actually produced must all tell the same story.
+//!
+//! The counters are process-global and other tests in this binary may
+//! run concurrently, so counter assertions are `>=` deltas around the
+//! audited call; the decision log and the mask are exact.
+
+use motro_authz::core::{AuthExplain, R2Decision};
+use motro_authz::obs;
+use motro_authz::{core::fixtures, Frontend};
+
+fn frontend() -> Frontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view VBIG (PROJECT.NUMBER, PROJECT.BUDGET)
+           where PROJECT.BUDGET >= 250,000;
+         permit VBIG to Kim;
+         view VALL (PROJECT.NUMBER, PROJECT.BUDGET);
+         permit VALL to Lee",
+    )
+    .expect("views are well-formed");
+    fe
+}
+
+/// Decisions logged for the single selection atom of `audit`.
+fn decisions(audit: &AuthExplain) -> Vec<R2Decision> {
+    audit
+        .steps
+        .iter()
+        .flat_map(|s| s.decisions.iter().map(|d| d.case))
+        .collect()
+}
+
+/// Run the audited retrieval and return (audit, counter delta) for the
+/// named `meta.r2.*` counter.
+fn audit_with_delta(
+    fe: &Frontend,
+    user: &str,
+    stmt: &str,
+    counter: &'static str,
+) -> (AuthExplain, u64) {
+    let c = obs::metrics::registry().counter(counter);
+    let before = c.get();
+    let audit = fe.explain_query(user, stmt).expect("explainable retrieval");
+    (audit, c.get() - before)
+}
+
+/// CLEAR: the view leaves BUDGET unconstrained, so a budget selection
+/// clears — the mask keeps the tuple with no added condition and every
+/// answer row is delivered.
+#[test]
+fn clear_case_tallies_and_mask_agree() {
+    let fe = frontend();
+    let (audit, delta) = audit_with_delta(
+        &fe,
+        "Lee",
+        "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET >= 250,000",
+        "meta.r2.clear",
+    );
+    let cases = decisions(&audit);
+    assert!(
+        cases.contains(&R2Decision::Clear),
+        "expected a clear decision, got {cases:?}"
+    );
+    assert!(delta >= 1, "meta.r2.clear did not advance");
+    // Mask agreement: one surviving tuple, every row delivered.
+    assert_eq!(audit.mask_tuples.len(), 1);
+    assert_eq!(audit.withheld, 0);
+    assert!(audit.rows.iter().all(|r| r.delivered));
+}
+
+/// RETAIN: the view's own condition (BUDGET >= 250k) already implies
+/// the selection (>= 200k); the tuple is retained unchanged and both
+/// qualifying rows are delivered.
+#[test]
+fn retain_case_tallies_and_mask_agree() {
+    let fe = frontend();
+    let (audit, delta) = audit_with_delta(
+        &fe,
+        "Kim",
+        "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET >= 200,000",
+        "meta.r2.retain",
+    );
+    let cases = decisions(&audit);
+    assert!(
+        cases.contains(&R2Decision::Retain),
+        "expected a retain decision, got {cases:?}"
+    );
+    assert!(delta >= 1, "meta.r2.retain did not advance");
+    // The retained condition still admits both answer rows (300k, 450k
+    // are both >= 250k): nothing withheld.
+    assert_eq!(audit.mask_tuples.len(), 1);
+    assert_eq!(audit.rows.len(), 2);
+    assert_eq!(audit.withheld, 0);
+    // Retain keeps the tuple as-is: the decision records no rewrite.
+    let retained = audit
+        .steps
+        .iter()
+        .flat_map(|s| &s.decisions)
+        .find(|d| d.case == R2Decision::Retain)
+        .unwrap();
+    assert!(
+        retained.after.as_deref() == Some(retained.before.as_str()),
+        "retain must not rewrite the tuple: {retained:?}"
+    );
+}
+
+/// MODIFY: the selection (<= 400k) overlaps the view's condition
+/// (>= 250k); the tuple survives with the intersected condition, which
+/// admits bq-45 (300k) but not vg-13 (150k).
+#[test]
+fn modify_case_tallies_and_mask_agree() {
+    let fe = frontend();
+    let (audit, delta) = audit_with_delta(
+        &fe,
+        "Kim",
+        "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET <= 400,000",
+        "meta.r2.modify",
+    );
+    let cases = decisions(&audit);
+    assert!(
+        cases.contains(&R2Decision::Modify),
+        "expected a modify decision, got {cases:?}"
+    );
+    assert!(delta >= 1, "meta.r2.modify did not advance");
+    assert_eq!(audit.mask_tuples.len(), 1);
+    // Raw answer: bq-45 (300k) and vg-13 (150k); the modified condition
+    // withholds the 150k row entirely.
+    assert_eq!(audit.rows.len(), 2);
+    assert_eq!(audit.withheld, 1);
+    let withheld_row = audit.rows.iter().find(|r| !r.delivered).unwrap();
+    // Its denial must blame the (modified) condition of mask tuple #0.
+    for cell in &withheld_row.cells {
+        assert!(
+            cell.denials
+                .iter()
+                .any(|d| d.mask_tuple == 0 && d.reason.contains("condition")),
+            "denial must name the condition: {:?}",
+            cell.denials
+        );
+    }
+}
+
+/// DISCARD: the selection (< 200k) contradicts the view's condition
+/// (>= 250k); the tuple is discarded and the mask is empty — nothing
+/// can be delivered.
+#[test]
+fn discard_case_tallies_and_mask_agree() {
+    let fe = frontend();
+    let (audit, delta) = audit_with_delta(
+        &fe,
+        "Kim",
+        "retrieve (PROJECT.NUMBER, PROJECT.BUDGET) where PROJECT.BUDGET < 200,000",
+        "meta.r2.discard",
+    );
+    let cases = decisions(&audit);
+    assert!(
+        cases.contains(&R2Decision::Discard),
+        "expected a discard decision, got {cases:?}"
+    );
+    assert!(delta >= 1, "meta.r2.discard did not advance");
+    // Mask agreement: no surviving tuple, every answer row withheld.
+    assert!(audit.mask_tuples.is_empty());
+    assert_eq!(audit.withheld, audit.rows.len());
+    assert!(audit.rows.iter().all(|r| !r.delivered));
+    // Discard records no rewritten tuple.
+    let discarded = audit
+        .steps
+        .iter()
+        .flat_map(|s| &s.decisions)
+        .find(|d| d.case == R2Decision::Discard)
+        .unwrap();
+    assert!(discarded.after.is_none(), "{discarded:?}");
+    assert!(audit.render().contains("mask: empty"));
+}
