@@ -9,9 +9,12 @@
 //!
 //! ```text
 //! loadgen [--clients N] [--requests N] [--relations N] [--rows N]
-//!         [--views N] [--users N] [--grants N] [--seed S] [--out FILE]
-//!         [--obs-report FILE] [--assert-overhead PCT]
+//!         [--views N] [--users N] [--grants N] [--workers N] [--seed S]
+//!         [--out FILE] [--obs-report FILE] [--assert-overhead PCT]
 //! ```
+//!
+//! `--workers` sizes the partitioned mask-pipeline executor inside each
+//! request (DESIGN.md §6c); 1 (the default) is fully sequential.
 //!
 //! Writes `BENCH_server_cache.json` (or `--out`) in the workspace
 //! BENCH_* convention.
@@ -37,6 +40,7 @@ struct Args {
     views: usize,
     users: usize,
     grants: usize,
+    workers: usize,
     seed: u64,
     out: String,
     obs_report: Option<String>,
@@ -57,6 +61,7 @@ impl Default for Args {
             views: 400,
             users: 8,
             grants: 250,
+            workers: 1,
             seed: 7,
             out: "BENCH_server_cache.json".to_owned(),
             obs_report: None,
@@ -83,6 +88,7 @@ fn parse_args() -> Args {
             "--views" => num(&mut a.views),
             "--users" => num(&mut a.users),
             "--grants" => num(&mut a.grants),
+            "--workers" => num(&mut a.workers),
             "--seed" => {
                 a.seed = it
                     .next()
@@ -107,7 +113,7 @@ fn parse_args() -> Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--clients N] [--requests N] [--relations N] [--rows N] \
-         [--views N] [--users N] [--grants N] [--seed S] [--out FILE] \
+         [--views N] [--users N] [--grants N] [--workers N] [--seed S] [--out FILE] \
          [--obs-report FILE] [--assert-overhead PCT]"
     );
     std::process::exit(2);
@@ -124,6 +130,7 @@ fn run(
 ) -> (Vec<u64>, f64, u64, u64) {
     let mut fe = Frontend::with_database(world.db.clone());
     *fe.auth_store_mut() = world.store.clone();
+    fe.set_exec_config(motro_authz::rel::ExecConfig::with_workers(args.workers));
     let server = Server::bind(
         "127.0.0.1:0",
         SharedFrontend::new(fe),

@@ -1,0 +1,263 @@
+//! `parallel_scaling` — mask-pipeline throughput across executor
+//! worker counts.
+//!
+//! Drives the loadgen workload (a [`ScaledWorld`] with the same
+//! permission-heavy defaults) through [`AuthorizedEngine::retrieve_plan`]
+//! in-process at worker counts 1, 2, 4, and 8, and reports throughput
+//! and the speedup over the sequential executor. Because the partitioned
+//! executor is deterministic (DESIGN.md §6c), every worker count
+//! computes identical masks — only the wall clock changes.
+//!
+//! ```text
+//! parallel_scaling [--requests N] [--relations N] [--rows N] [--views N]
+//!                  [--users N] [--grants N] [--seed S] [--out FILE]
+//!                  [--assert-speedup R] [--at-workers N]
+//! ```
+//!
+//! Writes `BENCH_parallel_scaling.json` (or `--out`). With
+//! `--assert-speedup R`, exits non-zero unless the speedup at
+//! `--at-workers` (default 4) is at least `R` — the CI smoke guardrail.
+//! The assertion is skipped (loudly) when the host exposes fewer than 2
+//! CPUs, where no parallel speedup is physically possible.
+
+use motro_authz::core::{AuthorizedEngine, RefinementConfig};
+use motro_authz::rel::{CanonicalPlan, ExecConfig};
+use motro_bench::{ScaledWorld, WorldParams};
+use motro_views::compile;
+use serde_json::{Map, Number, Value};
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    requests: usize,
+    relations: usize,
+    rows: usize,
+    views: usize,
+    users: usize,
+    grants: usize,
+    seed: u64,
+    out: String,
+    assert_speedup: Option<f64>,
+    at_workers: usize,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        // The loadgen world: permission-heavy, so the meta side
+        // dominates and the partitioned executor has work to split.
+        Args {
+            requests: 48,
+            relations: 6,
+            rows: 25,
+            views: 400,
+            users: 8,
+            grants: 250,
+            seed: 7,
+            out: "BENCH_parallel_scaling.json".to_owned(),
+            assert_speedup: None,
+            at_workers: 4,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parallel_scaling [--requests N] [--relations N] [--rows N] [--views N] \
+         [--users N] [--grants N] [--seed S] [--out FILE] [--assert-speedup R] [--at-workers N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |target: &mut usize| {
+            *target = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--requests" => num(&mut a.requests),
+            "--relations" => num(&mut a.relations),
+            "--rows" => num(&mut a.rows),
+            "--views" => num(&mut a.views),
+            "--users" => num(&mut a.users),
+            "--grants" => num(&mut a.grants),
+            "--at-workers" => num(&mut a.at_workers),
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => a.out = it.next().unwrap_or_else(|| usage()),
+            "--assert-speedup" => {
+                a.assert_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    a
+}
+
+/// One measurement: run every `(user, plan)` pair `requests` times under
+/// `workers` executor threads; returns masks-per-second.
+fn measure(
+    world: &ScaledWorld,
+    work: &[(String, CanonicalPlan)],
+    requests: usize,
+    workers: usize,
+) -> f64 {
+    let engine = AuthorizedEngine::with_exec(
+        &world.db,
+        &world.store,
+        RefinementConfig::default(),
+        ExecConfig::with_workers(workers),
+    );
+    let started = Instant::now();
+    let mut done = 0usize;
+    for _ in 0..requests {
+        for (user, plan) in work {
+            engine
+                .retrieve_plan(user, plan)
+                .expect("workload plan executes");
+            done += 1;
+        }
+    }
+    done as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let args = parse_args();
+    let world = ScaledWorld::generate(WorldParams {
+        relations: args.relations,
+        rows_per_relation: args.rows,
+        views: args.views,
+        users: args.users,
+        grants_per_user: args.grants,
+        queries: args.users.max(1),
+        seed: args.seed,
+    });
+
+    // Compile once; prefer multi-relation plans (the R2-containment-
+    // dominated case the executor partitions) but fall back to whatever
+    // the world generated.
+    let mut work: Vec<(String, CanonicalPlan)> = Vec::new();
+    for (i, q) in world.queries.iter().enumerate() {
+        let plan = compile(q, world.db.schema()).expect("workload query compiles");
+        let user = world.users[i % world.users.len()].clone();
+        work.push((user, plan));
+    }
+    let joins: Vec<(String, CanonicalPlan)> = work
+        .iter()
+        .filter(|(_, p)| p.relations.len() >= 2)
+        .cloned()
+        .collect();
+    if !joins.is_empty() {
+        work = joins;
+    } else {
+        eprintln!("parallel_scaling: workload has no join queries; using all queries");
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "parallel_scaling: {} plan(s) x {} requests, world: {} relations x {} rows, {} views, \
+         {} grants/user, {} cpu(s)",
+        work.len(),
+        args.requests,
+        args.relations,
+        args.rows,
+        args.views,
+        args.grants,
+        cpus
+    );
+
+    // Warm caches (allocator, store indexes) before timing.
+    measure(&world, &work, 1, 1);
+
+    let mut results = Vec::new();
+    let mut baseline = 0.0f64;
+    let mut speedup_at = 0.0f64;
+    for &w in &WORKER_COUNTS {
+        let rps = measure(&world, &work, args.requests, w);
+        if w == 1 {
+            baseline = rps;
+        }
+        let speedup = rps / baseline.max(1e-9);
+        if w == args.at_workers {
+            speedup_at = speedup;
+        }
+        eprintln!("  workers {w}: {rps:.1} masks/s (speedup {speedup:.2}x)");
+        let mut m = Map::new();
+        m.insert("workers".to_owned(), Value::Number(Number::from(w)));
+        m.insert(
+            "throughput_rps".to_owned(),
+            Value::Number(Number::from(rps as u64)),
+        );
+        m.insert(
+            "speedup_vs_sequential".to_owned(),
+            Value::Number(Number::from_f64(speedup).unwrap_or_else(|| Number::from(0u64))),
+        );
+        results.push(Value::Object(m));
+    }
+
+    let mut config = Map::new();
+    for (k, v) in [
+        ("requests", args.requests),
+        ("relations", args.relations),
+        ("rows_per_relation", args.rows),
+        ("views", args.views),
+        ("users", args.users),
+        ("grants_per_user", args.grants),
+        ("plans", work.len()),
+    ] {
+        config.insert(k.to_owned(), Value::Number(Number::from(v)));
+    }
+    config.insert("seed".to_owned(), Value::Number(Number::from(args.seed)));
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("parallel_scaling".to_owned()),
+    );
+    report.insert("config".to_owned(), Value::Object(config));
+    report.insert(
+        "available_parallelism".to_owned(),
+        Value::Number(Number::from(cpus)),
+    );
+    report.insert("results".to_owned(), Value::Array(results));
+    let json = Value::Object(report).to_string();
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("{json}");
+
+    if let Some(bound) = args.assert_speedup {
+        if cpus < 2 {
+            eprintln!(
+                "parallel_scaling: only {cpus} cpu(s) available — skipping the \
+                 {bound}x speedup assertion (no parallel speedup is possible here)"
+            );
+        } else if speedup_at < bound {
+            eprintln!(
+                "parallel_scaling: speedup {speedup_at:.2}x at {} workers is below the \
+                 required {bound}x",
+                args.at_workers
+            );
+            std::process::exit(1);
+        } else {
+            eprintln!(
+                "parallel_scaling: speedup {speedup_at:.2}x at {} workers meets the \
+                 {bound}x bound",
+                args.at_workers
+            );
+        }
+    }
+}

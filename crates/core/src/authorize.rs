@@ -22,11 +22,11 @@
 use crate::error::CoreResult;
 use crate::mask::{Mask, MaskedRelation, PermitStatement};
 use crate::meta_algebra::{
-    meta_product, meta_project, meta_select_logged, DecisionRecord, SelectMode,
+    meta_product_par, meta_project, meta_select_logged_par, DecisionRecord, SelectMode,
 };
 use crate::metatuple::MetaTuple;
 use crate::store::AuthStore;
-use motro_rel::{CanonicalPlan, Database, Relation};
+use motro_rel::{CanonicalPlan, Database, ExecConfig, Relation};
 use motro_views::{compile, ConjunctiveQuery};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -141,26 +141,45 @@ pub struct AuthorizedEngine<'a> {
     db: &'a Database,
     store: &'a AuthStore,
     config: RefinementConfig,
+    exec: ExecConfig,
 }
 
 impl<'a> AuthorizedEngine<'a> {
     /// Engine with the paper-faithful default configuration.
     pub fn new(db: &'a Database, store: &'a AuthStore) -> Self {
-        AuthorizedEngine {
-            db,
-            store,
-            config: RefinementConfig::default(),
-        }
+        Self::with_config(db, store, RefinementConfig::default())
     }
 
     /// Engine with an explicit refinement configuration.
     pub fn with_config(db: &'a Database, store: &'a AuthStore, config: RefinementConfig) -> Self {
-        AuthorizedEngine { db, store, config }
+        Self::with_exec(db, store, config, ExecConfig::sequential())
+    }
+
+    /// Engine with explicit refinement *and* executor configurations.
+    /// The executor never changes results — only how many worker
+    /// threads the mask pipeline and data-side plans partition across.
+    pub fn with_exec(
+        db: &'a Database,
+        store: &'a AuthStore,
+        config: RefinementConfig,
+        exec: ExecConfig,
+    ) -> Self {
+        AuthorizedEngine {
+            db,
+            store,
+            config,
+            exec,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> RefinementConfig {
         self.config
+    }
+
+    /// The active executor configuration.
+    pub fn exec(&self) -> ExecConfig {
+        self.exec
     }
 
     /// Authorize and execute a `retrieve` statement for `user`.
@@ -175,7 +194,7 @@ impl<'a> AuthorizedEngine<'a> {
     /// strategy may be implemented"); the meta side keeps the canonical
     /// strategy the theorem requires.
     pub fn retrieve_plan(&self, user: &str, plan: &CanonicalPlan) -> CoreResult<AccessOutcome> {
-        let answer = motro_rel::execute_optimized(plan, self.db)?;
+        let answer = motro_rel::execute_optimized_with(plan, self.db, &self.exec)?;
         let (mask, trace) = self.mask_for_plan(user, plan)?;
         let requested = plan.projection.len();
         let masked = if trace.mask_projection.len() == requested {
@@ -189,7 +208,8 @@ impl<'a> AuthorizedEngine<'a> {
                 selection: plan.selection.clone(),
                 projection: trace.mask_projection.clone(),
             };
-            let extended_answer = motro_rel::execute_optimized(&extended_plan, self.db)?;
+            let extended_answer =
+                motro_rel::execute_optimized_with(&extended_plan, self.db, &self.exec)?;
             let wide = mask.apply(&extended_answer);
             let mut rows: Vec<Vec<Option<motro_rel::Value>>> = Vec::new();
             let mut withheld_rows = 0usize;
@@ -269,11 +289,33 @@ impl<'a> AuthorizedEngine<'a> {
 
         // Step 2: meta-product (with R1 padding), then closure pruning.
         let factor_lists: Vec<Vec<MetaTuple>> = candidates.iter().map(|(_, c)| c.clone()).collect();
-        let mut rows = meta_product(&factor_lists, &arities, self.config.product_padding);
+        let mut rows = meta_product_par(
+            &factor_lists,
+            &arities,
+            self.config.product_padding,
+            &self.exec,
+        );
         let product_len = rows.len();
         motro_obs::counter!("meta.product.rows").add(product_len as u64);
         if self.config.closure_pruning {
-            rows.retain(|t| self.store.is_closed(t));
+            let parts = self.exec.partitions_for(rows.len());
+            if parts <= 1 {
+                rows.retain(|t| self.store.is_closed(t));
+            } else {
+                // Closure checks are per-tuple and read-only over the
+                // store; filtered chunks concatenate in order, matching
+                // the sequential retain exactly.
+                let store = self.store;
+                let kept = self.exec.map_chunked(rows, parts, "meta_prune", |chunk| {
+                    chunk
+                        .into_iter()
+                        .filter(|t| store.is_closed(t))
+                        .collect::<Vec<MetaTuple>>()
+                });
+                let t = motro_obs::start();
+                rows = kept.into_iter().flatten().collect();
+                motro_obs::histogram!("exec.steal_or_merge_ns").record_since(t);
+            }
         }
         motro_obs::counter!("meta.product.pruned").add((product_len - rows.len()) as u64);
         let product = rows.clone();
@@ -289,7 +331,14 @@ impl<'a> AuthorizedEngine<'a> {
         motro_obs::counter!("meta.select.in").add(rows.len() as u64);
         for (atom_index, atom) in plan.selection.atoms.iter().enumerate() {
             let mut decisions = if logged { Some(Vec::new()) } else { None };
-            rows = meta_select_logged(rows, atom, mode, &mut next_var, decisions.as_mut());
+            rows = meta_select_logged_par(
+                rows,
+                atom,
+                mode,
+                &mut next_var,
+                decisions.as_mut(),
+                &self.exec,
+            );
             if let Some(decisions) = decisions {
                 steps.push(SelectionStep {
                     atom_index,
@@ -373,7 +422,7 @@ impl<'a> AuthorizedEngine<'a> {
                 projection: trace.mask_projection.clone(),
             }
         };
-        let answer = motro_rel::execute_optimized(&eval_plan, self.db)?;
+        let answer = motro_rel::execute_optimized_with(&eval_plan, self.db, &self.exec)?;
         Ok(crate::explain::build(user, &mask, &trace, &answer))
     }
 

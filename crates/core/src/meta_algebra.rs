@@ -23,7 +23,7 @@
 
 use crate::constraint::{ConstraintAtom, Interval, Rhs, SelectionCase};
 use crate::metatuple::{CellContent, MetaCell, MetaTuple, VarId};
-use motro_rel::{CompOp, PredicateAtom, Term, Value};
+use motro_rel::{CompOp, ExecConfig, PredicateAtom, Term, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -125,12 +125,63 @@ pub fn meta_product(
     arities: &[usize],
     padding: bool,
 ) -> Vec<MetaTuple> {
+    meta_product_par(factors, arities, padding, &ExecConfig::sequential())
+}
+
+/// [`meta_product`] under an explicit executor configuration: the
+/// enumeration partitions over the first factor's options, each worker
+/// expanding the remaining factors independently, and per-chunk results
+/// tree-merge with [`dedup_merge_chunks`]. Because chunks are
+/// contiguous and merged in order, the result — including provenance
+/// and covers unions, which are order-insensitive sets — is identical
+/// to the sequential product at any worker count.
+pub fn meta_product_par(
+    factors: &[Vec<MetaTuple>],
+    arities: &[usize],
+    padding: bool,
+    exec: &ExecConfig,
+) -> Vec<MetaTuple> {
     assert_eq!(factors.len(), arities.len());
     if factors.is_empty() {
         return Vec::new();
     }
-    // Choice per factor: one of its tuples, or (with padding) blanks.
-    let mut rows: Vec<Option<MetaTuple>> = vec![None];
+    // Estimated combinations decide whether partitioning pays off.
+    let pad = usize::from(padding);
+    let estimate = factors
+        .iter()
+        .fold(1usize, |acc, f| acc.saturating_mul(f.len() + pad));
+    let parts = if factors.len() < 2 {
+        1
+    } else {
+        exec.partitions_for(estimate)
+    };
+    // Expand the first factor sequentially (it is just the option list),
+    // then fan the rest of the expansion out over its chunks.
+    let seeds = expand_factors(vec![None], &factors[..1], &arities[..1], padding);
+    let chunks = exec.map_chunked(seeds, parts, "meta_product", |seed_chunk| {
+        let rows = expand_factors(seed_chunk, &factors[1..], &arities[1..], padding);
+        let full: Vec<MetaTuple> = rows
+            .into_iter()
+            .flatten()
+            // Drop the all-blank row (it reveals nothing and covers
+            // nothing).
+            .filter(|t| !t.covers.is_empty())
+            .collect();
+        dedup_merge(full)
+    });
+    dedup_merge_chunks(chunks, exec)
+}
+
+/// The iterative per-factor expansion at the heart of the meta-product:
+/// every row in `rows` is extended with each candidate of each factor
+/// in turn (plus, with `padding`, the blank option), preserving the
+/// lexicographic enumeration order.
+fn expand_factors(
+    mut rows: Vec<Option<MetaTuple>>,
+    factors: &[Vec<MetaTuple>],
+    arities: &[usize],
+    padding: bool,
+) -> Vec<Option<MetaTuple>> {
     for (fi, cands) in factors.iter().enumerate() {
         let blank = MetaTuple {
             provenance: Default::default(),
@@ -159,16 +210,49 @@ pub fn meta_product(
         }
         rows = next;
         if rows.is_empty() {
-            return Vec::new();
+            return rows;
         }
     }
-    let full: Vec<MetaTuple> = rows
-        .into_iter()
-        .flatten()
-        // Drop the all-blank row (it reveals nothing and covers nothing).
-        .filter(|t| !t.covers.is_empty())
-        .collect();
-    dedup_merge(full)
+    rows
+}
+
+/// Merge per-chunk deduplicated results as a parallel tree-reduce.
+///
+/// `dedup_merge` keeps the first occurrence of each `(cells,
+/// constraints)` key and unions provenance/covers (both `BTreeSet`s,
+/// hence order-insensitive) into it, which makes pairwise merging
+/// associative; reducing adjacent chunks in order therefore yields
+/// exactly `dedup_merge` of the full concatenation.
+pub fn dedup_merge_chunks(chunks: Vec<Vec<MetaTuple>>, exec: &ExecConfig) -> Vec<MetaTuple> {
+    let t = motro_obs::start();
+    let out = merge_tree(chunks, exec.workers.max(1));
+    motro_obs::histogram!("exec.steal_or_merge_ns").record_since(t);
+    out
+}
+
+fn merge_tree(mut chunks: Vec<Vec<MetaTuple>>, workers: usize) -> Vec<MetaTuple> {
+    match chunks.len() {
+        0 => Vec::new(),
+        1 => dedup_merge(chunks.pop().expect("one chunk")),
+        _ => {
+            let right = chunks.split_off(chunks.len() / 2);
+            let left = chunks;
+            let lw = workers / 2;
+            let rw = workers - lw;
+            let (l, r) = if lw >= 1 && rw >= 1 && workers > 1 {
+                std::thread::scope(|scope| {
+                    let handle = scope.spawn(move || merge_tree(right, rw));
+                    let l = merge_tree(left, lw.max(1));
+                    (l, handle.join().expect("merge worker completed"))
+                })
+            } else {
+                (merge_tree(left, 1), merge_tree(right, 1))
+            };
+            let mut all = l;
+            all.extend(r);
+            dedup_merge(all)
+        }
+    }
 }
 
 /// Can variable `x` be *cleared* from `row`? Clearing drops `x`'s cells
@@ -217,19 +301,67 @@ pub fn meta_select_logged(
         let (survivor, case) = select_one(row, atom, mode, next_var);
         tally(case);
         if let Some(log) = log.as_deref_mut() {
-            let (provenance, before) = before.expect("rendered when logging");
-            log.push(DecisionRecord {
-                provenance,
-                before,
-                case,
-                after: survivor.as_ref().map(MetaTuple::to_string),
-            });
+            match before {
+                Some((provenance, before)) => log.push(DecisionRecord {
+                    provenance,
+                    before,
+                    case,
+                    after: survivor.as_ref().map(MetaTuple::to_string),
+                }),
+                // The pre-image was not rendered (invariant slip between
+                // the two `log` probes). Drop this record and count it
+                // rather than panicking a server worker mid-request.
+                None => motro_obs::counter!("meta.r2.log_dropped").inc(),
+            }
         }
         if let Some(t) = survivor {
             out.push(t);
         }
     }
     dedup_merge(out)
+}
+
+/// [`meta_select_logged`] under an explicit executor configuration:
+/// rows partition into contiguous chunks decided independently by
+/// scoped workers, per-chunk decision logs concatenate in chunk order
+/// (reproducing the sequential log exactly), and survivors tree-merge
+/// with [`dedup_merge_chunks`].
+///
+/// Only [`SelectMode::FourCase`] — the default — parallelizes:
+/// Basic-mode selection allocates fresh variables row by row from
+/// `next_var`, and renumbering under partitioning would diverge from
+/// the sequential oracle. Four-case decisions never allocate, so the
+/// counter is untouched either way.
+pub fn meta_select_logged_par(
+    rows: Vec<MetaTuple>,
+    atom: &PredicateAtom,
+    mode: SelectMode,
+    next_var: &mut VarId,
+    log: Option<&mut Vec<DecisionRecord>>,
+    exec: &ExecConfig,
+) -> Vec<MetaTuple> {
+    let parts = exec.partitions_for(rows.len());
+    if parts <= 1 || !matches!(mode, SelectMode::FourCase) {
+        return meta_select_logged(rows, atom, mode, next_var, log);
+    }
+    let logging = log.is_some();
+    let start_var = *next_var;
+    let mut results: Vec<(Vec<MetaTuple>, Vec<DecisionRecord>)> =
+        exec.map_chunked(rows, parts, "meta_select", |chunk| {
+            let mut local_log: Vec<DecisionRecord> = Vec::new();
+            let log_opt = if logging { Some(&mut local_log) } else { None };
+            let mut nv = start_var;
+            let survivors = meta_select_logged(chunk, atom, mode, &mut nv, log_opt);
+            debug_assert_eq!(nv, start_var, "four-case selection allocates no variables");
+            (survivors, local_log)
+        });
+    if let Some(log) = log {
+        for (_, chunk_log) in &mut results {
+            log.append(chunk_log);
+        }
+    }
+    let survivors: Vec<Vec<MetaTuple>> = results.into_iter().map(|(s, _)| s).collect();
+    dedup_merge_chunks(survivors, exec)
 }
 
 fn tally(case: R2Decision) {

@@ -6,8 +6,10 @@
 //! `motro-core`; here they operate on ordinary [`Relation`]s.
 
 use crate::error::RelResult;
+use crate::exec::ExecConfig;
 use crate::predicate::{CompOp, Predicate, PredicateAtom};
 use crate::relation::Relation;
+use crate::tuple::Tuple;
 
 /// Cartesian product `R × S`.
 ///
@@ -24,6 +26,34 @@ pub fn product(r: &Relation, s: &Relation) -> Relation {
     out
 }
 
+/// [`product`] partitioned over the left operand's rows. Produces the
+/// identical relation at any worker count: chunks are contiguous and
+/// merged in order, reproducing the sequential enumeration exactly.
+pub fn product_par(r: &Relation, s: &Relation, exec: &ExecConfig) -> Relation {
+    let parts = exec.partitions_for(r.len().saturating_mul(s.len()));
+    if parts <= 1 {
+        return product(r, s);
+    }
+    let built = exec.map_slices(r.rows(), parts, "rel.product", |chunk: &[Tuple]| {
+        let mut rows = Vec::with_capacity(chunk.len() * s.len());
+        for a in chunk {
+            for b in s.rows() {
+                rows.push(a.concat(b));
+            }
+        }
+        rows
+    });
+    let t = motro_obs::start();
+    let mut out = Relation::new(r.schema().product(s.schema()));
+    for chunk in built {
+        for tup in chunk {
+            out.insert_unchecked(tup);
+        }
+    }
+    motro_obs::histogram!("exec.steal_or_merge_ns").record_since(t);
+    out
+}
+
 /// Selection `σ_pred(R)`.
 ///
 /// The predicate is type-checked against the operand schema before any
@@ -36,6 +66,35 @@ pub fn select(r: &Relation, pred: &Predicate) -> RelResult<Relation> {
             out.insert_unchecked(t.clone());
         }
     }
+    Ok(out)
+}
+
+/// [`select`] partitioned over the operand's rows. Row predicates are
+/// independent, so filtering chunks concurrently and concatenating the
+/// survivors in chunk order yields exactly the sequential result.
+pub fn select_par(r: &Relation, pred: &Predicate, exec: &ExecConfig) -> RelResult<Relation> {
+    let parts = exec.partitions_for(r.len());
+    if parts <= 1 {
+        return select(r, pred);
+    }
+    pred.typecheck(r.schema())?;
+    let kept = exec.map_slices(r.rows(), parts, "rel.select", |chunk: &[Tuple]| {
+        let mut keep = Vec::new();
+        for t in chunk {
+            if pred.eval(t)? {
+                keep.push(t.clone());
+            }
+        }
+        Ok::<Vec<Tuple>, crate::error::RelError>(keep)
+    });
+    let t = motro_obs::start();
+    let mut out = Relation::new(r.schema().clone());
+    for chunk in kept {
+        for tup in chunk? {
+            out.insert_unchecked(tup);
+        }
+    }
+    motro_obs::histogram!("exec.steal_or_merge_ns").record_since(t);
     Ok(out)
 }
 

@@ -35,6 +35,7 @@ pub mod aggregate;
 pub mod algebra;
 pub mod database;
 pub mod error;
+pub mod exec;
 pub mod expr;
 pub mod optimize;
 pub mod predicate;
@@ -46,8 +47,9 @@ pub mod value;
 pub use aggregate::{group_by, AggFunc};
 pub use database::{Database, DbSchema, RelationDef};
 pub use error::{RelError, RelResult};
+pub use exec::ExecConfig;
 pub use expr::{AlgebraExpr, CanonicalPlan};
-pub use optimize::execute_optimized;
+pub use optimize::{execute_optimized, execute_optimized_with};
 pub use predicate::{CompOp, Predicate, PredicateAtom, Term};
 pub use relation::Relation;
 pub use schema::{AttrName, QualifiedAttr, RelName, RelSchema};

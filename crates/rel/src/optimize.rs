@@ -23,6 +23,7 @@
 use crate::algebra;
 use crate::database::Database;
 use crate::error::RelResult;
+use crate::exec::ExecConfig;
 use crate::expr::CanonicalPlan;
 use crate::predicate::{CompOp, Predicate, PredicateAtom, Term};
 use crate::relation::Relation;
@@ -31,8 +32,19 @@ use crate::schema::RelSchema;
 /// Execute `plan` with pushdown and greedy join ordering. Produces the
 /// same relation as [`CanonicalPlan::execute`].
 pub fn execute_optimized(plan: &CanonicalPlan, db: &Database) -> RelResult<Relation> {
+    execute_optimized_with(plan, db, &ExecConfig::sequential())
+}
+
+/// [`execute_optimized`] under an explicit executor configuration:
+/// pushdown selections, products, and hash-join probes partition across
+/// `exec.workers` threads. The result is identical at any worker count.
+pub fn execute_optimized_with(
+    plan: &CanonicalPlan,
+    db: &Database,
+    exec: &ExecConfig,
+) -> RelResult<Relation> {
     let t = motro_obs::start();
-    let result = execute_optimized_inner(plan, db);
+    let result = execute_optimized_inner(plan, db, exec);
     motro_obs::histogram!("rel.execute_ns").record_since(t);
     if let Ok(r) = &result {
         motro_obs::counter!("rel.rows_produced").add(r.len() as u64);
@@ -40,7 +52,11 @@ pub fn execute_optimized(plan: &CanonicalPlan, db: &Database) -> RelResult<Relat
     result
 }
 
-fn execute_optimized_inner(plan: &CanonicalPlan, db: &Database) -> RelResult<Relation> {
+fn execute_optimized_inner(
+    plan: &CanonicalPlan,
+    db: &Database,
+    exec: &ExecConfig,
+) -> RelResult<Relation> {
     let k = plan.relations.len();
     if k == 0 {
         return plan.execute(db);
@@ -97,7 +113,11 @@ fn execute_optimized_inner(plan: &CanonicalPlan, db: &Database) -> RelResult<Rel
     let mut filtered: Vec<Relation> = Vec::with_capacity(k);
     for (f, rel) in plan.relations.iter().enumerate() {
         let r = db.relation(rel)?;
-        filtered.push(algebra::select(r, &Predicate::all(local[f].clone()))?);
+        filtered.push(algebra::select_par(
+            r,
+            &Predicate::all(local[f].clone()),
+            exec,
+        )?);
     }
 
     // Greedy order: start from the smallest factor; repeatedly add the
@@ -159,13 +179,14 @@ fn execute_optimized_inner(plan: &CanonicalPlan, db: &Database) -> RelResult<Rel
                 let (eq_keys, residual): (Vec<(usize, usize)>, Vec<PredicateAtom>) =
                     split_hash_keys(&remapped, factor_start);
                 if eq_keys.is_empty() {
-                    algebra::select(
-                        &algebra::product(&a, &filtered[f]),
+                    algebra::select_par(
+                        &algebra::product_par(&a, &filtered[f], exec),
                         &Predicate::all(remapped),
+                        exec,
                     )?
                 } else {
-                    let joined = hash_join(&a, &filtered[f], &eq_keys, factor_start);
-                    algebra::select(&joined, &Predicate::all(residual))?
+                    let joined = hash_join(&a, &filtered[f], &eq_keys, exec);
+                    algebra::select_par(&joined, &Predicate::all(residual), exec)?
                 }
             }
         });
@@ -212,12 +233,15 @@ fn split_hash_keys(
 }
 
 /// Equality hash join: build on the (typically smaller, pre-filtered)
-/// incoming factor, probe with the accumulator.
+/// incoming factor, probe with the accumulator. The probe side
+/// partitions across the executor's workers; probing is read-only over
+/// the shared build table and chunks merge in order, so the output
+/// matches the sequential probe exactly.
 fn hash_join(
     acc: &Relation,
     factor: &Relation,
     keys: &[(usize, usize)],
-    _factor_start: usize,
+    exec: &ExecConfig,
 ) -> Relation {
     use std::collections::HashMap;
     let schema = acc.schema().product(factor.schema());
@@ -228,14 +252,38 @@ fn hash_join(
         let key: Vec<_> = keys.iter().map(|&(_, fc)| t.value(fc).clone()).collect();
         table.entry(key).or_default().push(t);
     }
-    for a in acc.rows() {
-        let key: Vec<_> = keys.iter().map(|&(ac, _)| a.value(ac).clone()).collect();
-        if let Some(matches) = table.get(&key) {
-            for t in matches {
-                out.insert_unchecked(a.concat(t));
+    let parts = exec.partitions_for(acc.len());
+    if parts <= 1 {
+        for a in acc.rows() {
+            let key: Vec<_> = keys.iter().map(|&(ac, _)| a.value(ac).clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for t in matches {
+                    out.insert_unchecked(a.concat(t));
+                }
             }
         }
+        return out;
     }
+    let table = &table;
+    let probed = exec.map_slices(acc.rows(), parts, "rel.hash_join", |chunk| {
+        let mut rows = Vec::new();
+        for a in chunk {
+            let key: Vec<_> = keys.iter().map(|&(ac, _)| a.value(ac).clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for t in matches {
+                    rows.push(a.concat(t));
+                }
+            }
+        }
+        rows
+    });
+    let t = motro_obs::start();
+    for chunk in probed {
+        for tup in chunk {
+            out.insert_unchecked(tup);
+        }
+    }
+    motro_obs::histogram!("exec.steal_or_merge_ns").record_since(t);
     out
 }
 
@@ -308,6 +356,21 @@ mod tests {
         let naive = plan.execute(&db).unwrap();
         let opt = execute_optimized(plan, &db).unwrap();
         assert!(naive.set_eq(&opt), "naive {naive} vs optimized {opt}");
+        // The partitioned executor must be byte-identical to the
+        // sequential one (min_partition_rows = 1 forces partitioning
+        // even on these small fixtures).
+        for workers in [2, 4, 8] {
+            let exec = ExecConfig {
+                workers,
+                min_partition_rows: 1,
+            };
+            let par = execute_optimized_with(plan, &db, &exec).unwrap();
+            assert_eq!(
+                format!("{opt}"),
+                format!("{par}"),
+                "parallel ({workers} workers) differs from sequential"
+            );
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! `motro-serve` — serve an authorization front-end over TCP.
 //!
 //! ```text
-//! motro-serve [ADDR] [--state FILE] [--workers N] [--cache N]
-//!             [--admin USER]... [--log-format text|json]
+//! motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N]
+//!             [--cache N] [--admin USER]... [--log-format text|json]
 //! ```
+//!
+//! `--workers` sizes the connection pool; `--exec-workers` sizes the
+//! partitioned mask-pipeline executor *within* each request (see
+//! DESIGN.md §6c) — results are identical at any value.
 //!
 //! With `--state`, the server loads a [`Frontend::to_json`] snapshot;
 //! otherwise it starts from the paper's example database (handy for
@@ -20,8 +24,8 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--cache N] [--admin USER]... \
-         [--log-format text|json]"
+        "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N] [--cache N] \
+         [--admin USER]... [--log-format text|json]"
     );
     std::process::exit(2);
 }
@@ -31,6 +35,7 @@ fn main() {
     let mut state: Option<String> = None;
     let mut config = ServerConfig::default();
     let mut admins: Vec<String> = Vec::new();
+    let mut exec_workers: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +46,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--exec-workers" => {
+                exec_workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--cache" => {
                 config.cache_capacity = args
@@ -63,7 +75,7 @@ fn main() {
         config.admins = Some(admins);
     }
 
-    let frontend = match &state {
+    let mut frontend = match &state {
         Some(path) => {
             let json = match std::fs::read_to_string(path) {
                 Ok(j) => j,
@@ -88,6 +100,9 @@ fn main() {
         }
         None => Frontend::with_database(motro_authz::core::fixtures::paper_database()),
     };
+    if let Some(n) = exec_workers {
+        frontend.set_exec_config(motro_authz::rel::ExecConfig::with_workers(n));
+    }
 
     let mut server = match Server::bind(&addr, SharedFrontend::new(frontend), config) {
         Ok(s) => s,

@@ -45,11 +45,29 @@ impl CachedMask {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Cache keys carry the *full* canonical plan rendering and compare by
+/// equality; the 64-bit fingerprint is only the hash-bucket index. Two
+/// distinct plans whose fingerprints collide therefore miss instead of
+/// aliasing each other's masks — a collision must never change an
+/// authorization decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct CacheKey {
     user: String,
-    plan: u64,
+    fingerprint: u64,
+    plan: String,
     epoch: u64,
+}
+
+impl Hash for CacheKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // The rendered plan is deliberately excluded: the fingerprint
+        // already summarizes it, keeping hashing O(1) in plan size.
+        // Equality (above) still compares the rendering, so colliding
+        // keys land in the same bucket but never match.
+        self.user.hash(state);
+        self.fingerprint.hash(state);
+        self.epoch.hash(state);
+    }
 }
 
 /// A point-in-time view of the cache counters.
@@ -93,27 +111,51 @@ impl MaskCache {
         }
     }
 
+    /// Canonical rendering of a plan: the string that cache keys store
+    /// and compare by equality.
+    pub fn render(plan: &CanonicalPlan) -> String {
+        format!("{plan:?}")
+    }
+
+    fn fingerprint_of(rendered: &str) -> u64 {
+        let mut h = DefaultHasher::new();
+        rendered.hash(&mut h);
+        h.finish()
+    }
+
     /// Fingerprint a canonical plan. Plans are compared structurally via
     /// their canonical debug form: two textually different statements
-    /// that compile to the same plan share a fingerprint.
+    /// that compile to the same plan share a fingerprint. The
+    /// fingerprint is only a bucket index — keys also compare the full
+    /// rendering, so a 64-bit collision cannot alias two plans.
     pub fn fingerprint(plan: &CanonicalPlan) -> u64 {
-        let mut h = DefaultHasher::new();
-        format!("{plan:?}").hash(&mut h);
-        h.finish()
+        Self::fingerprint_of(&Self::render(plan))
+    }
+
+    fn key_for(user: &str, plan: &CanonicalPlan, epoch: u64) -> CacheKey {
+        let rendered = Self::render(plan);
+        CacheKey {
+            user: user.to_owned(),
+            fingerprint: Self::fingerprint_of(&rendered),
+            plan: rendered,
+            epoch,
+        }
     }
 
     /// Look up the mask for `(user, plan)` at `epoch`.
     pub fn get(&self, user: &str, plan: &CanonicalPlan, epoch: u64) -> Option<Arc<CachedMask>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            // Keep the metrics snapshot in agreement with the wire-level
+            // `stats` reply even when caching is disabled.
+            motro_obs::counter!("server.cache.misses").inc();
             return None;
         }
-        let key = CacheKey {
-            user: user.to_owned(),
-            plan: Self::fingerprint(plan),
-            epoch,
-        };
-        let found = self.map.lock().get(&key).cloned();
+        self.get_keyed(&Self::key_for(user, plan, epoch))
+    }
+
+    fn get_keyed(&self, key: &CacheKey) -> Option<Arc<CachedMask>> {
+        let found = self.map.lock().get(key).cloned();
         match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -131,17 +173,18 @@ impl MaskCache {
     ///
     /// When the cache is full, entries from other (necessarily older or
     /// concurrent-superseded) epochs are evicted first; if every entry
-    /// is current the whole cache is dropped — a generation cache, not
-    /// LRU, which keeps the hot path to one hash lookup.
+    /// is still current, a bounded slice (a quarter of capacity, at
+    /// least one entry) is shed instead of the whole generation, so an
+    /// insert burst at a stable epoch cannot dump every hot mask.
     pub fn insert(&self, user: &str, plan: &CanonicalPlan, epoch: u64, mask: Arc<CachedMask>) {
         if self.capacity == 0 {
             return;
         }
-        let key = CacheKey {
-            user: user.to_owned(),
-            plan: Self::fingerprint(plan),
-            epoch,
-        };
+        self.insert_keyed(Self::key_for(user, plan, epoch), mask);
+    }
+
+    fn insert_keyed(&self, key: CacheKey, mask: Arc<CachedMask>) {
+        let epoch = key.epoch;
         let mut map = self.map.lock();
         if map.len() >= self.capacity && !map.contains_key(&key) {
             let before = map.len();
@@ -152,11 +195,14 @@ impl MaskCache {
                 motro_obs::counter!("server.cache.epoch_evictions").add(stale);
             }
             if map.len() >= self.capacity {
-                let dropped = map.len() as u64;
-                map.clear();
+                let shed = (self.capacity / 4).max(1).min(map.len());
+                let victims: Vec<CacheKey> = map.keys().take(shed).cloned().collect();
+                for victim in &victims {
+                    map.remove(victim);
+                }
                 self.capacity_evictions
-                    .fetch_add(dropped, Ordering::Relaxed);
-                motro_obs::counter!("server.cache.capacity_evictions").add(dropped);
+                    .fetch_add(victims.len() as u64, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.capacity_evictions").add(victims.len() as u64);
             }
         }
         map.insert(key, mask);
@@ -249,9 +295,66 @@ mod tests {
         let fe = frontend();
         let cache = MaskCache::new(0);
         let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let obs_before = motro_obs::metrics::registry()
+            .counter("server.cache.misses")
+            .get();
         cache.insert("Brown", &plan, 1, cached_mask(&fe, "Brown", &plan));
         assert!(cache.get("Brown", &plan, 1).is_none());
-        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get("Brown", &plan, 2).is_none());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.misses), (0, 2));
+        // The disabled-cache path must still feed the metrics snapshot:
+        // the global counter moved by at least our two misses (other
+        // tests may add more concurrently).
+        let obs_after = motro_obs::metrics::registry()
+            .counter("server.cache.misses")
+            .get();
+        assert!(obs_after >= obs_before + 2);
+    }
+
+    #[test]
+    fn colliding_fingerprints_do_not_alias() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let m = cached_mask(&fe, "Brown", &plan);
+        // Forge a 64-bit collision: same fingerprint, different plans.
+        // With the old u64-only key these were the *same* key, so the
+        // lookup for plan-B served plan-A's mask — the wrong
+        // authorization decision. Equality on the rendering must miss.
+        let key_a = CacheKey {
+            user: "Brown".to_owned(),
+            fingerprint: 0xDEAD_BEEF,
+            plan: "plan-A".to_owned(),
+            epoch: 1,
+        };
+        let key_b = CacheKey {
+            user: "Brown".to_owned(),
+            fingerprint: 0xDEAD_BEEF,
+            plan: "plan-B".to_owned(),
+            epoch: 1,
+        };
+        assert_eq!(
+            {
+                let mut h = DefaultHasher::new();
+                key_a.hash(&mut h);
+                h.finish()
+            },
+            {
+                let mut h = DefaultHasher::new();
+                key_b.hash(&mut h);
+                h.finish()
+            },
+            "test premise: the keys must land in the same hash bucket"
+        );
+        cache.insert_keyed(key_a.clone(), m);
+        assert!(
+            cache.get_keyed(&key_b).is_none(),
+            "a fingerprint collision must miss, never alias another plan's mask"
+        );
+        assert!(cache.get_keyed(&key_a).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]
@@ -286,12 +389,19 @@ mod tests {
         let m = cached_mask(&fe, "Brown", &a);
         cache.insert("Brown", &a, 1, m.clone());
         cache.insert("Brown", &b, 1, m.clone());
-        // Full at a single epoch: the generation drop is a capacity
-        // eviction, not an epoch one.
+        // Full at a single epoch: only a bounded slice is shed (here
+        // max(1, capacity/4) = 1 entry), never the whole generation.
         cache.insert("Brown", &c, 1, m);
         let s = cache.stats();
-        assert_eq!(s.entries, 1);
+        assert_eq!(s.entries, 2);
         assert_eq!(s.epoch_evictions, 0);
-        assert_eq!(s.capacity_evictions, 2);
+        assert_eq!(s.capacity_evictions, 1);
+        // The new entry is live; exactly one of the older two survived.
+        assert!(cache.get("Brown", &c, 1).is_some());
+        let survivors = [&a, &b]
+            .iter()
+            .filter(|p| cache.get("Brown", p, 1).is_some())
+            .count();
+        assert_eq!(survivors, 1);
     }
 }

@@ -19,7 +19,7 @@
 use crate::cache::{CachedMask, MaskCache};
 use crate::wire::{self, codes, Request, RowsReply};
 use motro_authz::lang::{parse_statement, Statement};
-use motro_authz::rel::execute_optimized;
+use motro_authz::rel::execute_optimized_with;
 use motro_authz::views::compile;
 use motro_authz::{Frontend, FrontendError, SharedFrontend};
 use parking_lot::{Condvar, Mutex};
@@ -576,7 +576,7 @@ fn retrieve_cached(
         let bypass = f.engine().config().extended_masks;
         if !bypass {
             if let Some(hit) = cache.get(user, &plan, epoch) {
-                return match execute_optimized(&plan, f.database()) {
+                return match execute_optimized_with(&plan, f.database(), &f.exec_config()) {
                     Ok(answer) => {
                         let masked = hit.mask.apply(&answer);
                         wire::rows(&RowsReply {

@@ -453,4 +453,39 @@ fn stats_reports_evictions_and_a_metrics_snapshot() {
             "counter {k} never advanced: {metrics}"
         );
     }
+
+    // A cache-disabled server must keep the wire-level stats and the
+    // metrics snapshot in agreement too: its miss path feeds the same
+    // `server.cache.misses` counter.
+    let misses_of = |metrics: &serde_json::Value| {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("server.cache.misses"))
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+    };
+    let disabled = start(ServerConfig {
+        cache_capacity: 0,
+        ..ServerConfig::default()
+    });
+    let mut d = Client::connect(disabled.local_addr(), "Brown").unwrap();
+    let (_, m_before) = d.stats_full().unwrap();
+    let global_before = misses_of(&m_before);
+    d.retrieve(Q).unwrap();
+    d.retrieve(Q).unwrap();
+    let (disabled_stats, m_after) = d.stats_full().unwrap();
+    assert_eq!(
+        (disabled_stats.hits, disabled_stats.misses),
+        (0, 2),
+        "capacity 0: every lookup misses"
+    );
+    // The global counter advanced by at least this server's misses
+    // (other tests in the process may add more, never less).
+    assert!(
+        misses_of(&m_after) >= global_before + disabled_stats.misses,
+        "metrics snapshot disagrees with wire stats: {} -> {} for {} misses",
+        global_before,
+        misses_of(&m_after),
+        disabled_stats.misses
+    );
 }

@@ -60,6 +60,17 @@ impl SharedFrontend {
         self.inner.read().auth_epoch()
     }
 
+    /// Override the executor configuration (exclusive). Does not bump
+    /// the authorization epoch: worker count never changes masks.
+    pub fn set_exec_config(&self, exec: motro_rel::ExecConfig) {
+        self.inner.write().set_exec_config(exec);
+    }
+
+    /// The active executor configuration (shared).
+    pub fn exec_config(&self) -> motro_rel::ExecConfig {
+        self.inner.read().exec_config()
+    }
+
     /// An authorized row retrieval (shared: runs in parallel with other
     /// retrievals).
     pub fn retrieve(&self, user: &str, stmt: &str) -> Result<AccessOutcome, FrontendError> {

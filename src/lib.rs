@@ -54,7 +54,7 @@ use motro_core::{
     RefinementConfig,
 };
 use motro_lang::{parse_program, parse_statement, ParseError, Principal, Statement};
-use motro_rel::{Database, DbSchema, RelError};
+use motro_rel::{Database, DbSchema, ExecConfig, RelError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -129,6 +129,12 @@ pub struct Frontend {
     db: Database,
     store: AuthStore,
     config: RefinementConfig,
+    /// Executor policy for the partitioned mask pipeline. Defaults (and
+    /// deserializes, for snapshots predating it) to sequential; it never
+    /// changes results, so it participates in neither snapshots'
+    /// semantic content nor the authorization epoch.
+    #[serde(default)]
+    exec: ExecConfig,
 }
 
 impl Frontend {
@@ -139,6 +145,7 @@ impl Frontend {
             db: Database::new(scheme.clone()),
             store: AuthStore::new(scheme),
             config: RefinementConfig::default(),
+            exec: ExecConfig::from_env(),
         }
     }
 
@@ -149,6 +156,7 @@ impl Frontend {
             db,
             store,
             config: RefinementConfig::default(),
+            exec: ExecConfig::from_env(),
         }
     }
 
@@ -158,6 +166,20 @@ impl Frontend {
     pub fn set_config(&mut self, config: RefinementConfig) {
         self.config = config;
         self.store.bump_epoch();
+    }
+
+    /// Override the executor configuration (worker threads for the
+    /// partitioned mask pipeline). Unlike [`Frontend::set_config`] this
+    /// does *not* advance the authorization epoch: the executor is
+    /// guaranteed to produce byte-identical masks at any worker count,
+    /// so cached masks stay valid.
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// The active executor configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
     }
 
     /// The current authorization epoch (see
@@ -267,7 +289,7 @@ impl Frontend {
     /// Execute any `retrieve` statement — row-level or aggregate — on
     /// behalf of `user`.
     pub fn query(&self, user: &str, stmt: &str) -> Result<RetrieveOutcome, FrontendError> {
-        let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+        let engine = self.engine();
         match parse_statement(stmt)? {
             Statement::Retrieve(q) => {
                 Ok(RetrieveOutcome::Rows(Box::new(engine.retrieve(user, &q)?)))
@@ -286,7 +308,7 @@ impl Frontend {
     /// per-atom R2 decisions, the surviving mask, and cell-by-cell
     /// grant/denial reasons. Masked values are never included.
     pub fn explain_query(&self, user: &str, stmt: &str) -> Result<AuthExplain, FrontendError> {
-        let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+        let engine = self.engine();
         match parse_statement(stmt)? {
             Statement::Retrieve(q) => Ok(engine.explain(user, &q)?),
             _ => Err(FrontendError::Unexpected(
@@ -329,7 +351,7 @@ impl Frontend {
                     .check_against(self.db.schema().schema_of(&rel)?)
                     .map_err(FrontendError::Rel)?;
                 let allowed = {
-                    let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+                    let engine = self.engine();
                     motro_core::update::check_insert(&engine, user, &rel, &tuple)?
                 };
                 if !allowed {
@@ -356,7 +378,7 @@ impl Frontend {
                     atoms,
                 };
                 let (permitted, denied): (Vec<motro_rel::Tuple>, usize) = {
-                    let engine = AuthorizedEngine::with_config(&self.db, &self.store, self.config);
+                    let engine = self.engine();
                     let plan = motro_views::compile(&query, self.db.schema())?;
                     let matching = plan.execute(&self.db)?;
                     let mut ok = Vec::new();
@@ -391,8 +413,9 @@ impl Frontend {
         }
     }
 
-    /// An engine borrowing this front-end's state.
+    /// An engine borrowing this front-end's state (refinement and
+    /// executor configuration included).
     pub fn engine(&self) -> AuthorizedEngine<'_> {
-        AuthorizedEngine::with_config(&self.db, &self.store, self.config)
+        AuthorizedEngine::with_exec(&self.db, &self.store, self.config, self.exec)
     }
 }

@@ -41,6 +41,27 @@ proptest! {
         let _ = fe.execute_admin(&admin);
         let _ = fe.query("someone", &query);
     }
+
+    /// The audit path is panic-free too: `explain_query` runs the
+    /// *logged* variant of meta-selection (`meta_select_logged`), which
+    /// must degrade gracefully — never `expect`-panic on a missing
+    /// pre-decision rendering — for garbage and well-formed queries
+    /// alike.
+    #[test]
+    fn explain_never_panics(
+        query in "[a-zA-Z0-9 .,:()<>=!'*-]{0,80}",
+    ) {
+        let mut fe = Frontend::with_database(fixtures::paper_database());
+        fe.execute_admin_program(
+            "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+               where PROJECT.SPONSOR = Acme;
+             permit PSA to someone",
+        )
+        .unwrap();
+        if let Ok(explain) = fe.explain_query("someone", &query) {
+            let _ = explain.render();
+        }
+    }
 }
 
 /// A curated set of hostile statements, each exercising a specific
@@ -96,4 +117,43 @@ fn hostile_queries_error_cleanly() {
             .unwrap()
             .full_access
     );
+}
+
+/// The logged selection path survives every R2 case — Clear, Retain,
+/// Modify, Discard — and every decision record carries its pre-decision
+/// rendering (regression: this path used to `expect`-panic when the
+/// rendering was absent).
+#[test]
+fn explain_logs_every_selection_case_cleanly() {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+         view EMP (EMPLOYEE.NAME, EMPLOYEE.TITLE);
+         permit PSA to aud; permit EMP to aud",
+    )
+    .unwrap();
+    for q in [
+        // Selection implied by the permit: Clear.
+        "retrieve (PROJECT.NUMBER) where PROJECT.SPONSOR = Acme",
+        // Selection on an unrestricted attribute: Retain/Modify.
+        "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) where PROJECT.BUDGET > 150000",
+        // Selection contradicting the permit: Discard.
+        "retrieve (PROJECT.NUMBER) where PROJECT.SPONSOR = Apex",
+        // A different relation entirely.
+        "retrieve (EMPLOYEE.NAME) where EMPLOYEE.TITLE = engineer",
+    ] {
+        let explain = fe.explain_query("aud", q).unwrap_or_else(|e| {
+            panic!("explain must survive {q}: {e}");
+        });
+        for step in &explain.steps {
+            for d in &step.decisions {
+                assert!(
+                    !d.before.is_empty(),
+                    "decision for {q} lost its pre-decision rendering"
+                );
+            }
+        }
+        let _ = explain.render();
+    }
 }
