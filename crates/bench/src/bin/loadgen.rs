@@ -20,15 +20,19 @@
 //! BENCH_* convention.
 //!
 //! With `--obs-report`, additionally measures the cost of the
-//! observability layer: three interleaved pairs of runs with metrics
-//! disabled/enabled, reporting the smallest per-pair p50 ratio (the
-//! minimum damps scheduler noise) plus the resulting metrics snapshot
-//! (verified to parse as JSON). `--assert-overhead PCT` exits non-zero
-//! when the measured overhead exceeds the bound — the CI guardrail.
+//! observability layer: three interleaved pairs of runs with telemetry
+//! disabled/enabled — the enabled side records metrics, rolls the
+//! sliding window, and appends to an audit journal (fsync off) —
+//! reporting the smallest per-pair p50 ratio (the minimum damps
+//! scheduler noise) plus the resulting metrics snapshot (verified to
+//! parse as JSON) and percentiles re-derived client-side from the
+//! snapshot's shipped `bucket_bounds_ns`. `--assert-overhead PCT`
+//! exits non-zero when the measured overhead exceeds the bound — the
+//! CI guardrail.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_bench::{ScaledWorld, WorldParams};
-use motro_server::{Client, Server, ServerConfig};
+use motro_server::{Client, JournalConfig, Server, ServerConfig};
 use serde_json::{Map, Number, Value};
 use std::time::Instant;
 
@@ -127,6 +131,7 @@ fn run(
     stmts: &[String],
     args: &Args,
     cache_capacity: usize,
+    journal: Option<JournalConfig>,
 ) -> (Vec<u64>, f64, u64, u64) {
     let mut fe = Frontend::with_database(world.db.clone());
     *fe.auth_store_mut() = world.store.clone();
@@ -137,6 +142,7 @@ fn run(
         ServerConfig {
             workers: args.clients.clamp(1, 8),
             cache_capacity,
+            journal,
             ..ServerConfig::default()
         },
     )
@@ -221,18 +227,100 @@ fn mean_ns(latencies: &[u64]) -> f64 {
     latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64
 }
 
+/// Derive latency percentiles for the pipeline histograms purely from
+/// the snapshot's shipped `bucket_bounds_ns` layout and raw bucket
+/// counts — the way a remote dashboard would, with no knowledge of the
+/// server's power-of-4 scheme. Cross-checked against the percentiles
+/// the snapshot itself ships, so the two derivations can never drift.
+fn derived_percentiles(parsed: &Value) -> Map<String, Value> {
+    let bounds: Vec<u64> = parsed
+        .get("bucket_bounds_ns")
+        .and_then(Value::as_array)
+        .expect("snapshot must ship bucket_bounds_ns")
+        .iter()
+        .map(|b| b.as_u64().expect("bound"))
+        .collect();
+    assert!(bounds.len() >= 2, "degenerate bucket layout: {bounds:?}");
+    // The overflow bucket has no finite bound; extrapolate one more
+    // step of whatever growth factor the shipped layout uses.
+    let growth = (bounds[1] / bounds[0]).max(2);
+    let quantile = |buckets: &[u64], q: f64| -> u64 {
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return match bounds.get(i) {
+                    Some(b) => *b,
+                    None => bounds[bounds.len() - 1].saturating_mul(growth),
+                };
+            }
+        }
+        bounds[bounds.len() - 1].saturating_mul(growth)
+    };
+    let mut out = Map::new();
+    for h in ["meta.eval_ns", "mask.apply_ns", "plan.compile_ns"] {
+        let hist = parsed
+            .get("histograms")
+            .and_then(|v| v.get(h))
+            .unwrap_or_else(|| panic!("snapshot missing histogram {h}"));
+        let buckets: Vec<u64> = hist
+            .get("buckets")
+            .and_then(Value::as_array)
+            .expect("histogram buckets")
+            .iter()
+            .map(|b| b.as_u64().expect("bucket count"))
+            .collect();
+        let mut m = Map::new();
+        for (key, q) in [("p50_ns", 0.50), ("p95_ns", 0.95), ("p99_ns", 0.99)] {
+            let derived = quantile(&buckets, q);
+            let shipped = hist.get(key).and_then(Value::as_u64).unwrap_or(0);
+            assert_eq!(
+                derived, shipped,
+                "{h} {key}: derived from bucket_bounds_ns disagrees with the snapshot"
+            );
+            m.insert(key.to_owned(), Value::Number(Number::from(derived)));
+        }
+        out.insert(h.to_owned(), Value::Object(m));
+    }
+    out
+}
+
 /// Measure the observability layer's cost: interleaved disabled/enabled
-/// run pairs over the same world and statements. Returns the report map
-/// and the overhead percentage (smallest per-pair p50 ratio).
+/// run pairs over the same world and statements. The enabled runs carry
+/// the full telemetry load — metrics, windowing, and an audit journal
+/// (fsync off) — so the measured overhead is what production pays.
+/// Returns the report map and the overhead percentage (smallest
+/// per-pair p50 ratio).
 fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
     const PAIRS: usize = 3;
+    motro_obs::window::global().configure(motro_obs::window::WindowConfig {
+        window: std::time::Duration::from_secs(1),
+        retention: 6,
+    });
+    let journal_path = std::env::temp_dir().join(format!(
+        "motro-loadgen-{}-journal.jsonl",
+        std::process::id()
+    ));
     let mut pairs = Vec::new();
     let mut best_ratio = f64::INFINITY;
     for i in 0..PAIRS {
         motro_obs::set_enabled(false);
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024);
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None);
         motro_obs::set_enabled(true);
-        let (lat_on, _, _, _) = run(world, stmts, args, 1024);
+        let _ = std::fs::remove_file(&journal_path);
+        let (lat_on, _, _, _) = run(
+            world,
+            stmts,
+            args,
+            1024,
+            Some(JournalConfig::new(journal_path.clone())),
+        );
+        motro_obs::window::global().force_roll();
         let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
         let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
         best_ratio = best_ratio.min(ratio);
@@ -278,6 +366,19 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
             "snapshot missing counter {c}"
         );
     }
+    // The enabled runs journaled their traffic: the journal counters
+    // must have advanced, or the overhead figure measured nothing.
+    assert!(
+        parsed
+            .get("counters")
+            .and_then(|v| v.get("journal.records"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+            >= 1,
+        "journal.records never advanced during the enabled runs"
+    );
+    let derived = derived_percentiles(&parsed);
+    let _ = std::fs::remove_file(&journal_path);
 
     let mut report = Map::new();
     report.insert(
@@ -290,6 +391,7 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
         Value::Number(Number::from_f64(overhead_pct).unwrap_or_else(|| Number::from(0u64))),
     );
     report.insert("metrics_snapshot".to_owned(), parsed);
+    report.insert("derived_percentiles".to_owned(), Value::Object(derived));
     (report, overhead_pct)
 }
 
@@ -311,14 +413,14 @@ fn main() {
         args.clients, args.requests, args.relations, args.rows, args.views, args.users
     );
 
-    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0);
+    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None);
     let uncached = summarize(lat_u, wall_u, hits_u, misses_u);
     eprintln!(
         "  uncached: {} req/s, p50 {}us, p99 {}us",
         uncached["throughput_rps"], uncached["p50_us"], uncached["p99_us"]
     );
 
-    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024);
+    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None);
     let cached = summarize(lat_c, wall_c, hits_c, misses_c);
     eprintln!(
         "  cached:   {} req/s, p50 {}us, p99 {}us ({} hits / {} misses)",

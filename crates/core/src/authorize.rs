@@ -184,7 +184,10 @@ impl<'a> AuthorizedEngine<'a> {
 
     /// Authorize and execute a `retrieve` statement for `user`.
     pub fn retrieve(&self, user: &str, query: &ConjunctiveQuery) -> CoreResult<AccessOutcome> {
-        let plan = compile(query, self.db.schema())?;
+        let plan = {
+            let _stage = motro_obs::profile::stage("compile");
+            compile(query, self.db.schema())?
+        };
         self.retrieve_plan(user, &plan)
     }
 
@@ -194,8 +197,18 @@ impl<'a> AuthorizedEngine<'a> {
     /// strategy may be implemented"); the meta side keeps the canonical
     /// strategy the theorem requires.
     pub fn retrieve_plan(&self, user: &str, plan: &CanonicalPlan) -> CoreResult<AccessOutcome> {
-        let answer = motro_rel::execute_optimized_with(plan, self.db, &self.exec)?;
-        let (mask, trace) = self.mask_for_plan(user, plan)?;
+        let answer = {
+            let _stage = motro_obs::profile::stage("plan.execute");
+            let answer = motro_rel::execute_optimized_with(plan, self.db, &self.exec)?;
+            motro_obs::profile::annotate("rows", answer.len());
+            answer
+        };
+        let (mask, trace) = {
+            let _stage = motro_obs::profile::stage("mask.compute");
+            let (mask, trace) = self.mask_for_plan(user, plan)?;
+            motro_obs::profile::annotate("mask_tuples", mask.len());
+            (mask, trace)
+        };
         let requested = plan.projection.len();
         let masked = if trace.mask_projection.len() == requested {
             mask.apply(&answer)
@@ -208,8 +221,10 @@ impl<'a> AuthorizedEngine<'a> {
                 selection: plan.selection.clone(),
                 projection: trace.mask_projection.clone(),
             };
-            let extended_answer =
-                motro_rel::execute_optimized_with(&extended_plan, self.db, &self.exec)?;
+            let extended_answer = {
+                let _stage = motro_obs::profile::stage("plan.execute.extended");
+                motro_rel::execute_optimized_with(&extended_plan, self.db, &self.exec)?
+            };
             let wide = mask.apply(&extended_answer);
             let mut rows: Vec<Vec<Option<motro_rel::Value>>> = Vec::new();
             let mut withheld_rows = 0usize;
@@ -274,6 +289,7 @@ impl<'a> AuthorizedEngine<'a> {
         let query_rels: BTreeSet<String> = plan.relations.iter().cloned().collect();
 
         // Step 1: prune per factor.
+        let stage_candidates = motro_obs::profile::stage("meta.candidates");
         let mut candidates: Vec<(String, Vec<MetaTuple>)> = Vec::new();
         let mut arities = Vec::with_capacity(plan.relations.len());
         for rel in &plan.relations {
@@ -284,10 +300,14 @@ impl<'a> AuthorizedEngine<'a> {
             arities.push(scheme.schema_of(rel)?.arity());
             candidates.push((rel.clone(), cands));
         }
-        motro_obs::counter!("meta.candidates.tuples")
-            .add(candidates.iter().map(|(_, c)| c.len() as u64).sum());
+        let candidate_total: u64 = candidates.iter().map(|(_, c)| c.len() as u64).sum();
+        motro_obs::counter!("meta.candidates.tuples").add(candidate_total);
+        motro_obs::profile::annotate("tuples", candidate_total);
+        motro_obs::profile::annotate("factors", candidates.len());
+        drop(stage_candidates);
 
         // Step 2: meta-product (with R1 padding), then closure pruning.
+        let stage_product = motro_obs::profile::stage("meta.product");
         let factor_lists: Vec<Vec<MetaTuple>> = candidates.iter().map(|(_, c)| c.clone()).collect();
         let mut rows = meta_product_par(
             &factor_lists,
@@ -297,6 +317,9 @@ impl<'a> AuthorizedEngine<'a> {
         );
         let product_len = rows.len();
         motro_obs::counter!("meta.product.rows").add(product_len as u64);
+        motro_obs::profile::annotate("rows", product_len);
+        drop(stage_product);
+        let stage_prune = motro_obs::profile::stage("closure.prune");
         if self.config.closure_pruning {
             let parts = self.exec.partitions_for(rows.len());
             if parts <= 1 {
@@ -318,6 +341,9 @@ impl<'a> AuthorizedEngine<'a> {
             }
         }
         motro_obs::counter!("meta.product.pruned").add((product_len - rows.len()) as u64);
+        motro_obs::profile::annotate("pruned", product_len - rows.len());
+        motro_obs::profile::annotate("kept", rows.len());
+        drop(stage_prune);
         let product = rows.clone();
 
         // Step 3: meta-selections.
@@ -328,6 +354,9 @@ impl<'a> AuthorizedEngine<'a> {
         };
         let mut next_var = self.store.next_var_hint();
         let mut steps: Vec<SelectionStep> = Vec::new();
+        let stage_select = motro_obs::profile::stage("meta.select");
+        motro_obs::profile::annotate("atoms", plan.selection.atoms.len());
+        motro_obs::profile::annotate("rows_in", rows.len());
         motro_obs::counter!("meta.select.in").add(rows.len() as u64);
         for (atom_index, atom) in plan.selection.atoms.iter().enumerate() {
             let mut decisions = if logged { Some(Vec::new()) } else { None };
@@ -351,6 +380,8 @@ impl<'a> AuthorizedEngine<'a> {
             }
         }
         motro_obs::counter!("meta.select.out").add(rows.len() as u64);
+        motro_obs::profile::annotate("rows_out", rows.len());
+        drop(stage_select);
         let after_selection = rows.clone();
 
         // Step 4: meta-projection. Under the Section 6 extension, first
@@ -371,10 +402,14 @@ impl<'a> AuthorizedEngine<'a> {
             }
             mask_projection.extend(aux);
         }
+        let stage_project = motro_obs::profile::stage("meta.project");
+        motro_obs::profile::annotate("rows_in", rows.len());
         motro_obs::counter!("meta.project.in").add(rows.len() as u64);
         rows = meta_project(rows, &mask_projection);
         rows.retain(MetaTuple::any_starred);
         motro_obs::counter!("meta.project.out").add(rows.len() as u64);
+        motro_obs::profile::annotate("rows_out", rows.len());
+        drop(stage_project);
 
         let schema = prod_schema.project(&mask_projection);
         let mask = Mask::new(schema, rows);

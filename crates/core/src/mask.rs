@@ -92,6 +92,7 @@ impl Mask {
 
     /// Apply the mask to the answer.
     pub fn apply(&self, answer: &Relation) -> MaskedRelation {
+        let _stage = motro_obs::profile::stage("mask.apply");
         let t_apply = motro_obs::start();
         let mut rows = Vec::new();
         let mut withheld = 0usize;
@@ -118,6 +119,10 @@ impl Mask {
             rows,
             withheld,
         };
+        motro_obs::profile::annotate("rows_in", answer.len());
+        motro_obs::profile::annotate("delivered", out.rows.len());
+        motro_obs::profile::annotate("withheld", withheld);
+        motro_obs::profile::annotate("mask_tuples", self.tuples.len());
         motro_obs::histogram!("mask.apply_ns").record_since(t_apply);
         motro_obs::counter!("mask.rows.delivered").add(out.rows.len() as u64);
         motro_obs::counter!("mask.rows.withheld").add(withheld as u64);
@@ -135,6 +140,23 @@ impl Mask {
             .iter()
             .map(|mt| admit_explain(mt, tuple, &self.schema))
             .collect()
+    }
+
+    /// A deterministic, byte-stable rendering of the mask: the schema's
+    /// display headers followed by every meta-tuple's display form, one
+    /// per line, sorted. Two masks that admit exactly the same
+    /// meta-tuples render identically regardless of pipeline ordering
+    /// or executor parallelism — this is what the audit journal records
+    /// and what `motro-audit replay` compares byte-for-byte.
+    pub fn canonical_render(&self) -> String {
+        let mut lines: Vec<String> = self.tuples.iter().map(|t| t.to_string()).collect();
+        lines.sort();
+        let mut out = format!("({})", self.schema.display_headers().join(", "));
+        for l in &lines {
+            out.push('\n');
+            out.push_str(l);
+        }
+        out
     }
 
     /// The inferred `permit` statements describing the delivered
@@ -693,6 +715,28 @@ mod tests {
         // The statement exposes the condition but not the column.
         let d = mask.describe();
         assert_eq!(d[0].to_string(), "permit (NUMBER) where SPONSOR = Acme");
+    }
+
+    #[test]
+    fn canonical_render_is_order_insensitive() {
+        let a = mt(
+            "A",
+            vec![
+                MetaCell::star(),
+                MetaCell::constant("Acme", true),
+                MetaCell::blank(),
+            ],
+        );
+        let b = mt(
+            "B",
+            vec![MetaCell::blank(), MetaCell::blank(), MetaCell::star()],
+        );
+        let m1 = Mask::new(schema(), vec![a.clone(), b.clone()]);
+        let m2 = Mask::new(schema(), vec![b, a]);
+        assert_eq!(m1.canonical_render(), m2.canonical_render());
+        assert!(m1
+            .canonical_render()
+            .starts_with("(NUMBER, SPONSOR, BUDGET)\n"));
     }
 
     #[test]

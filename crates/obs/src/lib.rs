@@ -43,9 +43,13 @@
 
 pub mod log;
 pub mod metrics;
+pub mod profile;
+pub mod prom;
 pub mod trace;
+pub mod window;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use profile::ProfileNode;
 pub use trace::{span, MemorySink, Sink, Span, SpanEvent, StderrJsonSink};
 
 use std::sync::atomic::{AtomicBool, Ordering};

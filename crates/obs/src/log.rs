@@ -80,6 +80,12 @@ pub fn render(format: LogFormat, level: Level, msg: &str, fields: &[(&str, Strin
             out.push('"');
             for (k, v) in fields {
                 out.push_str(",\"");
+                // A field named `level` or `msg` would duplicate a
+                // reserved key — ambiguous JSON that many shippers
+                // reject. Namespace it instead of colliding.
+                if *k == "level" || *k == "msg" {
+                    out.push_str("field_");
+                }
                 out.push_str(&json_escape(k));
                 out.push_str("\":\"");
                 out.push_str(&json_escape(v));
@@ -146,5 +152,80 @@ mod tests {
         assert_eq!(format(), LogFormat::Json);
         set_format(LogFormat::Text);
         assert_eq!(format(), LogFormat::Text);
+    }
+
+    #[test]
+    fn reserved_field_keys_do_not_collide() {
+        let line = render(
+            LogFormat::Json,
+            Level::Info,
+            "m",
+            &[("msg", "shadow".to_owned()), ("level", "9".to_owned())],
+        );
+        let v: serde_json::Value = line.parse().unwrap();
+        assert_eq!(v.get("msg").and_then(serde_json::Value::as_str), Some("m"));
+        assert_eq!(
+            v.get("field_msg").and_then(serde_json::Value::as_str),
+            Some("shadow")
+        );
+        assert_eq!(
+            v.get("field_level").and_then(serde_json::Value::as_str),
+            Some("9")
+        );
+    }
+
+    /// Deterministic splitmix64 generator (no external deps; runs under
+    /// the offline stub toolchain, unlike proptest).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn nasty_string(state: &mut u64, len: usize) -> String {
+        const ALPHABET: &[char] = &[
+            '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'a', 'Z', '0', ' ', '{', '}', ':', ',',
+            'é', '日', '\u{7f}',
+        ];
+        (0..len)
+            .map(|_| ALPHABET[(splitmix64(state) as usize) % ALPHABET.len()])
+            .collect()
+    }
+
+    /// Fuzz-style round trip: any message/field content — quotes,
+    /// backslashes, newlines, control characters — must render as one
+    /// parseable JSON line that preserves the values exactly.
+    #[test]
+    fn json_lines_round_trip_arbitrary_content() {
+        let mut state = 0x00C0_FFEE_u64;
+        for case in 0..200 {
+            let msg = nasty_string(&mut state, (case % 23) + 1);
+            let fields: Vec<(&str, String)> = vec![
+                ("peer", nasty_string(&mut state, (case % 17) + 1)),
+                ("stmt", nasty_string(&mut state, (case % 31) + 1)),
+            ];
+            let line = render(LogFormat::Json, Level::Warn, &msg, &fields);
+            assert!(
+                !line.contains('\n'),
+                "one line per record, case {case}: {line:?}"
+            );
+            let v: serde_json::Value = line
+                .parse()
+                .unwrap_or_else(|e| panic!("case {case} unparseable ({e}): {line:?}"));
+            assert_eq!(
+                v.get("msg").and_then(serde_json::Value::as_str),
+                Some(msg.as_str()),
+                "case {case}"
+            );
+            for (k, want) in &fields {
+                assert_eq!(
+                    v.get(k).and_then(serde_json::Value::as_str),
+                    Some(want.as_str()),
+                    "case {case} field {k}"
+                );
+            }
+        }
     }
 }

@@ -95,6 +95,14 @@ pub fn bucket_bound(i: usize) -> u64 {
     4u64.saturating_pow(i as u32 + 1)
 }
 
+/// The finite bucket upper bounds, in ns: every bucket except the last
+/// (which is +inf). Shipped inside metrics snapshots so clients derive
+/// percentiles from the server's actual bucket layout instead of
+/// hard-coding it.
+pub fn bucket_bounds_ns() -> [u64; HISTOGRAM_BUCKETS - 1] {
+    std::array::from_fn(bucket_bound)
+}
+
 fn bucket_index(ns: u64) -> usize {
     for i in 0..HISTOGRAM_BUCKETS - 1 {
         if ns <= bucket_bound(i) {
@@ -165,12 +173,16 @@ impl Histogram {
     }
 }
 
+/// An ordered label set attached to a labeled metric.
+pub type LabelSet = Vec<(String, String)>;
+
 /// The global metric registry: name → leaked `&'static` handle.
 #[derive(Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    labeled_histograms: Mutex<BTreeMap<(&'static str, LabelSet), &'static Histogram>>,
 }
 
 impl Registry {
@@ -190,6 +202,25 @@ impl Registry {
     pub fn histogram(&self, name: &'static str) -> &'static Histogram {
         let mut map = self.histograms.lock();
         map.entry(name).or_insert_with(|| Box::leak(Box::default()))
+    }
+
+    /// Get or create a histogram carrying a label set (e.g. the
+    /// per-operator/per-partition executor timings). Resolution takes
+    /// the registry lock and allocates the label vector, so call this
+    /// per *partition*, never per row; keep label cardinality small and
+    /// bounded (labels become distinct Prometheus series).
+    pub fn histogram_labeled(
+        &self,
+        name: &'static str,
+        labels: &[(&str, &str)],
+    ) -> &'static Histogram {
+        let key: LabelSet = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut map = self.labeled_histograms.lock();
+        map.entry((name, key))
+            .or_insert_with(|| Box::leak(Box::default()))
     }
 
     /// Capture a point-in-time snapshot of every registered metric.
@@ -222,6 +253,20 @@ impl Registry {
                     )
                 })
                 .collect(),
+            labeled_histograms: self
+                .labeled_histograms
+                .lock()
+                .iter()
+                .map(|((name, labels), v)| LabeledHistogramSnapshot {
+                    name: name.to_string(),
+                    labels: labels.clone(),
+                    hist: HistogramSnapshot {
+                        buckets: v.load_buckets(),
+                        count: v.count(),
+                        sum_ns: v.sum_ns(),
+                    },
+                })
+                .collect(),
         }
     }
 
@@ -234,6 +279,9 @@ impl Registry {
             g.reset();
         }
         for h in self.histograms.lock().values() {
+            h.reset();
+        }
+        for h in self.labeled_histograms.lock().values() {
             h.reset();
         }
     }
@@ -280,6 +328,59 @@ impl HistogramSnapshot {
         }
         bucket_bound(HISTOGRAM_BUCKETS - 1)
     }
+
+    /// The observations recorded between `earlier` and this snapshot:
+    /// bucket-wise, count, and sum deltas. Saturating, so a registry
+    /// reset between the two snapshots degrades to zeros rather than
+    /// wrapping.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+        }
+    }
+
+    /// Accumulate another snapshot's observations into this one
+    /// (merging per-window deltas back into a multi-window view).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+}
+
+/// A point-in-time copy of one labeled histogram.
+#[derive(Debug, Clone)]
+pub struct LabeledHistogramSnapshot {
+    /// The base metric name.
+    pub name: String,
+    /// The label set, in registration (sorted-key) order.
+    pub labels: LabelSet,
+    /// The histogram state.
+    pub hist: HistogramSnapshot,
+}
+
+impl LabeledHistogramSnapshot {
+    /// The flat `name{k="v",...}` key this series appears under in the
+    /// snapshot JSON (label values escaped).
+    pub fn flat_key(&self) -> String {
+        let mut out = self.name.clone();
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&json_escape(v));
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// A point-in-time copy of the whole registry.
@@ -291,6 +392,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, i64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Labeled histogram series, ordered by (name, labels).
+    pub labeled_histograms: Vec<LabeledHistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -299,16 +402,37 @@ impl MetricsSnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Every histogram series under a flat key: plain histograms under
+    /// their name, labeled series under `name{k="v"}`. The windowed
+    /// layer deltas over this flattened view so labeled series window
+    /// like any other.
+    pub fn flat_histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        let mut out = self.histograms.clone();
+        for lh in &self.labeled_histograms {
+            out.insert(lh.flat_key(), lh.hist.clone());
+        }
+        out
+    }
+
     /// Render the snapshot as a JSON object string. Hand-rolled so it
-    /// works identically with or without serde.
+    /// works identically with or without serde. The `bucket_bounds_ns`
+    /// array carries the finite histogram bucket upper bounds (the last
+    /// bucket is +inf), so clients never hard-code the layout.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"counters\":{");
+        let mut out = String::from("{\"bucket_bounds_ns\":[");
+        for (i, b) in bucket_bounds_ns().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("],\"counters\":{");
         push_entries(&mut out, self.counters.iter(), |v| v.to_string());
         out.push_str("},\"gauges\":{");
         push_entries(&mut out, self.gauges.iter(), |v| v.to_string());
         out.push_str("},\"histograms\":{");
         let mut first = true;
-        for (name, h) in &self.histograms {
+        let mut push_hist = |out: &mut String, name: &str, h: &HistogramSnapshot| {
             if !first {
                 out.push(',');
             }
@@ -323,6 +447,8 @@ impl MetricsSnapshot {
             out.push_str(&h.mean_ns().to_string());
             out.push_str(",\"p50_ns\":");
             out.push_str(&h.quantile_ns(0.50).to_string());
+            out.push_str(",\"p95_ns\":");
+            out.push_str(&h.quantile_ns(0.95).to_string());
             out.push_str(",\"p99_ns\":");
             out.push_str(&h.quantile_ns(0.99).to_string());
             out.push_str(",\"buckets\":[");
@@ -333,6 +459,12 @@ impl MetricsSnapshot {
                 out.push_str(&n.to_string());
             }
             out.push_str("]}");
+        };
+        for (name, h) in &self.histograms {
+            push_hist(&mut out, name, h);
+        }
+        for lh in &self.labeled_histograms {
+            push_hist(&mut out, &lh.flat_key(), &lh.hist);
         }
         out.push_str("}}");
         out

@@ -1,0 +1,359 @@
+//! Per-request profile trees: an explicitly requested, thread-local
+//! recording of one query's pipeline stages.
+//!
+//! Unlike spans (always-on sampling into a shared ring) a profile is
+//! *scoped*: the server begins a session on the worker thread that
+//! evaluates a request, the instrumented layers push [`stage`] guards
+//! (parse → compile → plan → the meta-algebra operators → mask apply)
+//! and [`annotate`] tuple counts, and the finished tree is returned to
+//! whoever asked — the `profile` wire command, or the slow-query log.
+//!
+//! When no session is active every hook is one thread-local check and
+//! an early return, independent of the global [`crate::enabled`] flag:
+//! profiles answer "why was *this* request slow", which must work even
+//! when ambient metrics are switched off. Worker threads spawned by the
+//! partitioned executor do not inherit the session; they hand their
+//! timings back to the coordinating thread, which attaches them via
+//! [`attach`].
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One node of a finished profile tree.
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Stage name (e.g. `parse`, `meta.select`, `exec.partition`).
+    pub stage: String,
+    /// Wall time spent in the stage, including children.
+    pub duration_ns: u64,
+    /// Key/value annotations (tuple counts, operator names, ...).
+    pub fields: Vec<(String, String)>,
+    /// Nested stages, in execution order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    fn new(stage: &str) -> ProfileNode {
+        ProfileNode {
+            stage: stage.to_owned(),
+            duration_ns: 0,
+            fields: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Render as a JSON object string (hand-rolled; stable field
+    /// order: stage, duration_ns, fields, children).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"stage\":\"");
+        out.push_str(&crate::json_escape(&self.stage));
+        out.push_str("\",\"duration_ns\":");
+        out.push_str(&self.duration_ns.to_string());
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&crate::json_escape(k));
+            out.push_str("\":\"");
+            out.push_str(&crate::json_escape(v));
+            out.push('"');
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&c.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Render as an indented text tree (for the REPL and logs).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&self.stage);
+        out.push_str(&format!(" {}ns", self.duration_ns));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// Depth-first search for the first node with this stage name.
+    pub fn find(&self, stage: &str) -> Option<&ProfileNode> {
+        if self.stage == stage {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(stage))
+    }
+}
+
+struct Frame {
+    node: ProfileNode,
+    started: Instant,
+}
+
+struct Collector {
+    /// `stack[0]` is the root frame; deeper frames are open stages.
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Is a profile session active on this thread?
+pub fn active() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// A profile session bound to the current thread. Obtain via [`begin`];
+/// consume with [`ProfileSession::finish`]. Dropping without finishing
+/// discards the recording.
+pub struct ProfileSession {
+    /// False when a session was already active at [`begin`] — this
+    /// handle is then a no-op and `finish` returns `None`.
+    owner: bool,
+}
+
+/// Begin a profile session rooted at `label` on this thread. If one is
+/// already active the call returns a passive handle (the outer session
+/// keeps recording; nested stages attach to it).
+pub fn begin(label: &str) -> ProfileSession {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if slot.is_some() {
+            return ProfileSession { owner: false };
+        }
+        *slot = Some(Collector {
+            stack: vec![Frame {
+                node: ProfileNode::new(label),
+                started: Instant::now(),
+            }],
+        });
+        ProfileSession { owner: true }
+    })
+}
+
+impl ProfileSession {
+    /// End the session and return the finished tree (with any stages
+    /// left open closed at their current elapsed time). `None` for a
+    /// passive handle.
+    pub fn finish(self) -> Option<ProfileNode> {
+        if !self.owner {
+            return None;
+        }
+        COLLECTOR.with(|c| {
+            let collector = c.borrow_mut().take()?;
+            let mut finished: Option<ProfileNode> = None;
+            for frame in collector.stack.into_iter().rev() {
+                let mut node = frame.node;
+                node.duration_ns = frame.started.elapsed().as_nanos() as u64;
+                if let Some(child) = finished.take() {
+                    node.children.push(child);
+                }
+                finished = Some(node);
+            }
+            finished
+        })
+    }
+}
+
+impl Drop for ProfileSession {
+    fn drop(&mut self) {
+        if self.owner {
+            COLLECTOR.with(|c| {
+                c.borrow_mut().take();
+            });
+        }
+    }
+}
+
+/// A stage guard: pushes a child stage while a session is active; on
+/// drop the stage closes with its measured duration and attaches to the
+/// parent. Without a session this is a no-op handle.
+pub struct StageGuard {
+    recording: bool,
+}
+
+/// Open a stage named `name`.
+pub fn stage(name: &str) -> StageGuard {
+    let recording = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(collector) => {
+                collector.stack.push(Frame {
+                    node: ProfileNode::new(name),
+                    started: Instant::now(),
+                });
+                true
+            }
+            None => false,
+        }
+    });
+    StageGuard { recording }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if !self.recording {
+            return;
+        }
+        COLLECTOR.with(|c| {
+            let mut slot = c.borrow_mut();
+            if let Some(collector) = slot.as_mut() {
+                // The root frame never pops here: a guard only closes a
+                // frame it pushed (stack depth >= 2 while any guard is
+                // live, because the session owns stack[0]).
+                if collector.stack.len() >= 2 {
+                    let frame = collector.stack.pop().expect("frame present");
+                    let mut node = frame.node;
+                    node.duration_ns = frame.started.elapsed().as_nanos() as u64;
+                    collector
+                        .stack
+                        .last_mut()
+                        .expect("parent frame")
+                        .node
+                        .children
+                        .push(node);
+                }
+            }
+        });
+    }
+}
+
+/// Annotate the innermost open stage (or the root) with a key/value.
+/// No-op without a session.
+pub fn annotate(key: &str, value: impl ToString) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if let Some(collector) = slot.as_mut() {
+            if let Some(frame) = collector.stack.last_mut() {
+                frame.node.fields.push((key.to_owned(), value.to_string()));
+            }
+        }
+    });
+}
+
+/// Attach an externally timed, already-finished child to the innermost
+/// open stage — how the partitioned executor's worker timings (measured
+/// on other threads) join the coordinator's profile. No-op without a
+/// session.
+pub fn attach(stage: &str, duration_ns: u64, fields: &[(&str, String)]) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        if let Some(collector) = slot.as_mut() {
+            if let Some(frame) = collector.stack.last_mut() {
+                frame.node.children.push(ProfileNode {
+                    stage: stage.to_owned(),
+                    duration_ns,
+                    fields: fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                    children: Vec::new(),
+                });
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_nested_tree() {
+        assert!(!active());
+        let session = begin("request");
+        assert!(active());
+        {
+            let _parse = stage("parse");
+        }
+        {
+            let _outer = stage("mask.compute");
+            annotate("rows", 42);
+            {
+                let _inner = stage("meta.select");
+            }
+            attach("exec.partition", 777, &[("part", "0".to_string())]);
+        }
+        let tree = session.finish().expect("owner session yields a tree");
+        assert!(!active());
+        assert_eq!(tree.stage, "request");
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].stage, "parse");
+        let mask = &tree.children[1];
+        assert_eq!(mask.stage, "mask.compute");
+        assert_eq!(mask.fields, vec![("rows".to_owned(), "42".to_owned())]);
+        assert_eq!(mask.children[0].stage, "meta.select");
+        assert_eq!(mask.children[1].stage, "exec.partition");
+        assert_eq!(mask.children[1].duration_ns, 777);
+        assert!(tree.find("meta.select").is_some());
+        let json = tree.to_json();
+        assert!(json.contains("\"stage\":\"request\""));
+        assert!(json.contains("\"rows\":\"42\""));
+        let text = tree.render_text();
+        assert!(text.contains("  mask.compute"));
+        assert!(text.contains("    meta.select"));
+    }
+
+    #[test]
+    fn hooks_are_noops_without_a_session() {
+        assert!(!active());
+        let _s = stage("ignored");
+        annotate("k", "v");
+        attach("x", 1, &[]);
+        assert!(!active());
+    }
+
+    #[test]
+    fn nested_begin_is_passive() {
+        let outer = begin("outer");
+        let inner = begin("inner");
+        assert!(inner.finish().is_none(), "nested session is passive");
+        assert!(active(), "outer survives the nested finish");
+        {
+            let _s = stage("work");
+        }
+        let tree = outer.finish().unwrap();
+        assert_eq!(tree.stage, "outer");
+        assert_eq!(tree.children[0].stage, "work");
+    }
+
+    #[test]
+    fn drop_without_finish_discards() {
+        {
+            let _session = begin("abandoned");
+            let _s = stage("partial");
+        }
+        assert!(!active());
+    }
+
+    #[test]
+    fn works_with_recording_disabled() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let session = begin("request");
+        {
+            let _s = stage("parse");
+        }
+        let tree = session.finish().unwrap();
+        crate::set_enabled(true);
+        assert_eq!(tree.children.len(), 1, "profiles ignore the global gate");
+    }
+}

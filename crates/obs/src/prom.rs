@@ -1,0 +1,462 @@
+//! Prometheus text exposition (format 0.0.4) over a metrics snapshot —
+//! rendered by hand, zero dependencies, so any standard scraper can
+//! consume the registry.
+//!
+//! Mapping: every metric gets the `motro_` prefix and has `.` (and any
+//! other character outside `[a-zA-Z0-9_:]`) folded to `_`. Counters and
+//! gauges are single samples; histograms expand to the conventional
+//! cumulative `_bucket{le="..."}` series (bounds in nanoseconds, from
+//! the power-of-4 layout) plus `_sum` and `_count`. Labeled series
+//! (e.g. the per-operator executor timings) carry their labels with
+//! values escaped per the exposition rules (`\\`, `\"`, `\n`).
+//!
+//! [`validate`] is a strict grammar checker for the subset this module
+//! emits — the scrape smoke tests and CI run every exposition through
+//! it, so a rendering regression fails loudly rather than silently
+//! producing text Prometheus would drop.
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fold a registry name into a valid Prometheus metric name with the
+/// `motro_` prefix: characters outside `[a-zA-Z0-9_:]` become `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("motro_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = if i + 1 == HISTOGRAM_BUCKETS {
+            "+Inf".to_owned()
+        } else {
+            bucket_bound(i).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            render_labels(labels, Some(("le", &le)))
+        );
+    }
+    let plain = render_labels(labels, None);
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum_ns);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+/// Render a snapshot as Prometheus text exposition. Every registered
+/// counter, gauge, and histogram (flat and labeled) appears, each base
+/// name preceded by exactly one `# TYPE` line.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snapshot.gauges {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    // Group labeled series under their base name so each histogram name
+    // gets one TYPE line covering the flat series and every label set.
+    type Series<'a> = Vec<(&'a [(String, String)], &'a HistogramSnapshot)>;
+    let mut by_name: BTreeMap<String, Series> = BTreeMap::new();
+    const NO_LABELS: &[(String, String)] = &[];
+    for (name, h) in &snapshot.histograms {
+        by_name
+            .entry(name.clone())
+            .or_default()
+            .push((NO_LABELS, h));
+    }
+    for lh in &snapshot.labeled_histograms {
+        by_name
+            .entry(lh.name.clone())
+            .or_default()
+            .push((&lh.labels, &lh.hist));
+    }
+    for (name, series) in &by_name {
+        let n = metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (labels, h) in series {
+            render_histogram(&mut out, &n, labels, h);
+        }
+    }
+    out
+}
+
+/// The content type a `/metrics` HTTP response should carry.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A parsed sample: metric name, label pairs, and value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Split a sample line into (name, labels, value), validating label
+/// syntax and escapes.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_str) = match line.find('{') {
+        Some(brace) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label set: {line}"))?;
+            if close < brace {
+                return Err(format!("mismatched braces: {line}"));
+            }
+            let labels_src = &line[brace + 1..close];
+            let mut labels = Vec::new();
+            let mut rest = labels_src;
+            while !rest.is_empty() {
+                let eq = rest
+                    .find('=')
+                    .ok_or_else(|| format!("label without '=': {labels_src}"))?;
+                let key = &rest[..eq];
+                if !valid_label_name(key) {
+                    return Err(format!("bad label name {key:?} in: {line}"));
+                }
+                let after = &rest[eq + 1..];
+                if !after.starts_with('"') {
+                    return Err(format!("unquoted label value in: {line}"));
+                }
+                // Walk the escaped string body.
+                let bytes = after.as_bytes();
+                let mut i = 1;
+                let mut value = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(format!("unterminated label value in: {line}")),
+                        Some(b'"') => break,
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'\\') => value.push('\\'),
+                                Some(b'"') => value.push('"'),
+                                Some(b'n') => value.push('\n'),
+                                _ => return Err(format!("bad escape in label value: {line}")),
+                            }
+                            i += 2;
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 character.
+                            let s = &after[i..];
+                            let c = s.chars().next().unwrap();
+                            value.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                labels.push((key.to_owned(), value));
+                rest = &after[i + 1..];
+                if let Some(stripped) = rest.strip_prefix(',') {
+                    rest = stripped;
+                    if rest.is_empty() {
+                        return Err(format!("trailing comma in label set: {line}"));
+                    }
+                } else if !rest.is_empty() {
+                    return Err(format!("junk after label value: {line}"));
+                }
+            }
+            (
+                line[..brace].to_owned(),
+                (labels, line[close + 1..].trim().to_owned()),
+            )
+        }
+        None => {
+            let mut parts = line.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("empty sample: {line}"))?;
+            let value = parts.collect::<Vec<_>>().join(" ");
+            (name.to_owned(), (Vec::new(), value))
+        }
+    };
+    let (labels, value_str) = value_str;
+    let value = match value_str.trim() {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {v:?} in: {line}"))?,
+    };
+    if !valid_metric_name(&head) {
+        return Err(format!("bad metric name {head:?} in: {line}"));
+    }
+    Ok((head, labels, value))
+}
+
+/// Validate text exposition against the subset of the 0.0.4 grammar
+/// this crate emits, returning the set of *base* metric names seen.
+///
+/// Checks: every sample parses (name, escaped labels, numeric value);
+/// every sample's base name was declared by a preceding `# TYPE` line;
+/// histogram series have non-decreasing cumulative buckets ending in a
+/// `+Inf` bucket that equals the series' `_count`.
+pub fn validate(text: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (base name, non-le labels) → (cumulative buckets, saw_inf, count)
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut buckets: BTreeMap<SeriesKey, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, f64> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("TYPE line without a name")?;
+            let ty = parts.next().ok_or("TYPE line without a type")?;
+            if !valid_metric_name(name) {
+                return Err(format!("bad metric name in TYPE line: {line}"));
+            }
+            if !matches!(
+                ty,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("unknown type {ty:?} in: {line}"));
+            }
+            if types.insert(name.to_owned(), ty.to_owned()).is_some() {
+                return Err(format!("duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name, labels, value) = parse_sample(line)?;
+        // Resolve the base name: histogram samples append a suffix.
+        let base = types
+            .get(&name)
+            .map(|_| name.clone())
+            .or_else(|| {
+                for suffix in ["_bucket", "_sum", "_count"] {
+                    if let Some(b) = name.strip_suffix(suffix) {
+                        if types.get(b).is_some_and(|t| t == "histogram") {
+                            return Some(b.to_owned());
+                        }
+                    }
+                }
+                None
+            })
+            .ok_or_else(|| format!("sample {name} has no preceding TYPE line"))?;
+        let ty = &types[&base];
+        if ty == "histogram" {
+            let rest_labels: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            let key = (base.clone(), rest_labels);
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.as_str())
+                    .ok_or_else(|| format!("bucket without le label: {line}"))?;
+                let bound = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("bad le value {le:?}: {line}"))?
+                };
+                buckets.entry(key).or_default().push((bound, value));
+            } else if name.ends_with("_count") {
+                counts.insert(key, value);
+            }
+        } else if labels.iter().any(|(k, _)| k == "le") {
+            return Err(format!("le label on non-histogram {base}: {line}"));
+        }
+    }
+    for ((base, labels), series) in &buckets {
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0;
+        let mut saw_inf = false;
+        for (bound, cum) in series {
+            if *bound <= prev_bound {
+                return Err(format!("bucket bounds not increasing for {base}{labels:?}"));
+            }
+            if *cum < prev_cum {
+                return Err(format!("cumulative buckets decrease for {base}{labels:?}"));
+            }
+            prev_bound = *bound;
+            prev_cum = *cum;
+            if bound.is_infinite() {
+                saw_inf = true;
+            }
+        }
+        if !saw_inf {
+            return Err(format!("histogram {base}{labels:?} lacks a +Inf bucket"));
+        }
+        match counts.get(&(base.clone(), labels.clone())) {
+            Some(count) if *count == prev_cum => {}
+            Some(count) => {
+                return Err(format!(
+                    "histogram {base}{labels:?}: +Inf bucket {prev_cum} != count {count}"
+                ))
+            }
+            None => return Err(format!("histogram {base}{labels:?} lacks a _count sample")),
+        }
+    }
+    Ok(types.keys().cloned().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{LabeledHistogramSnapshot, Registry};
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        r.counter("server.requests").add(41);
+        r.gauge("server.connections").set(-2);
+        let h = r.histogram("meta.eval_ns");
+        h.record_ns(100);
+        h.record_ns(90_000);
+        r.histogram_labeled("exec.partition_ns", &[("op", "meta_select"), ("part", "0")])
+            .record_ns(512);
+        r.snapshot()
+    }
+
+    #[test]
+    fn renders_and_validates() {
+        let text = render(&sample_snapshot());
+        assert!(text.contains("# TYPE motro_server_requests counter"));
+        assert!(text.contains("motro_server_requests 41"));
+        assert!(text.contains("motro_server_connections -2"));
+        assert!(text.contains("motro_meta_eval_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("motro_meta_eval_ns_count 2"));
+        assert!(text
+            .contains("motro_exec_partition_ns_bucket{op=\"meta_select\",part=\"0\",le=\"1024\"}"));
+        let names = validate(&text).expect("valid exposition");
+        assert!(names.contains("motro_server_requests"));
+        assert!(names.contains("motro_exec_partition_ns"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let text = render(&sample_snapshot());
+        // 100ns lands in bucket le=256; the 90µs observation joins at
+        // le=262144; cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("motro_meta_eval_ns_bucket") {
+                let v: u64 = rest.split_whitespace().last().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative: {line}");
+                last = v;
+            }
+        }
+        assert_eq!(last, 2);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = MetricsSnapshot {
+            labeled_histograms: vec![LabeledHistogramSnapshot {
+                name: "q.lat_ns".to_owned(),
+                labels: vec![("stmt".to_owned(), "say \"hi\"\\\nbye".to_owned())],
+                hist: HistogramSnapshot {
+                    buckets: std::array::from_fn(|i| u64::from(i == 0)),
+                    count: 1,
+                    sum_ns: 3,
+                },
+            }],
+            ..MetricsSnapshot::default()
+        };
+        let text = render(&snap);
+        assert!(text.contains(r#"stmt="say \"hi\"\\\nbye""#), "{text}");
+        validate(&text).expect("escaped labels validate");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("motro_x 1").is_err(), "sample without TYPE");
+        assert!(
+            validate("# TYPE motro_x counter\nmotro_x notanumber").is_err(),
+            "non-numeric value"
+        );
+        assert!(
+            validate("# TYPE motro_h histogram\nmotro_h_bucket{le=\"4\"} 1\nmotro_h_count 1")
+                .is_err(),
+            "histogram without +Inf bucket"
+        );
+        assert!(
+            validate(
+                "# TYPE motro_h histogram\nmotro_h_bucket{le=\"4\"} 2\nmotro_h_bucket{le=\"+Inf\"} 1\nmotro_h_sum 1\nmotro_h_count 1"
+            )
+            .is_err(),
+            "decreasing cumulative buckets"
+        );
+        assert!(
+            validate("# TYPE bad.name counter\n").is_err(),
+            "invalid metric name"
+        );
+    }
+
+    #[test]
+    fn metric_name_folding() {
+        assert_eq!(metric_name("server.cache.hits"), "motro_server_cache_hits");
+        assert_eq!(metric_name("a-b c"), "motro_a_b_c");
+    }
+}

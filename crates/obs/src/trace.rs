@@ -133,13 +133,20 @@ pub fn clear_spans() {
 }
 
 fn publish(event: SpanEvent) {
+    let mut dropped = false;
     let sinks: Vec<Arc<dyn Sink>> = with_state(|s| {
         if s.ring.len() >= s.capacity {
             s.ring.pop_front();
+            dropped = true;
         }
         s.ring.push_back(event.clone());
         s.sinks.clone()
     });
+    if dropped {
+        // An unconsumed span was overwritten: surface the loss instead
+        // of silently forgetting it (`trace.dropped` in `stats`).
+        crate::counter!("trace.dropped").inc();
+    }
     for sink in sinks {
         sink.record(&event);
     }
@@ -252,15 +259,18 @@ mod tests {
     }
 
     #[test]
-    fn ring_buffer_caps() {
+    fn ring_buffer_caps_and_counts_drops() {
         let _g = crate::test_guard();
         crate::set_enabled(true);
         clear_sinks();
         clear_spans();
+        let before = crate::metrics::registry().counter("trace.dropped").get();
         for _ in 0..RING_CAPACITY + 10 {
             span("test.ring_ns").finish();
         }
         assert_eq!(recent_spans().len(), RING_CAPACITY);
+        let dropped = crate::metrics::registry().counter("trace.dropped").get() - before;
+        assert_eq!(dropped, 10, "each overwrite counts once");
     }
 
     #[test]

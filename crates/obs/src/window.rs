@@ -1,0 +1,380 @@
+//! Sliding-window aggregation over the cumulative metrics registry.
+//!
+//! The atomic registry only ever accumulates: counters and histogram
+//! buckets grow monotonically from process start. Operators, though,
+//! ask "what is the request rate *now*" and "what was p95 over the last
+//! minute". This layer answers that by remembering a baseline snapshot
+//! and, every `window` interval, folding the delta since the baseline
+//! into a bounded deque of completed [`WindowSnapshot`]s. Rates and
+//! recent-percentile views come from merging the retained windows —
+//! histogram merges are exact because the power-of-4 buckets are
+//! fixed, so bucket-wise sums commute with quantile estimation.
+//!
+//! Rolling is *lazy*: there is no background thread. Every read path
+//! (the `stats` wire command, the `/metrics` listener) calls
+//! [`WindowLayer::roll_if_due`] first, which completes a window only
+//! when one has actually elapsed. An idle server therefore pays
+//! nothing, and the obs-overhead guardrail measures windowing at its
+//! steady-state cost: one snapshot + delta per elapsed window, on the
+//! reader's thread.
+
+use crate::metrics::{registry, HistogramSnapshot, MetricsSnapshot};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Window length and retention policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// How long one window spans.
+    pub window: Duration,
+    /// How many completed windows to retain for merged reports.
+    pub retention: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            window: Duration::from_secs(10),
+            retention: 6,
+        }
+    }
+}
+
+/// One completed window: what moved while it was open.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// How long the window was actually open (>= the configured length;
+    /// lazy rolling can stretch a window when the server sits idle).
+    pub duration: Duration,
+    /// Counter increments during the window.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram observations during the window (flat keys; labeled
+    /// series appear under `name{k="v"}`).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+struct Inner {
+    config: WindowConfig,
+    baseline: MetricsSnapshot,
+    baseline_at: Instant,
+    windows: VecDeque<WindowSnapshot>,
+}
+
+impl Inner {
+    fn roll(&mut self, now: Instant) {
+        let current = registry().snapshot();
+        let duration = now.duration_since(self.baseline_at);
+        let baseline_hists = self.baseline.flat_histograms();
+        let mut counters = BTreeMap::new();
+        for (name, v) in &current.counters {
+            let before = self.baseline.counter(name);
+            counters.insert(name.clone(), v.saturating_sub(before));
+        }
+        let mut histograms = BTreeMap::new();
+        for (name, h) in current.flat_histograms() {
+            let delta = match baseline_hists.get(&name) {
+                Some(before) => h.delta_since(before),
+                None => h,
+            };
+            histograms.insert(name, delta);
+        }
+        self.windows.push_back(WindowSnapshot {
+            duration,
+            counters,
+            histograms,
+        });
+        while self.windows.len() > self.config.retention.max(1) {
+            self.windows.pop_front();
+        }
+        self.baseline = current;
+        self.baseline_at = now;
+    }
+}
+
+/// The sliding-window layer. One global instance serves the server
+/// (see [`global`]); tests construct their own.
+pub struct WindowLayer {
+    inner: Mutex<Inner>,
+}
+
+impl WindowLayer {
+    /// A fresh layer: the baseline is the registry as of now, with no
+    /// completed windows yet.
+    pub fn new(config: WindowConfig) -> Self {
+        WindowLayer {
+            inner: Mutex::new(Inner {
+                config,
+                baseline: registry().snapshot(),
+                baseline_at: Instant::now(),
+                windows: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Replace the configuration and restart: drops retained windows
+    /// and re-baselines at the current registry state.
+    pub fn configure(&self, config: WindowConfig) {
+        let mut inner = self.inner.lock();
+        inner.config = config;
+        inner.windows.clear();
+        inner.baseline = registry().snapshot();
+        inner.baseline_at = Instant::now();
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.inner.lock().config
+    }
+
+    /// Complete a window if (at least) one window length has elapsed
+    /// since the baseline. Returns whether a window was completed.
+    pub fn roll_if_due(&self) -> bool {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        if now.duration_since(inner.baseline_at) < inner.config.window {
+            return false;
+        }
+        inner.roll(now);
+        true
+    }
+
+    /// Complete a window immediately regardless of elapsed time
+    /// (tests; the duration recorded is whatever actually elapsed).
+    pub fn force_roll(&self) {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        inner.roll(now);
+    }
+
+    /// The retained completed windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowSnapshot> {
+        self.inner.lock().windows.iter().cloned().collect()
+    }
+
+    /// Merge every retained window into one recent-activity report.
+    pub fn report(&self) -> WindowReport {
+        let inner = self.inner.lock();
+        let mut spanned = Duration::ZERO;
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        for w in &inner.windows {
+            spanned += w.duration;
+            for (name, v) in &w.counters {
+                *counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, h) in &w.histograms {
+                histograms
+                    .entry(name.clone())
+                    .and_modify(|acc| acc.merge(h))
+                    .or_insert_with(|| h.clone());
+            }
+        }
+        WindowReport {
+            window_secs: inner.config.window.as_secs_f64(),
+            retention: inner.config.retention,
+            completed: inner.windows.len(),
+            spanned,
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// The merged view over every retained window: deltas, rates, and
+/// recent-latency percentiles.
+#[derive(Debug, Clone)]
+pub struct WindowReport {
+    /// Configured window length in seconds.
+    pub window_secs: f64,
+    /// Configured retention (windows).
+    pub retention: usize,
+    /// Completed windows merged into this report.
+    pub completed: usize,
+    /// Total wall time the merged windows span.
+    pub spanned: Duration,
+    /// Summed counter deltas.
+    pub counters: BTreeMap<String, u64>,
+    /// Merged histogram deltas (flat keys).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl WindowReport {
+    /// Per-second rate for a summed counter delta (0 with no windows).
+    pub fn rate(&self, name: &str) -> f64 {
+        let secs = self.spanned.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.counters.get(name).copied().unwrap_or(0) as f64 / secs
+    }
+
+    /// Render as a JSON object string (the `windows` section of the
+    /// `stats` reply). Counters appear as `{"delta":n,"per_sec":r}`;
+    /// histograms carry count, rate, mean, and p50/p95/p99 derived from
+    /// the merged power-of-4 buckets.
+    pub fn to_json(&self) -> String {
+        let secs = self.spanned.as_secs_f64();
+        let rate = |n: u64| {
+            if secs > 0.0 {
+                format!("{:.3}", n as f64 / secs)
+            } else {
+                "0.0".to_owned()
+            }
+        };
+        let mut out = String::from("{\"window_secs\":");
+        out.push_str(&format!("{:.3}", self.window_secs));
+        out.push_str(",\"retention\":");
+        out.push_str(&self.retention.to_string());
+        out.push_str(",\"completed\":");
+        out.push_str(&self.completed.to_string());
+        out.push_str(",\"spanned_secs\":");
+        out.push_str(&format!("{secs:.3}"));
+        out.push_str(",\"counters\":{");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&crate::json_escape(name));
+            out.push_str("\":{\"delta\":");
+            out.push_str(&v.to_string());
+            out.push_str(",\"per_sec\":");
+            out.push_str(&rate(*v));
+            out.push('}');
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('"');
+            out.push_str(&crate::json_escape(name));
+            out.push_str("\":{\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"per_sec\":");
+            out.push_str(&rate(h.count));
+            out.push_str(",\"mean_ns\":");
+            out.push_str(&h.mean_ns().to_string());
+            out.push_str(",\"p50_ns\":");
+            out.push_str(&h.quantile_ns(0.50).to_string());
+            out.push_str(",\"p95_ns\":");
+            out.push_str(&h.quantile_ns(0.95).to_string());
+            out.push_str(",\"p99_ns\":");
+            out.push_str(&h.quantile_ns(0.99).to_string());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// The process-global window layer (default configuration until the
+/// server applies its `--window-secs` flag via
+/// [`WindowLayer::configure`]).
+pub fn global() -> &'static WindowLayer {
+    static GLOBAL: OnceLock<WindowLayer> = OnceLock::new();
+    GLOBAL.get_or_init(|| WindowLayer::new(WindowConfig::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_windows_and_merged_report() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let c = registry().counter("window.test.items");
+        let h = registry().histogram("window.test.lat_ns");
+        let layer = WindowLayer::new(WindowConfig {
+            window: Duration::from_secs(3600), // never due on its own
+            retention: 2,
+        });
+        c.add(5);
+        h.record_ns(100);
+        h.record_ns(1_000_000);
+        layer.force_roll();
+        c.add(7);
+        h.record_ns(100);
+        layer.force_roll();
+
+        let windows = layer.windows();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].counters.get("window.test.items"), Some(&5));
+        assert_eq!(windows[1].counters.get("window.test.items"), Some(&7));
+        assert_eq!(windows[0].histograms["window.test.lat_ns"].count, 2);
+        assert_eq!(windows[1].histograms["window.test.lat_ns"].count, 1);
+
+        let report = layer.report();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.counters.get("window.test.items"), Some(&12));
+        let merged = &report.histograms["window.test.lat_ns"];
+        assert_eq!(merged.count, 3);
+        // Two of three observations land in the 256ns bucket → p50 256.
+        assert_eq!(merged.quantile_ns(0.50), 256);
+        assert!(merged.quantile_ns(0.99) >= 1_000_000);
+        let json = report.to_json();
+        assert!(json.contains("\"completed\":2"));
+        assert!(json.contains("\"window.test.items\""));
+        assert!(json.contains("\"p95_ns\""));
+    }
+
+    #[test]
+    fn retention_caps_windows() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let layer = WindowLayer::new(WindowConfig {
+            window: Duration::from_secs(3600),
+            retention: 3,
+        });
+        for _ in 0..7 {
+            layer.force_roll();
+        }
+        assert_eq!(layer.windows().len(), 3);
+        assert_eq!(layer.report().completed, 3);
+    }
+
+    #[test]
+    fn roll_if_due_respects_window_length() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let layer = WindowLayer::new(WindowConfig {
+            window: Duration::from_secs(3600),
+            retention: 4,
+        });
+        assert!(!layer.roll_if_due(), "no window has elapsed");
+        let layer = WindowLayer::new(WindowConfig {
+            window: Duration::ZERO,
+            retention: 4,
+        });
+        assert!(layer.roll_if_due(), "zero-length window is always due");
+    }
+
+    #[test]
+    fn reconfigure_rebaselines() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        let c = registry().counter("window.test.reconf");
+        let layer = WindowLayer::new(WindowConfig {
+            window: Duration::from_secs(3600),
+            retention: 2,
+        });
+        c.add(100);
+        layer.configure(WindowConfig {
+            window: Duration::from_secs(1),
+            retention: 5,
+        });
+        // The 100 increments predate the new baseline.
+        layer.force_roll();
+        let w = layer.windows();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].counters.get("window.test.reconf"), Some(&0));
+        assert_eq!(layer.config().retention, 5);
+    }
+}

@@ -135,18 +135,31 @@ impl ExecConfig {
         }
         let chunks = split_owned(items, parts);
         motro_obs::counter!("exec.partitions").add(chunks.len() as u64);
+        // Worker threads do not inherit the coordinator's thread-local
+        // profile session; they report their timings back through
+        // `times` and the coordinator attaches them below.
+        let profiling = motro_obs::profile::active();
         let f = &f;
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(chunks.len(), || None);
+        let mut times: Vec<Option<u64>> = vec![None; slots.len()];
         std::thread::scope(|scope| {
-            for (index, (slot, chunk)) in slots.iter_mut().zip(chunks).enumerate() {
+            for (index, ((slot, time_slot), chunk)) in slots
+                .iter_mut()
+                .zip(times.iter_mut())
+                .zip(chunks)
+                .enumerate()
+            {
                 scope.spawn(move || {
+                    let t_profile = profiling.then(std::time::Instant::now);
                     let mut sp = motro_obs::span("exec.partition_ns");
                     sp.field("op", op).field("part", index);
                     *slot = Some(f(chunk));
+                    *time_slot = record_partition(sp, op, index, t_profile);
                 });
             }
         });
+        attach_partitions(profiling, op, &times);
         slots
             .into_iter()
             .map(|r| r.expect("partition worker completed"))
@@ -173,23 +186,70 @@ impl ExecConfig {
         }
         let bounds = chunk_bounds(items.len(), parts);
         motro_obs::counter!("exec.partitions").add(bounds.len() as u64);
+        let profiling = motro_obs::profile::active();
         let f = &f;
         let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(bounds.len(), || None);
+        let mut times: Vec<Option<u64>> = vec![None; slots.len()];
         std::thread::scope(|scope| {
-            for (index, (slot, (lo, hi))) in slots.iter_mut().zip(bounds).enumerate() {
+            for (index, ((slot, time_slot), (lo, hi))) in slots
+                .iter_mut()
+                .zip(times.iter_mut())
+                .zip(bounds)
+                .enumerate()
+            {
                 let chunk = &items[lo..hi];
                 scope.spawn(move || {
+                    let t_profile = profiling.then(std::time::Instant::now);
                     let mut sp = motro_obs::span("exec.partition_ns");
                     sp.field("op", op).field("part", index);
                     *slot = Some(f(chunk));
+                    *time_slot = record_partition(sp, op, index, t_profile);
                 });
             }
         });
+        attach_partitions(profiling, op, &times);
         slots
             .into_iter()
             .map(|r| r.expect("partition worker completed"))
             .collect()
+    }
+}
+
+/// Finish a partition worker's span, feed the per-(operator, partition)
+/// labeled histogram, and return the partition's wall time in ns —
+/// falling back to the profile-only stopwatch when ambient recording is
+/// disabled but a profile session wants the timing anyway.
+fn record_partition(
+    sp: motro_obs::Span,
+    op: &'static str,
+    index: usize,
+    t_profile: Option<std::time::Instant>,
+) -> Option<u64> {
+    let recorded = sp.finish().map(|d| d.as_nanos() as u64);
+    if let Some(ns) = recorded {
+        let part = index.to_string();
+        motro_obs::metrics::registry()
+            .histogram_labeled("exec.partition_ns", &[("op", op), ("part", &part)])
+            .record_ns(ns);
+    }
+    recorded.or_else(|| t_profile.map(|t| t.elapsed().as_nanos() as u64))
+}
+
+/// Attach worker-measured partition timings to the coordinator's open
+/// profile stage (no-op when no session is active).
+fn attach_partitions(profiling: bool, op: &'static str, times: &[Option<u64>]) {
+    if !profiling {
+        return;
+    }
+    for (index, ns) in times.iter().enumerate() {
+        if let Some(ns) = ns {
+            motro_obs::profile::attach(
+                "exec.partition",
+                *ns,
+                &[("op", op.to_string()), ("part", index.to_string())],
+            );
+        }
     }
 }
 

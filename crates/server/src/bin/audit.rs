@@ -1,0 +1,177 @@
+//! `motro-audit` — deterministically replay a durable audit journal.
+//!
+//! ```text
+//! motro-audit replay JOURNAL [--workers N] [-q]
+//! motro-audit show JOURNAL
+//! ```
+//!
+//! `replay` restores the state snapshot each journal segment opens
+//! with, re-applies every journaled administrative program, membership
+//! change, and update, and re-executes every journaled query — then
+//! compares the canonical plan, the mask's byte-stable rendering, the
+//! inferred permits, the delivery counts, the epoch, and (when the
+//! server journaled them) the EXPLAIN digests against what the journal
+//! recorded. Any divergence is a mismatch: either the journal was
+//! tampered with, or authorization is not the pure function of
+//! `(user, plan, epoch)` the model claims.
+//!
+//! `--workers` sets the replay executor's partition count; masks are
+//! worker-count independent, so replay must verify byte-identically at
+//! any value (the default is sequential).
+//!
+//! `show` prints a one-line summary per record without re-executing.
+//!
+//! Exit status: 0 when every record reproduces, 1 on mismatches, 2 on
+//! usage or unreadable/corrupt journals.
+
+use motro_server::journal;
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: motro-audit replay JOURNAL [--workers N] [-q]\n       motro-audit show JOURNAL"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage());
+    let mut path: Option<PathBuf> = None;
+    let mut workers: usize = 0;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-q" | "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            a if a.starts_with('-') => usage(),
+            a => path = Some(PathBuf::from(a)),
+        }
+    }
+    let Some(path) = path else { usage() };
+
+    match cmd.as_str() {
+        "replay" => replay(&path, workers, quiet),
+        "show" => show(&path),
+        _ => usage(),
+    }
+}
+
+fn replay(path: &std::path::Path, workers: usize, quiet: bool) {
+    let exec = if workers <= 1 {
+        motro_authz::rel::ExecConfig::sequential()
+    } else {
+        motro_authz::rel::ExecConfig::with_workers(workers)
+    };
+    let report = match journal::replay_all(path, exec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("motro-audit: {e}");
+            std::process::exit(2);
+        }
+    };
+    if !quiet {
+        println!(
+            "replayed {} segment(s): {} record(s), {} state change(s), {} quer(y/ies)",
+            report.segments, report.records, report.changes, report.queries
+        );
+    }
+    if report.ok() {
+        if !quiet {
+            println!("journal verified: every record reproduced byte-identically");
+        }
+    } else {
+        eprintln!("{} mismatch(es):", report.mismatches.len());
+        for m in &report.mismatches {
+            eprintln!("  {m}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn show(path: &std::path::Path) {
+    let segments = journal::segments(path);
+    if segments.is_empty() {
+        eprintln!(
+            "motro-audit: no journal segments found at {}",
+            path.display()
+        );
+        std::process::exit(2);
+    }
+    // Write through a fallible handle: `show | head` closes the pipe
+    // early, which must end the listing quietly, not panic.
+    use std::io::Write as _;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for seg in segments {
+        let data = match std::fs::read_to_string(&seg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("motro-audit: read {}: {e}", seg.display());
+                std::process::exit(2);
+            }
+        };
+        for (lineno, line) in data.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = format!("{}:{}", seg.display(), lineno + 1);
+            let Ok(v) = line.parse::<Value>() else {
+                if writeln!(out, "{at}: <unparseable>").is_err() {
+                    return;
+                }
+                continue;
+            };
+            let t = v.get("t").and_then(Value::as_str).unwrap_or("?");
+            let epoch = v.get("epoch").and_then(Value::as_u64).unwrap_or(0);
+            let detail = match t {
+                "open" => format!(
+                    "state snapshot ({} bytes)",
+                    v.get("state").and_then(Value::as_str).map_or(0, str::len)
+                ),
+                "admin" | "update" => v
+                    .get("stmt")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .replace('\n', " "),
+                "member" => format!(
+                    "{} {} {} {}",
+                    v.get("op").and_then(Value::as_str).unwrap_or("?"),
+                    v.get("user").and_then(Value::as_str).unwrap_or("?"),
+                    if v.get("op").and_then(Value::as_str) == Some("add") {
+                        "to"
+                    } else {
+                        "from"
+                    },
+                    v.get("group").and_then(Value::as_str).unwrap_or("?"),
+                ),
+                "query" => format!(
+                    "[{}] {} — {}{}",
+                    v.get("principal").and_then(Value::as_str).unwrap_or("?"),
+                    v.get("stmt")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .replace('\n', " "),
+                    v.get("kind").and_then(Value::as_str).unwrap_or("rows"),
+                    if v.get("cached").and_then(Value::as_bool) == Some(true) {
+                        " (cached)"
+                    } else {
+                        ""
+                    },
+                ),
+                _ => String::new(),
+            };
+            if writeln!(out, "{at}: epoch {epoch} {t}: {detail}").is_err() {
+                return;
+            }
+        }
+    }
+}

@@ -3,6 +3,10 @@
 //! ```text
 //! motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N]
 //!             [--cache N] [--admin USER]... [--log-format text|json]
+//!             [--metrics-addr ADDR] [--window-secs N]
+//!             [--journal FILE] [--journal-fsync]
+//!             [--journal-max-bytes N] [--journal-explain]
+//!             [--slow-query-ms N]
 //! ```
 //!
 //! `--workers` sizes the connection pool; `--exec-workers` sizes the
@@ -15,17 +19,32 @@
 //! Diagnostics go to stderr through the structured log sink
 //! ([`motro_obs::log`]); `--log-format json` emits one JSON object per
 //! line for log shippers.
+//!
+//! Telemetry (DESIGN.md §6d):
+//! - `--metrics-addr` starts a plaintext HTTP listener serving the
+//!   metrics registry at `/metrics` in Prometheus text format.
+//! - `--window-secs` sets the sliding-window length the `stats` reply
+//!   and exposition use for rates and recent percentiles.
+//! - `--journal FILE` appends every authorization-relevant event to a
+//!   durable JSONL audit journal replayable with `motro-audit`;
+//!   `--journal-fsync` makes each record durable before the reply,
+//!   `--journal-max-bytes` rotates segments, and `--journal-explain`
+//!   adds R2 decision summaries and EXPLAIN digests to query records.
+//! - `--slow-query-ms` profiles every retrieval and logs the full span
+//!   tree of any that runs at least that long.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_obs::log::{self, LogFormat};
-use motro_server::{Server, ServerConfig};
+use motro_server::{JournalConfig, MetricsServer, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N] [--cache N] \
-         [--admin USER]... [--log-format text|json]"
+         [--admin USER]... [--log-format text|json] [--metrics-addr ADDR] [--window-secs N] \
+         [--journal FILE] [--journal-fsync] [--journal-max-bytes N] [--journal-explain] \
+         [--slow-query-ms N]"
     );
     std::process::exit(2);
 }
@@ -36,6 +55,12 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut admins: Vec<String> = Vec::new();
     let mut exec_workers: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut window_secs: Option<u64> = None;
+    let mut journal_path: Option<String> = None;
+    let mut journal_fsync = false;
+    let mut journal_max_bytes: u64 = 0;
+    let mut journal_explain = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +91,30 @@ fn main() {
                 Some("json") => log::set_format(LogFormat::Json),
                 _ => usage(),
             },
+            "--metrics-addr" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--window-secs" => {
+                window_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--journal" => journal_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--journal-fsync" => journal_fsync = true,
+            "--journal-max-bytes" => {
+                journal_max_bytes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--journal-explain" => journal_explain = true,
+            "--slow-query-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                config.slow_query_ns = Some(ms.saturating_mul(1_000_000));
+            }
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => usage(),
             a => addr = a.to_owned(),
@@ -73,6 +122,20 @@ fn main() {
     }
     if !admins.is_empty() {
         config.admins = Some(admins);
+    }
+    if let Some(path) = journal_path {
+        config.journal = Some(JournalConfig {
+            path: path.into(),
+            fsync: journal_fsync,
+            max_bytes: journal_max_bytes,
+            explain_digests: journal_explain,
+        });
+    }
+    if let Some(secs) = window_secs {
+        motro_obs::window::global().configure(motro_obs::window::WindowConfig {
+            window: std::time::Duration::from_secs(secs.max(1)),
+            retention: 6,
+        });
     }
 
     let mut frontend = match &state {
@@ -114,6 +177,22 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let mut exposition = None;
+    if let Some(maddr) = &metrics_addr {
+        match MetricsServer::bind(maddr) {
+            Ok(m) => {
+                log::info("metrics listening", &[("addr", m.local_addr().to_string())]);
+                exposition = Some(m);
+            }
+            Err(e) => {
+                log::error(
+                    "cannot bind metrics listener",
+                    &[("addr", maddr.clone()), ("error", e.to_string())],
+                );
+                std::process::exit(1);
+            }
+        }
+    }
     log::info(
         "listening",
         &[
@@ -144,5 +223,8 @@ fn main() {
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
     log::info("shutting down", &[]);
+    if let Some(mut m) = exposition.take() {
+        m.shutdown();
+    }
     server.shutdown();
 }

@@ -326,6 +326,28 @@ impl Client {
         Ok((stats, metrics))
     }
 
+    /// The whole metrics registry in Prometheus text exposition format
+    /// (the same bytes the `--metrics-addr` HTTP listener serves).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let reply = self.call("metrics", "")?;
+        field_str(&reply, "text")
+    }
+
+    /// Run a retrieval under the profiler: the per-stage span tree
+    /// (structured + rendered) plus a summary of the outcome.
+    pub fn profile(&mut self, stmt: &str) -> Result<ProfileReply, ClientError> {
+        let reply = self.call("profile", &Self::stmt_field(stmt))?;
+        match reply.get("type").and_then(Value::as_str) {
+            Some("profile") => Ok(ProfileReply {
+                epoch: field_u64(&reply, "epoch")?,
+                tree: reply.get("tree").cloned().unwrap_or(Value::Null),
+                rendered: field_str(&reply, "rendered")?,
+                outcome: reply.get("outcome").cloned().unwrap_or(Value::Null),
+            }),
+            _ => Err(ClientError::Protocol(format!("unexpected reply {reply}"))),
+        }
+    }
+
     /// Audit a retrieval: why is each region delivered or masked?
     /// `user: None` audits this session's own principal; `Some(other)`
     /// requires the administrative capability.
@@ -347,6 +369,19 @@ impl Client {
         self.call("ping", "")?;
         Ok(())
     }
+}
+
+/// The reply to [`Client::profile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReply {
+    pub epoch: u64,
+    /// The span tree as structured JSON
+    /// ([`motro_obs::ProfileNode::to_json`]).
+    pub tree: Value,
+    /// The span tree rendered as an indented text block.
+    pub rendered: String,
+    /// The underlying reply minus its bulk data (row payloads).
+    pub outcome: Value,
 }
 
 /// The reply to [`Client::query`].

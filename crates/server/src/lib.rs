@@ -21,9 +21,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod journal;
+pub mod metrics_http;
 pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, CachedMask, MaskCache};
-pub use client::{Client, ClientError, ExplainReply, QueryReply, Rows, ServerStats};
-pub use server::{Server, ServerConfig};
+pub use client::{Client, ClientError, ExplainReply, ProfileReply, QueryReply, Rows, ServerStats};
+pub use journal::{Journal, JournalConfig, ReplayReport};
+pub use metrics_http::MetricsServer;
+pub use server::{Server, ServerConfig, SlowQuery};

@@ -1,0 +1,179 @@
+//! A minimal plaintext HTTP listener exposing the metrics registry in
+//! Prometheus text exposition format.
+//!
+//! Zero dependencies beyond `std::net`: the listener accepts one
+//! connection at a time, reads the request line, and answers any `GET`
+//! whose path starts with `/metrics` (everything else gets a 404). The
+//! body is [`motro_obs::prom::render`] over a fresh registry snapshot,
+//! after rolling the global window layer so windowed gauges are current.
+//!
+//! Scrapers are few and periodic — a single-threaded accept loop with a
+//! short per-connection read timeout is deliberate: a stalled scraper
+//! cannot wedge the exporter for longer than the timeout, and the
+//! query path never blocks on it.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// The exposition listener's handle. Dropping it stops the thread.
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` and serve `/metrics` until shut down.
+    pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = std::thread::Builder::new()
+            .name("motro-metrics-http".to_owned())
+            .spawn(move || accept_loop(listener, &flag))?;
+        Ok(MetricsServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(&mut self) {
+        if self.thread.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Err(e) = serve_scrape(stream) {
+            motro_obs::log::warn("metrics scrape failed", &[("error", e.to_string())]);
+        }
+    }
+}
+
+fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    stream.set_nodelay(true)?;
+    let request_line = read_request_line(&mut stream)?;
+    // Drain the rest of the head: closing with unread bytes in the
+    // receive buffer makes the kernel send RST instead of FIN, which
+    // scrapers surface as "connection reset".
+    while !read_request_line(&mut stream)?.is_empty() {}
+    motro_obs::counter!("metrics.scrapes").inc();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n",
+        );
+    }
+    if !(path == "/metrics" || path.starts_with("/metrics?")) {
+        return respond(&mut stream, "404 Not Found", "text/plain", "see /metrics\n");
+    }
+    motro_obs::window::global().roll_if_due();
+    let body = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+    respond(&mut stream, "200 OK", motro_obs::prom::CONTENT_TYPE, &body)
+}
+
+/// Read up to the end of the request head (or just the first line — we
+/// never need the headers), tolerating clients that send byte-by-byte.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf)
+        .trim_end_matches('\r')
+        .to_owned())
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: std::net::SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_nodelay(true).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_valid_exposition() {
+        motro_obs::counter!("metrics_http.test.hits").add(3);
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let reply = scrape(server.local_addr(), "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        motro_obs::prom::validate(body).unwrap();
+        assert!(body.contains("motro_metrics_http_test_hits"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_other_paths_and_methods() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        assert!(scrape(addr, "GET / HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
+        assert!(scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+}

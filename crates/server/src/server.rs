@@ -17,6 +17,7 @@
 //! are flushed before the sockets close.
 
 use crate::cache::{CachedMask, MaskCache};
+use crate::journal::{self, Journal, JournalConfig, QueryOutcome, QueryRecord};
 use crate::wire::{self, codes, Request, RowsReply};
 use motro_authz::lang::{parse_statement, Statement};
 use motro_authz::rel::execute_optimized_with;
@@ -24,7 +25,7 @@ use motro_authz::views::compile;
 use motro_authz::{Frontend, FrontendError, SharedFrontend};
 use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,6 +48,12 @@ pub struct ServerConfig {
     /// model has no in-band authority, so openness is the faithful
     /// default — deployments pass a list).
     pub admins: Option<Vec<String>>,
+    /// Durable audit journal; `None` disables journaling.
+    pub journal: Option<JournalConfig>,
+    /// Profile every retrieval and log the full span tree of any that
+    /// runs at least this long; `None` disables the slow-query log
+    /// (and its per-request profiling overhead).
+    pub slow_query_ns: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -57,8 +64,38 @@ impl Default for ServerConfig {
             max_inflight_per_conn: 32,
             cache_capacity: 1024,
             admins: None,
+            journal: None,
+            slow_query_ns: None,
         }
     }
+}
+
+/// One slow-query log entry (see [`ServerConfig::slow_query_ns`]).
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The session principal.
+    pub principal: String,
+    /// The statement as received.
+    pub stmt: String,
+    /// The canonical plan, when the statement compiled.
+    pub plan: Option<String>,
+    /// Total request duration.
+    pub duration_ns: u64,
+    /// The full per-stage profile tree.
+    pub profile: motro_obs::ProfileNode,
+}
+
+/// How many slow queries the in-memory ring retains.
+const SLOW_LOG_CAP: usize = 64;
+
+/// Everything a worker needs to evaluate requests.
+struct Ctx {
+    fe: SharedFrontend,
+    cache: Arc<MaskCache>,
+    admins: Option<Vec<String>>,
+    journal: Option<Arc<Journal>>,
+    slow_query_ns: Option<u64>,
+    slow: Arc<Mutex<VecDeque<SlowQuery>>>,
 }
 
 /// The per-connection in-flight gate (a bounded semaphore).
@@ -114,6 +151,8 @@ fn request_label(request: &Request) -> &'static str {
         Request::Member { .. } => "member",
         Request::Save { .. } => "save",
         Request::Stats { .. } => "stats",
+        Request::Metrics { .. } => "metrics",
+        Request::Profile { .. } => "profile",
         Request::Explain { .. } => "explain",
         Request::Ping { .. } => "ping",
     }
@@ -124,6 +163,8 @@ pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     cache: Arc<MaskCache>,
+    journal: Option<Arc<Journal>>,
+    slow: Arc<Mutex<VecDeque<SlowQuery>>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     job_tx: Option<crossbeam::channel::Sender<Job>>,
@@ -140,8 +181,38 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        // Pre-register the server's metrics so a scrape of a freshly
+        // started (still idle) server already shows every series at
+        // zero — dashboards and the CI scrape smoke rely on this.
+        let _ = motro_obs::counter!("server.requests");
+        let _ = motro_obs::counter!("server.connections.accepted");
+        let _ = motro_obs::counter!("server.cache.hits");
+        let _ = motro_obs::counter!("server.cache.misses");
+        let _ = motro_obs::counter!("server.cache.epoch_evictions");
+        let _ = motro_obs::counter!("server.cache.capacity_evictions");
+        let _ = motro_obs::counter!("server.slow_queries");
+        let _ = motro_obs::gauge!("server.connections");
+        let _ = motro_obs::histogram!("server.request_ns");
+        let _ = motro_obs::histogram!("server.queue_wait_ns");
+        if config.journal.is_some() {
+            let _ = motro_obs::counter!("journal.records");
+            let _ = motro_obs::counter!("journal.errors");
+            let _ = motro_obs::counter!("journal.rotations");
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let cache = Arc::new(MaskCache::new(config.cache_capacity));
+        let journal = match &config.journal {
+            Some(jc) => {
+                let state = fe.to_json().map_err(std::io::Error::other)?;
+                Some(Arc::new(Journal::open(
+                    jc.clone(),
+                    &state,
+                    fe.auth_epoch(),
+                )?))
+            }
+            None => None,
+        };
+        let slow: Arc<Mutex<VecDeque<SlowQuery>>> = Arc::new(Mutex::new(VecDeque::new()));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let (job_tx, job_rx) = crossbeam::channel::bounded::<Job>(
@@ -151,9 +222,14 @@ impl Server {
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let rx = job_rx.clone();
-                let fe = fe.clone();
-                let cache = cache.clone();
-                let admins = config.admins.clone();
+                let ctx = Ctx {
+                    fe: fe.clone(),
+                    cache: cache.clone(),
+                    admins: config.admins.clone(),
+                    journal: journal.clone(),
+                    slow_query_ns: config.slow_query_ns,
+                    slow: slow.clone(),
+                };
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         motro_obs::histogram!("server.queue_wait_ns").record_since(job.queued);
@@ -161,8 +237,24 @@ impl Server {
                         let mut span = motro_obs::span("server.request_ns");
                         span.field("type", request_label(&job.request));
                         span.field("principal", &job.principal);
-                        let reply =
-                            dispatch(&fe, &cache, admins.as_deref(), &job.principal, job.request);
+                        // The slow-query log profiles retrievals only
+                        // when a threshold is configured; `profile`
+                        // requests manage their own session inside
+                        // dispatch.
+                        let watched = match (ctx.slow_query_ns, &job.request) {
+                            (
+                                Some(_),
+                                Request::Retrieve { stmt, .. } | Request::Query { stmt, .. },
+                            ) => Some(stmt.clone()),
+                            _ => None,
+                        };
+                        let session = watched
+                            .as_ref()
+                            .map(|_| motro_obs::profile::begin(request_label(&job.request)));
+                        let reply = dispatch(&ctx, &job.principal, job.request);
+                        if let (Some(stmt), Some(session)) = (watched, session) {
+                            log_if_slow(&ctx, &job.principal, &stmt, session);
+                        }
                         drop(span);
                         let _ = job.reply.send(reply.to_string());
                         job.gate.release();
@@ -210,6 +302,8 @@ impl Server {
             addr,
             shutdown,
             cache,
+            journal,
+            slow,
             acceptor: Some(acceptor),
             workers,
             job_tx: Some(job_tx),
@@ -226,6 +320,16 @@ impl Server {
     /// The shared mask cache (counters readable for tests/benchmarks).
     pub fn cache(&self) -> &MaskCache {
         &self.cache
+    }
+
+    /// The audit journal, when one is configured.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_deref()
+    }
+
+    /// The retained slow-query log entries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.lock().iter().cloned().collect()
     }
 
     /// Stop accepting, drain in-flight requests, flush replies, join
@@ -428,30 +532,119 @@ fn error_code(e: &FrontendError) -> &'static str {
     }
 }
 
-/// Evaluate one request against the shared front-end.
-fn dispatch(
-    fe: &SharedFrontend,
-    cache: &MaskCache,
-    admins: Option<&[String]>,
+/// Finish a slow-query watch: if the profiled request ran at least the
+/// configured threshold, log its full span tree and retain it in the
+/// in-memory ring.
+fn log_if_slow(
+    ctx: &Ctx,
     principal: &str,
-    request: Request,
-) -> Value {
-    let admin_allowed =
-        |admins: Option<&[String]>| admins.is_none_or(|a| a.iter().any(|p| p == principal));
+    stmt: &str,
+    session: motro_obs::profile::ProfileSession,
+) {
+    let Some(node) = session.finish() else { return };
+    let threshold = ctx.slow_query_ns.unwrap_or(u64::MAX);
+    if node.duration_ns < threshold {
+        return;
+    }
+    motro_obs::counter!("server.slow_queries").inc();
+    let plan = ctx.fe.with_read(|f| journal::canonical_plan(f, stmt).ok());
+    motro_obs::log::warn(
+        "slow query",
+        &[
+            ("principal", principal.to_owned()),
+            ("stmt", stmt.to_owned()),
+            ("duration_ns", node.duration_ns.to_string()),
+            ("plan", plan.clone().unwrap_or_default()),
+            ("profile", node.render_text()),
+        ],
+    );
+    let mut ring = ctx.slow.lock();
+    if ring.len() >= SLOW_LOG_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(SlowQuery {
+        principal: principal.to_owned(),
+        stmt: stmt.to_owned(),
+        plan,
+        duration_ns: node.duration_ns,
+        profile: node,
+    });
+}
+
+/// A `profile` reply's outcome summary: the underlying reply minus its
+/// bulk data (`rows`/`columns`/`snapshot`), so the span tree can be
+/// correlated with what the request produced without resending it.
+fn summarize_reply(reply: &Value) -> Value {
+    match reply {
+        Value::Object(m) => {
+            let mut out = serde_json::Map::new();
+            for (k, v) in m.iter() {
+                if !matches!(k.as_str(), "rows" | "columns" | "snapshot") {
+                    out.insert(k.clone(), v.clone());
+                }
+            }
+            Value::Object(out)
+        }
+        other => other.clone(),
+    }
+}
+
+/// Evaluate one request against the shared front-end.
+fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
+    let fe = &ctx.fe;
+    let admin_allowed = || {
+        ctx.admins
+            .as_deref()
+            .is_none_or(|a| a.iter().any(|p| p == principal))
+    };
     match request {
         Request::Hello { .. } => unreachable!("hello is handled by the reader"),
         Request::Ping { id } => wire::pong(id),
         Request::Stats { id } => {
-            let metrics = motro_obs::metrics::registry()
+            let layer = motro_obs::window::global();
+            layer.roll_if_due();
+            let mut metrics = motro_obs::metrics::registry()
                 .snapshot()
                 .to_json()
                 .parse::<Value>()
                 .unwrap_or(Value::Null);
-            wire::stats(id, fe.auth_epoch(), &cache.stats(), metrics)
+            if let (Value::Object(m), Ok(windows)) =
+                (&mut metrics, layer.report().to_json().parse::<Value>())
+            {
+                m.insert("windows".to_owned(), windows);
+            }
+            wire::stats(id, fe.auth_epoch(), &ctx.cache.stats(), metrics)
+        }
+        Request::Metrics { id } => {
+            motro_obs::window::global().roll_if_due();
+            let text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+            wire::metrics_text(id, fe.auth_epoch(), &text)
+        }
+        Request::Profile { id, stmt } => {
+            let session = motro_obs::profile::begin("request");
+            let reply = match is_aggregate(&stmt) {
+                Some(true) => aggregate_query(ctx, principal, id, &stmt),
+                _ => retrieve_cached(ctx, principal, id, &stmt),
+            };
+            match session.finish() {
+                Some(node) => {
+                    let tree = node.to_json().parse::<Value>().unwrap_or(Value::Null);
+                    wire::profile(
+                        id,
+                        fe.auth_epoch(),
+                        tree,
+                        &node.render_text(),
+                        summarize_reply(&reply),
+                    )
+                }
+                // A session was already active on this thread (nested
+                // profile); just answer the query.
+                None => reply,
+            }
         }
         Request::Explain { id, stmt, user } => {
             let target = user.unwrap_or_else(|| principal.to_owned());
-            if target != principal && !admin_allowed(admins) {
+            if target != principal && !admin_allowed() {
                 return wire::error(
                     Some(id),
                     codes::ADMIN_DENIED,
@@ -471,61 +664,161 @@ fn dispatch(
                 Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
             })
         }
-        Request::Retrieve { id, stmt } => retrieve_cached(fe, cache, principal, id, &stmt),
+        Request::Retrieve { id, stmt } => retrieve_cached(ctx, principal, id, &stmt),
         Request::Query { id, stmt } => match is_aggregate(&stmt) {
-            Some(true) => fe.with_read(|f| match f.query(principal, &stmt) {
-                Ok(out) => wire::aggregate(id, f.auth_epoch(), &out.render()),
-                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
-            }),
-            _ => retrieve_cached(fe, cache, principal, id, &stmt),
+            Some(true) => aggregate_query(ctx, principal, id, &stmt),
+            _ => retrieve_cached(ctx, principal, id, &stmt),
         },
         Request::Admin { id, stmt } => {
-            if !admin_allowed(admins) {
+            if !admin_allowed() {
                 return wire::error(
                     Some(id),
                     codes::ADMIN_DENIED,
                     &format!("{principal} may not administer the store"),
                 );
             }
-            match fe.execute_admin_program(&stmt) {
-                Ok(messages) => wire::ok(id, fe.auth_epoch(), &messages),
+            // Explicit write closure so the journal record lands while
+            // the lock is still held: no concurrent change can slip
+            // between the program's effect and its journal entry.
+            let (result, epoch) = fe.with_write(|f| {
+                let result = f.execute_admin_program(&stmt);
+                if let Some(j) = &ctx.journal {
+                    let outcome = match &result {
+                        Ok(m) => Ok(m.clone()),
+                        Err(e) => Err(e.to_string()),
+                    };
+                    j.append_admin(f.auth_epoch(), &stmt, &outcome, || f.to_json().ok());
+                }
+                (result, f.auth_epoch())
+            });
+            match result {
+                Ok(messages) => wire::ok(id, epoch, &messages),
                 Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
             }
         }
-        Request::Update { id, stmt } => {
-            match fe.with_write(|f| f.execute_update(principal, &stmt)) {
-                Ok(message) => wire::ok(id, fe.auth_epoch(), &[message]),
+        Request::Update { id, stmt } => fe.with_write(|f| {
+            let result = f.execute_update(principal, &stmt);
+            if let Some(j) = &ctx.journal {
+                let outcome = result
+                    .as_ref()
+                    .map(Clone::clone)
+                    .map_err(ToString::to_string);
+                j.append_update(f.auth_epoch(), principal, &stmt, &outcome, || {
+                    f.to_json().ok()
+                });
+            }
+            match result {
+                Ok(message) => wire::ok(id, f.auth_epoch(), &[message]),
                 Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
             }
-        }
+        }),
         Request::Member {
             id,
             add,
             group,
             user,
         } => {
-            if !admin_allowed(admins) {
+            if !admin_allowed() {
                 return wire::error(
                     Some(id),
                     codes::ADMIN_DENIED,
                     &format!("{principal} may not administer the store"),
                 );
             }
-            let message = if add {
-                fe.add_member(&group, &user);
-                format!("added {user} to {group}")
-            } else if fe.remove_member(&group, &user) {
-                format!("removed {user} from {group}")
-            } else {
-                format!("{user} was not a member of {group}")
-            };
-            wire::ok(id, fe.auth_epoch(), &[message])
+            fe.with_write(|f| {
+                let message = if add {
+                    f.add_member(&group, &user);
+                    format!("added {user} to {group}")
+                } else if f.auth_store_mut().remove_member(&group, &user) {
+                    format!("removed {user} from {group}")
+                } else {
+                    format!("{user} was not a member of {group}")
+                };
+                if let Some(j) = &ctx.journal {
+                    j.append_member(f.auth_epoch(), add, &group, &user, &message, || {
+                        f.to_json().ok()
+                    });
+                }
+                wire::ok(id, f.auth_epoch(), &[message])
+            })
         }
         Request::Save { id } => match fe.to_json() {
             Ok(snapshot) => wire::state(id, fe.auth_epoch(), &snapshot),
             Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
         },
     }
+}
+
+/// The aggregate-retrieval path (never mask-cached), journaled.
+fn aggregate_query(ctx: &Ctx, principal: &str, id: u64, stmt: &str) -> Value {
+    ctx.fe.with_read(|f| match f.query(principal, stmt) {
+        Ok(out) => {
+            let rendered = out.render();
+            journal_query(
+                ctx,
+                f,
+                principal,
+                stmt,
+                QueryOutcome::Aggregate {
+                    rendered: rendered.clone(),
+                },
+                false,
+            );
+            wire::aggregate(id, f.auth_epoch(), &rendered)
+        }
+        Err(e) => {
+            journal_query(
+                ctx,
+                f,
+                principal,
+                stmt,
+                QueryOutcome::Error {
+                    message: e.to_string(),
+                },
+                false,
+            );
+            wire::error(Some(id), error_code(&e), &e.to_string())
+        }
+    })
+}
+
+/// Append one query outcome to the journal (no-op without one). Runs
+/// under the caller's read lock, so the record's epoch is exactly the
+/// epoch the outcome was computed under. With `explain_digests` on,
+/// row outcomes also get an R2 case summary and an EXPLAIN digest.
+fn journal_query(
+    ctx: &Ctx,
+    f: &Frontend,
+    principal: &str,
+    stmt: &str,
+    outcome: QueryOutcome,
+    cached: bool,
+) {
+    let Some(j) = &ctx.journal else { return };
+    let (r2, explain_fnv) =
+        if j.config().explain_digests && matches!(outcome, QueryOutcome::Rows { .. }) {
+            match f.explain_query(principal, stmt) {
+                Ok(audit) => (
+                    Some(journal::r2_counts(&audit)),
+                    Some(format!("{:016x}", journal::fnv64(&audit.render()))),
+                ),
+                Err(_) => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+    j.append_query(
+        &QueryRecord {
+            principal: principal.to_owned(),
+            stmt: stmt.to_owned(),
+            outcome,
+            epoch: f.auth_epoch(),
+            cached,
+            r2,
+            explain_fnv,
+        },
+        || f.to_json().ok(),
+    );
 }
 
 /// Cheap syntactic pre-classification: `Some(true)` when the statement
@@ -549,28 +842,60 @@ fn is_aggregate(stmt: &str) -> Option<bool> {
 /// (`execute_optimized` + `Mask::apply`) always runs live. Masks under
 /// the Section 6 extended-mask configuration take a different apply
 /// path, so that configuration bypasses the cache entirely.
-fn retrieve_cached(
-    fe: &SharedFrontend,
-    cache: &MaskCache,
-    user: &str,
-    id: u64,
-    stmt: &str,
-) -> Value {
-    fe.with_read(|f: &Frontend| {
-        let query = match parse_statement(stmt) {
+fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
+    let cache = &*ctx.cache;
+    ctx.fe.with_read(|f: &Frontend| {
+        // The cache-aware path parses and compiles outside the
+        // frontend, so it stages those phases itself — profile trees
+        // cover the full pipeline either way.
+        let parsed = {
+            let _stage = motro_obs::profile::stage("parse");
+            parse_statement(stmt)
+        };
+        let query = match parsed {
             Ok(Statement::Retrieve(q)) => q,
             Ok(_) => {
+                // Not an authorization outcome (nothing was evaluated),
+                // so this shape error is not journaled.
                 return wire::error(
                     Some(id),
                     codes::BAD_REQUEST,
                     "expected a row-level retrieve statement",
-                )
+                );
             }
-            Err(e) => return wire::error(Some(id), codes::PARSE, &e.to_string()),
+            Err(e) => {
+                journal_query(
+                    ctx,
+                    f,
+                    user,
+                    stmt,
+                    QueryOutcome::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+                return wire::error(Some(id), codes::PARSE, &e.to_string());
+            }
         };
-        let plan = match compile(&query, f.database().schema()) {
+        let compiled = {
+            let _stage = motro_obs::profile::stage("compile");
+            compile(&query, f.database().schema())
+        };
+        let plan = match compiled {
             Ok(p) => p,
-            Err(e) => return wire::error(Some(id), codes::PARSE, &e.to_string()),
+            Err(e) => {
+                journal_query(
+                    ctx,
+                    f,
+                    user,
+                    stmt,
+                    QueryOutcome::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+                return wire::error(Some(id), codes::PARSE, &e.to_string());
+            }
         };
         let epoch = f.auth_epoch();
         let bypass = f.engine().config().extended_masks;
@@ -579,6 +904,21 @@ fn retrieve_cached(
                 return match execute_optimized_with(&plan, f.database(), &f.exec_config()) {
                     Ok(answer) => {
                         let masked = hit.mask.apply(&answer);
+                        journal_query(
+                            ctx,
+                            f,
+                            user,
+                            stmt,
+                            QueryOutcome::Rows {
+                                plan: plan.to_string(),
+                                mask: hit.mask.canonical_render(),
+                                permits: hit.permits.clone(),
+                                delivered: masked.rows.len(),
+                                withheld: masked.withheld,
+                                full_access: hit.full_access,
+                            },
+                            true,
+                        );
                         wire::rows(&RowsReply {
                             id,
                             epoch,
@@ -590,12 +930,39 @@ fn retrieve_cached(
                             permits: hit.permits.clone(),
                         })
                     }
-                    Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
+                    Err(e) => {
+                        journal_query(
+                            ctx,
+                            f,
+                            user,
+                            stmt,
+                            QueryOutcome::Error {
+                                message: e.to_string(),
+                            },
+                            true,
+                        );
+                        wire::error(Some(id), codes::EXEC, &e.to_string())
+                    }
                 };
             }
         }
         match f.engine().retrieve_plan(user, &plan) {
             Ok(out) => {
+                journal_query(
+                    ctx,
+                    f,
+                    user,
+                    stmt,
+                    QueryOutcome::Rows {
+                        plan: plan.to_string(),
+                        mask: out.mask.canonical_render(),
+                        permits: out.permits.iter().map(|p| p.to_string()).collect(),
+                        delivered: out.masked.rows.len(),
+                        withheld: out.masked.withheld,
+                        full_access: out.full_access,
+                    },
+                    false,
+                );
                 let reply = wire::rows(&RowsReply {
                     id,
                     epoch,
@@ -620,7 +987,19 @@ fn retrieve_cached(
                 }
                 reply
             }
-            Err(e) => wire::error(Some(id), codes::EXEC, &e.to_string()),
+            Err(e) => {
+                journal_query(
+                    ctx,
+                    f,
+                    user,
+                    stmt,
+                    QueryOutcome::Error {
+                        message: e.to_string(),
+                    },
+                    false,
+                );
+                wire::error(Some(id), codes::EXEC, &e.to_string())
+            }
         }
     })
 }

@@ -17,12 +17,14 @@
 //! | `member` | `id`, `op`, `group`, `user` | group membership change |
 //! | `save` | `id` | snapshot the whole state as JSON |
 //! | `stats` | `id` | cache statistics and a metrics snapshot |
+//! | `metrics` | `id` | the registry in Prometheus text format |
+//! | `profile` | `id`, `stmt` | run a retrieval under the profiler |
 //! | `explain` | `id`, `stmt` [, `user`] | audit a retrieval (see below) |
 //! | `ping` | `id` | liveness |
 //!
 //! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
-//! `state`, `stats`, `explain`, `pong`, and `error` (with a
-//! machine-readable `code`). Every data-bearing reply carries the
+//! `state`, `stats`, `metrics`, `profile`, `explain`, `pong`, and
+//! `error` (with a machine-readable `code`). Every data-bearing reply carries the
 //! authorization `epoch` it was computed under, so a client — or a
 //! soundness test — can correlate an answer with the grant state that
 //! produced it.
@@ -87,6 +89,11 @@ pub enum Request {
     Save { id: u64 },
     /// Cache statistics.
     Stats { id: u64 },
+    /// The whole metrics registry in Prometheus text exposition format.
+    Metrics { id: u64 },
+    /// Execute a row-level retrieval under the profiler and return the
+    /// per-stage span tree alongside the (summarized) outcome.
+    Profile { id: u64, stmt: String },
     /// Audit a retrieval: why is each region delivered or masked?
     Explain {
         id: u64,
@@ -110,6 +117,8 @@ impl Request {
             | Request::Member { id, .. }
             | Request::Save { id }
             | Request::Stats { id }
+            | Request::Metrics { id }
+            | Request::Profile { id, .. }
             | Request::Explain { id, .. }
             | Request::Ping { id } => Some(*id),
         }
@@ -230,6 +239,11 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
         }
         "save" => Ok(Request::Save { id: need_id()? }),
         "stats" => Ok(Request::Stats { id: need_id()? }),
+        "metrics" => Ok(Request::Metrics { id: need_id()? }),
+        "profile" => Ok(Request::Profile {
+            id: need_id()?,
+            stmt: need_stmt()?,
+        }),
         "explain" => Ok(Request::Explain {
             id: need_id()?,
             stmt: need_stmt()?,
@@ -394,6 +408,33 @@ pub fn stats(id: u64, epoch: u64, cache: &crate::cache::CacheStats, metrics: Val
         ("epoch_evictions", Value::from(cache.epoch_evictions)),
         ("capacity_evictions", Value::from(cache.capacity_evictions)),
         ("metrics", metrics),
+    ])
+}
+
+/// `metrics` — the registry rendered in Prometheus text exposition
+/// format (the same bytes `--metrics-addr` serves over HTTP).
+pub fn metrics_text(id: u64, epoch: u64, text: &str) -> Value {
+    obj(vec![
+        ("type", Value::from("metrics")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("content_type", Value::from(motro_obs::prom::CONTENT_TYPE)),
+        ("text", Value::from(text)),
+    ])
+}
+
+/// `profile` — one retrieval's per-stage span tree. `tree` is the
+/// [`motro_obs::ProfileNode`] JSON; `rendered` its indented text form;
+/// `outcome` a summary of the (already authorized) answer so the
+/// profile can be correlated with what the user actually received.
+pub fn profile(id: u64, epoch: u64, tree: Value, rendered: &str, outcome: Value) -> Value {
+    obj(vec![
+        ("type", Value::from("profile")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("tree", tree),
+        ("rendered", Value::from(rendered)),
+        ("outcome", outcome),
     ])
 }
 

@@ -57,7 +57,10 @@ const HELP: &str = "commands:
   as USER delete from R [where ...]         checked (reduced) delete
   explain USER retrieve (R.A, ...) [where ...]   audit: why is each
                                         region delivered or masked?
+  profile USER retrieve (R.A, ...) [where ...]   span tree: where did
+                                        the pipeline spend its time?
   stats                                 metrics snapshot (latencies, counters)
+  metrics                               Prometheus text exposition of the same
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -169,6 +172,10 @@ fn client_repl(addr: &str, user: &str) {
             "explain" => client
                 .explain(input.strip_prefix("explain").unwrap_or(input).trim(), None)
                 .map(|r| r.rendered),
+            "metrics" => client.metrics_text(),
+            "profile" => client
+                .profile(input.strip_prefix("profile").unwrap_or(input).trim())
+                .map(|r| format!("{}\noutcome: {}", r.rendered.trim_end(), r.outcome)),
             _ => client.admin(input).map(|m| m.join("\n")),
         };
         match outcome {
@@ -266,6 +273,28 @@ fn dispatch(fe: &mut Frontend, input: &str) -> Result<Option<String>, String> {
         return Ok(Some(
             motro_authz::obs::metrics::registry().snapshot().to_json(),
         ));
+    }
+    if input.eq_ignore_ascii_case("metrics") {
+        return Ok(Some(motro_authz::obs::prom::render(
+            &motro_authz::obs::metrics::registry().snapshot(),
+        )));
+    }
+    if let Some(rest) = input.strip_prefix("profile ") {
+        let (user, stmt) = rest
+            .split_once(' ')
+            .ok_or_else(|| "usage: profile USER retrieve (...)".to_owned())?;
+        let session = motro_authz::obs::profile::begin("repl");
+        let outcome = fe.query(user, stmt);
+        let tree = session.finish();
+        let mut out = match outcome {
+            Ok(o) => o.render(),
+            Err(e) => format!("error: {e}"),
+        };
+        if let Some(node) = tree {
+            out.push_str("\nprofile:\n");
+            out.push_str(&node.render_text());
+        }
+        return Ok(Some(out));
     }
     if let Some(rest) = input.strip_prefix("as ") {
         let (user, stmt) = rest

@@ -290,7 +290,11 @@ impl Frontend {
     /// behalf of `user`.
     pub fn query(&self, user: &str, stmt: &str) -> Result<RetrieveOutcome, FrontendError> {
         let engine = self.engine();
-        match parse_statement(stmt)? {
+        let parsed = {
+            let _stage = motro_obs::profile::stage("parse");
+            parse_statement(stmt)?
+        };
+        match parsed {
             Statement::Retrieve(q) => {
                 Ok(RetrieveOutcome::Rows(Box::new(engine.retrieve(user, &q)?)))
             }
