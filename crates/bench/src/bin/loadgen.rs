@@ -11,6 +11,8 @@
 //! loadgen [--clients N] [--requests N] [--relations N] [--rows N]
 //!         [--views N] [--users N] [--grants N] [--workers N] [--seed S]
 //!         [--out FILE] [--obs-report FILE] [--assert-overhead PCT]
+//!         [--churn N] [--churn-out FILE] [--churn-journal FILE]
+//!         [--assert-retention PCT]
 //! ```
 //!
 //! `--workers` sizes the partitioned mask-pipeline executor inside each
@@ -18,6 +20,19 @@
 //!
 //! Writes `BENCH_server_cache.json` (or `--out`) in the workspace
 //! BENCH_* convention.
+//!
+//! With `--churn N`, additionally runs the invalidation-churn
+//! experiment (DESIGN.md §6e): warm one cache entry per `(user,
+//! query)` pair, then interleave `N` rounds of grant churn — each
+//! round revokes (or re-permits) one view from a round-robin victim
+//! and measures how many *unaffected* users' entries survive the
+//! mutation, plus the post-churn retrieval latency once the
+//! materializer has rewarmed the victim. Writes
+//! `BENCH_invalidation_churn.json` (or `--churn-out`);
+//! `--assert-retention PCT` exits non-zero if any round retains less
+//! than the bound — the CI guardrail for dependency-tracked
+//! invalidation. `--churn-journal FILE` journals the churn run so
+//! `motro-audit replay` can verify it byte-for-byte.
 //!
 //! With `--obs-report`, additionally measures the cost of the
 //! observability layer: three interleaved pairs of runs with telemetry
@@ -49,6 +64,10 @@ struct Args {
     out: String,
     obs_report: Option<String>,
     assert_overhead: Option<f64>,
+    churn: usize,
+    churn_out: String,
+    churn_journal: Option<String>,
+    assert_retention: Option<f64>,
 }
 
 impl Default for Args {
@@ -70,6 +89,10 @@ impl Default for Args {
             out: "BENCH_server_cache.json".to_owned(),
             obs_report: None,
             assert_overhead: None,
+            churn: 0,
+            churn_out: "BENCH_invalidation_churn.json".to_owned(),
+            churn_journal: None,
+            assert_retention: None,
         }
     }
 }
@@ -108,6 +131,16 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--churn" => num(&mut a.churn),
+            "--churn-out" => a.churn_out = it.next().unwrap_or_else(|| usage()),
+            "--churn-journal" => a.churn_journal = Some(it.next().unwrap_or_else(|| usage())),
+            "--assert-retention" => {
+                a.assert_retention = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -118,7 +151,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--clients N] [--requests N] [--relations N] [--rows N] \
          [--views N] [--users N] [--grants N] [--workers N] [--seed S] [--out FILE] \
-         [--obs-report FILE] [--assert-overhead PCT]"
+         [--obs-report FILE] [--assert-overhead PCT] [--churn N] [--churn-out FILE] \
+         [--churn-journal FILE] [--assert-retention PCT]"
     );
     std::process::exit(2);
 }
@@ -395,6 +429,177 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
     (report, overhead_pct)
 }
 
+/// The invalidation-churn experiment (DESIGN.md §6e): warm one cache
+/// entry per `(user, query)` pair, then alternate grant churn with
+/// retrieval sweeps. Each round flips one view grant on a round-robin
+/// victim — a mutation whose touched-set is exactly that user — and
+/// checks two things the dependency-tracked cache promises:
+///
+/// 1. **Retention**: every *other* user's warmed entries survive the
+///    mutation (a full flush would drop them all).
+/// 2. **Warm-on-write**: after `drain_materializer`, the following
+///    sweep is served hot — including the victim, whose dropped
+///    entries the background worker recomputed.
+///
+/// Returns the report and the minimum per-round retention percentage.
+fn churn(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
+    let mut fe = Frontend::with_database(world.db.clone());
+    *fe.auth_store_mut() = world.store.clone();
+    fe.set_exec_config(motro_authz::rel::ExecConfig::with_workers(args.workers));
+    // Victims must hold a grant to flip; with grants ≥ 1 that is every
+    // user, but guard anyway so tiny worlds degrade to a clear error.
+    let victims: Vec<(String, String)> = world
+        .users
+        .iter()
+        .filter_map(|u| {
+            world
+                .store
+                .permitted_views(u)
+                .first()
+                .map(|v| (u.clone(), (*v).to_owned()))
+        })
+        .collect();
+    assert!(
+        !victims.is_empty(),
+        "churn needs at least one user holding a grant (--grants >= 1)"
+    );
+    let journal = args
+        .churn_journal
+        .as_ref()
+        .map(|p| JournalConfig::new(std::path::PathBuf::from(p)));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SharedFrontend::new(fe),
+        ServerConfig {
+            workers: args.clients.clamp(1, 8),
+            cache_capacity: 1024,
+            journal,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // One persistent session per user; the first doubles as the
+    // administrator issuing the churn statements.
+    let mut sessions: Vec<Client> = world
+        .users
+        .iter()
+        .map(|u| Client::connect(addr, u).expect("connect"))
+        .collect();
+    let mut admin = Client::connect(addr, "churn-admin").expect("connect admin");
+
+    // Warm: every user retrieves every statement once, creating
+    // users x queries cache entries (all dependency-tagged).
+    for session in &mut sessions {
+        for stmt in stmts {
+            session.retrieve(stmt).expect("warm retrieve");
+        }
+    }
+    let counts = |server: &Server| -> std::collections::HashMap<String, u64> {
+        server.cache().user_counts().into_iter().collect()
+    };
+
+    let mut rounds = Vec::new();
+    let mut min_retention = 100.0f64;
+    let mut all_latencies = Vec::new();
+    let mut revoked = vec![false; victims.len()];
+    let mut prev = server.cache().stats();
+    for round in 0..args.churn {
+        let slot = round % victims.len();
+        let (victim, view) = &victims[slot];
+        let stmt = if revoked[slot] {
+            format!("permit {view} to {victim}")
+        } else {
+            format!("revoke {view} from {victim}")
+        };
+        revoked[slot] = !revoked[slot];
+
+        let pre = counts(&server);
+        admin.admin(&stmt).expect("churn admin statement");
+        let post = counts(&server);
+        // Retention over the users the mutation did NOT touch. The
+        // materializer only ever re-adds the victim's entries, so this
+        // is race-free even while rewarming runs.
+        let (mut held, mut survived) = (0u64, 0u64);
+        for (user, had) in &pre {
+            if user != victim {
+                held += had;
+                survived += post.get(user).copied().unwrap_or(0).min(*had);
+            }
+        }
+        let retention = 100.0 * survived as f64 / held.max(1) as f64;
+        min_retention = min_retention.min(retention);
+
+        // Let warm-on-write finish, then sweep: with the victim's
+        // entries rewarmed, the whole sweep should be served hot.
+        server.drain_materializer();
+        let mut latencies = Vec::with_capacity(sessions.len() * stmts.len());
+        for session in &mut sessions {
+            for stmt in stmts {
+                let t = Instant::now();
+                session.retrieve(stmt).expect("churn retrieve");
+                latencies.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+        let now = server.cache().stats();
+        let (hits, misses) = (now.hits - prev.hits, now.misses - prev.misses);
+        prev = now;
+        let mean_us = (mean_ns(&latencies) / 1_000.0) as u64;
+        let num = |v: u64| Value::Number(Number::from(v));
+        let mut r = Map::new();
+        r.insert("round".to_owned(), num(round as u64));
+        r.insert("victim".to_owned(), Value::String(victim.clone()));
+        r.insert("statement".to_owned(), Value::String(stmt));
+        r.insert(
+            "retention_pct".to_owned(),
+            Value::Number(Number::from_f64(retention).unwrap_or_else(|| Number::from(0u64))),
+        );
+        r.insert("mean_us".to_owned(), num(mean_us));
+        r.insert("sweep_hits".to_owned(), num(hits));
+        r.insert("sweep_misses".to_owned(), num(misses));
+        rounds.push(Value::Object(r));
+        all_latencies.extend(latencies);
+    }
+
+    let stats = server.cache().stats();
+    let mat = server.materializer_stats();
+    let num = |v: u64| Value::Number(Number::from(v));
+    let mut cache = Map::new();
+    cache.insert("targeted_invalidations".to_owned(), num(stats.targeted_invalidations));
+    cache.insert("full_invalidations".to_owned(), num(stats.full_invalidations));
+    cache.insert("entries_invalidated".to_owned(), num(stats.entries_invalidated));
+    cache.insert("retained_last".to_owned(), num(stats.retained_last));
+    cache.insert("epoch_fallbacks".to_owned(), num(stats.epoch_fallbacks));
+    cache.insert("dep_index_keys".to_owned(), num(stats.dep_index_keys));
+    cache.insert("dep_index_refs".to_owned(), num(stats.dep_index_refs));
+    let mut mat_map = Map::new();
+    if let Some(m) = mat {
+        mat_map.insert("queued".to_owned(), num(m.queued));
+        mat_map.insert("refreshed".to_owned(), num(m.done));
+        mat_map.insert("dropped".to_owned(), num(m.dropped));
+    }
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("invalidation_churn".to_owned()),
+    );
+    report.insert("rounds_run".to_owned(), num(args.churn as u64));
+    report.insert(
+        "min_retention_pct".to_owned(),
+        Value::Number(Number::from_f64(min_retention).unwrap_or_else(|| Number::from(0u64))),
+    );
+    report.insert(
+        "sweep_mean_us".to_owned(),
+        num((mean_ns(&all_latencies) / 1_000.0) as u64),
+    );
+    report.insert("rounds".to_owned(), Value::Array(rounds));
+    report.insert("cache".to_owned(), Value::Object(cache));
+    report.insert("materializer".to_owned(), Value::Object(mat_map));
+    (report, min_retention)
+}
+
 fn main() {
     let args = parse_args();
     let world = ScaledWorld::generate(WorldParams {
@@ -459,6 +664,41 @@ fn main() {
     let json = Value::Object(report).to_string();
     std::fs::write(&args.out, &json).expect("write report");
     println!("{json}");
+
+    if args.churn > 0 {
+        eprintln!("loadgen: invalidation churn, {} rounds", args.churn);
+        let (mut report, min_retention) = churn(&world, &stmts, &args);
+        let mut config = Map::new();
+        for (k, v) in [
+            ("rounds", args.churn),
+            ("users", args.users),
+            ("views", args.views),
+            ("grants_per_user", args.grants),
+            ("queries", stmts.len()),
+        ] {
+            config.insert(k.to_owned(), Value::Number(Number::from(v)));
+        }
+        config.insert("seed".to_owned(), Value::Number(Number::from(args.seed)));
+        report.insert("config".to_owned(), Value::Object(config));
+        if let Some(b) = args.assert_retention {
+            report.insert(
+                "bound_pct".to_owned(),
+                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
+            );
+        }
+        let json = Value::Object(report).to_string();
+        std::fs::write(&args.churn_out, &json).expect("write churn report");
+        eprintln!(
+            "  churn: min unaffected retention {min_retention:.1}% (report: {})",
+            args.churn_out
+        );
+        if let Some(b) = args.assert_retention {
+            if min_retention < b {
+                eprintln!("loadgen: retention {min_retention:.1}% below bound {b}%");
+                std::process::exit(1);
+            }
+        }
+    }
 
     if let Some(path) = &args.obs_report {
         eprintln!("loadgen: measuring observability overhead");

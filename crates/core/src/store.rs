@@ -25,6 +25,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::metarel::{render_table, MetaRelation};
 use crate::metatuple::{MetaCell, MetaTuple, TupleId, VarId};
 use crate::selfjoin;
+use motro_mat::{Dep, DepSet, Touched};
 use motro_rel::{DbSchema, Relation};
 use motro_views::{normalize, CompRhs, ConjunctiveQuery, NormalizedView, VarTerm};
 use serde::{Deserialize, Serialize};
@@ -94,6 +95,15 @@ pub struct AuthStore {
     /// Absent in pre-epoch serialized states, hence the default.
     #[serde(default)]
     epoch: u64,
+    /// The authorization objects changed since the last
+    /// [`AuthStore::take_touched`]: each mutation reports the precise
+    /// users/groups/views/relations it affected, so external mask
+    /// caches can invalidate only the entries derived from them.
+    /// Direct [`AuthStore::bump_epoch`] calls degrade the batch to
+    /// [`Touched::All`] (the old invalidate-everything behaviour).
+    /// Runtime bookkeeping, never serialized.
+    #[serde(skip)]
+    touched: Touched,
 }
 
 impl AuthStore {
@@ -118,6 +128,7 @@ impl AuthStore {
             next_var: 1,
             selfjoin_rounds: 1,
             epoch: 0,
+            touched: Touched::default(),
         }
     }
 
@@ -133,9 +144,76 @@ impl AuthStore {
     /// call it directly only after out-of-band changes that affect
     /// authorization decisions (e.g. swapping the refinement
     /// configuration an engine will run with). Returns the new epoch.
+    ///
+    /// A direct call reports [`Touched::All`]: the caller is telling us
+    /// something out-of-band changed, so the only safe answer is to
+    /// invalidate every cached mask. The store's own mutators instead
+    /// go through [`AuthStore::bump_epoch_touching`] with a precise
+    /// touched-set.
     pub fn bump_epoch(&mut self) -> u64 {
+        self.touched.record_all();
         self.epoch += 1;
         self.epoch
+    }
+
+    /// Advance the epoch while reporting precisely which authorization
+    /// objects the mutation changed.
+    fn bump_epoch_touching(&mut self, deps: impl IntoIterator<Item = Dep>) -> u64 {
+        self.touched.record(deps);
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Drain the touched-set accumulated since the previous call (or
+    /// since construction). Pairs with [`AuthStore::auth_epoch`]: the
+    /// returned batch describes every mutation up to the current epoch,
+    /// so a cache that invalidates the batch at that epoch is exactly
+    /// as fresh as one that recomputed everything.
+    pub fn take_touched(&mut self) -> Touched {
+        self.touched.take()
+    }
+
+    /// The dependency provenance of a mask computed *now* for `user`
+    /// over a plan referencing `query_rels`: every authorization object
+    /// the pipeline reads while deriving it. A mask cache stores this
+    /// alongside the entry and drops the entry whenever a mutation's
+    /// touched-set intersects it.
+    ///
+    /// The set contains the principal itself, each group the principal
+    /// currently belongs to (group grants reach the mask through
+    /// [`AuthStore::permitted_views`]), each relation the plan ranges
+    /// over (view DDL reports the relations its branches store
+    /// meta-tuples in), and each granted view with at least one branch
+    /// usable for the plan (the Section 5 in-their-entirety pruning:
+    /// only those views' meta-tuples can appear among the candidates).
+    /// View-over-view chains need no special casing — a stored view is
+    /// always flattened to base relations at definition time, so the
+    /// relation footprint already names everything the mask can see.
+    pub fn mask_dependencies(&self, user: &str, query_rels: &BTreeSet<String>) -> DepSet {
+        let mut deps = DepSet::new();
+        deps.insert(Dep::user(user));
+        if let Some(group) = user.strip_prefix("group:") {
+            // A `group:G` principal reads G's grants directly.
+            deps.insert(Dep::group(group));
+        }
+        for g in self.groups_of(user) {
+            deps.insert(Dep::group(g));
+        }
+        for rel in query_rels {
+            deps.insert(Dep::relation(rel));
+        }
+        for vname in self.permitted_views(user) {
+            if let Some(entry) = self.views.get(vname) {
+                if entry
+                    .branches
+                    .iter()
+                    .any(|b| b.relations.iter().all(|r| query_rels.contains(r)))
+                {
+                    deps.insert(Dep::view(vname));
+                }
+            }
+        }
+        deps
     }
 
     /// Set how many self-join combination rounds refinement R3 runs
@@ -189,10 +267,14 @@ impl AuthStore {
             let nv = normalize(q, &self.scheme)?;
             entries.push(self.install_normalized(name, q.clone(), &nv)?);
         }
+        let mut deps = vec![Dep::view(name)];
+        for e in &entries {
+            deps.extend(e.relations.iter().map(Dep::relation));
+        }
         self.views
             .insert(name.to_owned(), ViewEntry { branches: entries });
         self.regenerate_selfjoins();
-        self.bump_epoch();
+        self.bump_epoch_touching(deps);
         Ok(())
     }
 
@@ -309,7 +391,11 @@ impl AuthStore {
         self.permissions.retain(|(_, v)| v != name);
         self.group_permissions.retain(|(_, v)| v != name);
         self.regenerate_selfjoins();
-        self.bump_epoch();
+        let mut deps = vec![Dep::view(name)];
+        for b in &entry.branches {
+            deps.extend(b.relations.iter().map(Dep::relation));
+        }
+        self.bump_epoch_touching(deps);
         Ok(())
     }
 
@@ -332,8 +418,8 @@ impl AuthStore {
         if self.views.contains_key(&name) || self.aggregate_views.contains_key(&name) {
             return Err(CoreError::DuplicateView(name));
         }
+        self.bump_epoch_touching([Dep::view(&name)]);
         self.aggregate_views.insert(name, q.clone());
-        self.bump_epoch();
         Ok(())
     }
 
@@ -349,7 +435,7 @@ impl AuthStore {
         }
         self.permissions.retain(|(_, v)| v != name);
         self.group_permissions.retain(|(_, v)| v != name);
-        self.bump_epoch();
+        self.bump_epoch_touching([Dep::view(name)]);
         Ok(())
     }
 
@@ -361,7 +447,7 @@ impl AuthStore {
             return Err(CoreError::UnknownView(view.to_owned()));
         }
         self.permissions.insert((user.to_owned(), view.to_owned()));
-        self.bump_epoch();
+        self.bump_epoch_touching(Self::principal_deps(user));
         Ok(())
     }
 
@@ -373,8 +459,19 @@ impl AuthStore {
                 view: view.to_owned(),
             });
         }
-        self.bump_epoch();
+        self.bump_epoch_touching(Self::principal_deps(user));
         Ok(())
+    }
+
+    /// The touched-set of a grant change for a principal: the principal
+    /// itself, plus the group when the name uses the `group:G`
+    /// convention (such a row is read through the group's grants).
+    fn principal_deps(user: &str) -> Vec<Dep> {
+        let mut deps = vec![Dep::user(user)];
+        if let Some(group) = user.strip_prefix("group:") {
+            deps.push(Dep::group(group));
+        }
+        deps
     }
 
     /// Views granted to `user` — directly or through any group the user
@@ -419,7 +516,7 @@ impl AuthStore {
         }
         self.group_permissions
             .insert((group.to_owned(), view.to_owned()));
-        self.bump_epoch();
+        self.bump_epoch_touching([Dep::group(group)]);
         Ok(())
     }
 
@@ -434,18 +531,21 @@ impl AuthStore {
                 view: view.to_owned(),
             });
         }
-        self.bump_epoch();
+        self.bump_epoch_touching([Dep::group(group)]);
         Ok(())
     }
 
     /// Add `user` to `group`. Membership changes the user's permission
     /// set, so this advances the authorization epoch like any grant.
+    /// Only the joining user's masks are touched: other members'
+    /// grants are unchanged, and the user's future masks pick up the
+    /// group dependency when they are recomputed.
     pub fn add_member(&mut self, group: &str, user: &str) {
         self.membership
             .entry(user.to_owned())
             .or_default()
             .insert(group.to_owned());
-        self.bump_epoch();
+        self.bump_epoch_touching([Dep::user(user)]);
     }
 
     /// Remove `user` from `group`. Returns whether the membership
@@ -462,7 +562,7 @@ impl AuthStore {
             None => false,
         };
         if removed {
-            self.bump_epoch();
+            self.bump_epoch_touching([Dep::user(user)]);
         }
         removed
     }
@@ -927,6 +1027,111 @@ mod tests {
         assert_eq!(s.auth_epoch(), last);
         assert!(!s.remove_member("eng", "Klein"));
         assert_eq!(s.auth_epoch(), last);
+    }
+
+    #[test]
+    fn mutations_report_precise_touched_sets() {
+        let mut s = store();
+        s.take_touched(); // drain the fixture's setup mutations
+
+        s.permit("SAE", "Smith").unwrap();
+        assert_eq!(s.take_touched().render(), vec!["user:Smith"]);
+
+        s.permit_group("SAE", "eng").unwrap();
+        assert_eq!(s.take_touched().render(), vec!["group:eng"]);
+
+        s.add_member("eng", "Klein");
+        assert_eq!(s.take_touched().render(), vec!["user:Klein"]);
+
+        // Batches accumulate until drained.
+        assert!(s.remove_member("eng", "Klein"));
+        s.revoke_group("SAE", "eng").unwrap();
+        assert_eq!(
+            s.take_touched().render(),
+            vec!["user:Klein", "group:eng"]
+        );
+
+        // Grants to a group principal touch the group too.
+        s.permit("SAE", "group:eng").unwrap();
+        assert_eq!(
+            s.take_touched().render(),
+            vec!["user:group:eng", "group:eng"]
+        );
+
+        // View DDL touches the view name and its branch relations.
+        let v = ConjunctiveQuery::view("V")
+            .target("EMPLOYEE", "NAME")
+            .build();
+        s.define_view(&v).unwrap();
+        assert_eq!(
+            s.take_touched().render(),
+            vec!["view:V", "rel:EMPLOYEE"]
+        );
+        s.drop_view("V").unwrap();
+        assert_eq!(
+            s.take_touched().render(),
+            vec!["view:V", "rel:EMPLOYEE"]
+        );
+
+        // A direct bump (out-of-band change) degrades to All,
+        // and All is sticky across the batch.
+        s.bump_epoch();
+        s.permit("SAE", "Smith").unwrap();
+        let t = s.take_touched();
+        assert_eq!(t, Touched::All);
+        assert_eq!(t.render(), vec!["*"]);
+
+        // set_selfjoin_rounds changes every stored combination: All.
+        s.set_selfjoin_rounds(2);
+        assert_eq!(s.take_touched(), Touched::All);
+
+        // Failed mutations touch nothing.
+        assert!(s.permit("NOPE", "Brown").is_err());
+        assert!(s.take_touched().is_empty());
+    }
+
+    #[test]
+    fn mask_dependencies_cover_the_pipeline_reads() {
+        let mut s = store();
+        s.permit_group("SAE", "eng").unwrap();
+        s.add_member("eng", "Brown");
+        s.take_touched(); // drain the setup mutations
+
+        let emp_only: BTreeSet<String> = ["EMPLOYEE".to_string()].into();
+        let deps = s.mask_dependencies("Brown", &emp_only);
+        // Principal, group, plan relation, and the granted views with a
+        // branch inside {EMPLOYEE} (SAE and EST; ELP needs PROJECT too).
+        assert!(deps.contains(&Dep::user("Brown")));
+        assert!(deps.contains(&Dep::group("eng")));
+        assert!(deps.contains(&Dep::relation("EMPLOYEE")));
+        assert!(deps.contains(&Dep::view("SAE")));
+        assert!(deps.contains(&Dep::view("EST")));
+
+        // Klein holds ELP, but it is usable (hence a dependency) only
+        // when the plan covers the view's whole relation footprint.
+        let deps = s.mask_dependencies("Klein", &emp_only);
+        assert!(!deps.contains(&Dep::view("ELP")));
+        let wide: BTreeSet<String> = [
+            "EMPLOYEE".to_string(),
+            "ASSIGNMENT".to_string(),
+            "PROJECT".to_string(),
+        ]
+        .into();
+        let deps = s.mask_dependencies("Klein", &wide);
+        assert!(deps.contains(&Dep::view("ELP")));
+
+        // Group principals read the group's grants directly.
+        let deps = s.mask_dependencies("group:eng", &emp_only);
+        assert!(deps.contains(&Dep::group("eng")));
+        assert!(deps.contains(&Dep::user("group:eng")));
+
+        // Every mutation's touched-set intersects the provenance of the
+        // masks it can change: a group grant hits Brown's deps.
+        s.permit_group("EST", "eng").unwrap();
+        let touched = s.take_touched();
+        assert!(touched.affects(&s.mask_dependencies("Brown", &emp_only)));
+        // ...but not an unrelated user's.
+        assert!(!touched.affects(&s.mask_dependencies("Klein", &emp_only)));
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! `motro-mat`: dependency-tracked invalidation and mask
+//! materialization.
+//!
+//! Motro's mask `A'` is a pure function of the user's grants and the
+//! query's canonical plan — never the data — which makes it cacheable.
+//! The server originally invalidated that cache with a single global
+//! *authorization epoch*: any administrative mutation advanced the
+//! epoch and every cached mask in the process became unreachable at
+//! once. Correct, but maximally blunt — a grant to one user evicts
+//! every other user's masks.
+//!
+//! This crate supplies the vocabulary and machinery for doing better:
+//!
+//! * [`Dep`] / [`DepSet`] — the authorization objects a cached mask
+//!   was derived from (the user, their groups, the relations in the
+//!   plan, and the views whose meta-tuples were consulted).
+//! * [`Touched`] — the precise set of objects an administrative
+//!   mutation changed, accumulated by the store and drained once per
+//!   mutation batch. `Touched::All` is the conservative fallback and
+//!   reproduces the old global-epoch behaviour exactly.
+//! * [`DepIndex`] — an inverted index `dependency -> cache keys` so
+//!   invalidation visits only the entries that could have changed.
+//! * [`WorkingSet`] — a bounded map of recently seen keys, used by the
+//!   server to remember which `(user, plan)` pairs are worth
+//!   re-materializing after a grant change.
+//! * [`Materializer`] — a background worker that re-computes masks
+//!   off the request path (warm-on-write).
+//!
+//! Everything here is plain `std`; the crate has no dependencies so
+//! the vocabulary types can sit below `motro-core` in the graph.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One authorization object a cached mask can depend on.
+///
+/// The four variants mirror the reads the authorization pipeline
+/// performs while deriving a mask: the querying principal's own
+/// grants (`User`), the grants of each group the principal belongs to
+/// (`Group`), the meta-tuples of each view whose branches were
+/// eligible for the plan (`View`), and the base relations the plan
+/// ranges over (`Relation` — view definitions store per-branch
+/// relation footprints, so DDL over a relation is reported against
+/// both the view name and its relations).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dep {
+    /// A principal's own permission rows.
+    User(String),
+    /// A group's permission rows (and its membership list).
+    Group(String),
+    /// A view definition's meta-tuples.
+    View(String),
+    /// A base relation named by some view branch or query plan.
+    Relation(String),
+}
+
+impl Dep {
+    /// Dependency on a principal's own grants.
+    pub fn user(name: impl Into<String>) -> Dep {
+        Dep::User(name.into())
+    }
+
+    /// Dependency on a group's grants or membership.
+    pub fn group(name: impl Into<String>) -> Dep {
+        Dep::Group(name.into())
+    }
+
+    /// Dependency on a view definition.
+    pub fn view(name: impl Into<String>) -> Dep {
+        Dep::View(name.into())
+    }
+
+    /// Dependency on a base relation.
+    pub fn relation(name: impl Into<String>) -> Dep {
+        Dep::Relation(name.into())
+    }
+}
+
+impl fmt::Display for Dep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dep::User(n) => write!(f, "user:{n}"),
+            Dep::Group(n) => write!(f, "group:{n}"),
+            Dep::View(n) => write!(f, "view:{n}"),
+            Dep::Relation(n) => write!(f, "rel:{n}"),
+        }
+    }
+}
+
+/// An ordered set of [`Dep`]s; the provenance of one cached mask.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepSet {
+    deps: BTreeSet<Dep>,
+}
+
+impl DepSet {
+    /// The empty set.
+    pub fn new() -> DepSet {
+        DepSet::default()
+    }
+
+    /// Add one dependency.
+    pub fn insert(&mut self, dep: Dep) {
+        self.deps.insert(dep);
+    }
+
+    /// Whether `dep` is recorded.
+    pub fn contains(&self, dep: &Dep) -> bool {
+        self.deps.contains(dep)
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether no dependencies are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// Iterate the dependencies in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dep> {
+        self.deps.iter()
+    }
+
+    /// Whether the two sets share any dependency.
+    pub fn intersects(&self, other: &DepSet) -> bool {
+        // Iterate the smaller side; sets here are tiny (a handful of
+        // deps per cache entry) so this is effectively O(small).
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().any(|d| large.contains(d))
+    }
+
+    /// Render each dependency as its display form, in order.
+    pub fn render(&self) -> Vec<String> {
+        self.deps.iter().map(|d| d.to_string()).collect()
+    }
+}
+
+impl FromIterator<Dep> for DepSet {
+    fn from_iter<I: IntoIterator<Item = Dep>>(iter: I) -> DepSet {
+        DepSet {
+            deps: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Dep> for DepSet {
+    fn extend<I: IntoIterator<Item = Dep>>(&mut self, iter: I) {
+        self.deps.extend(iter);
+    }
+}
+
+/// What an administrative mutation (or batch of mutations) changed.
+///
+/// The store accumulates one of these across a mutation batch and the
+/// server drains it with `take`-style semantics. `All` is sticky:
+/// once any mutation in the batch reports it, the whole batch is
+/// conservative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Touched {
+    /// Exactly these objects changed.
+    Deps(DepSet),
+    /// Unknown or global change — invalidate everything.
+    All,
+}
+
+impl Default for Touched {
+    fn default() -> Touched {
+        Touched::Deps(DepSet::new())
+    }
+}
+
+impl Touched {
+    /// Record that precisely `deps` changed (merged into the batch).
+    pub fn record(&mut self, deps: impl IntoIterator<Item = Dep>) {
+        if let Touched::Deps(set) = self {
+            set.extend(deps);
+        }
+    }
+
+    /// Record a global change; the batch becomes conservative.
+    pub fn record_all(&mut self) {
+        *self = Touched::All;
+    }
+
+    /// Merge another batch into this one.
+    pub fn merge(&mut self, other: Touched) {
+        match other {
+            Touched::All => *self = Touched::All,
+            Touched::Deps(set) => self.record(set.deps),
+        }
+    }
+
+    /// Whether nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Touched::Deps(set) if set.is_empty())
+    }
+
+    /// Whether a cache entry with provenance `deps` is affected.
+    pub fn affects(&self, deps: &DepSet) -> bool {
+        match self {
+            Touched::All => true,
+            Touched::Deps(set) => set.intersects(deps),
+        }
+    }
+
+    /// Drain the batch, leaving the empty set behind.
+    pub fn take(&mut self) -> Touched {
+        std::mem::take(self)
+    }
+
+    /// Render for telemetry/journal records: `["*"]` for `All`,
+    /// display forms otherwise.
+    pub fn render(&self) -> Vec<String> {
+        match self {
+            Touched::All => vec!["*".to_string()],
+            Touched::Deps(set) => set.render(),
+        }
+    }
+}
+
+/// Sizes of a [`DepIndex`]: distinct dependencies and total key
+/// references.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepIndexStats {
+    /// Distinct dependencies with at least one referring key.
+    pub keys: u64,
+    /// Total `(dependency, key)` references.
+    pub refs: u64,
+}
+
+/// Inverted index from dependencies to the cache keys derived from
+/// them.
+///
+/// `insert`/`remove` keep the index exact: a key is listed under each
+/// of its dependencies and under nothing else, and empty postings are
+/// pruned eagerly so `stats` reflects live size.
+#[derive(Debug, Clone, Default)]
+pub struct DepIndex<K: Ord + Clone> {
+    by_dep: BTreeMap<Dep, BTreeSet<K>>,
+}
+
+impl<K: Ord + Clone> DepIndex<K> {
+    /// An empty index.
+    pub fn new() -> DepIndex<K> {
+        DepIndex {
+            by_dep: BTreeMap::new(),
+        }
+    }
+
+    /// Register `key` under every dependency in `deps`.
+    pub fn insert(&mut self, key: K, deps: &DepSet) {
+        for dep in deps.iter() {
+            self.by_dep
+                .entry(dep.clone())
+                .or_default()
+                .insert(key.clone());
+        }
+    }
+
+    /// Unregister `key` from every dependency in `deps`.
+    pub fn remove(&mut self, key: &K, deps: &DepSet) {
+        for dep in deps.iter() {
+            if let Some(keys) = self.by_dep.get_mut(dep) {
+                keys.remove(key);
+                if keys.is_empty() {
+                    self.by_dep.remove(dep);
+                }
+            }
+        }
+    }
+
+    /// All keys registered under any dependency in `deps`.
+    pub fn collect(&self, deps: &DepSet) -> BTreeSet<K> {
+        let mut out = BTreeSet::new();
+        for dep in deps.iter() {
+            if let Some(keys) = self.by_dep.get(dep) {
+                out.extend(keys.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.by_dep.clear();
+    }
+
+    /// Live sizes.
+    pub fn stats(&self) -> DepIndexStats {
+        DepIndexStats {
+            keys: self.by_dep.len() as u64,
+            refs: self.by_dep.values().map(|s| s.len() as u64).sum(),
+        }
+    }
+}
+
+/// A bounded map of recently noted keys, FIFO-evicted by first
+/// insertion.
+///
+/// The server keeps one of these over `(user, plan)` pairs: after a
+/// targeted invalidation, the entries that were both removed from the
+/// cache and still present here are worth re-materializing in the
+/// background.
+#[derive(Debug)]
+pub struct WorkingSet<K: Ord + Clone, V> {
+    capacity: usize,
+    order: VecDeque<K>,
+    map: BTreeMap<K, V>,
+}
+
+impl<K: Ord + Clone, V> WorkingSet<K, V> {
+    /// A working set holding at most `capacity` keys (0 disables it).
+    pub fn new(capacity: usize) -> WorkingSet<K, V> {
+        WorkingSet {
+            capacity,
+            order: VecDeque::new(),
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Note a key (refreshing its value), evicting the oldest key
+    /// when full.
+    pub fn note(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Look up a noted key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is noted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Counters published by a [`Materializer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatStats {
+    /// Jobs accepted onto the queue.
+    pub queued: u64,
+    /// Jobs the worker finished running.
+    pub done: u64,
+    /// Jobs dropped because the queue was full or closed.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+struct MatCounters {
+    queued: AtomicU64,
+    done: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A single background worker draining a bounded job queue.
+///
+/// The handler runs on a dedicated thread; `enqueue` never blocks —
+/// when the queue is full the job is dropped and counted, because a
+/// materialization job is only ever an optimization (the request path
+/// recomputes on miss). Dropping the materializer closes the queue
+/// and joins the worker.
+pub struct Materializer<J: Send + 'static> {
+    tx: Option<SyncSender<J>>,
+    worker: Option<JoinHandle<()>>,
+    counters: Arc<MatCounters>,
+}
+
+impl<J: Send + 'static> Materializer<J> {
+    /// Spawn the worker with a queue bound of `capacity` jobs.
+    pub fn new<F>(capacity: usize, handler: F) -> Materializer<J>
+    where
+        F: Fn(J) + Send + 'static,
+    {
+        let (tx, rx): (SyncSender<J>, Receiver<J>) =
+            std::sync::mpsc::sync_channel(capacity.max(1));
+        let counters = Arc::new(MatCounters::default());
+        let worker_counters = Arc::clone(&counters);
+        let worker = std::thread::Builder::new()
+            .name("motro-mat".to_string())
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    handler(job);
+                    worker_counters.done.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn materializer worker");
+        Materializer {
+            tx: Some(tx),
+            worker: Some(worker),
+            counters,
+        }
+    }
+
+    /// Offer a job; returns whether it was accepted.
+    pub fn enqueue(&self, job: J) -> bool {
+        let accepted = match &self.tx {
+            Some(tx) => !matches!(
+                tx.try_send(job),
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_))
+            ),
+            None => false,
+        };
+        if accepted {
+            self.counters.queued.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MatStats {
+        MatStats {
+            queued: self.counters.queued.load(Ordering::Relaxed),
+            done: self.counters.done.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Block until every job accepted so far has been run (test
+    /// helper; spins with a short sleep).
+    pub fn drain(&self) {
+        loop {
+            let stats = self.stats();
+            if stats.done >= stats.queued {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+impl<J: Send + 'static> Drop for Materializer<J> {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(deps: &[Dep]) -> DepSet {
+        deps.iter().cloned().collect()
+    }
+
+    #[test]
+    fn dep_display_is_prefixed() {
+        assert_eq!(Dep::user("Brown").to_string(), "user:Brown");
+        assert_eq!(Dep::group("staff").to_string(), "group:staff");
+        assert_eq!(Dep::view("V1").to_string(), "view:V1");
+        assert_eq!(Dep::relation("EMPLOYEE").to_string(), "rel:EMPLOYEE");
+    }
+
+    #[test]
+    fn depset_intersection_and_render() {
+        let a = set(&[Dep::user("a"), Dep::view("V")]);
+        let b = set(&[Dep::view("V"), Dep::relation("R")]);
+        let c = set(&[Dep::user("c")]);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.render(), vec!["user:a".to_string(), "view:V".to_string()]);
+    }
+
+    #[test]
+    fn touched_accumulates_and_all_is_sticky() {
+        let mut t = Touched::default();
+        assert!(t.is_empty());
+        t.record([Dep::user("a")]);
+        t.record([Dep::group("g")]);
+        assert!(t.affects(&set(&[Dep::group("g")])));
+        assert!(!t.affects(&set(&[Dep::user("b")])));
+        t.record_all();
+        t.record([Dep::user("a")]);
+        assert_eq!(t, Touched::All);
+        assert!(t.affects(&set(&[Dep::user("anything")])));
+        assert_eq!(t.render(), vec!["*".to_string()]);
+        let drained = t.take();
+        assert_eq!(drained, Touched::All);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn touched_merge_unions_batches() {
+        let mut t = Touched::default();
+        let mut other = Touched::default();
+        other.record([Dep::view("V")]);
+        t.merge(other);
+        assert!(t.affects(&set(&[Dep::view("V")])));
+        t.merge(Touched::All);
+        assert_eq!(t, Touched::All);
+    }
+
+    #[test]
+    fn dep_index_collects_and_prunes() {
+        let mut index: DepIndex<u32> = DepIndex::new();
+        let deps1 = set(&[Dep::user("a"), Dep::relation("R")]);
+        let deps2 = set(&[Dep::user("b"), Dep::relation("R")]);
+        index.insert(1, &deps1);
+        index.insert(2, &deps2);
+        assert_eq!(index.stats(), DepIndexStats { keys: 3, refs: 4 });
+
+        let hit = index.collect(&set(&[Dep::relation("R")]));
+        assert_eq!(hit.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+        let hit = index.collect(&set(&[Dep::user("a")]));
+        assert_eq!(hit.into_iter().collect::<Vec<_>>(), vec![1]);
+
+        index.remove(&1, &deps1);
+        assert_eq!(index.stats(), DepIndexStats { keys: 2, refs: 2 });
+        assert!(index.collect(&set(&[Dep::user("a")])).is_empty());
+
+        index.clear();
+        assert_eq!(index.stats(), DepIndexStats::default());
+    }
+
+    #[test]
+    fn working_set_evicts_oldest_first() {
+        let mut ws: WorkingSet<u32, &str> = WorkingSet::new(2);
+        ws.note(1, "one");
+        ws.note(2, "two");
+        ws.note(2, "two again");
+        ws.note(3, "three");
+        assert_eq!(ws.len(), 2);
+        assert!(ws.get(&1).is_none());
+        assert_eq!(ws.get(&2), Some(&"two again"));
+        assert_eq!(ws.get(&3), Some(&"three"));
+        assert_eq!(ws.capacity(), 2);
+    }
+
+    #[test]
+    fn working_set_zero_capacity_is_inert() {
+        let mut ws: WorkingSet<u32, u32> = WorkingSet::new(0);
+        ws.note(1, 1);
+        assert!(ws.is_empty());
+        assert!(ws.get(&1).is_none());
+    }
+
+    #[test]
+    fn materializer_runs_jobs_and_counts_drops() {
+        use std::sync::atomic::AtomicUsize;
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_worker = Arc::clone(&seen);
+        let mat: Materializer<usize> = Materializer::new(64, move |n| {
+            seen_worker.fetch_add(n, Ordering::SeqCst);
+        });
+        for n in 1..=5 {
+            assert!(mat.enqueue(n));
+        }
+        mat.drain();
+        assert_eq!(seen.load(Ordering::SeqCst), 15);
+        let stats = mat.stats();
+        assert_eq!(stats.queued, 5);
+        assert_eq!(stats.done, 5);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn materializer_drops_when_queue_full() {
+        // A handler that blocks until released, so the queue can fill.
+        let gate = Arc::new(std::sync::Mutex::new(()));
+        let held = gate.lock().unwrap();
+        let gate_worker = Arc::clone(&gate);
+        let mat: Materializer<u32> = Materializer::new(1, move |_| {
+            let _g = gate_worker.lock().unwrap();
+        });
+        // First job occupies the worker, second fills the queue slot;
+        // eventually an offer must be rejected.
+        let mut dropped = false;
+        for n in 0..64 {
+            if !mat.enqueue(n) {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "bounded queue never reported full");
+        assert!(mat.stats().dropped >= 1);
+        drop(held);
+        mat.drain();
+    }
+}

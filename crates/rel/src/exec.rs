@@ -78,11 +78,25 @@ impl ExecConfig {
         }
     }
 
+    /// An executor sized to the machine:
+    /// [`std::thread::available_parallelism`] workers (sequential when
+    /// the count is unavailable) and the default threshold. Small
+    /// inputs still run sequentially — `min_partition_rows` gates
+    /// partitioning — so this is safe as a general default.
+    pub fn auto() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ExecConfig::with_workers(workers)
+    }
+
     /// Read `MOTRO_WORKERS` / `MOTRO_MIN_PARTITION_ROWS` from the
-    /// environment, defaulting to sequential. This is how the tier-1
-    /// test suite runs at alternative worker counts.
+    /// environment, defaulting to [`ExecConfig::auto`] — the worker
+    /// count matches the machine unless pinned by hand. Setting
+    /// `MOTRO_WORKERS=1` forces sequential execution (the tier-1 test
+    /// suite uses the variable to run at specific worker counts).
     pub fn from_env() -> Self {
-        let mut cfg = ExecConfig::sequential();
+        let mut cfg = ExecConfig::auto();
         if let Some(w) = read_env_usize(WORKERS_ENV) {
             cfg.workers = w.max(1);
         }
@@ -372,12 +386,22 @@ mod tests {
     }
 
     #[test]
-    fn from_env_defaults_sequential() {
+    fn from_env_yields_a_usable_config() {
         // Tests must not mutate the process environment; just verify the
         // default shape when the variables are absent or already set by
         // the harness (from_env never returns workers == 0 either way).
         let cfg = ExecConfig::from_env();
         assert!(cfg.workers >= 1);
         assert!(cfg.min_partition_rows >= 1);
+    }
+
+    #[test]
+    fn auto_matches_available_parallelism() {
+        let cfg = ExecConfig::auto();
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(cfg.workers, cpus.max(1));
+        assert_eq!(cfg.min_partition_rows, DEFAULT_MIN_PARTITION_ROWS);
     }
 }

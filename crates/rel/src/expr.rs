@@ -231,6 +231,15 @@ impl CanonicalPlan {
         Ok(self.product_schema(scheme)?.project(&self.projection))
     }
 
+    /// The distinct base relations the plan ranges over (self-products
+    /// collapse to one entry). This is the plan's contribution to a
+    /// cached mask's dependency provenance: a mask can only change when
+    /// something touching one of these relations (or the user's grants)
+    /// changes.
+    pub fn relation_footprint(&self) -> std::collections::BTreeSet<String> {
+        self.relations.iter().cloned().collect()
+    }
+
     /// Validate the plan against `scheme`: relations exist, selection
     /// typechecks over the product schema, projection indices in range.
     pub fn validate(&self, scheme: &DbSchema) -> RelResult<()> {

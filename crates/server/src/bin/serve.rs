@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N]
-//!             [--cache N] [--admin USER]... [--log-format text|json]
+//!             [--cache N] [--working-set N] [--no-materialize]
+//!             [--admin USER]... [--log-format text|json]
 //!             [--metrics-addr ADDR] [--window-secs N]
 //!             [--journal FILE] [--journal-fsync]
 //!             [--journal-max-bytes N] [--journal-explain]
@@ -12,6 +13,12 @@
 //! `--workers` sizes the connection pool; `--exec-workers` sizes the
 //! partitioned mask-pipeline executor *within* each request (see
 //! DESIGN.md §6c) — results are identical at any value.
+//!
+//! Materialization (DESIGN.md §6e): by default a background worker
+//! eagerly recomputes masks that a grant change invalidated, for the
+//! `--working-set` most recently retrieved `(user, plan)` pairs, so
+//! the next retrieval hits the cache again. `--no-materialize` turns
+//! warm-on-write off; `--working-set 0` does too (no candidates).
 //!
 //! With `--state`, the server loads a [`Frontend::to_json`] snapshot;
 //! otherwise it starts from the paper's example database (handy for
@@ -42,9 +49,9 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N] [--cache N] \
-         [--admin USER]... [--log-format text|json] [--metrics-addr ADDR] [--window-secs N] \
-         [--journal FILE] [--journal-fsync] [--journal-max-bytes N] [--journal-explain] \
-         [--slow-query-ms N]"
+         [--working-set N] [--no-materialize] [--admin USER]... [--log-format text|json] \
+         [--metrics-addr ADDR] [--window-secs N] [--journal FILE] [--journal-fsync] \
+         [--journal-max-bytes N] [--journal-explain] [--slow-query-ms N]"
     );
     std::process::exit(2);
 }
@@ -85,6 +92,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--working-set" => {
+                config.working_set = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-materialize" => config.materialize = false,
             "--admin" => admins.push(args.next().unwrap_or_else(|| usage())),
             "--log-format" => match args.next().as_deref() {
                 Some("text") => log::set_format(LogFormat::Text),

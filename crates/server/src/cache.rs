@@ -1,24 +1,35 @@
-//! The epoch-invalidated per-user mask cache.
+//! The dependency-invalidated per-user mask cache.
 //!
 //! The paper's central observation makes masks cacheable: the mask `A'`
 //! is a *pure function* of the user's permission set and the query's
 //! canonical plan — it never looks at the data. The permission set only
-//! changes through administrative statements, each of which advances
-//! the store's monotone *authorization epoch*
-//! ([`motro_authz::core::AuthStore::auth_epoch`]). So a mask computed
-//! for `(user, plan)` at epoch `e` is valid exactly as long as the
-//! epoch still reads `e` — and keying the cache by
-//! `(user, plan-fingerprint, epoch)` makes stale entries *unreachable*
-//! the instant any grant, view, or membership changes, with no
-//! invalidation protocol at all. The data side of a retrieval is always
+//! changes through administrative statements. Each cached entry
+//! therefore carries its *dependency provenance*
+//! ([`motro_mat::DepSet`]): the user, their groups, the plan's base
+//! relations, and the granted views whose meta-tuples were eligible.
+//! Every administrative mutation reports the precise objects it
+//! touched ([`motro_mat::Touched`]), and [`MaskCache::invalidate`]
+//! drops exactly the entries whose provenance intersects — a grant to
+//! one user no longer evicts anyone else's masks. An inverted
+//! dependency index ([`motro_mat::DepIndex`]) makes that lookup
+//! proportional to the touched objects, not the cache size.
+//!
+//! The store's monotone *authorization epoch*
+//! ([`motro_authz::core::AuthStore::auth_epoch`]) survives as the
+//! consistency backstop: the cache remembers the epoch its entries are
+//! consistent with, and a lookup or insert at a *newer* epoch than the
+//! cache has been told about means some mutation bypassed the
+//! touched-set protocol — the cache falls back to the old behaviour
+//! and flushes everything. The data side of a retrieval is always
 //! re-executed live; only the meta side (the expensive
 //! prune/product/select/project pipeline) is reused.
 
 use motro_authz::core::{Mask, PermitStatement};
 use motro_authz::rel::CanonicalPlan;
+use motro_mat::{DepIndex, DepSet, Touched};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -50,12 +61,15 @@ impl CachedMask {
 /// distinct plans whose fingerprints collide therefore miss instead of
 /// aliasing each other's masks — a collision must never change an
 /// authorization decision.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The epoch is *not* part of the key: entries are kept fresh by
+/// dependency-tracked invalidation, with the cache-wide epoch watermark
+/// as the fallback.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CacheKey {
     user: String,
     fingerprint: u64,
     plan: String,
-    epoch: u64,
 }
 
 impl Hash for CacheKey {
@@ -66,8 +80,23 @@ impl Hash for CacheKey {
         // keys land in the same bucket but never match.
         self.user.hash(state);
         self.fingerprint.hash(state);
-        self.epoch.hash(state);
     }
+}
+
+/// One live entry: the mask plus the provenance it was derived from.
+#[derive(Debug)]
+struct Entry {
+    mask: Arc<CachedMask>,
+    deps: DepSet,
+}
+
+/// The map, its inverted dependency index, and the epoch watermark the
+/// entries are consistent with — one lock so they can never disagree.
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    index: DepIndex<CacheKey>,
+    epoch: u64,
 }
 
 /// A point-in-time view of the cache counters.
@@ -77,24 +106,48 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to a fresh mask computation.
     pub misses: u64,
-    /// Live entries (any epoch).
+    /// Live entries.
     pub entries: usize,
-    /// Entries evicted because their epoch was superseded (stale masks
-    /// made unreachable by an administrative statement).
+    /// Entries dropped by full flushes (a `Touched::All` mutation or
+    /// the epoch fallback), the modern form of the old stale-epoch
+    /// eviction counter.
     pub epoch_evictions: u64,
     /// Entries evicted to stay within capacity while still current.
     pub capacity_evictions: u64,
+    /// Mutations whose precise touched-set was applied (only
+    /// intersecting entries dropped).
+    pub targeted_invalidations: u64,
+    /// Mutations that flushed the whole cache (`Touched::All`).
+    pub full_invalidations: u64,
+    /// Entries dropped by targeted invalidations.
+    pub entries_invalidated: u64,
+    /// Entries that survived the most recent invalidation.
+    pub retained_last: u64,
+    /// Lookups/inserts that arrived at a newer epoch than any
+    /// invalidation reported — the consistency backstop fired and
+    /// flushed the cache.
+    pub epoch_fallbacks: u64,
+    /// Distinct dependencies in the inverted index.
+    pub dep_index_keys: u64,
+    /// Total `(dependency, entry)` references in the inverted index.
+    pub dep_index_refs: u64,
 }
 
-/// A bounded map from `(user, plan-fingerprint, epoch)` to masks.
+/// A bounded map from `(user, plan-fingerprint)` to masks, invalidated
+/// by dependency intersection.
 #[derive(Debug)]
 pub struct MaskCache {
     capacity: usize,
-    map: Mutex<HashMap<CacheKey, Arc<CachedMask>>>,
+    inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
     epoch_evictions: AtomicU64,
     capacity_evictions: AtomicU64,
+    targeted_invalidations: AtomicU64,
+    full_invalidations: AtomicU64,
+    entries_invalidated: AtomicU64,
+    retained_last: AtomicU64,
+    epoch_fallbacks: AtomicU64,
 }
 
 impl MaskCache {
@@ -103,11 +156,20 @@ impl MaskCache {
     pub fn new(capacity: usize) -> MaskCache {
         MaskCache {
             capacity,
-            map: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                index: DepIndex::new(),
+                epoch: 0,
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             epoch_evictions: AtomicU64::new(0),
             capacity_evictions: AtomicU64::new(0),
+            targeted_invalidations: AtomicU64::new(0),
+            full_invalidations: AtomicU64::new(0),
+            entries_invalidated: AtomicU64::new(0),
+            retained_last: AtomicU64::new(0),
+            epoch_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -132,17 +194,40 @@ impl MaskCache {
         Self::fingerprint_of(&Self::render(plan))
     }
 
-    fn key_for(user: &str, plan: &CanonicalPlan, epoch: u64) -> CacheKey {
+    fn key_for(user: &str, plan: &CanonicalPlan) -> CacheKey {
         let rendered = Self::render(plan);
         CacheKey {
             user: user.to_owned(),
             fingerprint: Self::fingerprint_of(&rendered),
             plan: rendered,
-            epoch,
         }
     }
 
-    /// Look up the mask for `(user, plan)` at `epoch`.
+    /// The epoch backstop: a caller observing a newer store epoch than
+    /// any invalidation reported means a mutation bypassed the
+    /// touched-set protocol — flush everything, exactly the old
+    /// epoch-keyed behaviour.
+    fn sync_epoch(&self, inner: &mut Inner, epoch: u64) {
+        if epoch <= inner.epoch {
+            return;
+        }
+        let dropped = inner.map.len() as u64;
+        if dropped > 0 {
+            inner.map.clear();
+            inner.index.clear();
+            self.epoch_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.full_invalidations.fetch_add(1, Ordering::Relaxed);
+            self.epoch_evictions.fetch_add(dropped, Ordering::Relaxed);
+            self.retained_last.store(0, Ordering::Relaxed);
+            motro_obs::counter!("server.cache.epoch_fallbacks").inc();
+            motro_obs::counter!("server.cache.full_invalidations").inc();
+            motro_obs::counter!("server.cache.epoch_evictions").add(dropped);
+        }
+        inner.epoch = epoch;
+    }
+
+    /// Look up the mask for `(user, plan)` as observed at store epoch
+    /// `epoch`.
     pub fn get(&self, user: &str, plan: &CanonicalPlan, epoch: u64) -> Option<Arc<CachedMask>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
@@ -151,11 +236,21 @@ impl MaskCache {
             motro_obs::counter!("server.cache.misses").inc();
             return None;
         }
-        self.get_keyed(&Self::key_for(user, plan, epoch))
+        self.get_keyed(&Self::key_for(user, plan), epoch)
     }
 
-    fn get_keyed(&self, key: &CacheKey) -> Option<Arc<CachedMask>> {
-        let found = self.map.lock().get(key).cloned();
+    fn get_keyed(&self, key: &CacheKey, epoch: u64) -> Option<Arc<CachedMask>> {
+        let found = {
+            let mut inner = self.inner.lock();
+            self.sync_epoch(&mut inner, epoch);
+            if epoch < inner.epoch {
+                // The caller's snapshot predates an invalidation; its
+                // plan may be about to be recomputed anyway. Miss.
+                None
+            } else {
+                inner.map.get(key).map(|e| Arc::clone(&e.mask))
+            }
+        };
         match &found {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -169,53 +264,145 @@ impl MaskCache {
         found
     }
 
-    /// Insert the mask computed for `(user, plan)` at `epoch`.
+    /// Insert the mask computed for `(user, plan)` at store epoch
+    /// `epoch`, with the dependency provenance it was derived from.
     ///
-    /// When the cache is full, entries from other (necessarily older or
-    /// concurrent-superseded) epochs are evicted first; if every entry
-    /// is still current, a bounded slice (a quarter of capacity, at
-    /// least one entry) is shed instead of the whole generation, so an
-    /// insert burst at a stable epoch cannot dump every hot mask.
-    pub fn insert(&self, user: &str, plan: &CanonicalPlan, epoch: u64, mask: Arc<CachedMask>) {
+    /// A mask computed at an older epoch than the cache watermark is
+    /// discarded — it may predate an invalidation that would have
+    /// covered it. When the cache is full, a bounded slice (a quarter
+    /// of capacity, at least one entry) is shed, so an insert burst
+    /// cannot dump every hot mask at once.
+    pub fn insert(
+        &self,
+        user: &str,
+        plan: &CanonicalPlan,
+        epoch: u64,
+        deps: DepSet,
+        mask: Arc<CachedMask>,
+    ) {
         if self.capacity == 0 {
             return;
         }
-        self.insert_keyed(Self::key_for(user, plan, epoch), mask);
+        self.insert_keyed(Self::key_for(user, plan), epoch, deps, mask);
     }
 
-    fn insert_keyed(&self, key: CacheKey, mask: Arc<CachedMask>) {
-        let epoch = key.epoch;
-        let mut map = self.map.lock();
-        if map.len() >= self.capacity && !map.contains_key(&key) {
-            let before = map.len();
-            map.retain(|k, _| k.epoch == epoch);
-            let stale = (before - map.len()) as u64;
-            if stale > 0 {
-                self.epoch_evictions.fetch_add(stale, Ordering::Relaxed);
-                motro_obs::counter!("server.cache.epoch_evictions").add(stale);
-            }
-            if map.len() >= self.capacity {
-                let shed = (self.capacity / 4).max(1).min(map.len());
-                let victims: Vec<CacheKey> = map.keys().take(shed).cloned().collect();
-                for victim in &victims {
-                    map.remove(victim);
-                }
-                self.capacity_evictions
-                    .fetch_add(victims.len() as u64, Ordering::Relaxed);
-                motro_obs::counter!("server.cache.capacity_evictions").add(victims.len() as u64);
-            }
+    fn insert_keyed(&self, key: CacheKey, epoch: u64, deps: DepSet, mask: Arc<CachedMask>) {
+        let mut inner = self.inner.lock();
+        self.sync_epoch(&mut inner, epoch);
+        if epoch < inner.epoch {
+            // Stale compute: an invalidation ran after this mask was
+            // derived. Dropping it is always safe — the next lookup
+            // recomputes at the current epoch.
+            return;
         }
-        map.insert(key, mask);
+        if let Some(old) = inner.map.remove(&key) {
+            inner.index.remove(&key, &old.deps);
+        } else if inner.map.len() >= self.capacity {
+            let shed = (self.capacity / 4).max(1).min(inner.map.len());
+            let victims: Vec<CacheKey> = inner.map.keys().take(shed).cloned().collect();
+            for victim in &victims {
+                if let Some(entry) = inner.map.remove(victim) {
+                    inner.index.remove(victim, &entry.deps);
+                }
+            }
+            self.capacity_evictions
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            motro_obs::counter!("server.cache.capacity_evictions").add(victims.len() as u64);
+        }
+        inner.index.insert(key.clone(), &deps);
+        inner.map.insert(key, Entry { mask, deps });
+    }
+
+    /// Apply one mutation batch: drop exactly the entries whose
+    /// provenance intersects `touched`, and advance the epoch watermark
+    /// to `epoch` (the store epoch after the batch). Returns the
+    /// `(user, rendered plan)` pairs that were dropped by a *targeted*
+    /// invalidation — the materializer's warm-on-write candidates. A
+    /// full flush returns nothing: rewarming the whole cache would be
+    /// work proportional to everything ever seen.
+    ///
+    /// Call this while still holding the same write lock that ran the
+    /// mutation, so no reader can observe the new epoch before the
+    /// cache reflects it.
+    pub fn invalidate(&self, touched: &Touched, epoch: u64) -> Vec<(String, String)> {
+        if self.capacity == 0 {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock();
+        let removed = match touched {
+            Touched::All => {
+                let dropped = inner.map.len() as u64;
+                inner.map.clear();
+                inner.index.clear();
+                self.full_invalidations.fetch_add(1, Ordering::Relaxed);
+                self.epoch_evictions.fetch_add(dropped, Ordering::Relaxed);
+                self.entries_invalidated
+                    .fetch_add(dropped, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.full_invalidations").inc();
+                motro_obs::counter!("server.cache.epoch_evictions").add(dropped);
+                motro_obs::counter!("server.cache.entries_invalidated").add(dropped);
+                Vec::new()
+            }
+            Touched::Deps(deps) if deps.is_empty() => Vec::new(),
+            Touched::Deps(deps) => {
+                self.targeted_invalidations.fetch_add(1, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.targeted_invalidations").inc();
+                let victims = inner.index.collect(deps);
+                let mut removed = Vec::with_capacity(victims.len());
+                for key in victims {
+                    if let Some(entry) = inner.map.remove(&key) {
+                        inner.index.remove(&key, &entry.deps);
+                        removed.push((key.user, key.plan));
+                    }
+                }
+                self.entries_invalidated
+                    .fetch_add(removed.len() as u64, Ordering::Relaxed);
+                motro_obs::counter!("server.cache.entries_invalidated")
+                    .add(removed.len() as u64);
+                removed
+            }
+        };
+        self.retained_last
+            .store(inner.map.len() as u64, Ordering::Relaxed);
+        if epoch > inner.epoch {
+            inner.epoch = epoch;
+        }
+        removed
+    }
+
+    /// Live entry counts per user, for the `cache` introspection
+    /// command.
+    pub fn user_counts(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock();
+        let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+        for key in inner.map.keys() {
+            *counts.entry(key.user.as_str()).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(u, n)| (u.to_owned(), n))
+            .collect()
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
+        let (entries, index_stats) = {
+            let inner = self.inner.lock();
+            (inner.map.len(), inner.index.stats())
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().len(),
+            entries,
             epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
             capacity_evictions: self.capacity_evictions.load(Ordering::Relaxed),
+            targeted_invalidations: self.targeted_invalidations.load(Ordering::Relaxed),
+            full_invalidations: self.full_invalidations.load(Ordering::Relaxed),
+            entries_invalidated: self.entries_invalidated.load(Ordering::Relaxed),
+            retained_last: self.retained_last.load(Ordering::Relaxed),
+            epoch_fallbacks: self.epoch_fallbacks.load(Ordering::Relaxed),
+            dep_index_keys: index_stats.keys,
+            dep_index_refs: index_stats.refs,
         }
     }
 }
@@ -227,6 +414,7 @@ mod tests {
     use motro_authz::lang::{parse_statement, Statement};
     use motro_authz::views::compile;
     use motro_authz::Frontend;
+    use motro_mat::Dep;
 
     fn plan_of(fe: &Frontend, stmt: &str) -> CanonicalPlan {
         match parse_statement(stmt).unwrap() {
@@ -251,21 +439,147 @@ mod tests {
         Arc::new(CachedMask::new(out.mask, &out.permits, out.full_access))
     }
 
+    fn deps_for(fe: &Frontend, user: &str, plan: &CanonicalPlan) -> DepSet {
+        fe.auth_store()
+            .mask_dependencies(user, &plan.relation_footprint())
+    }
+
+    fn insert(cache: &MaskCache, fe: &Frontend, user: &str, plan: &CanonicalPlan, epoch: u64) {
+        cache.insert(
+            user,
+            plan,
+            epoch,
+            deps_for(fe, user, plan),
+            cached_mask(fe, user, plan),
+        );
+    }
+
     #[test]
-    fn hit_only_at_matching_epoch() {
+    fn hit_survives_epoch_when_invalidation_reported() {
         let fe = frontend();
         let cache = MaskCache::new(16);
         let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)");
         let e = fe.auth_epoch();
         assert!(cache.get("Brown", &plan, e).is_none());
-        cache.insert("Brown", &plan, e, cached_mask(&fe, "Brown", &plan));
+        insert(&cache, &fe, "Brown", &plan, e);
         assert!(cache.get("Brown", &plan, e).is_some());
-        // A bumped epoch makes the entry unreachable — no stale mask.
-        assert!(cache.get("Brown", &plan, e + 1).is_none());
-        // And other users never see it.
+        // Other users never see it.
         assert!(cache.get("Klein", &plan, e).is_none());
+        // A mutation touching someone else, reported via invalidate,
+        // leaves the entry live at the new epoch.
+        let mut touched = Touched::default();
+        touched.record([Dep::user("Klein")]);
+        let removed = cache.invalidate(&touched, e + 1);
+        assert!(removed.is_empty());
+        assert!(cache.get("Brown", &plan, e + 1).is_some());
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.entries), (1, 3, 1));
+        assert_eq!((s.targeted_invalidations, s.entries_invalidated), (1, 0));
+        assert_eq!(s.retained_last, 1);
+    }
+
+    #[test]
+    fn unreported_epoch_move_falls_back_to_full_flush() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)");
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &plan, e);
+        // The epoch moved with no invalidate() call: the backstop must
+        // flush rather than serve a possibly-stale mask.
+        assert!(cache.get("Brown", &plan, e + 1).is_none());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.epoch_fallbacks, 1);
+        assert_eq!(s.full_invalidations, 1);
+        assert_eq!(s.epoch_evictions, 1);
+    }
+
+    #[test]
+    fn targeted_invalidation_drops_exactly_the_touched_entries() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &plan, e);
+        insert(&cache, &fe, "Klein", &plan, e);
+        assert_eq!(cache.stats().entries, 2);
+
+        // A grant change for Brown drops Brown's entry and keeps
+        // Klein's, returning the dropped pair for rewarming.
+        let mut touched = Touched::default();
+        touched.record([Dep::user("Brown")]);
+        let removed = cache.invalidate(&touched, e + 1);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].0, "Brown");
+        assert_eq!(removed[0].1, MaskCache::render(&plan));
+        assert!(cache.get("Brown", &plan, e + 1).is_none());
+        assert!(cache.get("Klein", &plan, e + 1).is_some());
+
+        let s = cache.stats();
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.entries_invalidated, 1);
+        assert_eq!(s.retained_last, 1);
+        assert_eq!(s.full_invalidations, 0);
+        // The index dropped Brown's references too.
+        assert!(s.dep_index_refs >= 1);
+        let counts = cache.user_counts();
+        assert_eq!(counts, vec![("Klein".to_owned(), 1)]);
+    }
+
+    #[test]
+    fn relation_dependency_reaches_view_ddl() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &plan, e);
+        // Defining a view over PROJECT must hit the entry (the new
+        // view's meta-tuples change the candidate set); one over
+        // EMPLOYEE only must not.
+        let mut over_employee = Touched::default();
+        over_employee.record([Dep::view("X"), Dep::relation("EMPLOYEE")]);
+        cache.invalidate(&over_employee, e + 1);
+        assert!(cache.get("Brown", &plan, e + 1).is_some());
+        let mut over_project = Touched::default();
+        over_project.record([Dep::view("Y"), Dep::relation("PROJECT")]);
+        let removed = cache.invalidate(&over_project, e + 2);
+        assert_eq!(removed.len(), 1);
+        assert!(cache.get("Brown", &plan, e + 2).is_none());
+    }
+
+    #[test]
+    fn all_flushes_everything_and_returns_no_rewarm_candidates() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let a = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let b = plan_of(&fe, "retrieve (PROJECT.SPONSOR)");
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &a, e);
+        insert(&cache, &fe, "Klein", &b, e);
+        let removed = cache.invalidate(&Touched::All, e + 1);
+        assert!(removed.is_empty());
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.full_invalidations, 1);
+        assert_eq!(s.entries_invalidated, 2);
+        assert_eq!(s.retained_last, 0);
+        assert_eq!((s.dep_index_keys, s.dep_index_refs), (0, 0));
+    }
+
+    #[test]
+    fn stale_compute_is_not_inserted() {
+        let fe = frontend();
+        let cache = MaskCache::new(16);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let e = fe.auth_epoch();
+        // An invalidation advances the watermark to e+1...
+        let mut touched = Touched::default();
+        touched.record([Dep::user("Brown")]);
+        cache.invalidate(&touched, e + 1);
+        // ...so a mask computed at the old epoch must be discarded.
+        insert(&cache, &fe, "Brown", &plan, e);
+        assert_eq!(cache.stats().entries, 0);
+        assert!(cache.get("Brown", &plan, e + 1).is_none());
     }
 
     #[test]
@@ -298,9 +612,10 @@ mod tests {
         let obs_before = motro_obs::metrics::registry()
             .counter("server.cache.misses")
             .get();
-        cache.insert("Brown", &plan, 1, cached_mask(&fe, "Brown", &plan));
+        insert(&cache, &fe, "Brown", &plan, 1);
         assert!(cache.get("Brown", &plan, 1).is_none());
         assert!(cache.get("Brown", &plan, 2).is_none());
+        assert!(cache.invalidate(&Touched::All, 3).is_empty());
         let s = cache.stats();
         assert_eq!((s.entries, s.misses), (0, 2));
         // The disabled-cache path must still feed the metrics snapshot:
@@ -319,20 +634,18 @@ mod tests {
         let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
         let m = cached_mask(&fe, "Brown", &plan);
         // Forge a 64-bit collision: same fingerprint, different plans.
-        // With the old u64-only key these were the *same* key, so the
-        // lookup for plan-B served plan-A's mask — the wrong
+        // With a u64-only key these would be the *same* key, so the
+        // lookup for plan-B would serve plan-A's mask — the wrong
         // authorization decision. Equality on the rendering must miss.
         let key_a = CacheKey {
             user: "Brown".to_owned(),
             fingerprint: 0xDEAD_BEEF,
             plan: "plan-A".to_owned(),
-            epoch: 1,
         };
         let key_b = CacheKey {
             user: "Brown".to_owned(),
             fingerprint: 0xDEAD_BEEF,
             plan: "plan-B".to_owned(),
-            epoch: 1,
         };
         assert_eq!(
             {
@@ -347,61 +660,68 @@ mod tests {
             },
             "test premise: the keys must land in the same hash bucket"
         );
-        cache.insert_keyed(key_a.clone(), m);
+        cache.insert_keyed(key_a.clone(), 1, DepSet::new(), m);
         assert!(
-            cache.get_keyed(&key_b).is_none(),
+            cache.get_keyed(&key_b, 1).is_none(),
             "a fingerprint collision must miss, never alias another plan's mask"
         );
-        assert!(cache.get_keyed(&key_a).is_some());
+        assert!(cache.get_keyed(&key_a, 1).is_some());
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
     }
 
     #[test]
-    fn full_cache_evicts_other_epochs_first() {
+    fn full_cache_sheds_a_bounded_slice() {
         let fe = frontend();
         let cache = MaskCache::new(2);
         let a = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
         let b = plan_of(&fe, "retrieve (PROJECT.SPONSOR)");
         let c = plan_of(&fe, "retrieve (PROJECT.BUDGET)");
-        let m = cached_mask(&fe, "Brown", &a);
-        cache.insert("Brown", &a, 1, m.clone());
-        cache.insert("Brown", &b, 2, m.clone());
-        // Full; inserting at epoch 2 drops the epoch-1 entry, keeps b.
-        cache.insert("Brown", &c, 2, m);
-        assert!(cache.get("Brown", &a, 1).is_none());
-        assert!(cache.get("Brown", &b, 2).is_some());
-        assert!(cache.get("Brown", &c, 2).is_some());
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &a, e);
+        insert(&cache, &fe, "Brown", &b, e);
+        // Full: only a bounded slice is shed (here max(1, capacity/4)
+        // = 1 entry), never the whole generation.
+        insert(&cache, &fe, "Brown", &c, e);
         let s = cache.stats();
         assert_eq!(s.entries, 2);
-        // The epoch-1 entry was evicted as stale, not for capacity.
-        assert_eq!(s.epoch_evictions, 1);
-        assert_eq!(s.capacity_evictions, 0);
+        assert_eq!(s.capacity_evictions, 1);
+        // The new entry is live; exactly one of the older two survived.
+        assert!(cache.get("Brown", &c, e).is_some());
+        let survivors = [&a, &b]
+            .iter()
+            .filter(|p| cache.get("Brown", p, e).is_some())
+            .count();
+        assert_eq!(survivors, 1);
+        // The index shrank with the eviction: every live entry keeps
+        // its references, evicted ones lose theirs.
+        let expected_refs: u64 = [&a, &b, &c]
+            .iter()
+            .filter(|p| {
+                // Re-check liveness without counting stats noise.
+                cache.user_counts().iter().any(|(u, _)| u == "Brown")
+                    && cache
+                        .inner
+                        .lock()
+                        .map
+                        .contains_key(&MaskCache::key_for("Brown", p))
+            })
+            .map(|p| deps_for(&fe, "Brown", p).len() as u64)
+            .sum();
+        assert_eq!(cache.stats().dep_index_refs, expected_refs);
     }
 
     #[test]
-    fn full_cache_of_current_entries_evicts_for_capacity() {
+    fn reinsert_replaces_deps_in_index() {
         let fe = frontend();
-        let cache = MaskCache::new(2);
-        let a = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
-        let b = plan_of(&fe, "retrieve (PROJECT.SPONSOR)");
-        let c = plan_of(&fe, "retrieve (PROJECT.BUDGET)");
-        let m = cached_mask(&fe, "Brown", &a);
-        cache.insert("Brown", &a, 1, m.clone());
-        cache.insert("Brown", &b, 1, m.clone());
-        // Full at a single epoch: only a bounded slice is shed (here
-        // max(1, capacity/4) = 1 entry), never the whole generation.
-        cache.insert("Brown", &c, 1, m);
-        let s = cache.stats();
-        assert_eq!(s.entries, 2);
-        assert_eq!(s.epoch_evictions, 0);
-        assert_eq!(s.capacity_evictions, 1);
-        // The new entry is live; exactly one of the older two survived.
-        assert!(cache.get("Brown", &c, 1).is_some());
-        let survivors = [&a, &b]
-            .iter()
-            .filter(|p| cache.get("Brown", p, 1).is_some())
-            .count();
-        assert_eq!(survivors, 1);
+        let cache = MaskCache::new(4);
+        let plan = plan_of(&fe, "retrieve (PROJECT.NUMBER)");
+        let e = fe.auth_epoch();
+        insert(&cache, &fe, "Brown", &plan, e);
+        let refs_once = cache.stats().dep_index_refs;
+        insert(&cache, &fe, "Brown", &plan, e);
+        // Overwriting the same key must not leak index references.
+        assert_eq!(cache.stats().dep_index_refs, refs_once);
+        assert_eq!(cache.stats().entries, 1);
     }
 }

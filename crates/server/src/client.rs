@@ -68,11 +68,43 @@ pub struct ServerStats {
     pub hits: u64,
     pub misses: u64,
     pub entries: usize,
-    /// Entries evicted because an administrative statement superseded
-    /// their epoch.
+    /// Entries dropped by full flushes (a `Touched::All` mutation or
+    /// the epoch-fallback backstop).
     pub epoch_evictions: u64,
     /// Entries evicted purely to stay within capacity.
     pub capacity_evictions: u64,
+    /// Mutations invalidated by dependency intersection.
+    pub targeted_invalidations: u64,
+    /// Mutations that flushed the whole cache.
+    pub full_invalidations: u64,
+    /// Entries dropped by targeted invalidations.
+    pub entries_invalidated: u64,
+    /// Entries surviving the most recent invalidation.
+    pub retained_last: u64,
+    /// Times the epoch backstop fired (a mutation bypassed the
+    /// touched-set protocol).
+    pub epoch_fallbacks: u64,
+    /// Distinct dependencies in the inverted index.
+    pub dep_index_keys: u64,
+    /// Total `(dependency, entry)` references in the inverted index.
+    pub dep_index_refs: u64,
+}
+
+/// A parsed `cache` introspection reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheInfo {
+    pub epoch: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Live entry counts per user, sorted by user.
+    pub users: Vec<(String, u64)>,
+    pub dep_index_keys: u64,
+    pub dep_index_refs: u64,
+    pub targeted_invalidations: u64,
+    pub full_invalidations: u64,
+    pub entries_invalidated: u64,
+    pub retained_last: u64,
+    pub epoch_fallbacks: u64,
 }
 
 /// A parsed `explain` reply.
@@ -321,9 +353,45 @@ impl Client {
             entries: field_u64(&reply, "entries")? as usize,
             epoch_evictions: field_u64(&reply, "epoch_evictions").unwrap_or(0),
             capacity_evictions: field_u64(&reply, "capacity_evictions").unwrap_or(0),
+            targeted_invalidations: field_u64(&reply, "targeted_invalidations").unwrap_or(0),
+            full_invalidations: field_u64(&reply, "full_invalidations").unwrap_or(0),
+            entries_invalidated: field_u64(&reply, "entries_invalidated").unwrap_or(0),
+            retained_last: field_u64(&reply, "retained_last").unwrap_or(0),
+            epoch_fallbacks: field_u64(&reply, "epoch_fallbacks").unwrap_or(0),
+            dep_index_keys: field_u64(&reply, "dep_index_keys").unwrap_or(0),
+            dep_index_refs: field_u64(&reply, "dep_index_refs").unwrap_or(0),
         };
         let metrics = reply.get("metrics").cloned().unwrap_or(Value::Null);
         Ok((stats, metrics))
+    }
+
+    /// Mask-cache introspection: live entries, per-user counts, and the
+    /// dependency-index / invalidation counters.
+    pub fn cache_info(&mut self) -> Result<CacheInfo, ClientError> {
+        let reply = self.call("cache", "")?;
+        let users = match reply.get("users") {
+            Some(Value::Object(m)) => {
+                let mut users: Vec<(String, u64)> = m
+                    .iter()
+                    .map(|(u, n)| (u.clone(), n.as_u64().unwrap_or(0)))
+                    .collect();
+                users.sort();
+                users
+            }
+            _ => Vec::new(),
+        };
+        Ok(CacheInfo {
+            epoch: field_u64(&reply, "epoch")?,
+            entries: field_u64(&reply, "entries")? as usize,
+            users,
+            dep_index_keys: field_u64(&reply, "dep_index_keys").unwrap_or(0),
+            dep_index_refs: field_u64(&reply, "dep_index_refs").unwrap_or(0),
+            targeted_invalidations: field_u64(&reply, "targeted_invalidations").unwrap_or(0),
+            full_invalidations: field_u64(&reply, "full_invalidations").unwrap_or(0),
+            entries_invalidated: field_u64(&reply, "entries_invalidated").unwrap_or(0),
+            retained_last: field_u64(&reply, "retained_last").unwrap_or(0),
+            epoch_fallbacks: field_u64(&reply, "epoch_fallbacks").unwrap_or(0),
+        })
     }
 
     /// The whole metrics registry in Prometheus text exposition format

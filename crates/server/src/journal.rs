@@ -16,10 +16,15 @@
 //! | `t` | fields | meaning |
 //! |---|---|---|
 //! | `open` | `epoch`, `state` | segment start: full `Frontend` JSON |
-//! | `admin` | `epoch`, `stmt`, `messages` | administrative program |
-//! | `member` | `epoch`, `op`, `group`, `user`, `message` | membership |
-//! | `update` | `epoch`, `principal`, `stmt`, `message` | insert/delete |
+//! | `admin` | `epoch`, `stmt`, `messages`, `touched` | administrative program |
+//! | `member` | `epoch`, `op`, `group`, `user`, `message`, `touched` | membership |
+//! | `update` | `epoch`, `principal`, `stmt`, `message`, `touched` | insert/delete |
 //! | `query` | see [`QueryRecord`] | one authorization outcome |
+//!
+//! `touched` is the mutation's reported dependency touched-set (the
+//! rendered [`motro_mat::Touched`]; `["*"]` means everything), recorded
+//! so an audit can reconstruct which cached masks each change
+//! invalidated.
 //!
 //! `epoch` is the authorization epoch *after* the record's effect, and
 //! the writer appends state-changing records while holding the
@@ -33,6 +38,7 @@
 //! whole chain in order.
 
 use motro_authz::Frontend;
+use motro_mat::Touched;
 use serde_json::{Map, Value};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -150,6 +156,18 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Object(m)
 }
 
+/// The journaled form of a mutation's touched-set: its rendered
+/// dependencies, with `["*"]` standing for "everything".
+fn touched_value(touched: &Touched) -> Value {
+    Value::Array(
+        touched
+            .render()
+            .into_iter()
+            .map(Value::from)
+            .collect(),
+    )
+}
+
 impl Journal {
     /// Open (or append to) the journal at `config.path`, writing a
     /// fresh `open` record with the given state snapshot.
@@ -198,6 +216,7 @@ impl Journal {
         epoch: u64,
         stmt: &str,
         result: &Result<Vec<String>, String>,
+        touched: &Touched,
         state: impl FnOnce() -> Option<String>,
     ) {
         let mut pairs = vec![
@@ -212,10 +231,12 @@ impl Journal {
             )),
             Err(e) => pairs.push(("error", Value::from(e.as_str()))),
         }
+        pairs.push(("touched", touched_value(touched)));
         self.append_stateful(obj(pairs), state);
     }
 
     /// Append a membership change (front-end write lock held).
+    #[allow(clippy::too_many_arguments)]
     pub fn append_member(
         &self,
         epoch: u64,
@@ -223,6 +244,7 @@ impl Journal {
         group: &str,
         user: &str,
         message: &str,
+        touched: &Touched,
         state: impl FnOnce() -> Option<String>,
     ) {
         self.append_stateful(
@@ -233,6 +255,7 @@ impl Journal {
                 ("group", Value::from(group)),
                 ("user", Value::from(user)),
                 ("message", Value::from(message)),
+                ("touched", touched_value(touched)),
             ]),
             state,
         );
@@ -245,6 +268,7 @@ impl Journal {
         principal: &str,
         stmt: &str,
         result: &Result<String, String>,
+        touched: &Touched,
         state: impl FnOnce() -> Option<String>,
     ) {
         let mut pairs = vec![
@@ -257,6 +281,7 @@ impl Journal {
             Ok(message) => pairs.push(("message", Value::from(message.as_str()))),
             Err(e) => pairs.push(("error", Value::from(e.as_str()))),
         }
+        pairs.push(("touched", touched_value(touched)));
         self.append_stateful(obj(pairs), state);
     }
 
@@ -870,10 +895,12 @@ mod tests {
         let stmt = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
         journal.append_query(&query_record(&fe, "Brown", stmt), || None);
         let messages = fe.execute_admin_program("permit PSA to Klein").unwrap();
+        let touched = fe.take_touched();
         journal.append_admin(
             fe.auth_epoch(),
             "permit PSA to Klein",
             &Ok(messages),
+            &touched,
             || None,
         );
         journal.append_query(&query_record(&fe, "Klein", stmt), || None);
@@ -896,10 +923,12 @@ mod tests {
         let stmt = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
         journal.append_query(&query_record(&fe, "Brown", stmt), || None);
         let messages = fe.execute_admin_program("permit PSA to Klein").unwrap();
+        let touched = fe.take_touched();
         journal.append_admin(
             fe.auth_epoch(),
             "permit PSA to Klein",
             &Ok(messages),
+            &touched,
             || None,
         );
         journal.append_query(&query_record(&fe, "Klein", stmt), || None);

@@ -2,18 +2,23 @@
 //!
 //! Serves a [`motro_authz::SharedFrontend`] over TCP with a
 //! newline-delimited JSON protocol ([`wire`]), a crossbeam worker pool
-//! ([`server`]), and an epoch-invalidated per-user mask cache
+//! ([`server`]), and a dependency-invalidated per-user mask cache
 //! ([`cache`]). A blocking [`Client`] speaks the same protocol.
 //!
 //! The performance story is the paper's own separation of meta and
 //! data: Motro's mask `A'` depends only on the user's grants and the
-//! query's canonical plan. Grants change rarely and only through
-//! administrative statements, each of which advances a monotone
-//! *authorization epoch*; keying cached masks by
-//! `(user, plan, epoch)` therefore gives exact, protocol-free
-//! invalidation — a revoked grant bumps the epoch and every cached
-//! mask computed before it becomes unreachable at once. The data side
-//! of every answer is always executed live.
+//! query's canonical plan, so masks are cacheable and the data side of
+//! every answer is always executed live. Each cached mask carries its
+//! *dependency provenance* (the user, their groups, the plan's base
+//! relations, the granted views that could reach it); every
+//! administrative mutation reports the precise set of objects it
+//! touched, and only intersecting entries are dropped — a grant to one
+//! user no longer evicts anyone else's masks. The store's monotone
+//! *authorization epoch* survives as a consistency backstop (any
+//! unreported epoch move flushes the cache), and an optional
+//! background materializer ([`motro_mat`]) eagerly recomputes the
+//! masks an invalidation dropped for recently active `(user, plan)`
+//! pairs, so the next retrieval hits again.
 //!
 //! Built entirely on the workspace's existing dependencies: `std::net`
 //! sockets, `crossbeam` channels, `parking_lot` locks, and
@@ -27,7 +32,9 @@ pub mod server;
 pub mod wire;
 
 pub use cache::{CacheStats, CachedMask, MaskCache};
-pub use client::{Client, ClientError, ExplainReply, ProfileReply, QueryReply, Rows, ServerStats};
+pub use client::{
+    CacheInfo, Client, ClientError, ExplainReply, ProfileReply, QueryReply, Rows, ServerStats,
+};
 pub use journal::{Journal, JournalConfig, ReplayReport};
 pub use metrics_http::MetricsServer;
 pub use server::{Server, ServerConfig, SlowQuery};

@@ -20,9 +20,10 @@ use crate::cache::{CachedMask, MaskCache};
 use crate::journal::{self, Journal, JournalConfig, QueryOutcome, QueryRecord};
 use crate::wire::{self, codes, Request, RowsReply};
 use motro_authz::lang::{parse_statement, Statement};
-use motro_authz::rel::execute_optimized_with;
+use motro_authz::rel::{execute_optimized_with, CanonicalPlan};
 use motro_authz::views::compile;
 use motro_authz::{Frontend, FrontendError, SharedFrontend};
+use motro_mat::{MatStats, Materializer, WorkingSet};
 use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
@@ -54,6 +55,14 @@ pub struct ServerConfig {
     /// runs at least this long; `None` disables the slow-query log
     /// (and its per-request profiling overhead).
     pub slow_query_ns: Option<u64>,
+    /// Eagerly recompute masks that a targeted invalidation dropped
+    /// (warm-on-write), on a background materializer thread. Only
+    /// plans still in the working set are rewarmed.
+    pub materialize: bool,
+    /// How many recently retrieved `(user, plan)` pairs the
+    /// materializer remembers as rewarm candidates; 0 disables the
+    /// working set (and with it, rewarming).
+    pub working_set: usize,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +75,8 @@ impl Default for ServerConfig {
             admins: None,
             journal: None,
             slow_query_ns: None,
+            materialize: true,
+            working_set: 256,
         }
     }
 }
@@ -88,6 +99,21 @@ pub struct SlowQuery {
 /// How many slow queries the in-memory ring retains.
 const SLOW_LOG_CAP: usize = 64;
 
+/// One warm-on-write unit: recompute the mask for `(user, plan)`.
+struct MatJob {
+    user: String,
+    plan: CanonicalPlan,
+}
+
+/// The eager-materialization subsystem: a background worker that
+/// recomputes masks dropped by targeted invalidations, plus the
+/// working set of recently retrieved plans it draws candidates from
+/// (keyed by `(user, rendered plan)`).
+struct MatState {
+    materializer: Materializer<MatJob>,
+    workset: Mutex<WorkingSet<(String, String), CanonicalPlan>>,
+}
+
 /// Everything a worker needs to evaluate requests.
 struct Ctx {
     fe: SharedFrontend,
@@ -96,6 +122,7 @@ struct Ctx {
     journal: Option<Arc<Journal>>,
     slow_query_ns: Option<u64>,
     slow: Arc<Mutex<VecDeque<SlowQuery>>>,
+    mat: Option<Arc<MatState>>,
 }
 
 /// The per-connection in-flight gate (a bounded semaphore).
@@ -151,6 +178,7 @@ fn request_label(request: &Request) -> &'static str {
         Request::Member { .. } => "member",
         Request::Save { .. } => "save",
         Request::Stats { .. } => "stats",
+        Request::Cache { .. } => "cache",
         Request::Metrics { .. } => "metrics",
         Request::Profile { .. } => "profile",
         Request::Explain { .. } => "explain",
@@ -163,6 +191,7 @@ pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     cache: Arc<MaskCache>,
+    mat: Option<Arc<MatState>>,
     journal: Option<Arc<Journal>>,
     slow: Arc<Mutex<VecDeque<SlowQuery>>>,
     acceptor: Option<JoinHandle<()>>,
@@ -190,6 +219,13 @@ impl Server {
         let _ = motro_obs::counter!("server.cache.misses");
         let _ = motro_obs::counter!("server.cache.epoch_evictions");
         let _ = motro_obs::counter!("server.cache.capacity_evictions");
+        let _ = motro_obs::counter!("server.cache.targeted_invalidations");
+        let _ = motro_obs::counter!("server.cache.full_invalidations");
+        let _ = motro_obs::counter!("server.cache.entries_invalidated");
+        let _ = motro_obs::counter!("server.cache.epoch_fallbacks");
+        let _ = motro_obs::counter!("server.mat.queued");
+        let _ = motro_obs::counter!("server.mat.refreshed");
+        let _ = motro_obs::counter!("server.mat.dropped");
         let _ = motro_obs::counter!("server.slow_queries");
         let _ = motro_obs::gauge!("server.connections");
         let _ = motro_obs::histogram!("server.request_ns");
@@ -200,7 +236,29 @@ impl Server {
             let _ = motro_obs::counter!("journal.rotations");
         }
         let shutdown = Arc::new(AtomicBool::new(false));
+        // The front-end may arrive pre-populated (a loaded snapshot, a
+        // programmatically built store): whatever touched-state those
+        // setup mutations accumulated is meaningless to a cache that
+        // starts empty, so drain it now. Otherwise the first real
+        // mutation would drain the backlog merged into its own
+        // touched-set and spuriously invalidate far beyond its scope.
+        fe.with_write(|f| {
+            let _ = f.take_touched();
+        });
         let cache = Arc::new(MaskCache::new(config.cache_capacity));
+        let mat = if config.materialize && config.cache_capacity > 0 && config.working_set > 0 {
+            let mat_fe = fe.clone();
+            let mat_cache = cache.clone();
+            Some(Arc::new(MatState {
+                workset: Mutex::new(WorkingSet::new(config.working_set)),
+                materializer: Materializer::new(
+                    config.workers.max(1) * 8,
+                    move |job: MatJob| materialize_one(&mat_fe, &mat_cache, &job),
+                ),
+            }))
+        } else {
+            None
+        };
         let journal = match &config.journal {
             Some(jc) => {
                 let state = fe.to_json().map_err(std::io::Error::other)?;
@@ -229,6 +287,7 @@ impl Server {
                     journal: journal.clone(),
                     slow_query_ns: config.slow_query_ns,
                     slow: slow.clone(),
+                    mat: mat.clone(),
                 };
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
@@ -302,6 +361,7 @@ impl Server {
             addr,
             shutdown,
             cache,
+            mat,
             journal,
             slow,
             acceptor: Some(acceptor),
@@ -320,6 +380,19 @@ impl Server {
     /// The shared mask cache (counters readable for tests/benchmarks).
     pub fn cache(&self) -> &MaskCache {
         &self.cache
+    }
+
+    /// The materializer's counters, when warm-on-write is enabled.
+    pub fn materializer_stats(&self) -> Option<MatStats> {
+        self.mat.as_ref().map(|m| m.materializer.stats())
+    }
+
+    /// Block until every queued materialization has been processed.
+    /// For tests and benchmarks that need a settled cache.
+    pub fn drain_materializer(&self) {
+        if let Some(m) = &self.mat {
+            m.materializer.drain();
+        }
     }
 
     /// The audit journal, when one is configured.
@@ -615,6 +688,12 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
             }
             wire::stats(id, fe.auth_epoch(), &ctx.cache.stats(), metrics)
         }
+        Request::Cache { id } => wire::cache_info(
+            id,
+            fe.auth_epoch(),
+            &ctx.cache.stats(),
+            &ctx.cache.user_counts(),
+        ),
         Request::Metrics { id } => {
             motro_obs::window::global().roll_if_due();
             let text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
@@ -677,41 +756,58 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                     &format!("{principal} may not administer the store"),
                 );
             }
-            // Explicit write closure so the journal record lands while
-            // the lock is still held: no concurrent change can slip
-            // between the program's effect and its journal entry.
-            let (result, epoch) = fe.with_write(|f| {
+            // Explicit write closure so the journal record and the
+            // cache invalidation land while the lock is still held: no
+            // concurrent change can slip between the program's effect
+            // and its journal entry, and no reader can observe the new
+            // epoch while the cache still holds pre-mutation masks.
+            let (result, epoch, removed) = fe.with_write(|f| {
                 let result = f.execute_admin_program(&stmt);
+                let touched = f.take_touched();
                 if let Some(j) = &ctx.journal {
                     let outcome = match &result {
                         Ok(m) => Ok(m.clone()),
                         Err(e) => Err(e.to_string()),
                     };
-                    j.append_admin(f.auth_epoch(), &stmt, &outcome, || f.to_json().ok());
+                    j.append_admin(f.auth_epoch(), &stmt, &outcome, &touched, || {
+                        f.to_json().ok()
+                    });
                 }
-                (result, f.auth_epoch())
+                let removed = ctx.cache.invalidate(&touched, f.auth_epoch());
+                (result, f.auth_epoch(), removed)
             });
+            rewarm(ctx, removed);
             match result {
                 Ok(messages) => wire::ok(id, epoch, &messages),
                 Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
             }
         }
-        Request::Update { id, stmt } => fe.with_write(|f| {
-            let result = f.execute_update(principal, &stmt);
-            if let Some(j) = &ctx.journal {
-                let outcome = result
-                    .as_ref()
-                    .map(Clone::clone)
-                    .map_err(ToString::to_string);
-                j.append_update(f.auth_epoch(), principal, &stmt, &outcome, || {
-                    f.to_json().ok()
-                });
-            }
-            match result {
-                Ok(message) => wire::ok(id, f.auth_epoch(), &[message]),
-                Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
-            }
-        }),
+        Request::Update { id, stmt } => {
+            // Updates change data, not grants, so the touched-set is
+            // normally empty — masks never depend on data. Draining it
+            // anyway keeps every mutation path on the same protocol.
+            let (reply, removed) = fe.with_write(|f| {
+                let result = f.execute_update(principal, &stmt);
+                let touched = f.take_touched();
+                if let Some(j) = &ctx.journal {
+                    let outcome = result
+                        .as_ref()
+                        .map(Clone::clone)
+                        .map_err(ToString::to_string);
+                    j.append_update(f.auth_epoch(), principal, &stmt, &outcome, &touched, || {
+                        f.to_json().ok()
+                    });
+                }
+                let removed = ctx.cache.invalidate(&touched, f.auth_epoch());
+                let reply = match result {
+                    Ok(message) => wire::ok(id, f.auth_epoch(), &[message]),
+                    Err(e) => wire::error(Some(id), error_code(&e), &e.to_string()),
+                };
+                (reply, removed)
+            });
+            rewarm(ctx, removed);
+            reply
+        }
         Request::Member {
             id,
             add,
@@ -725,7 +821,7 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                     &format!("{principal} may not administer the store"),
                 );
             }
-            fe.with_write(|f| {
+            let (reply, removed) = fe.with_write(|f| {
                 let message = if add {
                     f.add_member(&group, &user);
                     format!("added {user} to {group}")
@@ -734,13 +830,23 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                 } else {
                     format!("{user} was not a member of {group}")
                 };
+                let touched = f.take_touched();
                 if let Some(j) = &ctx.journal {
-                    j.append_member(f.auth_epoch(), add, &group, &user, &message, || {
-                        f.to_json().ok()
-                    });
+                    j.append_member(
+                        f.auth_epoch(),
+                        add,
+                        &group,
+                        &user,
+                        &message,
+                        &touched,
+                        || f.to_json().ok(),
+                    );
                 }
-                wire::ok(id, f.auth_epoch(), &[message])
-            })
+                let removed = ctx.cache.invalidate(&touched, f.auth_epoch());
+                (wire::ok(id, f.auth_epoch(), &[message]), removed)
+            });
+            rewarm(ctx, removed);
+            reply
         }
         Request::Save { id } => match fe.to_json() {
             Ok(snapshot) => wire::state(id, fe.auth_epoch(), &snapshot),
@@ -832,13 +938,74 @@ fn is_aggregate(stmt: &str) -> Option<bool> {
     }
 }
 
+/// The materializer's worker body: recompute one `(user, plan)` mask
+/// under a fresh read lock and re-insert it. The entry is byte-for-byte
+/// what the miss path would cache — same mask, same rendered permits,
+/// same provenance — so a later hit is indistinguishable from a cold
+/// recompute. A mask computed against grants that changed again before
+/// the insert lands is rejected by the cache's epoch watermark.
+fn materialize_one(fe: &SharedFrontend, cache: &MaskCache, job: &MatJob) {
+    fe.with_read(|f| {
+        // The Section 6 extended-mask configuration bypasses the cache
+        // entirely — nothing to precompute.
+        if f.engine().config().extended_masks {
+            return;
+        }
+        let epoch = f.auth_epoch();
+        let Ok((mask, _trace)) = f.engine().mask_for_plan(&job.user, &job.plan) else {
+            return;
+        };
+        let permits = mask.describe();
+        let full_access = mask.is_full();
+        let deps = f
+            .auth_store()
+            .mask_dependencies(&job.user, &job.plan.relation_footprint());
+        cache.insert(
+            &job.user,
+            &job.plan,
+            epoch,
+            deps,
+            Arc::new(CachedMask::new(mask, &permits, full_access)),
+        );
+        motro_obs::counter!("server.mat.refreshed").inc();
+    });
+}
+
+/// Queue warm-on-write jobs for the entries a targeted invalidation
+/// just dropped, bounded to plans still in the recently-seen working
+/// set (a full flush returns no candidates by design). Runs *after*
+/// the mutation's write lock is released, so materialization never
+/// extends the admin critical section.
+fn rewarm(ctx: &Ctx, removed: Vec<(String, String)>) {
+    let Some(mat) = &ctx.mat else { return };
+    if removed.is_empty() {
+        return;
+    }
+    let workset = mat.workset.lock();
+    for (user, rendered) in removed {
+        let Some(plan) = workset.get(&(user.clone(), rendered)) else {
+            continue;
+        };
+        let job = MatJob {
+            user,
+            plan: plan.clone(),
+        };
+        if mat.materializer.enqueue(job) {
+            motro_obs::counter!("server.mat.queued").inc();
+        } else {
+            motro_obs::counter!("server.mat.dropped").inc();
+        }
+    }
+}
+
 /// The cached retrieval path.
 ///
-/// Soundness: the mask is a pure function of `(user, plan, epoch)`, so
-/// a cache hit replays a mask computed under the *same* epoch the
-/// current read lock observes — administrative statements take the
-/// write lock and bump the epoch atomically with their change, so a
-/// hit can never pair a stale mask with fresh grants. The data side
+/// Soundness: the mask is a pure function of the user's grants and the
+/// canonical plan. Administrative statements run under the write lock
+/// and invalidate every cached entry whose dependency provenance they
+/// touch *before* releasing it, so a hit can never pair a stale mask
+/// with fresh grants; the store's epoch acts as a backstop for any
+/// mutation that bypasses the touched-set protocol. The data side
 /// (`execute_optimized` + `Mask::apply`) always runs live. Masks under
 /// the Section 6 extended-mask configuration take a different apply
 /// path, so that configuration bypasses the cache entirely.
@@ -900,6 +1067,15 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
         let epoch = f.auth_epoch();
         let bypass = f.engine().config().extended_masks;
         if !bypass {
+            // Remember the plan as a rewarm candidate whether this
+            // lookup hits or misses: the working set is "what this
+            // user recently asked", not "what currently missed".
+            if let Some(mat) = &ctx.mat {
+                mat.workset.lock().note(
+                    (user.to_owned(), MaskCache::render(&plan)),
+                    plan.clone(),
+                );
+            }
             if let Some(hit) = cache.get(user, &plan, epoch) {
                 return match execute_optimized_with(&plan, f.database(), &f.exec_config()) {
                     Ok(answer) => {
@@ -974,15 +1150,15 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                     permits: out.permits.iter().map(|p| p.to_string()).collect(),
                 });
                 if !bypass {
+                    let deps = f
+                        .auth_store()
+                        .mask_dependencies(user, &plan.relation_footprint());
                     cache.insert(
                         user,
                         &plan,
                         epoch,
-                        Arc::new(CachedMask {
-                            mask: out.mask,
-                            permits: out.permits.iter().map(|p| p.to_string()).collect(),
-                            full_access: out.full_access,
-                        }),
+                        deps,
+                        Arc::new(CachedMask::new(out.mask, &out.permits, out.full_access)),
                     );
                 }
                 reply

@@ -89,6 +89,9 @@ pub enum Request {
     Save { id: u64 },
     /// Cache statistics.
     Stats { id: u64 },
+    /// Cache introspection: per-user entry counts and dependency-index
+    /// sizes.
+    Cache { id: u64 },
     /// The whole metrics registry in Prometheus text exposition format.
     Metrics { id: u64 },
     /// Execute a row-level retrieval under the profiler and return the
@@ -117,6 +120,7 @@ impl Request {
             | Request::Member { id, .. }
             | Request::Save { id }
             | Request::Stats { id }
+            | Request::Cache { id }
             | Request::Metrics { id }
             | Request::Profile { id, .. }
             | Request::Explain { id, .. }
@@ -239,6 +243,7 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
         }
         "save" => Ok(Request::Save { id: need_id()? }),
         "stats" => Ok(Request::Stats { id: need_id()? }),
+        "cache" => Ok(Request::Cache { id: need_id()? }),
         "metrics" => Ok(Request::Metrics { id: need_id()? }),
         "profile" => Ok(Request::Profile {
             id: need_id()?,
@@ -407,7 +412,49 @@ pub fn stats(id: u64, epoch: u64, cache: &crate::cache::CacheStats, metrics: Val
         ("entries", Value::from(cache.entries)),
         ("epoch_evictions", Value::from(cache.epoch_evictions)),
         ("capacity_evictions", Value::from(cache.capacity_evictions)),
+        (
+            "targeted_invalidations",
+            Value::from(cache.targeted_invalidations),
+        ),
+        ("full_invalidations", Value::from(cache.full_invalidations)),
+        ("entries_invalidated", Value::from(cache.entries_invalidated)),
+        ("retained_last", Value::from(cache.retained_last)),
+        ("epoch_fallbacks", Value::from(cache.epoch_fallbacks)),
+        ("dep_index_keys", Value::from(cache.dep_index_keys)),
+        ("dep_index_refs", Value::from(cache.dep_index_refs)),
         ("metrics", metrics),
+    ])
+}
+
+/// `cache` — cache introspection: live entry counts per user plus the
+/// dependency-index and invalidation counters, for the repl's `cache`
+/// command and operational debugging.
+pub fn cache_info(
+    id: u64,
+    epoch: u64,
+    cache: &crate::cache::CacheStats,
+    users: &[(String, u64)],
+) -> Value {
+    let mut user_map = Map::new();
+    for (user, count) in users {
+        user_map.insert(user.clone(), Value::from(*count));
+    }
+    obj(vec![
+        ("type", Value::from("cache")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("entries", Value::from(cache.entries)),
+        ("users", Value::Object(user_map)),
+        ("dep_index_keys", Value::from(cache.dep_index_keys)),
+        ("dep_index_refs", Value::from(cache.dep_index_refs)),
+        (
+            "targeted_invalidations",
+            Value::from(cache.targeted_invalidations),
+        ),
+        ("full_invalidations", Value::from(cache.full_invalidations)),
+        ("entries_invalidated", Value::from(cache.entries_invalidated)),
+        ("retained_last", Value::from(cache.retained_last)),
+        ("epoch_fallbacks", Value::from(cache.epoch_fallbacks)),
     ])
 }
 
@@ -525,27 +572,53 @@ mod tests {
         );
     }
 
-    #[test]
-    fn stats_reply_carries_evictions_and_metrics() {
-        let cache = crate::cache::CacheStats {
+    fn sample_cache_stats() -> crate::cache::CacheStats {
+        crate::cache::CacheStats {
             hits: 3,
             misses: 2,
             entries: 1,
             epoch_evictions: 4,
             capacity_evictions: 5,
-        };
+            targeted_invalidations: 6,
+            full_invalidations: 7,
+            entries_invalidated: 8,
+            retained_last: 9,
+            epoch_fallbacks: 10,
+            dep_index_keys: 11,
+            dep_index_refs: 12,
+        }
+    }
+
+    #[test]
+    fn stats_reply_carries_evictions_and_metrics() {
         let metrics: Value = motro_obs::metrics::registry()
             .snapshot()
             .to_json()
             .parse()
             .unwrap();
-        let reply = stats(9, 7, &cache, metrics);
+        let reply = stats(9, 7, &sample_cache_stats(), metrics);
         let back: Value = reply.to_string().parse().unwrap();
         assert_eq!(back.get("epoch_evictions").and_then(Value::as_u64), Some(4));
         assert_eq!(
             back.get("capacity_evictions").and_then(Value::as_u64),
             Some(5)
         );
+        assert_eq!(
+            back.get("targeted_invalidations").and_then(Value::as_u64),
+            Some(6)
+        );
+        assert_eq!(
+            back.get("full_invalidations").and_then(Value::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            back.get("entries_invalidated").and_then(Value::as_u64),
+            Some(8)
+        );
+        assert_eq!(back.get("retained_last").and_then(Value::as_u64), Some(9));
+        assert_eq!(back.get("epoch_fallbacks").and_then(Value::as_u64), Some(10));
+        assert_eq!(back.get("dep_index_keys").and_then(Value::as_u64), Some(11));
+        assert_eq!(back.get("dep_index_refs").and_then(Value::as_u64), Some(12));
         assert!(back
             .get("metrics")
             .and_then(|m| m.get("counters"))
@@ -554,6 +627,36 @@ mod tests {
             .get("metrics")
             .and_then(|m| m.get("histograms"))
             .is_some());
+    }
+
+    #[test]
+    fn cache_request_parses_and_reply_carries_user_counts() {
+        assert_eq!(
+            parse_request(r#"{"type":"cache","id":11}"#).unwrap(),
+            Request::Cache { id: 11 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"cache"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        let users = vec![("Brown".to_owned(), 2u64), ("Klein".to_owned(), 1u64)];
+        let reply = cache_info(11, 7, &sample_cache_stats(), &users);
+        let back: Value = reply.to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("cache"));
+        assert_eq!(back.get("entries").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            back.get("users")
+                .and_then(|u| u.get("Brown"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            back.get("users")
+                .and_then(|u| u.get("Klein"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(back.get("dep_index_keys").and_then(Value::as_u64), Some(11));
     }
 
     #[test]

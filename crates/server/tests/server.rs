@@ -252,7 +252,13 @@ fn cache_capacity_zero_disables_caching() {
 
 #[test]
 fn revoke_invalidates_the_cached_mask() {
-    let server = start(ServerConfig::default());
+    // Materialization off: this test pins the bare invalidation path
+    // (with it on, the rewarmed entry hits again — see
+    // `warm_on_write_serves_fresh_masks_from_cache`).
+    let server = start(ServerConfig {
+        materialize: false,
+        ..ServerConfig::default()
+    });
     let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
     let warm = c.retrieve(Q).unwrap();
     assert_eq!(warm.rows.len(), 1);
@@ -272,7 +278,10 @@ fn revoke_invalidates_the_cached_mask() {
 
 #[test]
 fn group_membership_change_invalidates_the_cached_mask() {
-    let server = start(ServerConfig::default());
+    let server = start(ServerConfig {
+        materialize: false,
+        ..ServerConfig::default()
+    });
     let mut admin = Client::connect(server.local_addr(), "admin").unwrap();
     admin.admin("permit PSA to group acme-staff").unwrap();
     let mut alice = Client::connect(server.local_addr(), "Alice").unwrap();
@@ -288,6 +297,56 @@ fn group_membership_change_invalidates_the_cached_mask() {
     assert_eq!(joined.rows.len(), 1, "member must see the group's rows");
     admin.member(false, "acme-staff", "Alice").unwrap();
     assert!(alice.retrieve(Q).unwrap().rows.is_empty());
+}
+
+#[test]
+fn warm_on_write_serves_fresh_masks_from_cache() {
+    let server = start(ServerConfig::default());
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    assert_eq!(c.retrieve(Q).unwrap().rows.len(), 1);
+    assert!(c.retrieve(Q).unwrap().cached);
+    // The revoke drops Brown's entry; the materializer recomputes it
+    // from the working set before the next retrieval arrives.
+    c.admin("revoke PSA from Brown").unwrap();
+    server.drain_materializer();
+    let after = c.retrieve(Q).unwrap();
+    assert!(
+        after.cached,
+        "the materializer must have rewarmed the dropped entry"
+    );
+    assert!(
+        after.rows.is_empty(),
+        "the rewarmed mask must reflect the revoke"
+    );
+    let mat = server.materializer_stats().unwrap();
+    assert!(mat.queued >= 1 && mat.done >= 1, "mat: {mat:?}");
+    let info = c.cache_info().unwrap();
+    assert!(info.targeted_invalidations >= 1, "info: {info:?}");
+    assert!(
+        info.users.iter().any(|(u, n)| u == "Brown" && *n >= 1),
+        "info: {info:?}"
+    );
+}
+
+#[test]
+fn unrelated_users_entries_survive_a_grant_change() {
+    let server = start(ServerConfig::default());
+    let mut admin = Client::connect(server.local_addr(), "admin").unwrap();
+    admin.admin("permit PSA to Klein").unwrap();
+    let mut brown = Client::connect(server.local_addr(), "Brown").unwrap();
+    let mut klein = Client::connect(server.local_addr(), "Klein").unwrap();
+    brown.retrieve(Q).unwrap();
+    klein.retrieve(Q).unwrap();
+    // A grant change for Klein must leave Brown's mask cached.
+    admin.admin("revoke PSA from Klein").unwrap();
+    assert!(
+        brown.retrieve(Q).unwrap().cached,
+        "a mutation touching Klein must not evict Brown's entry"
+    );
+    let stats = brown.stats().unwrap();
+    assert!(stats.targeted_invalidations >= 1, "stats: {stats:?}");
+    assert!(stats.retained_last >= 1, "stats: {stats:?}");
+    assert_eq!(stats.epoch_fallbacks, 0, "stats: {stats:?}");
 }
 
 #[test]

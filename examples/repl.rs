@@ -61,6 +61,8 @@ const HELP: &str = "commands:
                                         the pipeline spend its time?
   stats                                 metrics snapshot (latencies, counters)
   metrics                               Prometheus text exposition of the same
+  cache                                 (client sessions) mask-cache introspection:
+                                        entries, per-user counts, dep-index size
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -165,9 +167,41 @@ fn client_repl(addr: &str, user: &str) {
             "stats" => client.stats_full().map(|(s, metrics)| {
                 format!(
                     "epoch {}: {} hits, {} misses, {} cached masks, \
-                     {} epoch / {} capacity evictions\nmetrics: {metrics}",
-                    s.epoch, s.hits, s.misses, s.entries, s.epoch_evictions, s.capacity_evictions
+                     {} epoch / {} capacity evictions, \
+                     {} targeted / {} full invalidations ({} entries dropped, \
+                     {} retained last, {} epoch fallbacks)\nmetrics: {metrics}",
+                    s.epoch,
+                    s.hits,
+                    s.misses,
+                    s.entries,
+                    s.epoch_evictions,
+                    s.capacity_evictions,
+                    s.targeted_invalidations,
+                    s.full_invalidations,
+                    s.entries_invalidated,
+                    s.retained_last,
+                    s.epoch_fallbacks
                 )
+            }),
+            "cache" => client.cache_info().map(|info| {
+                let mut out = format!(
+                    "epoch {}: {} cached masks; dep-index {} deps / {} refs; \
+                     {} targeted / {} full invalidations ({} entries dropped, \
+                     {} retained last, {} epoch fallbacks)",
+                    info.epoch,
+                    info.entries,
+                    info.dep_index_keys,
+                    info.dep_index_refs,
+                    info.targeted_invalidations,
+                    info.full_invalidations,
+                    info.entries_invalidated,
+                    info.retained_last,
+                    info.epoch_fallbacks
+                );
+                for (user, n) in &info.users {
+                    out.push_str(&format!("\n  {user}: {n}"));
+                }
+                out
             }),
             "explain" => client
                 .explain(input.strip_prefix("explain").unwrap_or(input).trim(), None)

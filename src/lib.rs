@@ -45,6 +45,7 @@ pub use concurrent::SharedFrontend;
 pub use motro_baselines as baselines;
 pub use motro_core as core;
 pub use motro_lang as lang;
+pub use motro_mat as mat;
 pub use motro_obs as obs;
 pub use motro_rel as rel;
 pub use motro_views as views;
@@ -189,6 +190,16 @@ impl Frontend {
     /// `auth_epoch() == e`.
     pub fn auth_epoch(&self) -> u64 {
         self.store.auth_epoch()
+    }
+
+    /// Drain the touched-set accumulated by mutations since the last
+    /// call (see [`motro_core::AuthStore::take_touched`]): the precise
+    /// users, groups, views, and relations changed, or
+    /// [`mat::Touched::All`] after an out-of-band change. Mask caches
+    /// pair this with [`Frontend::auth_epoch`] for dependency-tracked
+    /// invalidation.
+    pub fn take_touched(&mut self) -> motro_mat::Touched {
+        self.store.take_touched()
     }
 
     /// Mutable access to the database (loading data is an administrator
