@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`: the API surface the workspace's
+//! benches use, with a deliberately tiny measurement loop (warm-up +
+//! a few timed iterations, mean printed). Good for keeping bench
+//! targets compiling and for smoke-running them; not for real
+//! statistics — use real criterion online for those.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export position matches criterion's (benches here import it
+/// from `std::hint`, but keep the name available).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_ITERS: u64 = 10;
+
+/// Benchmark context; one per generated `main`.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count (accepted, unused offline).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation (accepted, unused offline).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Run an unparameterized benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iters > 0 {
+        bencher.total_nanos / bencher.iters as u128
+    } else {
+        0
+    };
+    println!("bench {label}: ~{mean} ns/iter (offline stub, {MEASURE_ITERS} iters)");
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over a few iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batch sizing hints (accepted, unused offline).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotations (accepted, unused offline).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Collect bench functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,639 @@
+//! Offline mini-proptest: enough of the proptest 1.x surface for the
+//! workspace's property tests to compile and run deterministically.
+//!
+//! Differences from real proptest, by design: generation is a fixed
+//! splitmix64 stream keyed on the test's module path and name (no
+//! env/seed files), there is **no shrinking** (a failure reports the
+//! raw case), and string strategies support only the regex subset the
+//! tests use (char classes, `.`, `{m,n}`/`*`/`+`/`?` repetition).
+
+pub mod test_runner {
+    //! Config and the per-test random stream.
+
+    /// Knobs for [`crate::proptest!`]; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic random stream handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner seeded explicitly (the `proptest!` macro derives
+        /// the seed from the test path and case index).
+        pub fn new_seeded(seed: u64) -> TestRunner {
+            TestRunner { state: seed }
+        }
+
+        /// Next raw 64 bits (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategies: deterministic value generators.
+
+    use super::test_runner::TestRunner;
+    use std::sync::Arc;
+
+    /// A generator of values for property tests. Unlike real proptest
+    /// there is no value tree — `generate` yields a plain value and
+    /// nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value from the runner's stream.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase into a clonable [`BoxedStrategy`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Recursive strategies: `recurse` receives the
+        /// strategy-so-far and returns an expanded one. Only `depth`
+        /// is honored; the size hints are accepted for signature
+        /// compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                recurse: Arc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.source.generate(runner))
+        }
+    }
+
+    /// A strategy producing exactly one value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, runner: &mut TestRunner) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, runner: &mut TestRunner) -> S::Value {
+            self.generate(runner)
+        }
+    }
+
+    /// A clonable, type-erased strategy (Arc-backed like proptest's).
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.dyn_generate(runner)
+        }
+    }
+
+    /// Output of [`Strategy::prop_recursive`]: picks a random nesting
+    /// depth per case and builds the strategy tower to that depth.
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Recursive<T> {
+            Recursive {
+                base: self.base.clone(),
+                recurse: Arc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let levels = runner.below(self.depth as u64 + 1);
+            let mut strat = self.base.clone();
+            for _ in 0..levels {
+                strat = (self.recurse)(strat);
+            }
+            strat.generate(runner)
+        }
+    }
+
+    /// Output of [`crate::prop_oneof!`]: uniform choice among options.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over pre-boxed options; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs an option");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Union<T> {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            let i = runner.below(self.options.len() as u64) as usize;
+            self.options[i].generate(runner)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = runner.next_u64() as u128 % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u128;
+                    let r = runner.next_u64() as u128 % span;
+                    (lo + r as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    // ---- regex-lite string strategies ----
+
+    enum Atom {
+        Class(Vec<char>),
+        Any,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        // chars[i] is just past '['.
+        let mut set = Vec::new();
+        if chars.get(i) == Some(&'^') {
+            panic!("offline proptest: negated classes unsupported");
+        }
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            // Range `a-z` only when '-' is not the class terminator.
+            if chars.get(i + 1) == Some(&'-')
+                && i + 2 < chars.len()
+                && chars[i + 2] != ']'
+            {
+                let hi = chars[i + 2];
+                for v in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(chars.get(i) == Some(&']'), "unterminated char class");
+        (set, i + 1)
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![c])
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated repetition")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition"),
+                            hi.trim().parse().expect("bad repetition"),
+                        ),
+                        None => {
+                            let n: u32 = body.trim().parse().expect("bad repetition");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn generate_string(pattern: &str, runner: &mut TestRunner) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(pattern) {
+            let count =
+                piece.min + runner.below((piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Class(set) => {
+                        out.push(set[runner.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Any => {
+                        // Printable ASCII keeps `.`-patterns hostile
+                        // enough for parser tests without invalid
+                        // UTF-8 concerns.
+                        out.push((0x20 + runner.below(0x5f) as u8) as char);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            generate_string(self, runner)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, runner: &mut TestRunner) -> String {
+            generate_string(self, runner)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// One arbitrary value from the stream.
+        fn arbitrary_value(runner: &mut TestRunner) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary_value(runner)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRunner;
+
+    /// Element-count range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector strategy over `element` with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + runner.below(span) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface tests use.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a property (no shrinking offline: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current case when its inputs are unsuitable. Expands to
+/// an early `Ok(())` return — valid because `proptest!` wraps each
+/// case body in a closure returning `Result` (which also makes the
+/// real crate's `return Ok(());` early-exit idiom work).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($($cfg:tt)*);) => {};
+    (cfg = ($($cfg:tt)*);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $($cfg)*;
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                __seed = (__seed ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            for __case in 0..__config.cases {
+                let mut __runner = $crate::test_runner::TestRunner::new_seeded(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut __runner,
+                    );
+                )+
+                // A closure returning Result supports both
+                // `prop_assume!` (early Ok) and the real crate's
+                // `return Ok(());` idiom inside case bodies.
+                #[allow(unreachable_code)]
+                let __case: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = __case {
+                    panic!("proptest case failed: {e}");
+                }
+            }
+        }
+        $crate::__proptest_fns! { cfg = ($($cfg)*); $($rest)* }
+    };
+}
+
+/// The property-test harness macro: runs each contained function over
+/// `cases` generated inputs. No shrinking, deterministic stream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}

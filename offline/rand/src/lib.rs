@@ -1,0 +1,91 @@
+//! Offline stand-in for `rand` 0.8: the slice the workspace uses —
+//! `StdRng` seeded with `seed_from_u64`, `Rng::gen_range` over
+//! half-open integer ranges, and `Rng::gen_bool`. Deterministic
+//! splitmix64 core; stream differs from real `StdRng` (ChaCha12),
+//! which only shifts which concrete worlds seeded benches build.
+
+/// Sources of randomness: a 64-bit output function.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types usable to seed an RNG.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types samplable uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` given raw bits `r`.
+    fn sample_from(lo: Self, hi: Self, r: u64) -> Self;
+}
+
+macro_rules! sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(lo: $t, hi: $t, r: u64) -> $t {
+                let span = (hi - lo) as u128;
+                lo + ((r as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_from(lo: $t, hi: $t, r: u64) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (r as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_uint!(u8, u16, u32, u64, usize);
+sample_uniform_int!(i8, i16, i32, i64, isize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value from a half-open range; panics on empty ranges.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range: empty range");
+        T::sample_from(range.start, range.end, self.next_u64())
+    }
+
+    /// A bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named RNGs, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: here a splitmix64 (deterministic, fast, not
+    /// the real crate's ChaCha12 — stream differs, determinism holds).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}

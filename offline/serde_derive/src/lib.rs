@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline stub
+//! toolchain. They accept (and discard) `#[serde(...)]` helper
+//! attributes; the stub `serde_json` serializes via `Debug` instead,
+//! and typed deserialization is unavailable offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
