@@ -13,6 +13,7 @@
 //!         [--out FILE] [--obs-report FILE] [--assert-overhead PCT]
 //!         [--churn N] [--churn-out FILE] [--churn-journal FILE]
 //!         [--assert-retention PCT]
+//!         [--trace-report FILE] [--assert-trace-overhead PCT]
 //! ```
 //!
 //! `--workers` sizes the partitioned mask-pipeline executor inside each
@@ -44,6 +45,14 @@
 //! snapshot's shipped `bucket_bounds_ns`. `--assert-overhead PCT`
 //! exits non-zero when the measured overhead exceeds the bound — the
 //! CI guardrail.
+//!
+//! With `--trace-report`, additionally measures the cost of the
+//! tracing pipeline (DESIGN.md §6f) the same way: three interleaved
+//! pairs of tracing-off/tracing-on runs — the on side head-samples at
+//! 1.0, so *every* request mints a context, runs under a profile
+//! session, passes tail retention, and lands in the trace store —
+//! reporting the smallest per-pair p50 ratio.
+//! `--assert-trace-overhead PCT` is the CI guardrail.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_bench::{ScaledWorld, WorldParams};
@@ -68,6 +77,8 @@ struct Args {
     churn_out: String,
     churn_journal: Option<String>,
     assert_retention: Option<f64>,
+    trace_report: Option<String>,
+    assert_trace_overhead: Option<f64>,
 }
 
 impl Default for Args {
@@ -93,6 +104,8 @@ impl Default for Args {
             churn_out: "BENCH_invalidation_churn.json".to_owned(),
             churn_journal: None,
             assert_retention: None,
+            trace_report: None,
+            assert_trace_overhead: None,
         }
     }
 }
@@ -141,6 +154,14 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--trace-report" => a.trace_report = Some(it.next().unwrap_or_else(|| usage())),
+            "--assert-trace-overhead" => {
+                a.assert_trace_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -152,7 +173,8 @@ fn usage() -> ! {
         "usage: loadgen [--clients N] [--requests N] [--relations N] [--rows N] \
          [--views N] [--users N] [--grants N] [--workers N] [--seed S] [--out FILE] \
          [--obs-report FILE] [--assert-overhead PCT] [--churn N] [--churn-out FILE] \
-         [--churn-journal FILE] [--assert-retention PCT]"
+         [--churn-journal FILE] [--assert-retention PCT] [--trace-report FILE] \
+         [--assert-trace-overhead PCT]"
     );
     std::process::exit(2);
 }
@@ -166,10 +188,12 @@ fn run(
     args: &Args,
     cache_capacity: usize,
     journal: Option<JournalConfig>,
+    trace: Option<(usize, f64)>,
 ) -> (Vec<u64>, f64, u64, u64) {
     let mut fe = Frontend::with_database(world.db.clone());
     *fe.auth_store_mut() = world.store.clone();
     fe.set_exec_config(motro_authz::rel::ExecConfig::with_workers(args.workers));
+    let (trace_store, trace_sample) = trace.unwrap_or((0, 0.0));
     let server = Server::bind(
         "127.0.0.1:0",
         SharedFrontend::new(fe),
@@ -177,6 +201,8 @@ fn run(
             workers: args.clients.clamp(1, 8),
             cache_capacity,
             journal,
+            trace_store,
+            trace_sample,
             ..ServerConfig::default()
         },
     )
@@ -189,8 +215,10 @@ fn run(
             let user = world.users[c % world.users.len()].clone();
             let stmt = stmts[c % stmts.len()].clone();
             let requests = args.requests;
+            let client_sample = trace.map(|(_, p)| p);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr, &user).expect("connect");
+                client.set_trace(client_sample);
                 let mut lat = Vec::with_capacity(requests);
                 for _ in 0..requests {
                     let t = Instant::now();
@@ -344,7 +372,7 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
     let mut best_ratio = f64::INFINITY;
     for i in 0..PAIRS {
         motro_obs::set_enabled(false);
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None);
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None);
         motro_obs::set_enabled(true);
         let _ = std::fs::remove_file(&journal_path);
         let (lat_on, _, _, _) = run(
@@ -353,6 +381,7 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
             args,
             1024,
             Some(JournalConfig::new(journal_path.clone())),
+            None,
         );
         motro_obs::window::global().force_roll();
         let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
@@ -426,6 +455,65 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
     );
     report.insert("metrics_snapshot".to_owned(), parsed);
     report.insert("derived_percentiles".to_owned(), Value::Object(derived));
+    (report, overhead_pct)
+}
+
+/// Measure the tracing pipeline's cost: interleaved off/on run pairs
+/// over the same world and statements, telemetry enabled on both sides
+/// so the figure isolates tracing. The on side is the worst case —
+/// clients mint a context for every request (sample 1.0), the server
+/// runs each under a profile session, evaluates tail retention, and
+/// stores every trace. Returns the report map and the overhead
+/// percentage (smallest per-pair p50 ratio).
+fn trace_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
+    const PAIRS: usize = 5;
+    const STORE: usize = 256;
+    motro_obs::set_enabled(true);
+    let mut pairs = Vec::new();
+    let mut best_ratio = f64::INFINITY;
+    for i in 0..PAIRS {
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None);
+        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, Some((STORE, 1.0)));
+        let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
+        let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
+        best_ratio = best_ratio.min(ratio);
+        eprintln!(
+            "  trace pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
+            i + 1,
+            p50_off / 1_000,
+            p50_on / 1_000
+        );
+        let mut pair = Map::new();
+        let num = |v: u64| Value::Number(Number::from(v));
+        pair.insert("off_p50_us".to_owned(), num(p50_off / 1_000));
+        pair.insert("on_p50_us".to_owned(), num(p50_on / 1_000));
+        pair.insert(
+            "off_mean_us".to_owned(),
+            num(mean_ns(&lat_off) as u64 / 1_000),
+        );
+        pair.insert(
+            "on_mean_us".to_owned(),
+            num(mean_ns(&lat_on) as u64 / 1_000),
+        );
+        pairs.push(Value::Object(pair));
+    }
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("trace_overhead".to_owned()),
+    );
+    report.insert("pairs".to_owned(), Value::Array(pairs));
+    report.insert(
+        "overhead_pct".to_owned(),
+        Value::Number(Number::from_f64(overhead_pct).unwrap_or_else(|| Number::from(0u64))),
+    );
+    report.insert(
+        "trace_sample".to_owned(),
+        Value::Number(Number::from_f64(1.0).unwrap_or_else(|| Number::from(1u64))),
+    );
+    report.insert("trace_store".to_owned(), Value::Number(Number::from(STORE)));
     (report, overhead_pct)
 }
 
@@ -566,9 +654,18 @@ fn churn(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Val
     let mat = server.materializer_stats();
     let num = |v: u64| Value::Number(Number::from(v));
     let mut cache = Map::new();
-    cache.insert("targeted_invalidations".to_owned(), num(stats.targeted_invalidations));
-    cache.insert("full_invalidations".to_owned(), num(stats.full_invalidations));
-    cache.insert("entries_invalidated".to_owned(), num(stats.entries_invalidated));
+    cache.insert(
+        "targeted_invalidations".to_owned(),
+        num(stats.targeted_invalidations),
+    );
+    cache.insert(
+        "full_invalidations".to_owned(),
+        num(stats.full_invalidations),
+    );
+    cache.insert(
+        "entries_invalidated".to_owned(),
+        num(stats.entries_invalidated),
+    );
     cache.insert("retained_last".to_owned(), num(stats.retained_last));
     cache.insert("epoch_fallbacks".to_owned(), num(stats.epoch_fallbacks));
     cache.insert("dep_index_keys".to_owned(), num(stats.dep_index_keys));
@@ -618,14 +715,14 @@ fn main() {
         args.clients, args.requests, args.relations, args.rows, args.views, args.users
     );
 
-    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None);
+    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None, None);
     let uncached = summarize(lat_u, wall_u, hits_u, misses_u);
     eprintln!(
         "  uncached: {} req/s, p50 {}us, p99 {}us",
         uncached["throughput_rps"], uncached["p50_us"], uncached["p99_us"]
     );
 
-    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None);
+    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None, None);
     let cached = summarize(lat_c, wall_c, hits_c, misses_c);
     eprintln!(
         "  cached:   {} req/s, p50 {}us, p99 {}us ({} hits / {} misses)",
@@ -716,6 +813,27 @@ fn main() {
         if let Some(b) = bound {
             if overhead_pct > b {
                 eprintln!("loadgen: overhead {overhead_pct:.2}% exceeds bound {b}%");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.trace_report {
+        eprintln!("loadgen: measuring tracing overhead (sample 1.0)");
+        let (mut report, overhead_pct) = trace_overhead(&world, &stmts, &args);
+        let bound = args.assert_trace_overhead;
+        if let Some(b) = bound {
+            report.insert(
+                "bound_pct".to_owned(),
+                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
+            );
+        }
+        let json = Value::Object(report).to_string();
+        std::fs::write(path, &json).expect("write trace report");
+        eprintln!("  trace overhead: {overhead_pct:.2}% (report: {path})");
+        if let Some(b) = bound {
+            if overhead_pct > b {
+                eprintln!("loadgen: trace overhead {overhead_pct:.2}% exceeds bound {b}%");
                 std::process::exit(1);
             }
         }

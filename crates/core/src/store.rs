@@ -1046,10 +1046,7 @@ mod tests {
         // Batches accumulate until drained.
         assert!(s.remove_member("eng", "Klein"));
         s.revoke_group("SAE", "eng").unwrap();
-        assert_eq!(
-            s.take_touched().render(),
-            vec!["user:Klein", "group:eng"]
-        );
+        assert_eq!(s.take_touched().render(), vec!["user:Klein", "group:eng"]);
 
         // Grants to a group principal touch the group too.
         s.permit("SAE", "group:eng").unwrap();
@@ -1063,15 +1060,9 @@ mod tests {
             .target("EMPLOYEE", "NAME")
             .build();
         s.define_view(&v).unwrap();
-        assert_eq!(
-            s.take_touched().render(),
-            vec!["view:V", "rel:EMPLOYEE"]
-        );
+        assert_eq!(s.take_touched().render(), vec!["view:V", "rel:EMPLOYEE"]);
         s.drop_view("V").unwrap();
-        assert_eq!(
-            s.take_touched().render(),
-            vec!["view:V", "rel:EMPLOYEE"]
-        );
+        assert_eq!(s.take_touched().render(), vec!["view:V", "rel:EMPLOYEE"]);
 
         // A direct bump (out-of-band change) degrades to All,
         // and All is sticky across the batch.

@@ -405,8 +405,7 @@ impl<J: Send + 'static> Materializer<J> {
     where
         F: Fn(J) + Send + 'static,
     {
-        let (tx, rx): (SyncSender<J>, Receiver<J>) =
-            std::sync::mpsc::sync_channel(capacity.max(1));
+        let (tx, rx): (SyncSender<J>, Receiver<J>) = std::sync::mpsc::sync_channel(capacity.max(1));
         let counters = Arc::new(MatCounters::default());
         let worker_counters = Arc::clone(&counters);
         let worker = std::thread::Builder::new()

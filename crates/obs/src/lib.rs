@@ -24,6 +24,13 @@
 //!   as text or as JSON lines, switchable at runtime
 //!   ([`log::set_format`]).
 //!
+//! On top of these, [`tracectx`] mints and propagates end-to-end
+//! request trace identities (wire-carried, deterministically
+//! head-sampled), [`profile`] threads trace/span ids through its
+//! per-request span trees, [`tracestore`] retains interesting traces in
+//! a bounded ring, and [`prom`] can attach OpenMetrics exemplars
+//! (`trace_id` → histogram bucket) to the exposition.
+//!
 //! Everything is gated behind one global switch ([`set_enabled`]):
 //! disabled, every update is a single relaxed atomic load and an early
 //! return, which is what the `BENCH_obs_overhead` experiment measures
@@ -46,11 +53,15 @@ pub mod metrics;
 pub mod profile;
 pub mod prom;
 pub mod trace;
+pub mod tracectx;
+pub mod tracestore;
 pub mod window;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use profile::ProfileNode;
 pub use trace::{span, MemorySink, Sink, Span, SpanEvent, StderrJsonSink};
+pub use tracectx::TraceContext;
+pub use tracestore::{StoredTrace, TraceStore, TraceStoreStats, TraceSummary};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;

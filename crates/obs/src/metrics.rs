@@ -103,7 +103,10 @@ pub fn bucket_bounds_ns() -> [u64; HISTOGRAM_BUCKETS - 1] {
     std::array::from_fn(bucket_bound)
 }
 
-fn bucket_index(ns: u64) -> usize {
+/// The bucket a duration of `ns` lands in — public so the exemplar
+/// layer ([`crate::prom`]) can attach a trace id to exactly the bucket
+/// that counted the observation.
+pub fn bucket_index(ns: u64) -> usize {
     for i in 0..HISTOGRAM_BUCKETS - 1 {
         if ns <= bucket_bound(i) {
             return i;

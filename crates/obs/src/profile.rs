@@ -16,6 +16,7 @@
 //! timings back to the coordinating thread, which attaches them via
 //! [`attach`].
 
+use crate::tracectx::TraceContext;
 use std::cell::RefCell;
 use std::time::Instant;
 
@@ -24,6 +25,9 @@ use std::time::Instant;
 pub struct ProfileNode {
     /// Stage name (e.g. `parse`, `meta.select`, `exec.partition`).
     pub stage: String,
+    /// Span id within the request's trace (0 when the session was not
+    /// trace-bound; see [`begin_traced`]).
+    pub span_id: u64,
     /// Wall time spent in the stage, including children.
     pub duration_ns: u64,
     /// Key/value annotations (tuple counts, operator names, ...).
@@ -36,6 +40,7 @@ impl ProfileNode {
     fn new(stage: &str) -> ProfileNode {
         ProfileNode {
             stage: stage.to_owned(),
+            span_id: 0,
             duration_ns: 0,
             fields: Vec::new(),
             children: Vec::new(),
@@ -43,10 +48,15 @@ impl ProfileNode {
     }
 
     /// Render as a JSON object string (hand-rolled; stable field
-    /// order: stage, duration_ns, fields, children).
+    /// order: stage, span_id (traced trees only), duration_ns, fields,
+    /// children).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"stage\":\"");
         out.push_str(&crate::json_escape(&self.stage));
+        if self.span_id != 0 {
+            out.push_str("\",\"span_id\":\"");
+            out.push_str(&format!("{:016x}", self.span_id));
+        }
         out.push_str("\",\"duration_ns\":");
         out.push_str(&self.duration_ns.to_string());
         out.push_str(",\"fields\":{");
@@ -84,6 +94,9 @@ impl ProfileNode {
         }
         out.push_str(&self.stage);
         out.push_str(&format!(" {}ns", self.duration_ns));
+        if self.span_id != 0 {
+            out.push_str(&format!(" span={:016x}", self.span_id));
+        }
         for (k, v) in &self.fields {
             out.push_str(&format!(" {k}={v}"));
         }
@@ -110,6 +123,24 @@ struct Frame {
 struct Collector {
     /// `stack[0]` is the root frame; deeper frames are open stages.
     stack: Vec<Frame>,
+    /// Set when the session is trace-bound: stages get span ids and the
+    /// root is annotated with the trace identity.
+    trace: Option<TraceContext>,
+    /// Next span id to hand out (sequential within the request — ids
+    /// only need to be unique inside one trace tree).
+    next_span_id: u64,
+}
+
+impl Collector {
+    /// The next span id, or 0 when the session is not trace-bound.
+    fn claim_span_id(&mut self) -> u64 {
+        if self.trace.is_none() {
+            return 0;
+        }
+        let id = self.next_span_id;
+        self.next_span_id += 1;
+        id
+    }
 }
 
 thread_local! {
@@ -134,19 +165,49 @@ pub struct ProfileSession {
 /// already active the call returns a passive handle (the outer session
 /// keeps recording; nested stages attach to it).
 pub fn begin(label: &str) -> ProfileSession {
+    begin_traced(label, None)
+}
+
+/// Begin a profile session bound to a trace context: every stage
+/// (including the root) is assigned a span id sequential within the
+/// request, starting above `ctx.parent_span_id`, and the root node is
+/// annotated with `trace_id` / `parent_span_id` so the identity
+/// survives in every rendering of the tree. With `ctx == None` this is
+/// exactly [`begin`].
+pub fn begin_traced(label: &str, ctx: Option<TraceContext>) -> ProfileSession {
     COLLECTOR.with(|c| {
         let mut slot = c.borrow_mut();
         if slot.is_some() {
             return ProfileSession { owner: false };
         }
-        *slot = Some(Collector {
-            stack: vec![Frame {
-                node: ProfileNode::new(label),
-                started: Instant::now(),
-            }],
+        let mut collector = Collector {
+            stack: Vec::with_capacity(8),
+            trace: ctx,
+            next_span_id: ctx.map_or(0, |t| t.parent_span_id.wrapping_add(1).max(1)),
+        };
+        let mut root = ProfileNode::new(label);
+        root.span_id = collector.claim_span_id();
+        if let Some(t) = ctx {
+            root.fields.push(("trace_id".to_owned(), t.trace_id_hex()));
+            if t.parent_span_id != 0 {
+                root.fields.push((
+                    "parent_span_id".to_owned(),
+                    format!("{:016x}", t.parent_span_id),
+                ));
+            }
+        }
+        collector.stack.push(Frame {
+            node: root,
+            started: Instant::now(),
         });
+        *slot = Some(collector);
         ProfileSession { owner: true }
     })
+}
+
+/// The trace context bound to this thread's active session, if any.
+pub fn session_trace() -> Option<TraceContext> {
+    COLLECTOR.with(|c| c.borrow().as_ref().and_then(|col| col.trace))
 }
 
 impl ProfileSession {
@@ -196,8 +257,10 @@ pub fn stage(name: &str) -> StageGuard {
         let mut slot = c.borrow_mut();
         match slot.as_mut() {
             Some(collector) => {
+                let mut node = ProfileNode::new(name);
+                node.span_id = collector.claim_span_id();
                 collector.stack.push(Frame {
-                    node: ProfileNode::new(name),
+                    node,
                     started: Instant::now(),
                 });
                 true
@@ -257,9 +320,11 @@ pub fn attach(stage: &str, duration_ns: u64, fields: &[(&str, String)]) {
     COLLECTOR.with(|c| {
         let mut slot = c.borrow_mut();
         if let Some(collector) = slot.as_mut() {
+            let span_id = collector.claim_span_id();
             if let Some(frame) = collector.stack.last_mut() {
                 frame.node.children.push(ProfileNode {
                     stage: stage.to_owned(),
+                    span_id,
                     duration_ns,
                     fields: fields
                         .iter()
@@ -310,6 +375,57 @@ mod tests {
         let text = tree.render_text();
         assert!(text.contains("  mask.compute"));
         assert!(text.contains("    meta.select"));
+    }
+
+    #[test]
+    fn traced_session_assigns_span_ids() {
+        let ctx = TraceContext {
+            trace_id: 0xabc,
+            parent_span_id: 5,
+            sampled: true,
+        };
+        let session = begin_traced("request", Some(ctx));
+        assert_eq!(session_trace(), Some(ctx));
+        {
+            let _p = stage("parse");
+        }
+        {
+            let _c = stage("compile");
+            attach("exec.partition", 9, &[]);
+        }
+        let tree = session.finish().unwrap();
+        assert!(session_trace().is_none());
+        assert_eq!(tree.span_id, 6, "root span follows the parent");
+        assert!(tree
+            .fields
+            .iter()
+            .any(|(k, v)| k == "trace_id" && v == &crate::tracectx::trace_id_hex(0xabc)));
+        assert!(tree
+            .fields
+            .iter()
+            .any(|(k, v)| k == "parent_span_id" && v == "0000000000000005"));
+        assert_eq!(tree.children[0].span_id, 7);
+        assert_eq!(tree.children[1].span_id, 8);
+        assert_eq!(tree.children[1].children[0].span_id, 9, "attach gets one");
+        let json = tree.to_json();
+        assert!(json.contains("\"span_id\":\"0000000000000006\""), "{json}");
+        assert!(tree.render_text().contains("span=0000000000000007"));
+    }
+
+    #[test]
+    fn untraced_session_has_zero_span_ids() {
+        let session = begin("request");
+        assert!(session_trace().is_none());
+        {
+            let _p = stage("parse");
+        }
+        let tree = session.finish().unwrap();
+        assert_eq!(tree.span_id, 0);
+        assert_eq!(tree.children[0].span_id, 0);
+        assert!(
+            !tree.to_json().contains("span_id"),
+            "untraced json unchanged"
+        );
     }
 
     #[test]

@@ -14,10 +14,84 @@
 //! emits — the scrape smoke tests and CI run every exposition through
 //! it, so a rendering regression fails loudly rather than silently
 //! producing text Prometheus would drop.
+//!
+//! When exemplars are enabled ([`set_exemplars`]) the flat histogram
+//! `_bucket` lines additionally carry the OpenMetrics exemplar suffix
+//! `# {trace_id="..."} VALUE TIMESTAMP` for the most recent retained
+//! trace whose observation landed in that bucket — the join point
+//! between a Prometheus latency bucket and a live trace in the trace
+//! store. The default exposition (exemplars off) is byte-identical to
+//! what this module emitted before exemplars existed.
 
-use crate::metrics::{bucket_bound, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use crate::metrics::{
+    bucket_bound, bucket_index, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// One exemplar: the trace whose observation most recently landed in a
+/// histogram bucket.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// Trace id, as lowercase hex.
+    pub trace_id: String,
+    /// The observed value, in the histogram's unit (nanoseconds).
+    pub value_ns: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
+static EXEMPLARS_ON: AtomicBool = AtomicBool::new(false);
+
+type ExemplarSlots = BTreeMap<String, Vec<Option<Exemplar>>>;
+
+fn exemplar_store() -> &'static Mutex<ExemplarSlots> {
+    static STORE: OnceLock<Mutex<ExemplarSlots>> = OnceLock::new();
+    STORE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Enable or disable exemplar recording and rendering (off by
+/// default — the exposition stays byte-identical to the pre-exemplar
+/// format unless explicitly switched on).
+pub fn set_exemplars(on: bool) {
+    EXEMPLARS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Are exemplars enabled?
+pub fn exemplars_enabled() -> bool {
+    EXEMPLARS_ON.load(Ordering::Relaxed)
+}
+
+/// Record an exemplar for the registry histogram `metric` (pre-folded
+/// name, e.g. `server.request_ns`): `trace_id` observed `ns`, landing
+/// in the same bucket [`crate::metrics::Histogram::record_ns`] counted
+/// it in. No-op while exemplars are disabled.
+pub fn record_exemplar(metric: &str, ns: u64, trace_id: &str) {
+    if !exemplars_enabled() {
+        return;
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut store = exemplar_store().lock();
+    let slots = store
+        .entry(metric.to_owned())
+        .or_insert_with(|| vec![None; HISTOGRAM_BUCKETS]);
+    slots[bucket_index(ns)] = Some(Exemplar {
+        trace_id: trace_id.to_owned(),
+        value_ns: ns,
+        unix_ms,
+    });
+}
+
+/// Drop all recorded exemplars (tests and registry resets).
+pub fn clear_exemplars() {
+    exemplar_store().lock().clear();
+}
 
 /// Fold a registry name into a valid Prometheus metric name with the
 /// `motro_` prefix: characters outside `[a-zA-Z0-9_:]` become `_`.
@@ -69,6 +143,7 @@ fn render_histogram(
     name: &str,
     labels: &[(String, String)],
     h: &HistogramSnapshot,
+    exemplars: Option<&[Option<Exemplar>]>,
 ) {
     let mut cumulative = 0u64;
     for (i, n) in h.buckets.iter().enumerate() {
@@ -78,11 +153,30 @@ fn render_histogram(
         } else {
             bucket_bound(i).to_string()
         };
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{name}_bucket{} {cumulative}",
             render_labels(labels, Some(("le", &le)))
         );
+        // An exemplar attaches only to the bucket that actually counted
+        // its observation, so the exemplar value is always within the
+        // bucket's range.
+        if *n > 0 {
+            if let Some(ex) = exemplars
+                .and_then(|slots| slots.get(i))
+                .and_then(Option::as_ref)
+            {
+                let _ = write!(
+                    out,
+                    " # {{trace_id=\"{}\"}} {} {}.{:03}",
+                    escape_label_value(&ex.trace_id),
+                    ex.value_ns,
+                    ex.unix_ms / 1000,
+                    ex.unix_ms % 1000
+                );
+            }
+        }
+        out.push('\n');
     }
     let plain = render_labels(labels, None);
     let _ = writeln!(out, "{name}_sum{plain} {}", h.sum_ns);
@@ -121,11 +215,25 @@ pub fn render(snapshot: &MetricsSnapshot) -> String {
             .or_default()
             .push((&lh.labels, &lh.hist));
     }
+    let exemplars = if exemplars_enabled() {
+        Some(exemplar_store().lock())
+    } else {
+        None
+    };
     for (name, series) in &by_name {
         let n = metric_name(name);
         let _ = writeln!(out, "# TYPE {n} histogram");
         for (labels, h) in series {
-            render_histogram(&mut out, &n, labels, h);
+            // Exemplars attach to the flat (unlabeled) series only.
+            let slots = if labels.is_empty() {
+                exemplars
+                    .as_ref()
+                    .and_then(|s| s.get(name.as_str()))
+                    .map(Vec::as_slice)
+            } else {
+                None
+            };
+            render_histogram(&mut out, &n, labels, h, slots);
         }
     }
     out
@@ -152,99 +260,137 @@ fn valid_label_name(s: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-/// A parsed sample: metric name, label pairs, and value.
-type Sample = (String, Vec<(String, String)>, f64);
+/// A parsed sample: metric name, label pairs, value, and whether an
+/// exemplar suffix was present.
+type Sample = (String, Vec<(String, String)>, f64, bool);
 
-/// Split a sample line into (name, labels, value), validating label
-/// syntax and escapes.
-fn parse_sample(line: &str) -> Result<Sample, String> {
-    let (head, value_str) = match line.find('{') {
-        Some(brace) => {
-            let close = line
-                .rfind('}')
-                .ok_or_else(|| format!("unclosed label set: {line}"))?;
-            if close < brace {
-                return Err(format!("mismatched braces: {line}"));
-            }
-            let labels_src = &line[brace + 1..close];
-            let mut labels = Vec::new();
-            let mut rest = labels_src;
-            while !rest.is_empty() {
-                let eq = rest
-                    .find('=')
-                    .ok_or_else(|| format!("label without '=': {labels_src}"))?;
-                let key = &rest[..eq];
-                if !valid_label_name(key) {
-                    return Err(format!("bad label name {key:?} in: {line}"));
-                }
-                let after = &rest[eq + 1..];
-                if !after.starts_with('"') {
-                    return Err(format!("unquoted label value in: {line}"));
-                }
-                // Walk the escaped string body.
-                let bytes = after.as_bytes();
-                let mut i = 1;
-                let mut value = String::new();
-                loop {
-                    match bytes.get(i) {
-                        None => return Err(format!("unterminated label value in: {line}")),
-                        Some(b'"') => break,
-                        Some(b'\\') => {
-                            match bytes.get(i + 1) {
-                                Some(b'\\') => value.push('\\'),
-                                Some(b'"') => value.push('"'),
-                                Some(b'n') => value.push('\n'),
-                                _ => return Err(format!("bad escape in label value: {line}")),
-                            }
-                            i += 2;
-                        }
-                        Some(_) => {
-                            // Advance one UTF-8 character.
-                            let s = &after[i..];
-                            let c = s.chars().next().unwrap();
-                            value.push(c);
-                            i += c.len_utf8();
-                        }
+/// A parsed label set plus the remainder of the line after it.
+type LabelSet<'a> = (Vec<(String, String)>, &'a str);
+
+/// Walk a `{label="value",...}` set starting at `s` (which must begin
+/// with `{`), returning the pairs and the remainder after the closing
+/// brace. Escape-aware, so a `}` or ` # ` inside a quoted label value
+/// never terminates the set early.
+fn parse_label_set<'a>(s: &'a str, line: &str) -> Result<LabelSet<'a>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s
+        .strip_prefix('{')
+        .ok_or_else(|| format!("expected label set in: {line}"))?;
+    if let Some(after) = rest.strip_prefix('}') {
+        return Ok((labels, after));
+    }
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {line}"))?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("bad label name {key:?} in: {line}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("unquoted label value in: {line}"));
+        }
+        // Walk the escaped string body.
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(i) {
+                None => return Err(format!("unterminated label value in: {line}")),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(i + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        _ => return Err(format!("bad escape in label value: {line}")),
                     }
+                    i += 2;
                 }
-                labels.push((key.to_owned(), value));
-                rest = &after[i + 1..];
-                if let Some(stripped) = rest.strip_prefix(',') {
-                    rest = stripped;
-                    if rest.is_empty() {
-                        return Err(format!("trailing comma in label set: {line}"));
-                    }
-                } else if !rest.is_empty() {
-                    return Err(format!("junk after label value: {line}"));
+                Some(_) => {
+                    // Advance one UTF-8 character.
+                    let s = &after[i..];
+                    let c = s.chars().next().unwrap();
+                    value.push(c);
+                    i += c.len_utf8();
                 }
             }
-            (
-                line[..brace].to_owned(),
-                (labels, line[close + 1..].trim().to_owned()),
-            )
         }
-        None => {
-            let mut parts = line.split_whitespace();
-            let name = parts
-                .next()
-                .ok_or_else(|| format!("empty sample: {line}"))?;
-            let value = parts.collect::<Vec<_>>().join(" ");
-            (name.to_owned(), (Vec::new(), value))
+        labels.push((key.to_owned(), value));
+        rest = &after[i + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+            if rest.is_empty() || rest.starts_with('}') {
+                return Err(format!("trailing comma in label set: {line}"));
+            }
+        } else if let Some(after_close) = rest.strip_prefix('}') {
+            return Ok((labels, after_close));
+        } else {
+            return Err(format!("junk after label value: {line}"));
         }
-    };
-    let (labels, value_str) = value_str;
-    let value = match value_str.trim() {
-        "+Inf" => f64::INFINITY,
-        "-Inf" => f64::NEG_INFINITY,
-        "NaN" => f64::NAN,
+    }
+}
+
+fn parse_value(v: &str, line: &str) -> Result<f64, String> {
+    match v {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
         v => v
             .parse::<f64>()
-            .map_err(|_| format!("bad sample value {v:?} in: {line}"))?,
+            .map_err(|_| format!("bad sample value {v:?} in: {line}")),
+    }
+}
+
+/// Check an exemplar suffix (the part after `# `): a label set followed
+/// by a value and an optional timestamp.
+fn parse_exemplar(ex: &str, line: &str) -> Result<(), String> {
+    let (_labels, rest) = parse_label_set(ex, line)?;
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("exemplar without a value: {line}"))?;
+    value
+        .parse::<f64>()
+        .map_err(|_| format!("bad exemplar value {value:?} in: {line}"))?;
+    if let Some(ts) = parts.next() {
+        ts.parse::<f64>()
+            .map_err(|_| format!("bad exemplar timestamp {ts:?} in: {line}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("junk after exemplar: {line}"));
+    }
+    Ok(())
+}
+
+/// Split a sample line into (name, labels, value, has_exemplar),
+/// validating label syntax, escapes, and — when present — the
+/// OpenMetrics exemplar suffix.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let brace = line.find('{');
+    let space = line.find(char::is_whitespace);
+    let (head, labels, tail) = match (brace, space) {
+        // A labeled sample: the brace comes before any whitespace.
+        (Some(b), sp) if sp.is_none_or(|s| b < s) => {
+            let (labels, rest) = parse_label_set(&line[b..], line)?;
+            (line[..b].to_owned(), labels, rest.trim())
+        }
+        (_, Some(sp)) => (line[..sp].to_owned(), Vec::new(), line[sp..].trim()),
+        (_, None) => return Err(format!("sample without a value: {line}")),
     };
+    let (value_str, exemplar) = match tail.split_once(" # ") {
+        Some((v, ex)) => (v.trim(), Some(ex.trim())),
+        None => (tail, None),
+    };
+    let value = parse_value(value_str, line)?;
+    if let Some(ex) = exemplar {
+        parse_exemplar(ex, line)?;
+    }
     if !valid_metric_name(&head) {
         return Err(format!("bad metric name {head:?} in: {line}"));
     }
-    Ok((head, labels, value))
+    Ok((head, labels, value, exemplar.is_some()))
 }
 
 /// Validate text exposition against the subset of the 0.0.4 grammar
@@ -253,7 +399,9 @@ fn parse_sample(line: &str) -> Result<Sample, String> {
 /// Checks: every sample parses (name, escaped labels, numeric value);
 /// every sample's base name was declared by a preceding `# TYPE` line;
 /// histogram series have non-decreasing cumulative buckets ending in a
-/// `+Inf` bucket that equals the series' `_count`.
+/// `+Inf` bucket that equals the series' `_count`; exemplar suffixes
+/// parse (label set + value + optional timestamp) and appear only on
+/// histogram `_bucket` or counter samples, per OpenMetrics.
 pub fn validate(text: &str) -> Result<std::collections::BTreeSet<String>, String> {
     let mut types: BTreeMap<String, String> = BTreeMap::new();
     // (base name, non-le labels) → (cumulative buckets, saw_inf, count)
@@ -286,7 +434,7 @@ pub fn validate(text: &str) -> Result<std::collections::BTreeSet<String>, String
         if line.starts_with('#') {
             continue; // HELP or comment
         }
-        let (name, labels, value) = parse_sample(line)?;
+        let (name, labels, value, has_exemplar) = parse_sample(line)?;
         // Resolve the base name: histogram samples append a suffix.
         let base = types
             .get(&name)
@@ -303,6 +451,9 @@ pub fn validate(text: &str) -> Result<std::collections::BTreeSet<String>, String
             })
             .ok_or_else(|| format!("sample {name} has no preceding TYPE line"))?;
         let ty = &types[&base];
+        if has_exemplar && !(name.ends_with("_bucket") && ty == "histogram") && ty != "counter" {
+            return Err(format!("exemplar on a non-bucket sample: {line}"));
+        }
         if ty == "histogram" {
             let rest_labels: Vec<(String, String)> =
                 labels.iter().filter(|(k, _)| k != "le").cloned().collect();
@@ -452,6 +603,96 @@ mod tests {
             validate("# TYPE bad.name counter\n").is_err(),
             "invalid metric name"
         );
+    }
+
+    #[test]
+    fn exemplars_render_and_validate() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        let h = r.histogram("trace.demo_ns");
+        h.record_ns(100);
+        h.record_ns(90_000);
+        set_exemplars(true);
+        record_exemplar("trace.demo_ns", 100, "00000000000000000000000000000abc");
+        let text = render(&r.snapshot());
+        set_exemplars(false);
+        clear_exemplars();
+        // 100ns lands in le=256 (bucket 3); the exemplar rides that line.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("motro_trace_demo_ns_bucket{le=\"256\"}"))
+            .expect("bucket line");
+        assert!(
+            line.contains("# {trace_id=\"00000000000000000000000000000abc\"} 100 "),
+            "{line}"
+        );
+        // Buckets the exemplar does not belong to stay bare.
+        assert!(!text
+            .lines()
+            .any(|l| l.contains("le=\"+Inf\"") && l.contains("trace_id")));
+        validate(&text).expect("exemplar exposition validates");
+    }
+
+    #[test]
+    fn exemplars_off_is_byte_identical() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let r = Registry::default();
+        r.histogram("trace.off_ns").record_ns(50);
+        let before = render(&r.snapshot());
+        set_exemplars(true);
+        record_exemplar("trace.off_ns", 50, "ff");
+        set_exemplars(false);
+        let after = render(&r.snapshot());
+        clear_exemplars();
+        assert_eq!(before, after, "disabled exemplars leave the text unchanged");
+    }
+
+    #[test]
+    fn validator_checks_exemplar_grammar() {
+        let ok = "# TYPE motro_h histogram\n\
+                  motro_h_bucket{le=\"4\"} 1 # {trace_id=\"ab\"} 3 1700000000.123\n\
+                  motro_h_bucket{le=\"+Inf\"} 1\n\
+                  motro_h_sum 3\nmotro_h_count 1\n";
+        validate(ok).expect("well-formed exemplar");
+        assert!(
+            validate("# TYPE motro_c counter\nmotro_c 1 # {trace_id=\"ab\"} 1").is_ok(),
+            "counters may carry exemplars"
+        );
+        assert!(
+            validate("# TYPE motro_g gauge\nmotro_g 1 # {trace_id=\"ab\"} 1").is_err(),
+            "gauges may not"
+        );
+        assert!(
+            validate(
+                "# TYPE motro_h histogram\nmotro_h_sum 1 # {trace_id=\"ab\"} 1\n\
+                 motro_h_bucket{le=\"+Inf\"} 1\nmotro_h_count 1"
+            )
+            .is_err(),
+            "histogram _sum may not"
+        );
+        assert!(
+            validate("# TYPE motro_h histogram\nmotro_h_bucket{le=\"+Inf\"} 1 # {trace_id=} 1\nmotro_h_count 1")
+                .is_err(),
+            "malformed exemplar label set"
+        );
+        assert!(
+            validate("# TYPE motro_h histogram\nmotro_h_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} x\nmotro_h_count 1")
+                .is_err(),
+            "non-numeric exemplar value"
+        );
+    }
+
+    #[test]
+    fn label_values_containing_hash_still_parse() {
+        // An escaped label value may contain " # " and "}" — the walker
+        // must not mistake either for the end of the label set.
+        let text = "# TYPE motro_q histogram\n\
+                    motro_q_bucket{stmt=\"a # {b}\",le=\"+Inf\"} 1\n\
+                    motro_q_sum{stmt=\"a # {b}\"} 1\n\
+                    motro_q_count{stmt=\"a # {b}\"} 1\n";
+        validate(text).expect("hash inside label value");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Request trace contexts: the identity that ties one user request's
+//! profile tree, journal record, slow-query entry, and Prometheus
+//! exemplar together across the client→server boundary.
+//!
+//! A [`TraceContext`] is minted at the client (or at the server edge
+//! for requests from clients that predate tracing) and carried as an
+//! optional field of the wire frame, so old clients and old journal
+//! segments remain readable. The head-sampling decision is a *pure
+//! function* of the trace id and the configured probability
+//! ([`sample_decision`]), in the style of OpenTelemetry's
+//! `TraceIdRatioBased` sampler: every process that sees the same trace
+//! id reaches the same verdict without coordination, and tests can
+//! enumerate ids deterministically.
+//!
+//! The active context rides in a thread-local ([`set_current`] /
+//! [`current`]) so deep layers — the journal writer, the exemplar
+//! recorder — can stamp the id without threading a parameter through
+//! every call.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The identity of one end-to-end request trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 128-bit trace id, rendered as 32 lowercase hex digits on the
+    /// wire and in journals/exemplars. Never zero for a minted context.
+    pub trace_id: u128,
+    /// The span id of the caller's span (0 for a root mint with no
+    /// client-side span).
+    pub parent_span_id: u64,
+    /// The head-sampling verdict for this trace.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// The trace id as 32 lowercase hex digits.
+    pub fn trace_id_hex(&self) -> String {
+        trace_id_hex(self.trace_id)
+    }
+}
+
+/// Render a trace id as 32 lowercase hex digits.
+pub fn trace_id_hex(id: u128) -> String {
+    format!("{id:032x}")
+}
+
+/// Parse a trace id from hex (1–32 digits, case-insensitive). Returns
+/// `None` for empty, overlong, or non-hex input.
+pub fn parse_trace_id(s: &str) -> Option<u128> {
+    let s = s.trim();
+    if s.is_empty() || s.len() > 32 {
+        return None;
+    }
+    u128::from_str_radix(s, 16).ok()
+}
+
+/// One draw of process-local entropy: a fresh `RandomState` (seeded by
+/// the OS per construction) hashing the wall clock and a process-wide
+/// counter. Not cryptographic — trace ids need uniqueness, not
+/// unpredictability — and zero new dependencies.
+fn entropy() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    h.write_u128(now.as_nanos());
+    h.finish()
+}
+
+/// Mint a fresh root context: random nonzero trace id, no parent span,
+/// sampled per [`sample_decision`] at `probability`.
+pub fn mint(probability: f64) -> TraceContext {
+    let mut trace_id = ((entropy() as u128) << 64) | entropy() as u128;
+    if trace_id == 0 {
+        trace_id = 1;
+    }
+    TraceContext {
+        trace_id,
+        parent_span_id: 0,
+        sampled: sample_decision(trace_id, probability),
+    }
+}
+
+/// Mint a span id (for a client-side root span whose id becomes the
+/// server's `parent_span_id`).
+pub fn mint_span_id() -> u64 {
+    entropy().max(1)
+}
+
+/// The deterministic head-sampling verdict for a trace id at a given
+/// probability. Pure: the low 64 bits of the id, shifted down to a
+/// 53-bit integer (exact in an `f64`), are compared against the
+/// probability as a fraction of 2^53 — so `probability >= 1.0` keeps
+/// everything, `<= 0.0` keeps nothing, and every holder of the same id
+/// agrees without coordination.
+pub fn sample_decision(trace_id: u128, probability: f64) -> bool {
+    if probability >= 1.0 {
+        return true;
+    }
+    if probability <= 0.0 {
+        return false;
+    }
+    let unit = ((trace_id as u64) >> 11) as f64 / (1u64 << 53) as f64;
+    unit < probability
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The context currently bound to this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Bind `ctx` to this thread for the lifetime of the returned guard;
+/// the previous binding (if any) is restored on drop.
+pub fn set_current(ctx: TraceContext) -> CurrentGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    CurrentGuard { prev }
+}
+
+/// Restores the previously bound context on drop. See [`set_current`].
+pub struct CurrentGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev.take()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let ctx = mint(1.0);
+        let hex = ctx.trace_id_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(parse_trace_id(&hex), Some(ctx.trace_id));
+        assert_eq!(parse_trace_id("0000000000000000000000000000002a"), Some(42));
+        assert_eq!(parse_trace_id("2A"), Some(42), "short + uppercase ok");
+        assert_eq!(parse_trace_id(""), None);
+        assert_eq!(parse_trace_id("xyz"), None);
+        assert_eq!(parse_trace_id(&"f".repeat(33)), None);
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..256 {
+            let ctx = mint(0.5);
+            assert_ne!(ctx.trace_id, 0);
+            assert!(seen.insert(ctx.trace_id), "trace ids collide");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_edge_exact() {
+        for id in [1u128, 42, u128::MAX, 0x1234_5678_9abc_def0] {
+            assert!(sample_decision(id, 1.0));
+            assert!(!sample_decision(id, 0.0));
+            // Pure: same id + probability, same verdict, every time.
+            let v = sample_decision(id, 0.25);
+            for _ in 0..8 {
+                assert_eq!(sample_decision(id, 0.25), v);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_rate_tracks_probability() {
+        // The decision uses the low 64 bits; enumerate a deterministic
+        // spread of ids and check the empirical keep-rate.
+        let kept = (0..10_000u64)
+            .map(|i| (i as u128).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .filter(|&id| sample_decision(id, 0.25))
+            .count();
+        let rate = kept as f64 / 10_000.0;
+        assert!((0.20..=0.30).contains(&rate), "rate {rate} far from 0.25");
+    }
+
+    #[test]
+    fn thread_local_current_restores_on_drop() {
+        assert!(current().is_none());
+        let outer = mint(1.0);
+        let inner = mint(1.0);
+        {
+            let _g1 = set_current(outer);
+            assert_eq!(current(), Some(outer));
+            {
+                let _g2 = set_current(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer), "inner guard restores outer");
+        }
+        assert!(current().is_none(), "outer guard restores empty");
+    }
+}

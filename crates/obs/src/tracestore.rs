@@ -1,0 +1,229 @@
+//! A bounded in-memory store of retained request traces.
+//!
+//! Head sampling decides *up front* whether a trace is interesting;
+//! tail retention decides *after the fact* — a request that turned out
+//! slow, errored, fell back to the epoch backstop, or masked an
+//! unusually high fraction of cells is force-kept even when the head
+//! sampler said no. Retained traces land here: a fixed-capacity ring
+//! (oldest evicted first) looked up by trace id, serving the `trace`
+//! and `traces` wire commands.
+//!
+//! Capacities are small (hundreds), so lookups scan the ring — no
+//! index to keep coherent under eviction.
+
+use crate::profile::ProfileNode;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One retained trace: identity, request coordinates, why it was kept,
+/// and the finished profile tree.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// The 128-bit trace id.
+    pub trace_id: u128,
+    /// Principal that issued the request.
+    pub principal: String,
+    /// The request statement (or command summary).
+    pub stmt: String,
+    /// Retention reasons, e.g. `sampled`, `slow`, `error`,
+    /// `epoch_fallback`, `mask_fraction`.
+    pub reasons: Vec<String>,
+    /// End-to-end duration of the profiled request.
+    pub duration_ns: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The profile span tree recorded for the request.
+    pub root: ProfileNode,
+}
+
+/// A listing row: everything in [`StoredTrace`] except the tree.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// The 128-bit trace id.
+    pub trace_id: u128,
+    /// Principal that issued the request.
+    pub principal: String,
+    /// The request statement (or command summary).
+    pub stmt: String,
+    /// Retention reasons.
+    pub reasons: Vec<String>,
+    /// End-to-end duration of the profiled request.
+    pub duration_ns: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+}
+
+/// Running counters for the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Traces ever inserted.
+    pub inserted: u64,
+    /// Traces evicted to make room.
+    pub evicted: u64,
+    /// Traces currently held.
+    pub entries: usize,
+    /// Ring capacity.
+    pub capacity: usize,
+}
+
+struct Inner {
+    ring: VecDeque<StoredTrace>,
+    inserted: u64,
+    evicted: u64,
+}
+
+/// The bounded ring of retained traces. See the module docs.
+pub struct TraceStore {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl TraceStore {
+    /// A store holding at most `capacity` traces (0 disables retention:
+    /// every insert is dropped on the floor).
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity,
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.min(1024)),
+                inserted: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert a trace, evicting the oldest when full. A re-inserted
+    /// trace id replaces the previous entry in place.
+    pub fn insert(&self, trace: StoredTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.inserted += 1;
+        if let Some(slot) = inner.ring.iter_mut().find(|t| t.trace_id == trace.trace_id) {
+            *slot = trace;
+            return;
+        }
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+            inner.evicted += 1;
+        }
+        inner.ring.push_back(trace);
+    }
+
+    /// Fetch a retained trace by id.
+    pub fn get(&self, trace_id: u128) -> Option<StoredTrace> {
+        self.inner
+            .lock()
+            .ring
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// Summaries of retained traces, newest first, at most `limit`
+    /// (0 means all).
+    pub fn list(&self, limit: usize) -> Vec<TraceSummary> {
+        let inner = self.inner.lock();
+        let take = if limit == 0 { inner.ring.len() } else { limit };
+        inner
+            .ring
+            .iter()
+            .rev()
+            .take(take)
+            .map(|t| TraceSummary {
+                trace_id: t.trace_id,
+                principal: t.principal.clone(),
+                stmt: t.stmt.clone(),
+                reasons: t.reasons.clone(),
+                duration_ns: t.duration_ns,
+                unix_ms: t.unix_ms,
+            })
+            .collect()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> TraceStoreStats {
+        let inner = self.inner.lock();
+        TraceStoreStats {
+            inserted: inner.inserted,
+            evicted: inner.evicted,
+            entries: inner.ring.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u128) -> StoredTrace {
+        StoredTrace {
+            trace_id: id,
+            principal: "Brown".to_owned(),
+            stmt: "retrieve (...)".to_owned(),
+            reasons: vec!["sampled".to_owned()],
+            duration_ns: 1000 + id as u64,
+            unix_ms: 0,
+            root: ProfileNode {
+                stage: "server.request".to_owned(),
+                span_id: 0,
+                duration_ns: 1000 + id as u64,
+                fields: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let store = TraceStore::new(3);
+        for id in 1..=5u128 {
+            store.insert(trace(id));
+        }
+        assert!(store.get(1).is_none(), "oldest evicted");
+        assert!(store.get(2).is_none());
+        for id in 3..=5u128 {
+            assert!(store.get(id).is_some(), "trace {id} retained");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.inserted, 5);
+        assert_eq!(stats.evicted, 2);
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.capacity, 3);
+        let listed = store.list(0);
+        assert_eq!(
+            listed.iter().map(|t| t.trace_id).collect::<Vec<_>>(),
+            vec![5, 4, 3],
+            "newest first"
+        );
+        assert_eq!(store.list(2).len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let store = TraceStore::new(2);
+        store.insert(trace(7));
+        let mut updated = trace(7);
+        updated.reasons.push("slow".to_owned());
+        store.insert(updated);
+        let got = store.get(7).unwrap();
+        assert_eq!(got.reasons, vec!["sampled", "slow"]);
+        assert_eq!(store.stats().entries, 1);
+        assert_eq!(store.stats().evicted, 0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let store = TraceStore::new(0);
+        store.insert(trace(9));
+        assert!(store.get(9).is_none());
+        assert_eq!(store.stats().inserted, 0);
+    }
+}

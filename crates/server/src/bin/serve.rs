@@ -8,6 +8,8 @@
 //!             [--journal FILE] [--journal-fsync]
 //!             [--journal-max-bytes N] [--journal-explain]
 //!             [--slow-query-ms N]
+//!             [--trace-store N] [--trace-sample P]
+//!             [--trace-mask-fraction F] [--exemplars]
 //! ```
 //!
 //! `--workers` sizes the connection pool; `--exec-workers` sizes the
@@ -39,10 +41,28 @@
 //!   adds R2 decision summaries and EXPLAIN digests to query records.
 //! - `--slow-query-ms` profiles every retrieval and logs the full span
 //!   tree of any that runs at least that long.
+//!
+//! Tracing (DESIGN.md §6f):
+//! - `--trace-store N` turns the tracing pipeline on, retaining up to
+//!   `N` traces in a queryable in-memory ring (`trace`/`traces` wire
+//!   requests). Every statement request then carries a trace id —
+//!   the client's, or one minted at the edge.
+//! - `--trace-sample P` head-samples edge-minted traces at probability
+//!   `P` (0.0..=1.0). Tail retention force-keeps slow, errored,
+//!   epoch-fallback, and heavily masked requests regardless of `P`.
+//! - `--trace-mask-fraction F` sets the masked-cell fraction at which
+//!   a trace is force-kept (default 0.5).
+//! - `--exemplars` attaches OpenMetrics exemplars (`# {trace_id=...}`)
+//!   to latency histogram buckets in the Prometheus exposition, so a
+//!   dashboard can jump from a bucket straight to a retained trace.
+//!
+//! The metrics listener also answers `/healthz` (liveness: uptime,
+//! auth epoch) and `/readyz` (readiness: journal and materializer
+//! state; 503 when a configured subsystem has failed).
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_obs::log::{self, LogFormat};
-use motro_server::{JournalConfig, MetricsServer, Server, ServerConfig};
+use motro_server::{Health, JournalConfig, MetricsServer, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -51,7 +71,8 @@ fn usage() -> ! {
         "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N] [--cache N] \
          [--working-set N] [--no-materialize] [--admin USER]... [--log-format text|json] \
          [--metrics-addr ADDR] [--window-secs N] [--journal FILE] [--journal-fsync] \
-         [--journal-max-bytes N] [--journal-explain] [--slow-query-ms N]"
+         [--journal-max-bytes N] [--journal-explain] [--slow-query-ms N] [--trace-store N] \
+         [--trace-sample P] [--trace-mask-fraction F] [--exemplars]"
     );
     std::process::exit(2);
 }
@@ -129,6 +150,33 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 config.slow_query_ns = Some(ms.saturating_mul(1_000_000));
             }
+            "--trace-store" => {
+                config.trace_store = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--trace-sample" => {
+                let p: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..=1.0).contains(&p) {
+                    usage();
+                }
+                config.trace_sample = p;
+            }
+            "--trace-mask-fraction" => {
+                let f: f64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(0.0..=1.0).contains(&f) {
+                    usage();
+                }
+                config.trace_mask_fraction = f;
+            }
+            "--exemplars" => motro_obs::prom::set_exemplars(true),
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => usage(),
             a => addr = a.to_owned(),
@@ -181,7 +229,10 @@ fn main() {
         frontend.set_exec_config(motro_authz::rel::ExecConfig::with_workers(n));
     }
 
-    let mut server = match Server::bind(&addr, SharedFrontend::new(frontend), config) {
+    let shared = SharedFrontend::new(frontend);
+    let journal_on = config.journal.is_some();
+    let mat_on = config.materialize && config.working_set > 0;
+    let mut server = match Server::bind(&addr, shared.clone(), config) {
         Ok(s) => s,
         Err(e) => {
             log::error(
@@ -193,7 +244,19 @@ fn main() {
     };
     let mut exposition = None;
     if let Some(maddr) = &metrics_addr {
-        match MetricsServer::bind(maddr) {
+        // Probe state for /healthz and /readyz: the serving process's
+        // uptime and auth epoch, plus whether the configured journal
+        // has seen write errors (the materializer has no failure mode
+        // short of a panic, so "configured" means "ok").
+        let started = std::time::Instant::now();
+        let health_fe = shared.clone();
+        let health: motro_server::metrics_http::HealthFn = Arc::new(move || Health {
+            uptime_secs: started.elapsed().as_secs(),
+            auth_epoch: health_fe.auth_epoch(),
+            journal_ok: journal_on.then(|| motro_obs::counter!("journal.errors").get() == 0),
+            materializer_ok: mat_on.then_some(true),
+        });
+        match MetricsServer::bind_with_health(maddr, health) {
             Ok(m) => {
                 log::info("metrics listening", &[("addr", m.local_addr().to_string())]);
                 exposition = Some(m);

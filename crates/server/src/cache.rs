@@ -357,8 +357,7 @@ impl MaskCache {
                 }
                 self.entries_invalidated
                     .fetch_add(removed.len() as u64, Ordering::Relaxed);
-                motro_obs::counter!("server.cache.entries_invalidated")
-                    .add(removed.len() as u64);
+                motro_obs::counter!("server.cache.entries_invalidated").add(removed.len() as u64);
                 removed
             }
         };
@@ -378,10 +377,7 @@ impl MaskCache {
         for key in inner.map.keys() {
             *counts.entry(key.user.as_str()).or_default() += 1;
         }
-        counts
-            .into_iter()
-            .map(|(u, n)| (u.to_owned(), n))
-            .collect()
+        counts.into_iter().map(|(u, n)| (u.to_owned(), n)).collect()
     }
 
     /// Current counters.

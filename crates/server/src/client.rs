@@ -7,6 +7,7 @@
 
 use crate::wire::{self, codes};
 use motro_authz::rel::Value as RelValue;
+use motro_obs::tracectx;
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -124,6 +125,12 @@ pub struct Client {
     writer: TcpStream,
     next_id: u64,
     epoch: u64,
+    /// When set, statement requests carry a freshly minted trace
+    /// context head-sampled at this probability.
+    trace_sample: Option<f64>,
+    /// The trace id of the most recent traced request (minted locally,
+    /// or echoed by the server when it minted one at the edge).
+    last_trace_id: Option<u128>,
 }
 
 fn field_u64(v: &Value, key: &str) -> Result<u64, ClientError> {
@@ -172,6 +179,8 @@ impl Client {
             writer: stream,
             next_id: 0,
             epoch: 0,
+            trace_sample: None,
+            last_trace_id: None,
         };
         client.send_line(&format!(r#"{{"type":"hello",{who}}}"#))?;
         let reply = client.read_reply()?;
@@ -193,6 +202,20 @@ impl Client {
     /// The epoch reported by the most recent reply that carried one.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Mint a trace context for every subsequent statement request
+    /// (`retrieve`/`query`/`profile`), head-sampled at `sample`
+    /// (0.0..=1.0). `None` stops attaching contexts.
+    pub fn set_trace(&mut self, sample: Option<f64>) {
+        self.trace_sample = sample;
+    }
+
+    /// The trace id of the most recent traced request, as 32 hex
+    /// digits. Populated by local minting ([`Client::set_trace`]) or by
+    /// the server echoing the id of an edge-minted context.
+    pub fn last_trace_id(&self) -> Option<String> {
+        self.last_trace_id.map(tracectx::trace_id_hex)
     }
 
     fn send_line(&mut self, line: &str) -> Result<(), ClientError> {
@@ -243,6 +266,15 @@ impl Client {
                     if let Ok(e) = field_u64(&reply, "epoch") {
                         self.epoch = e;
                     }
+                    // The server echoes the trace id it handled the
+                    // request under (ours, or one minted at the edge).
+                    if let Some(tid) = reply
+                        .get("trace_id")
+                        .and_then(Value::as_str)
+                        .and_then(tracectx::parse_trace_id)
+                    {
+                        self.last_trace_id = Some(tid);
+                    }
                     return Ok(reply);
                 }
                 // A reply to some other (never-issued) id would be a
@@ -254,6 +286,23 @@ impl Client {
 
     fn stmt_field(stmt: &str) -> String {
         format!(r#""stmt":{}"#, Value::from(stmt))
+    }
+
+    /// A statement field, plus a freshly minted trace context when
+    /// tracing is on (recording the id for [`Client::last_trace_id`]).
+    fn traced_stmt_field(&mut self, stmt: &str) -> String {
+        let mut extra = Self::stmt_field(stmt);
+        if let Some(sample) = self.trace_sample {
+            let ctx = tracectx::mint(sample);
+            self.last_trace_id = Some(ctx.trace_id);
+            extra.push_str(&format!(
+                r#","trace":{{"trace_id":"{}","parent_span_id":"{:016x}","sampled":{}}}"#,
+                ctx.trace_id_hex(),
+                ctx.parent_span_id,
+                ctx.sampled,
+            ));
+        }
+        extra
     }
 
     fn parse_rows(reply: &Value) -> Result<Rows, ClientError> {
@@ -289,13 +338,15 @@ impl Client {
 
     /// A row-level retrieval.
     pub fn retrieve(&mut self, stmt: &str) -> Result<Rows, ClientError> {
-        let reply = self.call("retrieve", &Self::stmt_field(stmt))?;
+        let extra = self.traced_stmt_field(stmt);
+        let reply = self.call("retrieve", &extra)?;
         Self::parse_rows(&reply)
     }
 
     /// Any retrieval; aggregates come back rendered.
     pub fn query(&mut self, stmt: &str) -> Result<QueryReply, ClientError> {
-        let reply = self.call("query", &Self::stmt_field(stmt))?;
+        let extra = self.traced_stmt_field(stmt);
+        let reply = self.call("query", &extra)?;
         match reply.get("type").and_then(Value::as_str) {
             Some("rows") => Ok(QueryReply::Rows(Self::parse_rows(&reply)?)),
             Some("aggregate") => Ok(QueryReply::Aggregate {
@@ -404,7 +455,8 @@ impl Client {
     /// Run a retrieval under the profiler: the per-stage span tree
     /// (structured + rendered) plus a summary of the outcome.
     pub fn profile(&mut self, stmt: &str) -> Result<ProfileReply, ClientError> {
-        let reply = self.call("profile", &Self::stmt_field(stmt))?;
+        let extra = self.traced_stmt_field(stmt);
+        let reply = self.call("profile", &extra)?;
         match reply.get("type").and_then(Value::as_str) {
             Some("profile") => Ok(ProfileReply {
                 epoch: field_u64(&reply, "epoch")?,
@@ -432,11 +484,131 @@ impl Client {
         })
     }
 
+    /// Fetch one retained trace by id (32 hex digits, or the shorter
+    /// form [`Client::last_trace_id`] returned).
+    pub fn trace(&mut self, trace_id: &str) -> Result<TraceReply, ClientError> {
+        let extra = format!(r#""trace_id":{}"#, Value::from(trace_id));
+        let reply = self.call("trace", &extra)?;
+        Ok(TraceReply {
+            epoch: field_u64(&reply, "epoch")?,
+            trace_id: field_str(&reply, "trace_id")?,
+            principal: field_str(&reply, "principal")?,
+            stmt: field_str(&reply, "stmt")?,
+            reasons: field_strings(&reply, "reasons")?,
+            duration_ns: field_u64(&reply, "duration_ns")?,
+            unix_ms: field_u64(&reply, "unix_ms")?,
+            tree: reply.get("tree").cloned().unwrap_or(Value::Null),
+            rendered: field_str(&reply, "rendered")?,
+        })
+    }
+
+    /// List retained traces, newest first (`limit` 0 = all), plus the
+    /// trace store's ring counters.
+    pub fn traces(&mut self, limit: usize) -> Result<TraceListReply, ClientError> {
+        let reply = self.call("traces", &format!(r#""limit":{limit}"#))?;
+        let traces = reply
+            .get("traces")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("traces reply without traces".to_owned()))?
+            .iter()
+            .map(|t| {
+                Ok(TraceSummaryReply {
+                    trace_id: field_str(t, "trace_id")?,
+                    principal: field_str(t, "principal")?,
+                    stmt: field_str(t, "stmt")?,
+                    reasons: field_strings(t, "reasons")?,
+                    duration_ns: field_u64(t, "duration_ns")?,
+                    unix_ms: field_u64(t, "unix_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ClientError>>()?;
+        Ok(TraceListReply {
+            epoch: field_u64(&reply, "epoch")?,
+            traces,
+            inserted: field_u64(&reply, "inserted")?,
+            evicted: field_u64(&reply, "evicted")?,
+            entries: field_u64(&reply, "entries")? as usize,
+            capacity: field_u64(&reply, "capacity")? as usize,
+        })
+    }
+
+    /// The server's slow-query log, newest first. Entries carry the
+    /// trace id when the request was traced.
+    pub fn slow_queries(&mut self) -> Result<Vec<SlowEntry>, ClientError> {
+        let reply = self.call("slow", "")?;
+        reply
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("slow reply without entries".to_owned()))?
+            .iter()
+            .map(|e| {
+                Ok(SlowEntry {
+                    principal: field_str(e, "principal")?,
+                    stmt: field_str(e, "stmt")?,
+                    duration_ns: field_u64(e, "duration_ns")?,
+                    trace_id: e.get("trace_id").and_then(Value::as_str).map(str::to_owned),
+                })
+            })
+            .collect()
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.call("ping", "")?;
         Ok(())
     }
+}
+
+/// The reply to [`Client::trace`]: one retained trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReply {
+    pub epoch: u64,
+    /// 32 hex digits.
+    pub trace_id: String,
+    pub principal: String,
+    pub stmt: String,
+    /// Why the tail sampler kept this trace (`sampled`, `slow`,
+    /// `error`, `epoch_fallback`, `mask_fraction`).
+    pub reasons: Vec<String>,
+    pub duration_ns: u64,
+    pub unix_ms: u64,
+    /// The span tree as structured JSON (stage, span_id, children).
+    pub tree: Value,
+    /// The span tree rendered as an indented text block.
+    pub rendered: String,
+}
+
+/// One row of the [`Client::traces`] listing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummaryReply {
+    pub trace_id: String,
+    pub principal: String,
+    pub stmt: String,
+    pub reasons: Vec<String>,
+    pub duration_ns: u64,
+    pub unix_ms: u64,
+}
+
+/// The reply to [`Client::traces`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceListReply {
+    pub epoch: u64,
+    /// Newest first.
+    pub traces: Vec<TraceSummaryReply>,
+    pub inserted: u64,
+    pub evicted: u64,
+    pub entries: usize,
+    pub capacity: usize,
+}
+
+/// One row of the [`Client::slow_queries`] listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEntry {
+    pub principal: String,
+    pub stmt: String,
+    pub duration_ns: u64,
+    /// 32 hex digits when the request was traced.
+    pub trace_id: Option<String>,
 }
 
 /// The reply to [`Client::profile`].

@@ -90,6 +90,10 @@ pub struct QueryRecord {
     pub r2: Option<Vec<(String, u64)>>,
     /// fnv64 digest (hex) of the full EXPLAIN rendering, when on.
     pub explain_fnv: Option<String>,
+    /// Trace id (hex) of the request that produced this record, when
+    /// the tracing pipeline handled it. Replay ignores it; it exists so
+    /// audit records join traces and exemplars on one id.
+    pub trace_id: Option<String>,
 }
 
 /// The outcome side of a [`QueryRecord`].
@@ -159,13 +163,7 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
 /// The journaled form of a mutation's touched-set: its rendered
 /// dependencies, with `["*"]` standing for "everything".
 fn touched_value(touched: &Touched) -> Value {
-    Value::Array(
-        touched
-            .render()
-            .into_iter()
-            .map(Value::from)
-            .collect(),
-    )
+    Value::Array(touched.render().into_iter().map(Value::from).collect())
 }
 
 impl Journal {
@@ -336,6 +334,9 @@ impl Journal {
         }
         if let Some(d) = &record.explain_fnv {
             pairs.push(("explain_fnv", Value::from(d.as_str())));
+        }
+        if let Some(t) = &record.trace_id {
+            pairs.push(("trace_id", Value::from(t.as_str())));
         }
         self.append_stateful(obj(pairs), state);
     }
@@ -876,6 +877,7 @@ mod tests {
             cached: false,
             r2: None,
             explain_fnv: None,
+            trace_id: None,
         }
     }
 

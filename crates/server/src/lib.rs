@@ -34,7 +34,8 @@ pub mod wire;
 pub use cache::{CacheStats, CachedMask, MaskCache};
 pub use client::{
     CacheInfo, Client, ClientError, ExplainReply, ProfileReply, QueryReply, Rows, ServerStats,
+    SlowEntry, TraceListReply, TraceReply, TraceSummaryReply,
 };
 pub use journal::{Journal, JournalConfig, ReplayReport};
-pub use metrics_http::MetricsServer;
+pub use metrics_http::{Health, MetricsServer};
 pub use server::{Server, ServerConfig, SlowQuery};

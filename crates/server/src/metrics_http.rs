@@ -1,11 +1,16 @@
 //! A minimal plaintext HTTP listener exposing the metrics registry in
-//! Prometheus text exposition format.
+//! Prometheus text exposition format, plus `/healthz` and `/readyz`
+//! probes.
 //!
 //! Zero dependencies beyond `std::net`: the listener accepts one
 //! connection at a time, reads the request line, and answers any `GET`
-//! whose path starts with `/metrics` (everything else gets a 404). The
-//! body is [`motro_obs::prom::render`] over a fresh registry snapshot,
-//! after rolling the global window layer so windowed gauges are current.
+//! whose path starts with `/metrics`, `/healthz`, or `/readyz`
+//! (everything else gets a 404). The metrics body is
+//! [`motro_obs::prom::render`] over a fresh registry snapshot, after
+//! rolling the global window layer so windowed gauges are current. The
+//! probe bodies come from a caller-supplied [`Health`] closure, so the
+//! exporter reports the serving process's actual liveness (uptime, auth
+//! epoch, journal and materializer state) rather than its own.
 //!
 //! Scrapers are few and periodic — a single-threaded accept loop with a
 //! short per-connection read timeout is deliberate: a stalled scraper
@@ -17,6 +22,46 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// One health probe's answer, reported by the serving process.
+#[derive(Debug, Clone, Default)]
+pub struct Health {
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// The current authorization epoch.
+    pub auth_epoch: u64,
+    /// Whether the audit journal (if configured) is still writable.
+    /// `None` when no journal is configured.
+    pub journal_ok: Option<bool>,
+    /// Whether the background materializer (if configured) is alive.
+    /// `None` when warm-on-write is off.
+    pub materializer_ok: Option<bool>,
+}
+
+impl Health {
+    /// Ready iff every configured subsystem reports healthy.
+    pub fn ready(&self) -> bool {
+        self.journal_ok.unwrap_or(true) && self.materializer_ok.unwrap_or(true)
+    }
+
+    fn render(&self) -> String {
+        let opt = |v: Option<bool>| match v {
+            Some(true) => "ok",
+            Some(false) => "failed",
+            None => "disabled",
+        };
+        format!(
+            "uptime_secs {}\nauth_epoch {}\njournal {}\nmaterializer {}\n",
+            self.uptime_secs,
+            self.auth_epoch,
+            opt(self.journal_ok),
+            opt(self.materializer_ok),
+        )
+    }
+}
+
+/// A callback producing the current [`Health`] on each probe.
+pub type HealthFn = Arc<dyn Fn() -> Health + Send + Sync>;
+
 /// The exposition listener's handle. Dropping it stops the thread.
 pub struct MetricsServer {
     addr: std::net::SocketAddr,
@@ -25,15 +70,23 @@ pub struct MetricsServer {
 }
 
 impl MetricsServer {
-    /// Bind `addr` and serve `/metrics` until shut down.
+    /// Bind `addr` and serve `/metrics` until shut down. `/healthz`
+    /// and `/readyz` report a default (always-healthy) probe; use
+    /// [`MetricsServer::bind_with_health`] to wire real liveness.
     pub fn bind(addr: &str) -> std::io::Result<MetricsServer> {
+        Self::bind_with_health(addr, Arc::new(Health::default))
+    }
+
+    /// Bind `addr`, serving `/metrics` plus `/healthz` and `/readyz`
+    /// probes answered from `health`.
+    pub fn bind_with_health(addr: &str, health: HealthFn) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let thread = std::thread::Builder::new()
             .name("motro-metrics-http".to_owned())
-            .spawn(move || accept_loop(listener, &flag))?;
+            .spawn(move || accept_loop(listener, &flag, &health))?;
         Ok(MetricsServer {
             addr,
             shutdown,
@@ -66,19 +119,19 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, shutdown: &AtomicBool) {
+fn accept_loop(listener: TcpListener, shutdown: &AtomicBool, health: &HealthFn) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        if let Err(e) = serve_scrape(stream) {
+        if let Err(e) = serve_scrape(stream, health) {
             motro_obs::log::warn("metrics scrape failed", &[("error", e.to_string())]);
         }
     }
 }
 
-fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
+fn serve_scrape(mut stream: TcpStream, health: &HealthFn) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
     stream.set_nodelay(true)?;
     let request_line = read_request_line(&mut stream)?;
@@ -98,8 +151,28 @@ fn serve_scrape(mut stream: TcpStream) -> std::io::Result<()> {
             "method not allowed\n",
         );
     }
+    if path == "/healthz" {
+        // Liveness: answering at all means the process serves.
+        let body = health().render();
+        return respond(&mut stream, "200 OK", "text/plain", &body);
+    }
+    if path == "/readyz" {
+        // Readiness: every configured subsystem must be healthy.
+        let h = health();
+        let status = if h.ready() {
+            "200 OK"
+        } else {
+            "503 Service Unavailable"
+        };
+        return respond(&mut stream, status, "text/plain", &h.render());
+    }
     if !(path == "/metrics" || path.starts_with("/metrics?")) {
-        return respond(&mut stream, "404 Not Found", "text/plain", "see /metrics\n");
+        return respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "see /metrics, /healthz, /readyz\n",
+        );
     }
     motro_obs::window::global().roll_if_due();
     let body = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
@@ -174,6 +247,39 @@ mod tests {
         let addr = server.local_addr();
         assert!(scrape(addr, "GET / HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 404"));
         assert!(scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_probes_report_the_callback() {
+        let healthy = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&healthy);
+        let mut server = MetricsServer::bind_with_health(
+            "127.0.0.1:0",
+            Arc::new(move || Health {
+                uptime_secs: 42,
+                auth_epoch: 7,
+                journal_ok: Some(flag.load(Ordering::SeqCst)),
+                materializer_ok: None,
+            }),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let live = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(live.starts_with("HTTP/1.1 200 OK"), "{live}");
+        assert!(live.contains("uptime_secs 42"), "{live}");
+        assert!(live.contains("auth_epoch 7"), "{live}");
+        assert!(live.contains("journal ok"), "{live}");
+        assert!(live.contains("materializer disabled"), "{live}");
+        let ready = scrape(addr, "GET /readyz HTTP/1.1\r\n\r\n");
+        assert!(ready.starts_with("HTTP/1.1 200 OK"), "{ready}");
+        healthy.store(false, Ordering::SeqCst);
+        let unready = scrape(addr, "GET /readyz HTTP/1.1\r\n\r\n");
+        assert!(unready.starts_with("HTTP/1.1 503"), "{unready}");
+        assert!(unready.contains("journal failed"), "{unready}");
+        // Liveness stays 200 even when not ready.
+        let live = scrape(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(live.starts_with("HTTP/1.1 200 OK"), "{live}");
         server.shutdown();
     }
 }

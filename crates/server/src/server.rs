@@ -24,6 +24,8 @@ use motro_authz::rel::{execute_optimized_with, CanonicalPlan};
 use motro_authz::views::compile;
 use motro_authz::{Frontend, FrontendError, SharedFrontend};
 use motro_mat::{MatStats, Materializer, WorkingSet};
+use motro_obs::tracectx::{self, TraceContext};
+use motro_obs::tracestore::{StoredTrace, TraceStore};
 use parking_lot::{Condvar, Mutex};
 use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
@@ -63,6 +65,18 @@ pub struct ServerConfig {
     /// materializer remembers as rewarm candidates; 0 disables the
     /// working set (and with it, rewarming).
     pub working_set: usize,
+    /// Retained-trace ring capacity; 0 disables the whole tracing
+    /// pipeline (no per-request trace contexts, no retention).
+    pub trace_store: usize,
+    /// Head-sampling probability (0.0–1.0) for trace contexts minted
+    /// at the server edge. Client-minted contexts carry their own
+    /// verdict. Tail retention force-keeps slow/errored/fallback/
+    /// heavily-masked traces regardless.
+    pub trace_sample: f64,
+    /// Tail retention: force-keep a trace whose answer masked at least
+    /// this fraction of its cells (masked cells + withheld rows over
+    /// the full answer area). Values above 1.0 disable the condition.
+    pub trace_mask_fraction: f64,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +91,9 @@ impl Default for ServerConfig {
             slow_query_ns: None,
             materialize: true,
             working_set: 256,
+            trace_store: 0,
+            trace_sample: 0.0,
+            trace_mask_fraction: 0.5,
         }
     }
 }
@@ -92,6 +109,9 @@ pub struct SlowQuery {
     pub plan: Option<String>,
     /// Total request duration.
     pub duration_ns: u64,
+    /// The request's trace id, when the tracing pipeline was on — the
+    /// join key into the trace store, the journal, and exemplars.
+    pub trace_id: Option<u128>,
     /// The full per-stage profile tree.
     pub profile: motro_obs::ProfileNode,
 }
@@ -114,6 +134,14 @@ struct MatState {
     workset: Mutex<WorkingSet<(String, String), CanonicalPlan>>,
 }
 
+/// The tracing pipeline's shared state: the retained-trace ring plus
+/// the sampling/retention policy.
+struct TraceState {
+    store: Arc<TraceStore>,
+    sample: f64,
+    mask_fraction: f64,
+}
+
 /// Everything a worker needs to evaluate requests.
 struct Ctx {
     fe: SharedFrontend,
@@ -123,6 +151,7 @@ struct Ctx {
     slow_query_ns: Option<u64>,
     slow: Arc<Mutex<VecDeque<SlowQuery>>>,
     mat: Option<Arc<MatState>>,
+    trace: Option<Arc<TraceState>>,
 }
 
 /// The per-connection in-flight gate (a bounded semaphore).
@@ -162,6 +191,8 @@ struct Job {
     principal: String,
     reply: mpsc::Sender<String>,
     gate: Arc<Gate>,
+    /// The trace context the client propagated on the frame, if any.
+    trace: Option<TraceContext>,
     /// When the reader queued the job (None while observability is
     /// disabled), for the `server.queue_wait_ns` histogram.
     queued: Option<std::time::Instant>,
@@ -182,6 +213,9 @@ fn request_label(request: &Request) -> &'static str {
         Request::Metrics { .. } => "metrics",
         Request::Profile { .. } => "profile",
         Request::Explain { .. } => "explain",
+        Request::Trace { .. } => "trace",
+        Request::Traces { .. } => "traces",
+        Request::Slow { .. } => "slow",
         Request::Ping { .. } => "ping",
     }
 }
@@ -193,6 +227,7 @@ pub struct Server {
     cache: Arc<MaskCache>,
     mat: Option<Arc<MatState>>,
     journal: Option<Arc<Journal>>,
+    trace: Option<Arc<TraceState>>,
     slow: Arc<Mutex<VecDeque<SlowQuery>>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -235,6 +270,11 @@ impl Server {
             let _ = motro_obs::counter!("journal.errors");
             let _ = motro_obs::counter!("journal.rotations");
         }
+        if config.trace_store > 0 {
+            let _ = motro_obs::counter!("server.traces.retained");
+            let _ = motro_obs::counter!("server.traces.head_sampled");
+            let _ = motro_obs::counter!("server.traces.forced");
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         // The front-end may arrive pre-populated (a loaded snapshot, a
         // programmatically built store): whatever touched-state those
@@ -251,10 +291,9 @@ impl Server {
             let mat_cache = cache.clone();
             Some(Arc::new(MatState {
                 workset: Mutex::new(WorkingSet::new(config.working_set)),
-                materializer: Materializer::new(
-                    config.workers.max(1) * 8,
-                    move |job: MatJob| materialize_one(&mat_fe, &mat_cache, &job),
-                ),
+                materializer: Materializer::new(config.workers.max(1) * 8, move |job: MatJob| {
+                    materialize_one(&mat_fe, &mat_cache, &job)
+                }),
             }))
         } else {
             None
@@ -269,6 +308,15 @@ impl Server {
                 )?))
             }
             None => None,
+        };
+        let trace = if config.trace_store > 0 {
+            Some(Arc::new(TraceState {
+                store: Arc::new(TraceStore::new(config.trace_store)),
+                sample: config.trace_sample,
+                mask_fraction: config.trace_mask_fraction,
+            }))
+        } else {
+            None
         };
         let slow: Arc<Mutex<VecDeque<SlowQuery>>> = Arc::new(Mutex::new(VecDeque::new()));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -288,32 +336,105 @@ impl Server {
                     slow_query_ns: config.slow_query_ns,
                     slow: slow.clone(),
                     mat: mat.clone(),
+                    trace: trace.clone(),
                 };
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         motro_obs::histogram!("server.queue_wait_ns").record_since(job.queued);
                         motro_obs::counter!("server.requests").inc();
+                        let label = request_label(&job.request);
+                        let req_id = job.request.id();
                         let mut span = motro_obs::span("server.request_ns");
-                        span.field("type", request_label(&job.request));
+                        span.field("type", label);
                         span.field("principal", &job.principal);
-                        // The slow-query log profiles retrievals only
-                        // when a threshold is configured; `profile`
-                        // requests manage their own session inside
-                        // dispatch.
-                        let watched = match (ctx.slow_query_ns, &job.request) {
-                            (
-                                Some(_),
-                                Request::Retrieve { stmt, .. } | Request::Query { stmt, .. },
-                            ) => Some(stmt.clone()),
+                        // Statement-bearing retrievals are traceable
+                        // (and slow-watchable); everything else runs
+                        // bare.
+                        let stmt = match &job.request {
+                            Request::Retrieve { stmt, .. }
+                            | Request::Query { stmt, .. }
+                            | Request::Profile { stmt, .. } => Some(stmt.clone()),
                             _ => None,
                         };
-                        let session = watched
-                            .as_ref()
-                            .map(|_| motro_obs::profile::begin(request_label(&job.request)));
-                        let reply = dispatch(&ctx, &job.principal, job.request);
-                        if let (Some(stmt), Some(session)) = (watched, session) {
-                            log_if_slow(&ctx, &job.principal, &stmt, session);
+                        let is_profile = matches!(job.request, Request::Profile { .. });
+                        let watched = ctx.slow_query_ns.is_some()
+                            && matches!(
+                                job.request,
+                                Request::Retrieve { .. } | Request::Query { .. }
+                            );
+                        // With the pipeline on, every traceable request
+                        // gets a context: the client's, or one minted
+                        // at the edge (tail retention must see the
+                        // profile even when the head sampler says no).
+                        let tctx = match (&ctx.trace, &stmt) {
+                            (Some(ts), Some(_)) => {
+                                Some(job.trace.unwrap_or_else(|| tracectx::mint(ts.sample)))
+                            }
+                            _ => None,
+                        };
+                        // The worker owns the profile session, so the
+                        // tree is available here for the slow log, the
+                        // trace store, and `profile` reply wrapping.
+                        let session = if stmt.is_some() && (tctx.is_some() || watched || is_profile)
+                        {
+                            Some(motro_obs::profile::begin_traced(label, tctx))
+                        } else {
+                            None
+                        };
+                        let fallbacks_before =
+                            tctx.as_ref().map(|_| ctx.cache.stats().epoch_fallbacks);
+                        // Bind the context so deep layers (the journal
+                        // writer) can stamp the trace id.
+                        let bound = tctx.map(tracectx::set_current);
+                        let mut reply = dispatch(&ctx, &job.principal, job.request);
+                        drop(bound);
+                        if let Some(node) = session.and_then(|s| s.finish()) {
+                            let stmt = stmt.as_deref().unwrap_or("");
+                            if watched {
+                                log_if_slow(
+                                    &ctx,
+                                    &job.principal,
+                                    stmt,
+                                    &node,
+                                    tctx.map(|t| t.trace_id),
+                                );
+                            }
+                            // Retention facts come from the raw reply;
+                            // capture them before the profile wrap
+                            // replaces it, so the tree can be handed to
+                            // the store by value afterwards (no clone
+                            // on the sample-1.0 hot path).
+                            let is_error =
+                                reply.get("type").and_then(Value::as_str) == Some("error");
+                            let mask_frac = masked_fraction(&reply);
+                            if is_profile {
+                                if let Some(id) = req_id {
+                                    let tree =
+                                        node.to_json().parse::<Value>().unwrap_or(Value::Null);
+                                    reply = wire::profile(
+                                        id,
+                                        ctx.fe.auth_epoch(),
+                                        tree,
+                                        &node.render_text(),
+                                        summarize_reply(&reply),
+                                    );
+                                }
+                            }
+                            if let (Some(ts), Some(tc)) = (&ctx.trace, tctx) {
+                                retain_trace(
+                                    &ctx,
+                                    ts,
+                                    tc,
+                                    &job.principal,
+                                    stmt,
+                                    node,
+                                    is_error,
+                                    mask_frac,
+                                    fallbacks_before,
+                                );
+                            }
                         }
+                        let reply = wire::with_trace_id(reply, tctx.as_ref());
                         drop(span);
                         let _ = job.reply.send(reply.to_string());
                         job.gate.release();
@@ -369,6 +490,7 @@ impl Server {
             job_tx: Some(job_tx),
             conns,
             readers,
+            trace,
         })
     }
 
@@ -403,6 +525,11 @@ impl Server {
     /// The retained slow-query log entries, oldest first.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.slow.lock().iter().cloned().collect()
+    }
+
+    /// The retained-trace store, when the tracing pipeline is enabled.
+    pub fn trace_store(&self) -> Option<&TraceStore> {
+        self.trace.as_ref().map(|t| &*t.store)
     }
 
     /// Stop accepting, drain in-flight requests, flush replies, join
@@ -528,7 +655,7 @@ fn serve_connection(
         if line.is_empty() {
             continue;
         }
-        let request = match wire::parse_request(&line) {
+        let (request, trace) = match wire::parse_frame(&line) {
             Ok(r) => r,
             Err(e) => {
                 let reply = wire::error(e.id, e.code, &e.message);
@@ -565,6 +692,7 @@ fn serve_connection(
                         principal: p,
                         reply: reply_tx.clone(),
                         gate: gate.clone(),
+                        trace,
                         queued: motro_obs::start(),
                     };
                     match job_tx.send(job) {
@@ -612,9 +740,9 @@ fn log_if_slow(
     ctx: &Ctx,
     principal: &str,
     stmt: &str,
-    session: motro_obs::profile::ProfileSession,
+    node: &motro_obs::profile::ProfileNode,
+    trace_id: Option<u128>,
 ) {
-    let Some(node) = session.finish() else { return };
     let threshold = ctx.slow_query_ns.unwrap_or(u64::MAX);
     if node.duration_ns < threshold {
         return;
@@ -627,6 +755,10 @@ fn log_if_slow(
             ("principal", principal.to_owned()),
             ("stmt", stmt.to_owned()),
             ("duration_ns", node.duration_ns.to_string()),
+            (
+                "trace_id",
+                trace_id.map(tracectx::trace_id_hex).unwrap_or_default(),
+            ),
             ("plan", plan.clone().unwrap_or_default()),
             ("profile", node.render_text()),
         ],
@@ -640,7 +772,104 @@ fn log_if_slow(
         stmt: stmt.to_owned(),
         plan,
         duration_ns: node.duration_ns,
-        profile: node,
+        trace_id,
+        profile: node.clone(),
+    });
+}
+
+/// The fraction of the answer area (cells, including rows withheld
+/// whole) that masking suppressed. Non-row replies score 0.
+fn masked_fraction(reply: &Value) -> f64 {
+    let Some(obj) = reply.as_object() else {
+        return 0.0;
+    };
+    if obj.get("type").and_then(Value::as_str) != Some("rows") {
+        return 0.0;
+    }
+    let ncols = obj
+        .get("columns")
+        .and_then(Value::as_array)
+        .map_or(0, Vec::len);
+    let rows = obj.get("rows").and_then(Value::as_array);
+    let delivered = rows.map_or(0, Vec::len);
+    let withheld = obj.get("withheld").and_then(Value::as_u64).unwrap_or(0) as usize;
+    let total = (delivered + withheld) * ncols;
+    if total == 0 {
+        return 0.0;
+    }
+    let nulls: usize = rows
+        .map(|rs| {
+            rs.iter()
+                .filter_map(Value::as_array)
+                .map(|r| r.iter().filter(|c| c.is_null()).count())
+                .sum()
+        })
+        .unwrap_or(0);
+    (nulls + withheld * ncols) as f64 / total as f64
+}
+
+/// Tail retention: decide whether a finished traced request is worth
+/// keeping, and if so store its span tree and emit a latency exemplar.
+#[allow(clippy::too_many_arguments)]
+fn retain_trace(
+    ctx: &Ctx,
+    ts: &TraceState,
+    tc: TraceContext,
+    principal: &str,
+    stmt: &str,
+    node: motro_obs::profile::ProfileNode,
+    is_error: bool,
+    mask_frac: f64,
+    fallbacks_before: Option<u64>,
+) {
+    let mut reasons: Vec<String> = Vec::new();
+    if tc.sampled {
+        reasons.push("sampled".to_owned());
+    }
+    if let Some(threshold) = ctx.slow_query_ns {
+        if node.duration_ns >= threshold {
+            reasons.push("slow".to_owned());
+        }
+    }
+    if is_error {
+        reasons.push("error".to_owned());
+    }
+    // The fallback counter is process-global, so a concurrent request's
+    // fallback can force-keep this trace too; that over-approximation
+    // is acceptable for a backstop signal.
+    if let Some(before) = fallbacks_before {
+        if ctx.cache.stats().epoch_fallbacks > before {
+            reasons.push("epoch_fallback".to_owned());
+        }
+    }
+    if mask_frac >= ts.mask_fraction {
+        reasons.push("mask_fraction".to_owned());
+    }
+    if reasons.is_empty() {
+        return;
+    }
+    if tc.sampled {
+        motro_obs::counter!("server.traces.head_sampled").inc();
+    }
+    if reasons.iter().any(|r| r != "sampled") {
+        motro_obs::counter!("server.traces.forced").inc();
+    }
+    motro_obs::counter!("server.traces.retained").inc();
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    if motro_obs::prom::exemplars_enabled() {
+        motro_obs::prom::record_exemplar("server.request_ns", node.duration_ns, &tc.trace_id_hex());
+    }
+    ts.store.insert(StoredTrace {
+        trace_id: tc.trace_id,
+        principal: principal.to_owned(),
+        stmt: stmt.to_owned(),
+        reasons,
+        duration_ns: node.duration_ns,
+        unix_ms,
+        root: node,
     });
 }
 
@@ -699,27 +928,41 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
             let text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
             wire::metrics_text(id, fe.auth_epoch(), &text)
         }
-        Request::Profile { id, stmt } => {
-            let session = motro_obs::profile::begin("request");
-            let reply = match is_aggregate(&stmt) {
-                Some(true) => aggregate_query(ctx, principal, id, &stmt),
-                _ => retrieve_cached(ctx, principal, id, &stmt),
-            };
-            match session.finish() {
-                Some(node) => {
-                    let tree = node.to_json().parse::<Value>().unwrap_or(Value::Null);
-                    wire::profile(
-                        id,
-                        fe.auth_epoch(),
-                        tree,
-                        &node.render_text(),
-                        summarize_reply(&reply),
-                    )
-                }
-                // A session was already active on this thread (nested
-                // profile); just answer the query.
-                None => reply,
+        // The worker loop owns the profile session (it also feeds the
+        // trace store); here a profile request is just its query. The
+        // worker wraps the reply with the finished span tree.
+        Request::Profile { id, stmt } => match is_aggregate(&stmt) {
+            Some(true) => aggregate_query(ctx, principal, id, &stmt),
+            _ => retrieve_cached(ctx, principal, id, &stmt),
+        },
+        Request::Trace { id, trace_id } => {
+            let found = ctx.trace.as_ref().and_then(|ts| ts.store.get(trace_id));
+            match found {
+                Some(t) => wire::trace_reply(id, fe.auth_epoch(), &t),
+                None => wire::error(
+                    Some(id),
+                    codes::NOT_FOUND,
+                    &format!(
+                        "no retained trace {}",
+                        motro_obs::tracectx::trace_id_hex(trace_id)
+                    ),
+                ),
             }
+        }
+        Request::Traces { id, limit } => match ctx.trace.as_ref() {
+            Some(ts) => {
+                wire::traces_reply(id, fe.auth_epoch(), &ts.store.list(limit), ts.store.stats())
+            }
+            None => wire::traces_reply(
+                id,
+                fe.auth_epoch(),
+                &[],
+                motro_obs::tracestore::TraceStoreStats::default(),
+            ),
+        },
+        Request::Slow { id } => {
+            let entries: Vec<SlowQuery> = ctx.slow.lock().iter().rev().cloned().collect();
+            wire::slow_log(id, fe.auth_epoch(), &entries)
         }
         Request::Explain { id, stmt, user } => {
             let target = user.unwrap_or_else(|| principal.to_owned());
@@ -922,6 +1165,10 @@ fn journal_query(
             cached,
             r2,
             explain_fnv,
+            // The worker binds the request's trace context before
+            // dispatch, so the journal joins the trace store and the
+            // Prometheus exemplars on one id.
+            trace_id: tracectx::current().map(|c| c.trace_id_hex()),
         },
         || f.to_json().ok(),
     );
@@ -1071,10 +1318,9 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
             // lookup hits or misses: the working set is "what this
             // user recently asked", not "what currently missed".
             if let Some(mat) = &ctx.mat {
-                mat.workset.lock().note(
-                    (user.to_owned(), MaskCache::render(&plan)),
-                    plan.clone(),
-                );
+                mat.workset
+                    .lock()
+                    .note((user.to_owned(), MaskCache::render(&plan)), plan.clone());
             }
             if let Some(hit) = cache.get(user, &plan, epoch) {
                 return match execute_optimized_with(&plan, f.database(), &f.exec_config()) {

@@ -20,14 +20,27 @@
 //! | `metrics` | `id` | the registry in Prometheus text format |
 //! | `profile` | `id`, `stmt` | run a retrieval under the profiler |
 //! | `explain` | `id`, `stmt` [, `user`] | audit a retrieval (see below) |
+//! | `trace` | `id`, `trace_id` | fetch one retained trace by id |
+//! | `traces` | `id` [, `limit`] | list retained traces, newest first |
+//! | `slow` | `id` | the slow-query log, newest first |
 //! | `ping` | `id` | liveness |
 //!
+//! Any request frame may additionally carry an **optional** `trace`
+//! object — `{"trace_id": HEX128, "parent_span_id": HEX64,
+//! "sampled": BOOL}` — propagating an end-to-end trace context from
+//! the client ([`parse_frame`]). Old clients simply omit it and the
+//! server mints a context at the edge; old servers ignore unknown
+//! fields, so the protocol stays compatible in both directions.
+//!
 //! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
-//! `state`, `stats`, `metrics`, `profile`, `explain`, `pong`, and
+//! `state`, `stats`, `metrics`, `profile`, `explain`, `trace`,
+//! `traces`, `slow`, `pong`, and
 //! `error` (with a machine-readable `code`). Every data-bearing reply carries the
 //! authorization `epoch` it was computed under, so a client — or a
 //! soundness test — can correlate an answer with the grant state that
-//! produced it.
+//! produced it. Replies to traced requests echo the request's
+//! `trace_id`, so a client can join its answer with the server-side
+//! trace.
 //!
 //! `explain` audits the session principal's own access by default; the
 //! optional `user` field audits another principal and requires the
@@ -39,6 +52,8 @@
 //! tested directly.
 
 use motro_authz::rel::Value as RelValue;
+use motro_obs::tracectx::{self, TraceContext};
+use motro_obs::tracestore::{StoredTrace, TraceStoreStats, TraceSummary};
 use serde_json::{Map, Number, Value};
 
 /// Machine-readable error codes carried by `error` replies.
@@ -58,6 +73,8 @@ pub mod codes {
     pub const EXEC: &str = "exec";
     /// The principal may not administer the store.
     pub const ADMIN_DENIED: &str = "admin_denied";
+    /// The requested object (e.g. a retained trace) does not exist.
+    pub const NOT_FOUND: &str = "not_found";
     /// The server is shutting down.
     pub const SHUTTING_DOWN: &str = "shutting_down";
 }
@@ -104,6 +121,12 @@ pub enum Request {
         /// Audit this principal instead of the session's own (admin).
         user: Option<String>,
     },
+    /// Fetch one retained trace from the trace store.
+    Trace { id: u64, trace_id: u128 },
+    /// List retained traces, newest first (`limit` 0 = all).
+    Traces { id: u64, limit: usize },
+    /// The slow-query log, newest first.
+    Slow { id: u64 },
     /// Liveness probe.
     Ping { id: u64 },
 }
@@ -124,6 +147,9 @@ impl Request {
             | Request::Metrics { id }
             | Request::Profile { id, .. }
             | Request::Explain { id, .. }
+            | Request::Trace { id, .. }
+            | Request::Traces { id, .. }
+            | Request::Slow { id }
             | Request::Ping { id } => Some(*id),
         }
     }
@@ -163,8 +189,59 @@ fn str_field(obj: &Map<String, Value>, key: &str) -> Option<String> {
     obj.get(key).and_then(Value::as_str).map(str::to_owned)
 }
 
-/// Parse one line into a [`Request`].
+/// Parse one line into a [`Request`], discarding any trace context.
+/// (Servers use [`parse_frame`]; this wrapper serves tests and tools
+/// that only care about the request itself.)
 pub fn parse_request(line: &str) -> Result<Request, FrameError> {
+    parse_frame(line).map(|(request, _)| request)
+}
+
+/// The optional `trace` object of a frame, when present and well
+/// formed: `trace_id` (hex, required), `parent_span_id` (hex,
+/// default 0), `sampled` (default true).
+fn parse_trace_field(
+    obj: &Map<String, Value>,
+    id: Option<u64>,
+) -> Result<Option<TraceContext>, FrameError> {
+    let t = match obj.get("trace") {
+        None | Some(Value::Null) => return Ok(None),
+        Some(Value::Object(t)) => t,
+        Some(_) => {
+            return Err(FrameError::bad_request(
+                id,
+                "\"trace\" must be a JSON object",
+            ))
+        }
+    };
+    let hex = t
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .ok_or_else(|| FrameError::bad_request(id, "trace requires a hex \"trace_id\" string"))?;
+    let trace_id = tracectx::parse_trace_id(hex)
+        .ok_or_else(|| FrameError::bad_request(id, format!("bad trace_id {hex:?}")))?;
+    let parent_span_id = match t.get("parent_span_id") {
+        None | Some(Value::Null) => 0,
+        Some(Value::String(s)) => u64::from_str_radix(s.trim(), 16)
+            .map_err(|_| FrameError::bad_request(id, format!("bad parent_span_id {s:?}")))?,
+        Some(_) => {
+            return Err(FrameError::bad_request(
+                id,
+                "\"parent_span_id\" must be a hex string",
+            ))
+        }
+    };
+    let sampled = t.get("sampled").and_then(Value::as_bool).unwrap_or(true);
+    Ok(Some(TraceContext {
+        trace_id,
+        parent_span_id,
+        sampled,
+    }))
+}
+
+/// Parse one line into a [`Request`] plus the optional propagated
+/// [`TraceContext`]. The `trace` field is additive: frames without it
+/// (every pre-tracing client) parse exactly as before.
+pub fn parse_frame(line: &str) -> Result<(Request, Option<TraceContext>), FrameError> {
     let value: Value = line
         .parse()
         .map_err(|e| FrameError::bad_frame(format!("not JSON: {e}")))?;
@@ -172,6 +249,7 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
         .as_object()
         .ok_or_else(|| FrameError::bad_frame("frame must be a JSON object"))?;
     let id = obj.get("id").and_then(Value::as_u64);
+    let trace = parse_trace_field(obj, id)?;
     let ty =
         str_field(obj, "type").ok_or_else(|| FrameError::bad_request(id, "missing \"type\""))?;
     let need_id =
@@ -180,7 +258,7 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
         str_field(obj, "stmt")
             .ok_or_else(|| FrameError::bad_request(id, format!("{ty} requires a \"stmt\"")))
     };
-    match ty.as_str() {
+    let request = match ty.as_str() {
         "hello" => {
             let principal = match (str_field(obj, "user"), str_field(obj, "group")) {
                 (Some(u), None) => u,
@@ -254,12 +332,28 @@ pub fn parse_request(line: &str) -> Result<Request, FrameError> {
             stmt: need_stmt()?,
             user: str_field(obj, "user"),
         }),
+        "trace" => {
+            let id = need_id()?;
+            let hex = str_field(obj, "trace_id").ok_or_else(|| {
+                FrameError::bad_request(Some(id), "trace requires a hex \"trace_id\"")
+            })?;
+            let trace_id = tracectx::parse_trace_id(&hex).ok_or_else(|| {
+                FrameError::bad_request(Some(id), format!("bad trace_id {hex:?}"))
+            })?;
+            Ok(Request::Trace { id, trace_id })
+        }
+        "traces" => Ok(Request::Traces {
+            id: need_id()?,
+            limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
+        }),
+        "slow" => Ok(Request::Slow { id: need_id()? }),
         "ping" => Ok(Request::Ping { id: need_id()? }),
         other => Err(FrameError::bad_request(
             id,
             format!("unknown request type {other:?}"),
         )),
-    }
+    }?;
+    Ok((request, trace))
 }
 
 // ---------------------------------------------------------------------
@@ -417,7 +511,10 @@ pub fn stats(id: u64, epoch: u64, cache: &crate::cache::CacheStats, metrics: Val
             Value::from(cache.targeted_invalidations),
         ),
         ("full_invalidations", Value::from(cache.full_invalidations)),
-        ("entries_invalidated", Value::from(cache.entries_invalidated)),
+        (
+            "entries_invalidated",
+            Value::from(cache.entries_invalidated),
+        ),
         ("retained_last", Value::from(cache.retained_last)),
         ("epoch_fallbacks", Value::from(cache.epoch_fallbacks)),
         ("dep_index_keys", Value::from(cache.dep_index_keys)),
@@ -452,7 +549,10 @@ pub fn cache_info(
             Value::from(cache.targeted_invalidations),
         ),
         ("full_invalidations", Value::from(cache.full_invalidations)),
-        ("entries_invalidated", Value::from(cache.entries_invalidated)),
+        (
+            "entries_invalidated",
+            Value::from(cache.entries_invalidated),
+        ),
         ("retained_last", Value::from(cache.retained_last)),
         ("epoch_fallbacks", Value::from(cache.epoch_fallbacks)),
     ])
@@ -495,6 +595,96 @@ pub fn explain(id: u64, epoch: u64, audit: Value, rendered: &str) -> Value {
         ("epoch", Value::from(epoch)),
         ("audit", audit),
         ("rendered", Value::from(rendered)),
+    ])
+}
+
+/// Echo the request's trace id into a reply object, so a traced client
+/// can join the answer with the server-side trace without trusting
+/// clocks. No-op for untraced requests or non-object replies.
+pub fn with_trace_id(mut reply: Value, ctx: Option<&TraceContext>) -> Value {
+    if let (Some(ctx), Value::Object(map)) = (ctx, &mut reply) {
+        map.insert("trace_id".to_owned(), Value::from(ctx.trace_id_hex()));
+    }
+    reply
+}
+
+fn summary_value(s: &TraceSummary) -> Value {
+    obj(vec![
+        ("trace_id", Value::from(tracectx::trace_id_hex(s.trace_id))),
+        ("principal", Value::from(s.principal.as_str())),
+        ("stmt", Value::from(s.stmt.as_str())),
+        (
+            "reasons",
+            Value::Array(s.reasons.iter().map(|r| Value::from(r.as_str())).collect()),
+        ),
+        ("duration_ns", Value::from(s.duration_ns)),
+        ("unix_ms", Value::from(s.unix_ms)),
+    ])
+}
+
+/// `trace` — one retained trace: identity, request coordinates,
+/// retention reasons, and the span tree (as JSON and rendered text).
+pub fn trace_reply(id: u64, epoch: u64, t: &StoredTrace) -> Value {
+    let tree: Value = t.root.to_json().parse().unwrap_or(Value::Null);
+    obj(vec![
+        ("type", Value::from("trace")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("trace_id", Value::from(tracectx::trace_id_hex(t.trace_id))),
+        ("principal", Value::from(t.principal.as_str())),
+        ("stmt", Value::from(t.stmt.as_str())),
+        (
+            "reasons",
+            Value::Array(t.reasons.iter().map(|r| Value::from(r.as_str())).collect()),
+        ),
+        ("duration_ns", Value::from(t.duration_ns)),
+        ("unix_ms", Value::from(t.unix_ms)),
+        ("tree", tree),
+        ("rendered", Value::from(t.root.render_text())),
+    ])
+}
+
+/// `traces` — the retained-trace listing (newest first) plus the
+/// store's ring counters.
+pub fn traces_reply(id: u64, epoch: u64, list: &[TraceSummary], stats: TraceStoreStats) -> Value {
+    obj(vec![
+        ("type", Value::from("traces")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        (
+            "traces",
+            Value::Array(list.iter().map(summary_value).collect()),
+        ),
+        ("inserted", Value::from(stats.inserted)),
+        ("evicted", Value::from(stats.evicted)),
+        ("entries", Value::from(stats.entries)),
+        ("capacity", Value::from(stats.capacity)),
+    ])
+}
+
+/// `slow` — the slow-query log, newest first. Entries carry the trace
+/// id when the request was traced, so a client can follow up with a
+/// `trace` request for the full span tree.
+pub fn slow_log(id: u64, epoch: u64, entries: &[crate::server::SlowQuery]) -> Value {
+    let rows = entries
+        .iter()
+        .map(|e| {
+            let mut pairs = vec![
+                ("principal", Value::from(e.principal.as_str())),
+                ("stmt", Value::from(e.stmt.as_str())),
+                ("duration_ns", Value::from(e.duration_ns)),
+            ];
+            if let Some(tid) = e.trace_id {
+                pairs.push(("trace_id", Value::from(tracectx::trace_id_hex(tid))));
+            }
+            obj(pairs)
+        })
+        .collect();
+    obj(vec![
+        ("type", Value::from("slow")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("entries", Value::Array(rows)),
     ])
 }
 
@@ -616,7 +806,10 @@ mod tests {
             Some(8)
         );
         assert_eq!(back.get("retained_last").and_then(Value::as_u64), Some(9));
-        assert_eq!(back.get("epoch_fallbacks").and_then(Value::as_u64), Some(10));
+        assert_eq!(
+            back.get("epoch_fallbacks").and_then(Value::as_u64),
+            Some(10)
+        );
         assert_eq!(back.get("dep_index_keys").and_then(Value::as_u64), Some(11));
         assert_eq!(back.get("dep_index_refs").and_then(Value::as_u64), Some(12));
         assert!(back
@@ -657,6 +850,161 @@ mod tests {
             Some(1)
         );
         assert_eq!(back.get("dep_index_keys").and_then(Value::as_u64), Some(11));
+    }
+
+    #[test]
+    fn trace_requests_parse() {
+        assert_eq!(
+            parse_request(r#"{"type":"trace","id":3,"trace_id":"00ab"}"#).unwrap(),
+            Request::Trace {
+                id: 3,
+                trace_id: 0xab
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"trace","id":3,"trace_id":"zz"}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"traces","id":4}"#).unwrap(),
+            Request::Traces { id: 4, limit: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"traces","id":4,"limit":5}"#).unwrap(),
+            Request::Traces { id: 4, limit: 5 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"slow","id":6}"#).unwrap(),
+            Request::Slow { id: 6 }
+        );
+    }
+
+    #[test]
+    fn frame_trace_context_is_optional_and_round_trips() {
+        // Old client: no trace field at all — parses exactly as before.
+        let (req, ctx) =
+            parse_frame(r#"{"type":"retrieve","id":7,"stmt":"retrieve (R.A)"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Retrieve {
+                id: 7,
+                stmt: "retrieve (R.A)".to_owned()
+            }
+        );
+        assert!(ctx.is_none(), "absent trace field → no context");
+
+        // New client: full context.
+        let line = r#"{"type":"query","id":8,"stmt":"retrieve (R.A)","trace":{"trace_id":"000000000000000000000000000000ff","parent_span_id":"0000000000000005","sampled":false}}"#;
+        let (_, ctx) = parse_frame(line).unwrap();
+        assert_eq!(
+            ctx,
+            Some(TraceContext {
+                trace_id: 0xff,
+                parent_span_id: 5,
+                sampled: false
+            })
+        );
+
+        // Defaults: parent_span_id 0, sampled true.
+        let (_, ctx) = parse_frame(r#"{"type":"ping","id":1,"trace":{"trace_id":"2a"}}"#).unwrap();
+        assert_eq!(
+            ctx,
+            Some(TraceContext {
+                trace_id: 42,
+                parent_span_id: 0,
+                sampled: true
+            })
+        );
+
+        // Malformed contexts are rejected with the request id attached.
+        let e = parse_frame(r#"{"type":"ping","id":1,"trace":{"sampled":true}}"#).unwrap_err();
+        assert_eq!(e.code, codes::BAD_REQUEST);
+        assert_eq!(e.id, Some(1));
+        assert!(parse_frame(r#"{"type":"ping","id":1,"trace":"nope"}"#).is_err());
+        assert!(
+            parse_frame(r#"{"type":"ping","id":1,"trace":{"trace_id":"2a","parent_span_id":7}}"#)
+                .is_err(),
+            "numeric parent_span_id is rejected (hex string on the wire)"
+        );
+    }
+
+    #[test]
+    fn trace_replies_render() {
+        use motro_obs::ProfileNode;
+        let stored = StoredTrace {
+            trace_id: 0xbeef,
+            principal: "Brown".to_owned(),
+            stmt: "retrieve (PROJECT.NUMBER)".to_owned(),
+            reasons: vec!["sampled".to_owned(), "slow".to_owned()],
+            duration_ns: 1234,
+            unix_ms: 99,
+            root: ProfileNode {
+                stage: "server.retrieve".to_owned(),
+                span_id: 1,
+                duration_ns: 1234,
+                fields: vec![("trace_id".to_owned(), "beef".to_owned())],
+                children: Vec::new(),
+            },
+        };
+        let back: Value = trace_reply(5, 2, &stored).to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("trace"));
+        assert_eq!(
+            back.get("trace_id").and_then(Value::as_str),
+            Some("0000000000000000000000000000beef")
+        );
+        assert_eq!(
+            back.get("tree")
+                .and_then(|t| t.get("stage"))
+                .and_then(Value::as_str),
+            Some("server.retrieve")
+        );
+        assert!(back
+            .get("rendered")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("server.retrieve"));
+
+        let listing = traces_reply(
+            6,
+            2,
+            &[TraceSummary {
+                trace_id: 0xbeef,
+                principal: "Brown".to_owned(),
+                stmt: "retrieve (PROJECT.NUMBER)".to_owned(),
+                reasons: vec!["error".to_owned()],
+                duration_ns: 7,
+                unix_ms: 1,
+            }],
+            TraceStoreStats {
+                inserted: 3,
+                evicted: 2,
+                entries: 1,
+                capacity: 1,
+            },
+        );
+        let back: Value = listing.to_string().parse().unwrap();
+        assert_eq!(back.get("evicted").and_then(Value::as_u64), Some(2));
+        let first = &back.get("traces").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(
+            first.get("reasons").and_then(Value::as_array).unwrap()[0],
+            Value::from("error")
+        );
+
+        let stamped = with_trace_id(
+            pong(9),
+            Some(&TraceContext {
+                trace_id: 0xbeef,
+                parent_span_id: 0,
+                sampled: true,
+            }),
+        );
+        assert_eq!(
+            stamped.get("trace_id").and_then(Value::as_str),
+            Some("0000000000000000000000000000beef")
+        );
+        assert!(with_trace_id(pong(9), None).get("trace_id").is_none());
     }
 
     #[test]

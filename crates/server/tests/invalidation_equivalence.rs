@@ -124,11 +124,7 @@ fn random_mutation(rng: &mut Rng, fe: &mut Frontend, cache: &MaskCache, view_cou
         8..=9 => {
             // Define a fresh view (some are legitimately rejected).
             let name = format!("V{view_count}");
-            let stmt = format!(
-                "view {name} ({}){}",
-                random_targets(rng),
-                random_where(rng)
-            );
+            let stmt = format!("view {name} ({}){}", random_targets(rng), random_where(rng));
             if fe.execute_admin_program(&stmt).is_ok() {
                 *view_count += 1;
             }
@@ -218,7 +214,13 @@ fn cache_is_transparent_under_random_mutation_query_interleavings() {
         // cache, so queries are drawn from it rather than generated
         // fresh each step.
         let pool: Vec<String> = (0..6)
-            .map(|_| format!("retrieve ({}){}", random_targets(&mut rng), random_where(&mut rng)))
+            .map(|_| {
+                format!(
+                    "retrieve ({}){}",
+                    random_targets(&mut rng),
+                    random_where(&mut rng)
+                )
+            })
             .collect();
         // Seed a small world so early queries have grants to reflect.
         for _ in 0..3 {

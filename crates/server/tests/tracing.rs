@@ -1,0 +1,331 @@
+//! End-to-end tests for the tracing pipeline (DESIGN.md §6f): wire
+//! propagation of trace contexts (including old clients that never send
+//! one), deterministic head sampling, tail retention, the queryable
+//! trace store, and the single-id correlation across the trace store,
+//! the audit journal, and the Prometheus exemplars.
+
+use motro_authz::core::fixtures;
+use motro_authz::{Frontend, SharedFrontend};
+use motro_obs::{prom, tracectx};
+use motro_server::{Client, JournalConfig, Server, ServerConfig};
+use serde_json::Value;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// The paper database with PSA (Acme projects) granted to Brown.
+fn frontend() -> SharedFrontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+         permit PSA to Brown",
+    )
+    .unwrap();
+    SharedFrontend::new(fe)
+}
+
+const Q: &str = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
+
+fn traced_config(store: usize, sample: f64) -> ServerConfig {
+    ServerConfig {
+        trace_store: store,
+        trace_sample: sample,
+        ..ServerConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motro-tracing-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("audit.jsonl")
+}
+
+/// Raw line-protocol exchange: send `lines`, read one reply per line.
+fn raw_roundtrip(addr: std::net::SocketAddr, lines: &[String]) -> Vec<Value> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut replies = Vec::new();
+    for line in lines {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        replies.push(reply.trim().parse::<Value>().unwrap());
+    }
+    replies
+}
+
+#[test]
+fn old_clients_without_a_trace_field_get_edge_minted_contexts() {
+    let server = Server::bind("127.0.0.1:0", frontend(), traced_config(16, 1.0)).unwrap();
+    // A frame with no `trace` field — exactly what every pre-tracing
+    // client sends. The request must succeed, and with the pipeline on
+    // the server mints a context at the edge and echoes its id.
+    let replies = raw_roundtrip(
+        server.local_addr(),
+        &[
+            r#"{"type":"hello","user":"Brown"}"#.to_owned(),
+            format!(r#"{{"type":"retrieve","id":1,"stmt":"{Q}"}}"#),
+        ],
+    );
+    assert_eq!(
+        replies[1].get("type").and_then(Value::as_str),
+        Some("rows"),
+        "{}",
+        replies[1]
+    );
+    let tid = replies[1]
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .expect("edge-minted id");
+    assert_eq!(tid.len(), 32, "trace id must be 32 hex digits: {tid}");
+    assert!(tracectx::parse_trace_id(tid).is_some());
+}
+
+#[test]
+fn untraced_servers_answer_without_trace_ids() {
+    let server = Server::bind("127.0.0.1:0", frontend(), ServerConfig::default()).unwrap();
+    let replies = raw_roundtrip(
+        server.local_addr(),
+        &[
+            r#"{"type":"hello","user":"Brown"}"#.to_owned(),
+            // Even a client that *sends* a context gets no echo when
+            // the pipeline is off — the field is ignored, not an error.
+            format!(
+                r#"{{"type":"retrieve","id":1,"stmt":"{Q}","trace":{{"trace_id":"00000000000000000000000000000abc"}}}}"#
+            ),
+        ],
+    );
+    assert_eq!(
+        replies[1].get("type").and_then(Value::as_str),
+        Some("rows"),
+        "{}",
+        replies[1]
+    );
+    assert!(replies[1].get("trace_id").is_none(), "{}", replies[1]);
+    assert!(server.trace_store().is_none());
+}
+
+#[test]
+fn client_minted_contexts_are_retained_and_queryable() {
+    let server = Server::bind("127.0.0.1:0", frontend(), traced_config(16, 0.0)).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.set_trace(Some(1.0));
+    c.retrieve(Q).unwrap();
+    let id = c.last_trace_id().expect("client minted a context");
+
+    let t = c.trace(&id).unwrap();
+    assert_eq!(t.trace_id, id);
+    assert_eq!(t.principal, "Brown");
+    assert_eq!(t.stmt, Q);
+    assert!(
+        t.reasons.contains(&"sampled".to_owned()),
+        "reasons: {:?}",
+        t.reasons
+    );
+    // The span tree covers the whole pipeline, with trace/span ids.
+    for stage in ["parse", "compile", "plan.execute", "mask.apply"] {
+        assert!(
+            t.rendered.contains(stage),
+            "missing {stage}: {}",
+            t.rendered
+        );
+    }
+    assert!(
+        t.rendered.contains(&format!("trace_id={id}")),
+        "{}",
+        t.rendered
+    );
+    let tree = t.tree.to_string();
+    assert!(tree.contains("span_id"), "{tree}");
+
+    // The listing agrees.
+    let list = c.traces(0).unwrap();
+    assert_eq!(list.entries, 1);
+    assert_eq!(list.traces[0].trace_id, id);
+
+    // An unknown id is a structured not_found error.
+    let missing = c.trace("00000000000000000000000000000001");
+    assert!(
+        matches!(missing, Err(motro_server::ClientError::Server { ref code, .. }) if code == "not_found"),
+        "{missing:?}"
+    );
+}
+
+#[test]
+fn head_sampling_is_deterministic_and_respects_the_client_decision() {
+    // Q masks a sizeable fraction of the answer under Brown's grants,
+    // which would legitimately force-keep every trace; raise the bound
+    // past 1.0 so only the head-sampling decision matters here.
+    let config = ServerConfig {
+        trace_mask_fraction: 2.0,
+        ..traced_config(16, 0.0)
+    };
+    let server = Server::bind("127.0.0.1:0", frontend(), config).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    // sample 0.0: contexts are minted (ids still echo) but never
+    // head-sampled, and a healthy fast query gives tail retention no
+    // reason to force-keep.
+    c.set_trace(Some(0.0));
+    for _ in 0..5 {
+        c.retrieve(Q).unwrap();
+    }
+    assert!(c.last_trace_id().is_some());
+    assert_eq!(c.traces(0).unwrap().entries, 0);
+
+    // sample 1.0: every context is sampled, every trace retained.
+    c.set_trace(Some(1.0));
+    c.retrieve(Q).unwrap();
+    c.retrieve(Q).unwrap();
+    let list = c.traces(0).unwrap();
+    assert_eq!(list.entries, 2);
+
+    // The decision is a pure function of the id — the same workload
+    // re-run with the same ids samples identically.
+    for id in [0x1u128, 0xdeadbeefu128, u128::MAX / 3] {
+        assert_eq!(
+            tracectx::sample_decision(id, 0.25),
+            tracectx::sample_decision(id, 0.25)
+        );
+        assert!(tracectx::sample_decision(id, 1.0));
+        assert!(!tracectx::sample_decision(id, 0.0));
+    }
+}
+
+#[test]
+fn tail_retention_force_keeps_errors_at_sample_zero() {
+    let server = Server::bind("127.0.0.1:0", frontend(), traced_config(16, 0.0)).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.set_trace(Some(0.0));
+    // A statement that parses at the client but fails authorization-side
+    // parsing on the server: the error reply forces retention.
+    let err = c.retrieve("retrieve (NOSUCH.COLUMN)");
+    assert!(err.is_err());
+    let list = c.traces(0).unwrap();
+    assert_eq!(list.entries, 1, "errored request must be force-kept");
+    assert!(
+        list.traces[0].reasons.contains(&"error".to_owned()),
+        "reasons: {:?}",
+        list.traces[0].reasons
+    );
+    assert!(!list.traces[0].reasons.contains(&"sampled".to_owned()));
+}
+
+#[test]
+fn heavily_masked_answers_are_force_kept() {
+    // Default bound (0.5): Brown sees only Acme-sponsored projects, so
+    // Q's answer area is mostly suppressed — the trace is kept even
+    // though nothing head-sampled it (no client context, sample 0.0).
+    let server = Server::bind("127.0.0.1:0", frontend(), traced_config(16, 0.0)).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.retrieve(Q).unwrap();
+    let list = c.traces(0).unwrap();
+    assert_eq!(list.entries, 1);
+    assert!(
+        list.traces[0].reasons.contains(&"mask_fraction".to_owned()),
+        "reasons: {:?}",
+        list.traces[0].reasons
+    );
+}
+
+#[test]
+fn trace_store_ring_evicts_oldest_over_the_wire() {
+    let server = Server::bind("127.0.0.1:0", frontend(), traced_config(2, 0.0)).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.set_trace(Some(1.0));
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        c.retrieve(Q).unwrap();
+        ids.push(c.last_trace_id().unwrap());
+    }
+    let list = c.traces(0).unwrap();
+    assert_eq!(list.entries, 2);
+    assert_eq!(list.capacity, 2);
+    assert_eq!(list.inserted, 3);
+    assert_eq!(list.evicted, 1);
+    // Newest first; the oldest trace is gone.
+    assert_eq!(list.traces[0].trace_id, ids[2]);
+    assert_eq!(list.traces[1].trace_id, ids[1]);
+    assert!(c.trace(&ids[0]).is_err());
+}
+
+#[test]
+fn slow_log_entries_carry_the_trace_id() {
+    let config = ServerConfig {
+        slow_query_ns: Some(0), // everything watched counts as slow
+        ..traced_config(16, 1.0)
+    };
+    let server = Server::bind("127.0.0.1:0", frontend(), config).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.set_trace(Some(1.0));
+    c.retrieve(Q).unwrap();
+    let id = c.last_trace_id().unwrap();
+    let slow = c.slow_queries().unwrap();
+    assert!(!slow.is_empty());
+    assert_eq!(slow[0].trace_id.as_deref(), Some(id.as_str()));
+    assert_eq!(slow[0].stmt, Q);
+    // The advertised shortcut works: the slow entry's id fetches the
+    // full trace, retained with a "slow" reason.
+    let t = c.trace(&id).unwrap();
+    assert!(t.reasons.contains(&"slow".to_owned()), "{:?}", t.reasons);
+}
+
+/// The acceptance criterion: one client-issued query, one trace id,
+/// found in (a) the `trace` reply's span tree, (b) the journal record,
+/// and (c) an exemplar in the Prometheus exposition — which still
+/// passes the validator.
+#[test]
+fn one_trace_id_joins_store_journal_and_exemplars() {
+    let path = tmp("correlate");
+    let config = ServerConfig {
+        journal: Some(JournalConfig::new(path.clone())),
+        ..traced_config(64, 1.0)
+    };
+    let server = Server::bind("127.0.0.1:0", frontend(), config).unwrap();
+    prom::set_exemplars(true);
+    prom::clear_exemplars();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.set_trace(Some(1.0));
+    c.retrieve(Q).unwrap();
+    let id = c.last_trace_id().expect("traced request");
+
+    // (a) The trace store has the span tree, covering every stage.
+    let t = c.trace(&id).unwrap();
+    for stage in ["parse", "compile", "plan.execute", "mask.apply"] {
+        assert!(
+            t.rendered.contains(stage),
+            "missing {stage}: {}",
+            t.rendered
+        );
+    }
+
+    // (b) The journal's query record carries the same id.
+    let journal_text: String = motro_server::journal::segments(&path)
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    let needle = format!(r#""trace_id":"{id}""#);
+    assert!(
+        journal_text.contains(&needle),
+        "journal missing {needle}: {journal_text}"
+    );
+
+    // (c) The exposition carries an exemplar with the same id on the
+    // request-latency histogram, and still validates.
+    let text = c.metrics_text().unwrap();
+    prom::set_exemplars(false);
+    prom::validate(&text).expect("exposition with exemplars must validate");
+    let exemplar = format!(r#"# {{trace_id="{id}"}}"#);
+    assert!(
+        text.lines()
+            .any(|l| { l.starts_with("motro_server_request_ns_bucket") && l.contains(&exemplar) }),
+        "no request_ns exemplar for {id}:\n{}",
+        text.lines()
+            .filter(|l| l.contains("request_ns_bucket"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

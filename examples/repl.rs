@@ -63,6 +63,11 @@ const HELP: &str = "commands:
   metrics                               Prometheus text exposition of the same
   cache                                 (client sessions) mask-cache introspection:
                                         entries, per-user counts, dep-index size
+  traces                                (client sessions) retained traces, newest first
+  trace [ID | #N]                       (client sessions) one trace's span tree —
+                                        by hex id, by slow-log index #N, or the
+                                        session's most recent traced request
+  slow                                  (client sessions) slow-query log with trace ids
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -88,11 +93,14 @@ fn main() {
             continue;
         }
         if let Some(rest) = input.strip_prefix("serve ") {
-            match Server::bind(
-                rest.trim(),
-                SharedFrontend::new(fe.clone()),
-                ServerConfig::default(),
-            ) {
+            // Repl servers trace everything: a demo wants `trace` /
+            // `traces` / `slow` to have something to show.
+            let config = ServerConfig {
+                trace_store: 256,
+                trace_sample: 1.0,
+                ..ServerConfig::default()
+            };
+            match Server::bind(rest.trim(), SharedFrontend::new(fe.clone()), config) {
                 Ok(server) => {
                     println!(
                         "serving a snapshot of the current state on {} \
@@ -139,6 +147,9 @@ fn client_repl(addr: &str, user: &str) {
     );
     let stdin = std::io::stdin();
     let mut line = String::new();
+    // Trace ids of the most recent `slow` listing, so `trace #N`
+    // can jump from a slow entry to its full span tree.
+    let mut last_slow: Vec<Option<String>> = Vec::new();
     loop {
         print!("{user}@{addr}> ");
         std::io::stdout().flush().ok();
@@ -210,6 +221,76 @@ fn client_repl(addr: &str, user: &str) {
             "profile" => client
                 .profile(input.strip_prefix("profile").unwrap_or(input).trim())
                 .map(|r| format!("{}\noutcome: {}", r.rendered.trim_end(), r.outcome)),
+            "traces" => client.traces(0).map(|list| {
+                let mut out = format!(
+                    "{} retained ({} inserted, {} evicted, capacity {})",
+                    list.entries, list.inserted, list.evicted, list.capacity
+                );
+                for t in &list.traces {
+                    out.push_str(&format!(
+                        "\n  {} {}us [{}] {}: {}",
+                        t.trace_id,
+                        t.duration_ns / 1_000,
+                        t.reasons.join(","),
+                        t.principal,
+                        t.stmt
+                    ));
+                }
+                out
+            }),
+            "trace" => {
+                let arg = input.strip_prefix("trace").unwrap_or("").trim().to_owned();
+                let id = if let Some(n) = arg.strip_prefix('#') {
+                    match n
+                        .parse::<usize>()
+                        .ok()
+                        .and_then(|i| last_slow.get(i).cloned())
+                    {
+                        Some(Some(id)) => Ok(id),
+                        Some(None) => Err("that slow entry was not traced".to_owned()),
+                        None => Err("no such slow entry; run 'slow' first".to_owned()),
+                    }
+                } else if arg.is_empty() {
+                    client
+                        .last_trace_id()
+                        .ok_or_else(|| "no traced request yet; usage: trace ID|#N".to_owned())
+                } else {
+                    Ok(arg)
+                };
+                match id {
+                    Ok(id) => client.trace(&id).map(|t| {
+                        format!(
+                            "trace {} [{}] {}: {}\n{}",
+                            t.trace_id,
+                            t.reasons.join(","),
+                            t.principal,
+                            t.stmt,
+                            t.rendered.trim_end()
+                        )
+                    }),
+                    Err(msg) => {
+                        println!("{msg}");
+                        continue;
+                    }
+                }
+            }
+            "slow" => client.slow_queries().map(|entries| {
+                last_slow = entries.iter().map(|e| e.trace_id.clone()).collect();
+                if entries.is_empty() {
+                    return "no slow queries retained".to_owned();
+                }
+                let mut out = String::from("slow queries (newest first; 'trace #N' expands):");
+                for (i, e) in entries.iter().enumerate() {
+                    out.push_str(&format!(
+                        "\n  #{i} {}us {} {}: {}",
+                        e.duration_ns / 1_000,
+                        e.trace_id.as_deref().unwrap_or("-"),
+                        e.principal,
+                        e.stmt
+                    ));
+                }
+                out
+            }),
             _ => client.admin(input).map(|m| m.join("\n")),
         };
         match outcome {
