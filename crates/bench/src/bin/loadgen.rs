@@ -14,6 +14,7 @@
 //!         [--churn N] [--churn-out FILE] [--churn-journal FILE]
 //!         [--assert-retention PCT]
 //!         [--trace-report FILE] [--assert-trace-overhead PCT]
+//!         [--prof-report FILE] [--assert-prof-overhead PCT]
 //! ```
 //!
 //! `--workers` sizes the partitioned mask-pipeline executor inside each
@@ -53,12 +54,27 @@
 //! session, passes tail retention, and lands in the trace store —
 //! reporting the smallest per-pair p50 ratio.
 //! `--assert-trace-overhead PCT` is the CI guardrail.
+//!
+//! With `--prof-report`, additionally measures the cost of continuous
+//! profiling (DESIGN.md §6g) the same way: five interleaved pairs of
+//! prof-off/prof-on runs — the on side profiles every request, counts
+//! its allocations (this binary installs the counting allocator),
+//! folds each finished tree into the global aggregate, and charges the
+//! per-user cost ledger — reporting the smallest per-pair p50 ratio
+//! plus collapsed-stack and ledger sanity checks.
+//! `--assert-prof-overhead PCT` is the CI guardrail.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_bench::{ScaledWorld, WorldParams};
 use motro_server::{Client, JournalConfig, Server, ServerConfig};
 use serde_json::{Map, Number, Value};
 use std::time::Instant;
+
+/// Counting wrapper around the system allocator, so the prof-overhead
+/// experiment measures the real `--prof` configuration (counting off,
+/// the wrapper costs one relaxed atomic load per allocation).
+#[global_allocator]
+static ALLOC: motro_obs::alloc::CountingAlloc = motro_obs::alloc::CountingAlloc::system();
 
 struct Args {
     clients: usize,
@@ -79,6 +95,8 @@ struct Args {
     assert_retention: Option<f64>,
     trace_report: Option<String>,
     assert_trace_overhead: Option<f64>,
+    prof_report: Option<String>,
+    assert_prof_overhead: Option<f64>,
 }
 
 impl Default for Args {
@@ -106,6 +124,8 @@ impl Default for Args {
             assert_retention: None,
             trace_report: None,
             assert_trace_overhead: None,
+            prof_report: None,
+            assert_prof_overhead: None,
         }
     }
 }
@@ -162,6 +182,14 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--prof-report" => a.prof_report = Some(it.next().unwrap_or_else(|| usage())),
+            "--assert-prof-overhead" => {
+                a.assert_prof_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -174,7 +202,7 @@ fn usage() -> ! {
          [--views N] [--users N] [--grants N] [--workers N] [--seed S] [--out FILE] \
          [--obs-report FILE] [--assert-overhead PCT] [--churn N] [--churn-out FILE] \
          [--churn-journal FILE] [--assert-retention PCT] [--trace-report FILE] \
-         [--assert-trace-overhead PCT]"
+         [--assert-trace-overhead PCT] [--prof-report FILE] [--assert-prof-overhead PCT]"
     );
     std::process::exit(2);
 }
@@ -189,6 +217,7 @@ fn run(
     cache_capacity: usize,
     journal: Option<JournalConfig>,
     trace: Option<(usize, f64)>,
+    prof: bool,
 ) -> (Vec<u64>, f64, u64, u64) {
     let mut fe = Frontend::with_database(world.db.clone());
     *fe.auth_store_mut() = world.store.clone();
@@ -203,6 +232,7 @@ fn run(
             journal,
             trace_store,
             trace_sample,
+            prof,
             ..ServerConfig::default()
         },
     )
@@ -372,7 +402,7 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
     let mut best_ratio = f64::INFINITY;
     for i in 0..PAIRS {
         motro_obs::set_enabled(false);
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None);
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
         motro_obs::set_enabled(true);
         let _ = std::fs::remove_file(&journal_path);
         let (lat_on, _, _, _) = run(
@@ -382,6 +412,7 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
             1024,
             Some(JournalConfig::new(journal_path.clone())),
             None,
+            false,
         );
         motro_obs::window::global().force_roll();
         let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
@@ -472,8 +503,8 @@ fn trace_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<St
     let mut pairs = Vec::new();
     let mut best_ratio = f64::INFINITY;
     for i in 0..PAIRS {
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None);
-        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, Some((STORE, 1.0)));
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
+        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, Some((STORE, 1.0)), false);
         let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
         let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
         best_ratio = best_ratio.min(ratio);
@@ -514,6 +545,106 @@ fn trace_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<St
         Value::Number(Number::from_f64(1.0).unwrap_or_else(|| Number::from(1u64))),
     );
     report.insert("trace_store".to_owned(), Value::Number(Number::from(STORE)));
+    (report, overhead_pct)
+}
+
+/// Measure continuous profiling's cost: interleaved off/on run pairs
+/// over the same world and statements, telemetry enabled on both sides
+/// so the figure isolates profiling. The on side is the full `--prof`
+/// configuration — every statement request runs under a profile
+/// session with the counting allocator on, its finished tree folds
+/// into the global aggregate, and its cost lands in the per-user
+/// ledger. Returns the report map and the overhead percentage
+/// (smallest per-pair p50 ratio).
+fn prof_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
+    const PAIRS: usize = 5;
+    motro_obs::set_enabled(true);
+    motro_obs::prof::global().reset();
+    motro_obs::prof::ledger().reset();
+    let mut pairs = Vec::new();
+    let mut best_ratio = f64::INFINITY;
+    for i in 0..PAIRS {
+        // `--prof` leaves counting on after the server drops; switch it
+        // back off so the off side measures the true baseline.
+        motro_obs::alloc::set_counting(false);
+        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
+        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, None, true);
+        let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
+        let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
+        best_ratio = best_ratio.min(ratio);
+        eprintln!(
+            "  prof pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
+            i + 1,
+            p50_off / 1_000,
+            p50_on / 1_000
+        );
+        let mut pair = Map::new();
+        let num = |v: u64| Value::Number(Number::from(v));
+        pair.insert("off_p50_us".to_owned(), num(p50_off / 1_000));
+        pair.insert("on_p50_us".to_owned(), num(p50_on / 1_000));
+        pair.insert(
+            "off_mean_us".to_owned(),
+            num(mean_ns(&lat_off) as u64 / 1_000),
+        );
+        pair.insert(
+            "on_mean_us".to_owned(),
+            num(mean_ns(&lat_on) as u64 / 1_000),
+        );
+        pairs.push(Value::Object(pair));
+    }
+    motro_obs::alloc::set_counting(false);
+    let overhead_pct = (best_ratio - 1.0) * 100.0;
+
+    // The on runs fed the global aggregate and ledger; the experiment
+    // measured nothing unless both saw every on-side request.
+    let agg = motro_obs::prof::global();
+    let expected = (PAIRS * args.clients * args.requests) as u64;
+    assert_eq!(
+        agg.folds(),
+        expected,
+        "aggregator saw {} folds, expected {expected}",
+        agg.folds()
+    );
+    let collapsed = agg.collapsed(motro_obs::prof::FlameMetric::SelfNs);
+    assert!(
+        !collapsed.is_empty(),
+        "collapsed-stack output empty after {expected} folds"
+    );
+    for line in collapsed.lines() {
+        let (path, value) = line.rsplit_once(' ').expect("collapsed line grammar");
+        assert!(!path.is_empty() && value.parse::<u64>().is_ok(), "{line:?}");
+    }
+    let charged: u64 = motro_obs::prof::ledger()
+        .top(0)
+        .iter()
+        .map(|(_, c)| c.requests)
+        .sum();
+    assert_eq!(charged, expected, "ledger charged {charged} requests");
+    let ledger_exposition = motro_obs::prof::ledger().prometheus();
+    motro_obs::prom::validate(&ledger_exposition).expect("ledger exposition must validate");
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("prof_overhead".to_owned()),
+    );
+    report.insert("pairs".to_owned(), Value::Array(pairs));
+    report.insert(
+        "overhead_pct".to_owned(),
+        Value::Number(Number::from_f64(overhead_pct).unwrap_or_else(|| Number::from(0u64))),
+    );
+    report.insert(
+        "profiled_requests".to_owned(),
+        Value::Number(Number::from(expected)),
+    );
+    report.insert(
+        "stage_paths".to_owned(),
+        Value::Number(Number::from(agg.stages().len())),
+    );
+    report.insert(
+        "ledger_users".to_owned(),
+        Value::Number(Number::from(motro_obs::prof::ledger().len())),
+    );
     (report, overhead_pct)
 }
 
@@ -715,14 +846,14 @@ fn main() {
         args.clients, args.requests, args.relations, args.rows, args.views, args.users
     );
 
-    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None, None);
+    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None, None, false);
     let uncached = summarize(lat_u, wall_u, hits_u, misses_u);
     eprintln!(
         "  uncached: {} req/s, p50 {}us, p99 {}us",
         uncached["throughput_rps"], uncached["p50_us"], uncached["p99_us"]
     );
 
-    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None, None);
+    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None, None, false);
     let cached = summarize(lat_c, wall_c, hits_c, misses_c);
     eprintln!(
         "  cached:   {} req/s, p50 {}us, p99 {}us ({} hits / {} misses)",
@@ -834,6 +965,27 @@ fn main() {
         if let Some(b) = bound {
             if overhead_pct > b {
                 eprintln!("loadgen: trace overhead {overhead_pct:.2}% exceeds bound {b}%");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.prof_report {
+        eprintln!("loadgen: measuring continuous-profiling overhead");
+        let (mut report, overhead_pct) = prof_overhead(&world, &stmts, &args);
+        let bound = args.assert_prof_overhead;
+        if let Some(b) = bound {
+            report.insert(
+                "bound_pct".to_owned(),
+                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
+            );
+        }
+        let json = Value::Object(report).to_string();
+        std::fs::write(path, &json).expect("write prof report");
+        eprintln!("  prof overhead: {overhead_pct:.2}% (report: {path})");
+        if let Some(b) = bound {
+            if overhead_pct > b {
+                eprintln!("loadgen: prof overhead {overhead_pct:.2}% exceeds bound {b}%");
                 std::process::exit(1);
             }
         }

@@ -29,7 +29,11 @@
 //! head-sampled), [`profile`] threads trace/span ids through its
 //! per-request span trees, [`tracestore`] retains interesting traces in
 //! a bounded ring, and [`prom`] can attach OpenMetrics exemplars
-//! (`trace_id` → histogram bucket) to the exposition.
+//! (`trace_id` → histogram bucket) to the exposition. [`alloc`]
+//! optionally counts per-thread allocation bytes (attributed to
+//! profile stages), and [`prof`] folds finished profile trees into a
+//! continuous collapsed-stack aggregate — flamegraph-servable — with a
+//! per-user cost ledger.
 //!
 //! Everything is gated behind one global switch ([`set_enabled`]):
 //! disabled, every update is a single relaxed atomic load and an early
@@ -48,8 +52,10 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod log;
 pub mod metrics;
+pub mod prof;
 pub mod profile;
 pub mod prom;
 pub mod trace;
@@ -57,7 +63,9 @@ pub mod tracectx;
 pub mod tracestore;
 pub mod window;
 
+pub use alloc::{AllocSnapshot, CountingAlloc};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
+pub use prof::{Aggregator, FlameMetric, Ledger, StageStats, UserCost};
 pub use profile::ProfileNode;
 pub use trace::{span, MemorySink, Sink, Span, SpanEvent, StderrJsonSink};
 pub use tracectx::TraceContext;

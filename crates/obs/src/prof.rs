@@ -1,0 +1,791 @@
+//! Continuous profiling and per-user cost accounting.
+//!
+//! The per-request profile trees of [`crate::profile`] answer "why was
+//! *this* request slow"; this module answers "where do CPU and memory
+//! go across *all* requests". The server folds every finished span tree
+//! into the global [`Aggregator`] ([`global`]), which keeps cumulative
+//! collapsed-stack form — stage path (`root;child;grandchild`) → total
+//! wall-ns, self-ns, attributed allocation bytes/counts, and
+//! invocations — plus a sliding per-window retention mirroring
+//! [`crate::window::WindowLayer`].
+//!
+//! Two renderings serve the aggregate: [`Aggregator::collapsed`]
+//! produces the standard collapsed-stack text (`a;b;c VALUE`, one line
+//! per path, value = self time so a flamegraph tool can re-fold it) and
+//! [`Aggregator::flame_svg`] a self-contained hand-rolled flamegraph
+//! SVG — both exposed over the metrics listener as `/debug/flame` and
+//! `/debug/flame.svg`.
+//!
+//! Alongside the stage aggregate, the [`Ledger`] ([`ledger`]) accounts
+//! each principal's cumulative cost — requests, wall-ns, allocation
+//! bytes, cells masked, cache hits — surfaced by the `top` wire command
+//! and as `motro_user_cost_*` Prometheus series
+//! ([`Ledger::prometheus`]). Cardinality is bounded: past
+//! [`LEDGER_MAX_USERS`] distinct principals, new ones are pooled under
+//! `(other)`.
+
+use crate::window::WindowConfig;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Cumulative statistics for one stage path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// How many times the stage ran.
+    pub invocations: u64,
+    /// Total wall time, including child stages.
+    pub wall_ns: u64,
+    /// Total wall time minus time attributed to child stages.
+    pub self_ns: u64,
+    /// Allocation bytes attributed to the stage (including children).
+    pub alloc_bytes: u64,
+    /// Allocation count attributed to the stage (including children).
+    pub allocs: u64,
+}
+
+impl StageStats {
+    fn absorb(&mut self, node: &crate::ProfileNode) {
+        let child_wall: u64 = node.children.iter().map(|c| c.duration_ns).sum();
+        self.invocations += 1;
+        self.wall_ns += node.duration_ns;
+        self.self_ns += node.duration_ns.saturating_sub(child_wall);
+        self.alloc_bytes += node.alloc_bytes;
+        self.allocs += node.allocs;
+    }
+}
+
+/// One completed retention window of folded stages.
+#[derive(Debug, Clone)]
+pub struct ProfWindow {
+    /// How long the window actually spanned.
+    pub spanned: std::time::Duration,
+    /// Stage path → stats folded during the window.
+    pub stages: BTreeMap<String, StageStats>,
+}
+
+/// Which per-path value a collapsed-stack rendering carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlameMetric {
+    /// Self wall time in nanoseconds (the flamegraph default — values
+    /// re-fold to each path's inclusive total).
+    SelfNs,
+    /// Attributed allocation bytes, inclusive of children.
+    AllocBytes,
+}
+
+struct AggInner {
+    config: WindowConfig,
+    opened: Instant,
+    folds: u64,
+    cumulative: BTreeMap<String, StageStats>,
+    current: BTreeMap<String, StageStats>,
+    windows: VecDeque<ProfWindow>,
+}
+
+/// The continuous profile aggregator. Use the process-wide [`global`]
+/// instance; standalone instances exist for tests.
+pub struct Aggregator {
+    inner: Mutex<AggInner>,
+}
+
+impl Default for Aggregator {
+    fn default() -> Aggregator {
+        Aggregator::new(WindowConfig::default())
+    }
+}
+
+impl Aggregator {
+    /// A fresh aggregator with the given window layout.
+    pub fn new(config: WindowConfig) -> Aggregator {
+        Aggregator {
+            inner: Mutex::new(AggInner {
+                config,
+                opened: Instant::now(),
+                folds: 0,
+                cumulative: BTreeMap::new(),
+                current: BTreeMap::new(),
+                windows: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Replace the window layout (length + retention). Keeps cumulative
+    /// totals; restarts the current window.
+    pub fn configure(&self, config: WindowConfig) {
+        let mut inner = self.inner.lock();
+        inner.config = config;
+        inner.opened = Instant::now();
+        inner.current.clear();
+    }
+
+    /// Fold one finished profile tree into the cumulative and
+    /// current-window aggregates. Also bumps the `prof.*` registry
+    /// metrics (folds, attributed bytes/allocs, fold cost).
+    pub fn fold(&self, node: &crate::ProfileNode) {
+        let t = crate::start();
+        let mut inner = self.inner.lock();
+        roll_if_due(&mut inner, Instant::now());
+        inner.folds += 1;
+        fold_node(&mut inner.cumulative, node, None);
+        fold_node(&mut inner.current, node, None);
+        let paths = inner.cumulative.len();
+        drop(inner);
+        crate::counter!("prof.folds").inc();
+        crate::counter!("prof.alloc.bytes").add(node.alloc_bytes);
+        crate::counter!("prof.allocs").add(node.allocs);
+        crate::gauge!("prof.stage_paths").set(paths as i64);
+        if let Some(t) = t {
+            crate::histogram!("prof.fold_ns").record_since(Some(t));
+        }
+    }
+
+    /// Close the current window if it has run its course (called lazily
+    /// from read paths, like [`crate::window::WindowLayer`]).
+    pub fn roll_if_due(&self) {
+        roll_if_due(&mut self.inner.lock(), Instant::now());
+    }
+
+    /// Unconditionally close the current window (tests).
+    pub fn force_roll(&self) {
+        let mut inner = self.inner.lock();
+        let due = inner.opened;
+        roll(&mut inner, due.elapsed());
+    }
+
+    /// Trees folded since creation (or the last [`Aggregator::reset`]).
+    pub fn folds(&self) -> u64 {
+        self.inner.lock().folds
+    }
+
+    /// A copy of the cumulative stage aggregate.
+    pub fn stages(&self) -> BTreeMap<String, StageStats> {
+        self.inner.lock().cumulative.clone()
+    }
+
+    /// The completed retention windows, oldest first.
+    pub fn windows(&self) -> Vec<ProfWindow> {
+        self.roll_if_due();
+        self.inner.lock().windows.iter().cloned().collect()
+    }
+
+    /// Drop all aggregated state (tests).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.folds = 0;
+        inner.cumulative.clear();
+        inner.current.clear();
+        inner.windows.clear();
+        inner.opened = Instant::now();
+    }
+
+    /// The cumulative aggregate in collapsed-stack text form: one
+    /// `path value` line per stage path, sorted by path. With
+    /// [`FlameMetric::SelfNs`] the values re-fold: summing every line
+    /// under a root reproduces the root's inclusive wall time.
+    pub fn collapsed(&self, metric: FlameMetric) -> String {
+        self.roll_if_due();
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (path, s) in &inner.cumulative {
+            let v = match metric {
+                FlameMetric::SelfNs => s.self_ns,
+                FlameMetric::AllocBytes => s.alloc_bytes,
+            };
+            let _ = writeln!(out, "{path} {v}");
+        }
+        out
+    }
+
+    /// Render the cumulative aggregate as a self-contained flamegraph
+    /// SVG (icicle layout, wall-time widths, per-node tooltips).
+    pub fn flame_svg(&self) -> String {
+        self.roll_if_due();
+        let inner = self.inner.lock();
+        render_svg(&inner.cumulative, inner.folds)
+    }
+
+    /// A JSON rendering of the aggregate for the `prof` wire reply:
+    /// window layout, fold count, cumulative per-path stats, and
+    /// per-window totals.
+    pub fn to_json(&self) -> String {
+        self.roll_if_due();
+        let inner = self.inner.lock();
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"window_secs\":{},\"retention\":{},\"completed\":{},\"folds\":{},\"stages\":[",
+            inner.config.window.as_secs(),
+            inner.config.retention,
+            inner.windows.len(),
+            inner.folds
+        );
+        for (i, (path, s)) in inner.cumulative.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"invocations\":{},\"wall_ns\":{},\"self_ns\":{},\
+                 \"alloc_bytes\":{},\"allocs\":{}}}",
+                crate::json_escape(path),
+                s.invocations,
+                s.wall_ns,
+                s.self_ns,
+                s.alloc_bytes,
+                s.allocs
+            );
+        }
+        out.push_str("],\"windows\":[");
+        for (i, w) in inner.windows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let wall: u64 = w.stages.values().map(|s| s.self_ns).sum();
+            let bytes: u64 = w
+                .stages
+                .iter()
+                .filter(|(p, _)| !p.contains(';'))
+                .map(|(_, s)| s.alloc_bytes)
+                .sum();
+            let _ = write!(
+                out,
+                "{{\"spanned_ms\":{},\"paths\":{},\"wall_ns\":{wall},\"alloc_bytes\":{bytes}}}",
+                w.spanned.as_millis(),
+                w.stages.len()
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn roll_if_due(inner: &mut AggInner, now: Instant) {
+    let elapsed = now.duration_since(inner.opened);
+    if elapsed >= inner.config.window {
+        roll(inner, elapsed);
+    }
+}
+
+fn roll(inner: &mut AggInner, spanned: std::time::Duration) {
+    let stages = std::mem::take(&mut inner.current);
+    inner.windows.push_back(ProfWindow { spanned, stages });
+    while inner.windows.len() > inner.config.retention {
+        inner.windows.pop_front();
+    }
+    inner.opened = Instant::now();
+}
+
+/// Collapse a stage name into one path frame: `;` is the frame
+/// separator and a space ends the frame in collapsed-stack grammar, so
+/// both fold to `_`.
+fn frame_name(stage: &str) -> String {
+    stage
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn fold_node(
+    map: &mut BTreeMap<String, StageStats>,
+    node: &crate::ProfileNode,
+    prefix: Option<&str>,
+) {
+    let path = match prefix {
+        Some(p) => format!("{p};{}", frame_name(&node.stage)),
+        None => frame_name(&node.stage),
+    };
+    map.entry(path.clone()).or_default().absorb(node);
+    for c in &node.children {
+        fold_node(map, c, Some(&path));
+    }
+}
+
+/// The process-wide aggregator the server folds into.
+pub fn global() -> &'static Aggregator {
+    static GLOBAL: OnceLock<Aggregator> = OnceLock::new();
+    GLOBAL.get_or_init(Aggregator::default)
+}
+
+// ---------------------------------------------------------------------
+// Flamegraph SVG
+// ---------------------------------------------------------------------
+
+const SVG_WIDTH: f64 = 1200.0;
+const SVG_MARGIN: f64 = 10.0;
+const ROW_H: f64 = 17.0;
+const HEADER_H: f64 = 28.0;
+
+#[derive(Default)]
+struct FlameNode {
+    stats: StageStats,
+    children: BTreeMap<String, FlameNode>,
+}
+
+fn build_tree(stages: &BTreeMap<String, StageStats>) -> FlameNode {
+    let mut root = FlameNode::default();
+    for (path, s) in stages {
+        let mut node = &mut root;
+        for frame in path.split(';') {
+            node = node.children.entry(frame.to_owned()).or_default();
+        }
+        node.stats = *s;
+    }
+    root
+}
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A warm, deterministic fill color derived from the frame name
+/// (FNV-1a over the name bytes).
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!(
+        "rgb({},{},{})",
+        200 + (h % 56) as u8,
+        60 + ((h >> 8) % 120) as u8,
+        30 + ((h >> 16) % 40) as u8
+    )
+}
+
+fn depth_of(node: &FlameNode) -> usize {
+    1 + node.children.values().map(depth_of).max().unwrap_or(0)
+}
+
+fn render_svg(stages: &BTreeMap<String, StageStats>, folds: u64) -> String {
+    let root = build_tree(stages);
+    let total: u64 = root.children.values().map(|c| c.stats.wall_ns).sum();
+    let depth = depth_of(&root).saturating_sub(1).max(1);
+    let height = HEADER_H + depth as f64 * ROW_H + SVG_MARGIN;
+    let mut out = String::from("<?xml version=\"1.0\" standalone=\"no\"?>\n");
+    let _ = writeln!(
+        out,
+        "<svg version=\"1.1\" width=\"{SVG_WIDTH}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">"
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"0\" y=\"0\" width=\"{SVG_WIDTH}\" height=\"{height}\" fill=\"#f8f8f8\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{SVG_MARGIN}\" y=\"18\" font-size=\"13\" font-family=\"monospace\">\
+         motro continuous profile — {} stage paths, {} requests folded, {total}ns total</text>",
+        stages.len(),
+        folds
+    );
+    let usable = SVG_WIDTH - 2.0 * SVG_MARGIN;
+    let scale = if total == 0 {
+        0.0
+    } else {
+        usable / total as f64
+    };
+    let mut x = SVG_MARGIN;
+    for (name, child) in &root.children {
+        render_node(&mut out, name, name, child, x, 0, scale);
+        x += child.stats.wall_ns as f64 * scale;
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn render_node(
+    out: &mut String,
+    name: &str,
+    path: &str,
+    node: &FlameNode,
+    x: f64,
+    depth: usize,
+    scale: f64,
+) {
+    let w = node.stats.wall_ns as f64 * scale;
+    if w < 0.2 {
+        return;
+    }
+    let y = HEADER_H + depth as f64 * ROW_H;
+    let s = &node.stats;
+    let _ = writeln!(
+        out,
+        "<g><rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{:.2}\" \
+         fill=\"{}\" stroke=\"#f8f8f8\" stroke-width=\"0.5\"/>",
+        ROW_H - 1.0,
+        color(name)
+    );
+    if w >= 40.0 {
+        let label: String = name.chars().take((w / 7.0) as usize).collect();
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.2}\" y=\"{:.2}\" font-size=\"11\" font-family=\"monospace\">{}</text>",
+            x + 2.0,
+            y + 12.0,
+            xml_escape(&label)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<title>{} — {}ns total, {}ns self, {}B allocated ({} allocs), x{}</title></g>",
+        xml_escape(path),
+        s.wall_ns,
+        s.self_ns,
+        s.alloc_bytes,
+        s.allocs,
+        s.invocations
+    );
+    let mut cx = x;
+    for (cname, child) in &node.children {
+        let cpath = format!("{path};{cname}");
+        render_node(out, cname, &cpath, child, cx, depth + 1, scale);
+        cx += child.stats.wall_ns as f64 * scale;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-user cost ledger
+// ---------------------------------------------------------------------
+
+/// Distinct principals the ledger tracks before pooling new ones into
+/// the `(other)` bucket — a hard bound on Prometheus label cardinality.
+pub const LEDGER_MAX_USERS: usize = 256;
+
+/// The pooled-principal bucket name used past [`LEDGER_MAX_USERS`].
+pub const LEDGER_OTHER: &str = "(other)";
+
+/// One principal's cumulative cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UserCost {
+    /// Requests served (statement requests: retrieve/query/profile).
+    pub requests: u64,
+    /// Total request wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Allocation bytes attributed to the principal's requests.
+    pub alloc_bytes: u64,
+    /// Answer cells masked (nulled cells + cells of withheld rows).
+    pub cells_masked: u64,
+    /// Requests answered from the mask cache.
+    pub cache_hits: u64,
+}
+
+impl UserCost {
+    fn absorb(&mut self, d: &UserCost) {
+        self.requests += d.requests;
+        self.wall_ns += d.wall_ns;
+        self.alloc_bytes += d.alloc_bytes;
+        self.cells_masked += d.cells_masked;
+        self.cache_hits += d.cache_hits;
+    }
+}
+
+/// The per-user cost-accounting ledger. Use the process-wide
+/// [`ledger`] instance.
+#[derive(Default)]
+pub struct Ledger {
+    inner: Mutex<BTreeMap<String, UserCost>>,
+}
+
+impl Ledger {
+    /// Add `delta` to `user`'s account. Past [`LEDGER_MAX_USERS`]
+    /// distinct users, unseen principals pool under [`LEDGER_OTHER`].
+    pub fn charge(&self, user: &str, delta: &UserCost) {
+        let mut inner = self.inner.lock();
+        if !inner.contains_key(user) && inner.len() >= LEDGER_MAX_USERS {
+            inner
+                .entry(LEDGER_OTHER.to_owned())
+                .or_default()
+                .absorb(delta);
+            return;
+        }
+        inner.entry(user.to_owned()).or_default().absorb(delta);
+    }
+
+    /// The `n` costliest principals by wall time, descending (ties
+    /// broken by name for determinism). `n == 0` returns everyone.
+    pub fn top(&self, n: usize) -> Vec<(String, UserCost)> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<(String, UserCost)> =
+            inner.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then(a.0.cmp(&b.0)));
+        if n > 0 {
+            rows.truncate(n);
+        }
+        rows
+    }
+
+    /// Number of principals tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Is the ledger empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drop all accounts (tests).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Render the ledger as Prometheus `motro_user_cost_*` counter
+    /// series with a `user` label. Empty string while the ledger is
+    /// empty, so expositions without cost accounting stay byte-
+    /// identical to the pre-ledger format.
+    pub fn prometheus(&self) -> String {
+        let inner = self.inner.lock();
+        if inner.is_empty() {
+            return String::new();
+        }
+        let mut out = String::new();
+        type Series = (&'static str, fn(&UserCost) -> u64);
+        let series: [Series; 5] = [
+            ("motro_user_cost_requests", |c| c.requests),
+            ("motro_user_cost_wall_ns", |c| c.wall_ns),
+            ("motro_user_cost_alloc_bytes", |c| c.alloc_bytes),
+            ("motro_user_cost_cells_masked", |c| c.cells_masked),
+            ("motro_user_cost_cache_hits", |c| c.cache_hits),
+        ];
+        for (name, get) in series {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (user, cost) in inner.iter() {
+                let _ = writeln!(
+                    out,
+                    "{name}{{user=\"{}\"}} {}",
+                    crate::prom::escape_label_value(user),
+                    get(cost)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide cost ledger the server charges into.
+pub fn ledger() -> &'static Ledger {
+    static GLOBAL: OnceLock<Ledger> = OnceLock::new();
+    GLOBAL.get_or_init(Ledger::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProfileNode;
+
+    fn node(stage: &str, dur: u64, bytes: u64, children: Vec<ProfileNode>) -> ProfileNode {
+        ProfileNode {
+            stage: stage.to_owned(),
+            span_id: 0,
+            duration_ns: dur,
+            alloc_bytes: bytes,
+            allocs: if bytes > 0 { 1 } else { 0 },
+            fields: Vec::new(),
+            children,
+        }
+    }
+
+    fn request_tree() -> ProfileNode {
+        node(
+            "server.request",
+            1000,
+            600,
+            vec![
+                node("parse", 200, 100, Vec::new()),
+                node(
+                    "mask.compute",
+                    500,
+                    400,
+                    vec![node("meta.select", 300, 200, Vec::new())],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn fold_accumulates_paths_and_self_times() {
+        let agg = Aggregator::default();
+        agg.fold(&request_tree());
+        agg.fold(&request_tree());
+        let stages = agg.stages();
+        let root = &stages["server.request"];
+        assert_eq!(root.invocations, 2);
+        assert_eq!(root.wall_ns, 2000);
+        assert_eq!(root.self_ns, 2 * (1000 - 700));
+        assert_eq!(root.alloc_bytes, 1200);
+        let sel = &stages["server.request;mask.compute;meta.select"];
+        assert_eq!(sel.wall_ns, 600);
+        assert_eq!(sel.self_ns, 600);
+        // Self times re-fold to the root's inclusive wall time.
+        let folded: u64 = stages.values().map(|s| s.self_ns).sum();
+        assert_eq!(folded, root.wall_ns);
+        assert_eq!(agg.folds(), 2);
+    }
+
+    #[test]
+    fn collapsed_text_matches_the_grammar() {
+        let agg = Aggregator::default();
+        agg.fold(&request_tree());
+        let text = agg.collapsed(FlameMetric::SelfNs);
+        let mut total = 0u64;
+        for line in text.lines() {
+            let (path, value) = line.rsplit_once(' ').expect("`path value` lines");
+            assert!(!path.is_empty() && !path.contains("  "));
+            for frame in path.split(';') {
+                assert!(!frame.is_empty(), "empty frame in {line}");
+            }
+            total += value.parse::<u64>().expect("numeric value");
+        }
+        assert_eq!(total, 1000, "self values re-fold to the root total");
+        let bytes = agg.collapsed(FlameMetric::AllocBytes);
+        assert!(bytes.contains("server.request;parse 100"), "{bytes}");
+    }
+
+    #[test]
+    fn stage_names_are_sanitized_for_the_path_grammar() {
+        let agg = Aggregator::default();
+        agg.fold(&node("odd stage;name", 10, 0, Vec::new()));
+        let text = agg.collapsed(FlameMetric::SelfNs);
+        assert_eq!(text.trim(), "odd_stage_name 10");
+    }
+
+    #[test]
+    fn windows_roll_and_retain() {
+        let agg = Aggregator::new(WindowConfig {
+            window: std::time::Duration::from_secs(3600),
+            retention: 2,
+        });
+        for _ in 0..3 {
+            agg.fold(&request_tree());
+            agg.force_roll();
+        }
+        let windows = agg.windows();
+        assert_eq!(windows.len(), 2, "retention bounds the deque");
+        assert!(windows[0].stages.contains_key("server.request"));
+        // Cumulative totals survive rolling.
+        assert_eq!(agg.stages()["server.request"].invocations, 3);
+        let json = agg.to_json();
+        assert!(json.contains("\"folds\":3"), "{json}");
+        assert!(json.contains("\"windows\":["), "{json}");
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_labelled() {
+        let agg = Aggregator::default();
+        agg.fold(&request_tree());
+        let svg = agg.flame_svg();
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("<svg ") && svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        assert!(svg.matches("<rect").count() >= 4, "one rect per stage");
+        assert!(svg.contains("server.request;mask.compute;meta.select"));
+        assert!(svg.contains("300ns self"), "tooltip carries self time");
+    }
+
+    #[test]
+    fn empty_aggregate_still_renders() {
+        let agg = Aggregator::default();
+        assert_eq!(agg.collapsed(FlameMetric::SelfNs), "");
+        let svg = agg.flame_svg();
+        assert!(svg.contains("</svg>"), "{svg}");
+    }
+
+    #[test]
+    fn ledger_charges_sorts_and_caps() {
+        let ledger = Ledger::default();
+        ledger.charge(
+            "Brown",
+            &UserCost {
+                requests: 1,
+                wall_ns: 500,
+                alloc_bytes: 64,
+                cells_masked: 2,
+                cache_hits: 0,
+            },
+        );
+        ledger.charge(
+            "Brown",
+            &UserCost {
+                requests: 1,
+                wall_ns: 300,
+                cache_hits: 1,
+                ..UserCost::default()
+            },
+        );
+        ledger.charge(
+            "Klein",
+            &UserCost {
+                requests: 1,
+                wall_ns: 100,
+                ..UserCost::default()
+            },
+        );
+        let top = ledger.top(0);
+        assert_eq!(top[0].0, "Brown");
+        assert_eq!(top[0].1.requests, 2);
+        assert_eq!(top[0].1.wall_ns, 800);
+        assert_eq!(top[0].1.cache_hits, 1);
+        assert_eq!(top[1].0, "Klein");
+        assert_eq!(ledger.top(1).len(), 1);
+
+        let capped = Ledger::default();
+        for i in 0..LEDGER_MAX_USERS + 10 {
+            capped.charge(
+                &format!("user-{i:04}"),
+                &UserCost {
+                    requests: 1,
+                    ..UserCost::default()
+                },
+            );
+        }
+        assert_eq!(capped.len(), LEDGER_MAX_USERS + 1, "cap plus (other)");
+        let pooled = capped
+            .top(0)
+            .into_iter()
+            .find(|(u, _)| u == LEDGER_OTHER)
+            .expect("overflow pools");
+        assert_eq!(pooled.1.requests, 10);
+    }
+
+    #[test]
+    fn ledger_prometheus_series_validate() {
+        let ledger = Ledger::default();
+        assert_eq!(ledger.prometheus(), "", "empty ledger emits nothing");
+        ledger.charge(
+            "Brown \"q\"",
+            &UserCost {
+                requests: 3,
+                wall_ns: 999,
+                alloc_bytes: 11,
+                cells_masked: 4,
+                cache_hits: 2,
+            },
+        );
+        let text = ledger.prometheus();
+        assert!(text.contains("# TYPE motro_user_cost_requests counter"));
+        assert!(text.contains("motro_user_cost_wall_ns{user=\"Brown \\\"q\\\"\"} 999"));
+        let names = crate::prom::validate(&text).expect("ledger exposition validates");
+        assert!(names.contains("motro_user_cost_cache_hits"));
+    }
+}

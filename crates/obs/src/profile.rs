@@ -30,6 +30,12 @@ pub struct ProfileNode {
     pub span_id: u64,
     /// Wall time spent in the stage, including children.
     pub duration_ns: u64,
+    /// Allocation bytes attributed to the stage (including children) —
+    /// nonzero only when a [`crate::alloc::CountingAlloc`] is installed
+    /// and counting is on.
+    pub alloc_bytes: u64,
+    /// Allocation count attributed to the stage (including children).
+    pub allocs: u64,
     /// Key/value annotations (tuple counts, operator names, ...).
     pub fields: Vec<(String, String)>,
     /// Nested stages, in execution order.
@@ -42,6 +48,8 @@ impl ProfileNode {
             stage: stage.to_owned(),
             span_id: 0,
             duration_ns: 0,
+            alloc_bytes: 0,
+            allocs: 0,
             fields: Vec::new(),
             children: Vec::new(),
         }
@@ -59,6 +67,15 @@ impl ProfileNode {
         }
         out.push_str("\",\"duration_ns\":");
         out.push_str(&self.duration_ns.to_string());
+        // Allocation attribution only appears when something was
+        // counted, so uncounted trees render byte-identically to the
+        // pre-accounting format.
+        if self.alloc_bytes != 0 || self.allocs != 0 {
+            out.push_str(&format!(
+                ",\"alloc_bytes\":{},\"allocs\":{}",
+                self.alloc_bytes, self.allocs
+            ));
+        }
         out.push_str(",\"fields\":{");
         for (i, (k, v)) in self.fields.iter().enumerate() {
             if i > 0 {
@@ -94,6 +111,9 @@ impl ProfileNode {
         }
         out.push_str(&self.stage);
         out.push_str(&format!(" {}ns", self.duration_ns));
+        if self.alloc_bytes != 0 || self.allocs != 0 {
+            out.push_str(&format!(" alloc={}B/{}", self.alloc_bytes, self.allocs));
+        }
         if self.span_id != 0 {
             out.push_str(&format!(" span={:016x}", self.span_id));
         }
@@ -118,6 +138,30 @@ impl ProfileNode {
 struct Frame {
     node: ProfileNode,
     started: Instant,
+    /// The thread's allocation counters when the frame opened; the
+    /// delta at close is the stage's attributed allocation cost.
+    alloc_at: crate::alloc::AllocSnapshot,
+}
+
+impl Frame {
+    fn open(node: ProfileNode) -> Frame {
+        Frame {
+            node,
+            started: Instant::now(),
+            alloc_at: crate::alloc::snapshot(),
+        }
+    }
+
+    /// Close the frame: stamp the node with its wall time and
+    /// allocation delta.
+    fn close(self) -> ProfileNode {
+        let mut node = self.node;
+        node.duration_ns = self.started.elapsed().as_nanos() as u64;
+        let delta = crate::alloc::snapshot().delta_since(self.alloc_at);
+        node.alloc_bytes = delta.bytes;
+        node.allocs = delta.count;
+        node
+    }
 }
 
 struct Collector {
@@ -196,10 +240,7 @@ pub fn begin_traced(label: &str, ctx: Option<TraceContext>) -> ProfileSession {
                 ));
             }
         }
-        collector.stack.push(Frame {
-            node: root,
-            started: Instant::now(),
-        });
+        collector.stack.push(Frame::open(root));
         *slot = Some(collector);
         ProfileSession { owner: true }
     })
@@ -222,8 +263,7 @@ impl ProfileSession {
             let collector = c.borrow_mut().take()?;
             let mut finished: Option<ProfileNode> = None;
             for frame in collector.stack.into_iter().rev() {
-                let mut node = frame.node;
-                node.duration_ns = frame.started.elapsed().as_nanos() as u64;
+                let mut node = frame.close();
                 if let Some(child) = finished.take() {
                     node.children.push(child);
                 }
@@ -259,10 +299,7 @@ pub fn stage(name: &str) -> StageGuard {
             Some(collector) => {
                 let mut node = ProfileNode::new(name);
                 node.span_id = collector.claim_span_id();
-                collector.stack.push(Frame {
-                    node,
-                    started: Instant::now(),
-                });
+                collector.stack.push(Frame::open(node));
                 true
             }
             None => false,
@@ -284,8 +321,7 @@ impl Drop for StageGuard {
                 // live, because the session owns stack[0]).
                 if collector.stack.len() >= 2 {
                     let frame = collector.stack.pop().expect("frame present");
-                    let mut node = frame.node;
-                    node.duration_ns = frame.started.elapsed().as_nanos() as u64;
+                    let node = frame.close();
                     collector
                         .stack
                         .last_mut()
@@ -326,6 +362,8 @@ pub fn attach(stage: &str, duration_ns: u64, fields: &[(&str, String)]) {
                     stage: stage.to_owned(),
                     span_id,
                     duration_ns,
+                    alloc_bytes: 0,
+                    allocs: 0,
                     fields: fields
                         .iter()
                         .map(|(k, v)| (k.to_string(), v.clone()))

@@ -175,6 +175,8 @@ mod tests {
                 stage: "server.request".to_owned(),
                 span_id: 0,
                 duration_ns: 1000 + id as u64,
+                alloc_bytes: 0,
+                allocs: 0,
                 fields: Vec::new(),
                 children: Vec::new(),
             },

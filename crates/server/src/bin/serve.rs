@@ -9,7 +9,7 @@
 //!             [--journal-max-bytes N] [--journal-explain]
 //!             [--slow-query-ms N]
 //!             [--trace-store N] [--trace-sample P]
-//!             [--trace-mask-fraction F] [--exemplars]
+//!             [--trace-mask-fraction F] [--exemplars] [--prof]
 //! ```
 //!
 //! `--workers` sizes the connection pool; `--exec-workers` sizes the
@@ -56,6 +56,15 @@
 //!   to latency histogram buckets in the Prometheus exposition, so a
 //!   dashboard can jump from a bucket straight to a retained trace.
 //!
+//! Profiling (DESIGN.md §6g):
+//! - `--prof` profiles every statement request, folds the finished
+//!   span tree into a continuous collapsed-stack aggregate, switches
+//!   on the counting allocator (per-request allocation bytes), and
+//!   charges a per-user cost ledger. Inspect with the `prof`/`top`
+//!   wire requests, or — with `--metrics-addr` — at `/debug/flame`
+//!   (collapsed stacks; `?alloc` for bytes) and `/debug/flame.svg`.
+//!   Per-user `motro_user_cost_*` series join the exposition.
+//!
 //! The metrics listener also answers `/healthz` (liveness: uptime,
 //! auth epoch) and `/readyz` (readiness: journal and materializer
 //! state; 503 when a configured subsystem has failed).
@@ -66,13 +75,18 @@ use motro_server::{Health, JournalConfig, MetricsServer, Server, ServerConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// The counting wrapper around the system allocator: free until
+/// `--prof` switches counting on (one relaxed atomic load per call).
+#[global_allocator]
+static ALLOC: motro_obs::alloc::CountingAlloc = motro_obs::alloc::CountingAlloc::system();
+
 fn usage() -> ! {
     eprintln!(
         "usage: motro-serve [ADDR] [--state FILE] [--workers N] [--exec-workers N] [--cache N] \
          [--working-set N] [--no-materialize] [--admin USER]... [--log-format text|json] \
          [--metrics-addr ADDR] [--window-secs N] [--journal FILE] [--journal-fsync] \
          [--journal-max-bytes N] [--journal-explain] [--slow-query-ms N] [--trace-store N] \
-         [--trace-sample P] [--trace-mask-fraction F] [--exemplars]"
+         [--trace-sample P] [--trace-mask-fraction F] [--exemplars] [--prof]"
     );
     std::process::exit(2);
 }
@@ -177,6 +191,7 @@ fn main() {
                 config.trace_mask_fraction = f;
             }
             "--exemplars" => motro_obs::prom::set_exemplars(true),
+            "--prof" => config.prof = true,
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => usage(),
             a => addr = a.to_owned(),

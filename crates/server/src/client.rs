@@ -546,10 +546,56 @@ impl Client {
                     principal: field_str(e, "principal")?,
                     stmt: field_str(e, "stmt")?,
                     duration_ns: field_u64(e, "duration_ns")?,
+                    // Pre-profiling servers omit the field.
+                    alloc_bytes: field_u64(e, "alloc_bytes").unwrap_or(0),
                     trace_id: e.get("trace_id").and_then(Value::as_str).map(str::to_owned),
                 })
             })
             .collect()
+    }
+
+    /// The continuous-profile aggregate: whether profiling is on, plus
+    /// the cumulative/windowed stage report as raw JSON.
+    pub fn prof(&mut self) -> Result<ProfReply, ClientError> {
+        let reply = self.call("prof", "")?;
+        Ok(ProfReply {
+            epoch: field_u64(&reply, "epoch")?,
+            enabled: reply
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            report: reply.get("report").cloned().unwrap_or(Value::Null),
+        })
+    }
+
+    /// The per-user cost ledger, costliest (by wall-ns) first
+    /// (`limit` 0 = all).
+    pub fn top(&mut self, limit: usize) -> Result<TopReply, ClientError> {
+        let reply = self.call("top", &format!(r#""limit":{limit}"#))?;
+        let users = reply
+            .get("users")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("top reply without users".to_owned()))?
+            .iter()
+            .map(|u| {
+                Ok(UserCostRow {
+                    user: field_str(u, "user")?,
+                    requests: field_u64(u, "requests")?,
+                    wall_ns: field_u64(u, "wall_ns")?,
+                    alloc_bytes: field_u64(u, "alloc_bytes")?,
+                    cells_masked: field_u64(u, "cells_masked")?,
+                    cache_hits: field_u64(u, "cache_hits")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ClientError>>()?;
+        Ok(TopReply {
+            epoch: field_u64(&reply, "epoch")?,
+            enabled: reply
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            users,
+        })
     }
 
     /// Liveness probe.
@@ -607,8 +653,43 @@ pub struct SlowEntry {
     pub principal: String,
     pub stmt: String,
     pub duration_ns: u64,
+    /// Bytes the request allocated (0 unless the server runs the
+    /// counting allocator with profiling on).
+    pub alloc_bytes: u64,
     /// 32 hex digits when the request was traced.
     pub trace_id: Option<String>,
+}
+
+/// The reply to [`Client::prof`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfReply {
+    pub epoch: u64,
+    /// Is the server folding profiles (`--prof`)?
+    pub enabled: bool,
+    /// The [`motro_obs::prof::Aggregator::to_json`] tree: cumulative
+    /// stage statistics plus retained windows.
+    pub report: Value,
+}
+
+/// One row of the [`Client::top`] ledger listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserCostRow {
+    pub user: String,
+    pub requests: u64,
+    pub wall_ns: u64,
+    pub alloc_bytes: u64,
+    pub cells_masked: u64,
+    pub cache_hits: u64,
+}
+
+/// The reply to [`Client::top`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopReply {
+    pub epoch: u64,
+    /// Is the server charging the ledger (`--prof`)?
+    pub enabled: bool,
+    /// Costliest principals first (by cumulative wall-ns).
+    pub users: Vec<UserCostRow>,
 }
 
 /// The reply to [`Client::profile`].

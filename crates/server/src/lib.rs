@@ -33,8 +33,8 @@ pub mod wire;
 
 pub use cache::{CacheStats, CachedMask, MaskCache};
 pub use client::{
-    CacheInfo, Client, ClientError, ExplainReply, ProfileReply, QueryReply, Rows, ServerStats,
-    SlowEntry, TraceListReply, TraceReply, TraceSummaryReply,
+    CacheInfo, Client, ClientError, ExplainReply, ProfReply, ProfileReply, QueryReply, Rows,
+    ServerStats, SlowEntry, TopReply, TraceListReply, TraceReply, TraceSummaryReply, UserCostRow,
 };
 pub use journal::{Journal, JournalConfig, ReplayReport};
 pub use metrics_http::{Health, MetricsServer};

@@ -1,16 +1,24 @@
 //! A minimal plaintext HTTP listener exposing the metrics registry in
 //! Prometheus text exposition format, plus `/healthz` and `/readyz`
-//! probes.
+//! probes and the continuous-profile views `/debug/flame` (collapsed
+//! stacks) and `/debug/flame.svg` (a rendered flamegraph).
 //!
 //! Zero dependencies beyond `std::net`: the listener accepts one
 //! connection at a time, reads the request line, and answers any `GET`
-//! whose path starts with `/metrics`, `/healthz`, or `/readyz`
-//! (everything else gets a 404). The metrics body is
+//! whose path starts with `/metrics`, `/healthz`, `/readyz`, or
+//! `/debug/flame` (everything else gets a 404). The metrics body is
 //! [`motro_obs::prom::render`] over a fresh registry snapshot, after
-//! rolling the global window layer so windowed gauges are current. The
-//! probe bodies come from a caller-supplied [`Health`] closure, so the
-//! exporter reports the serving process's actual liveness (uptime, auth
-//! epoch, journal and materializer state) rather than its own.
+//! rolling the global window layer so windowed gauges are current —
+//! plus the per-user cost ledger's own exposition block when anyone
+//! has been charged. The flame bodies come from the global
+//! [`motro_obs::prof::Aggregator`]: `/debug/flame` is the cumulative
+//! aggregate in collapsed-stack form (`path value` lines, value =
+//! self wall-ns; append `?alloc` for allocated bytes instead), ready
+//! for any flamegraph tool; `/debug/flame.svg` is a self-contained
+//! hand-rolled SVG. The probe bodies come from a caller-supplied
+//! [`Health`] closure, so the exporter reports the serving process's
+//! actual liveness (uptime, auth epoch, journal and materializer
+//! state) rather than its own.
 //!
 //! Scrapers are few and periodic — a single-threaded accept loop with a
 //! short per-connection read timeout is deliberate: a stalled scraper
@@ -166,16 +174,35 @@ fn serve_scrape(mut stream: TcpStream, health: &HealthFn) -> std::io::Result<()>
         };
         return respond(&mut stream, status, "text/plain", &h.render());
     }
+    if path == "/debug/flame.svg" {
+        let body = motro_obs::prof::global().flame_svg();
+        return respond(&mut stream, "200 OK", "image/svg+xml", &body);
+    }
+    if path == "/debug/flame" || path.starts_with("/debug/flame?") {
+        // `?alloc` switches the collapsed value from self wall-ns to
+        // allocated bytes.
+        let metric = if path.contains("alloc") {
+            motro_obs::prof::FlameMetric::AllocBytes
+        } else {
+            motro_obs::prof::FlameMetric::SelfNs
+        };
+        let body = motro_obs::prof::global().collapsed(metric);
+        return respond(&mut stream, "200 OK", "text/plain", &body);
+    }
     if !(path == "/metrics" || path.starts_with("/metrics?")) {
         return respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "see /metrics, /healthz, /readyz\n",
+            "see /metrics, /healthz, /readyz, /debug/flame, /debug/flame.svg\n",
         );
     }
     motro_obs::window::global().roll_if_due();
-    let body = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+    let mut body = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+    // Dynamic per-user cost series live outside the static registry;
+    // empty ledger → empty string → the exposition is byte-identical
+    // to the pre-profiling output.
+    body.push_str(&motro_obs::prof::ledger().prometheus());
     respond(&mut stream, "200 OK", motro_obs::prom::CONTENT_TYPE, &body)
 }
 

@@ -77,6 +77,12 @@ pub struct ServerConfig {
     /// this fraction of its cells (masked cells + withheld rows over
     /// the full answer area). Values above 1.0 disable the condition.
     pub trace_mask_fraction: f64,
+    /// Continuous profiling: profile every statement request, fold the
+    /// finished span tree into the global collapsed-stack aggregate
+    /// ([`motro_obs::prof::global`]), charge the per-user cost ledger,
+    /// and switch on allocation counting (effective when the binary
+    /// installs [`motro_obs::alloc::CountingAlloc`]).
+    pub prof: bool,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             trace_store: 0,
             trace_sample: 0.0,
             trace_mask_fraction: 0.5,
+            prof: false,
         }
     }
 }
@@ -112,6 +119,9 @@ pub struct SlowQuery {
     /// The request's trace id, when the tracing pipeline was on — the
     /// join key into the trace store, the journal, and exemplars.
     pub trace_id: Option<u128>,
+    /// Allocation bytes attributed to the request (nonzero only when
+    /// the binary installs a counting allocator and profiling is on).
+    pub alloc_bytes: u64,
     /// The full per-stage profile tree.
     pub profile: motro_obs::ProfileNode,
 }
@@ -152,6 +162,8 @@ struct Ctx {
     slow: Arc<Mutex<VecDeque<SlowQuery>>>,
     mat: Option<Arc<MatState>>,
     trace: Option<Arc<TraceState>>,
+    /// Continuous profiling + cost accounting on?
+    prof: bool,
 }
 
 /// The per-connection in-flight gate (a bounded semaphore).
@@ -212,6 +224,8 @@ fn request_label(request: &Request) -> &'static str {
         Request::Cache { .. } => "cache",
         Request::Metrics { .. } => "metrics",
         Request::Profile { .. } => "profile",
+        Request::Prof { .. } => "prof",
+        Request::Top { .. } => "top",
         Request::Explain { .. } => "explain",
         Request::Trace { .. } => "trace",
         Request::Traces { .. } => "traces",
@@ -275,6 +289,17 @@ impl Server {
             let _ = motro_obs::counter!("server.traces.head_sampled");
             let _ = motro_obs::counter!("server.traces.forced");
         }
+        if config.prof {
+            let _ = motro_obs::counter!("prof.folds");
+            let _ = motro_obs::counter!("prof.alloc.bytes");
+            let _ = motro_obs::counter!("prof.allocs");
+            let _ = motro_obs::gauge!("prof.stage_paths");
+            let _ = motro_obs::histogram!("prof.fold_ns");
+            // Counting only takes effect when the binary installed the
+            // wrapper; switching it on unconditionally keeps the knob
+            // in one place.
+            motro_obs::alloc::set_counting(true);
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         // The front-end may arrive pre-populated (a loaded snapshot, a
         // programmatically built store): whatever touched-state those
@@ -337,6 +362,7 @@ impl Server {
                     slow: slow.clone(),
                     mat: mat.clone(),
                     trace: trace.clone(),
+                    prof: config.prof,
                 };
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
@@ -375,7 +401,8 @@ impl Server {
                         // The worker owns the profile session, so the
                         // tree is available here for the slow log, the
                         // trace store, and `profile` reply wrapping.
-                        let session = if stmt.is_some() && (tctx.is_some() || watched || is_profile)
+                        let session = if stmt.is_some()
+                            && (tctx.is_some() || watched || is_profile || ctx.prof)
                         {
                             Some(motro_obs::profile::begin_traced(label, tctx))
                         } else {
@@ -407,6 +434,25 @@ impl Server {
                             let is_error =
                                 reply.get("type").and_then(Value::as_str) == Some("error");
                             let mask_frac = masked_fraction(&reply);
+                            if ctx.prof {
+                                // Fold the finished tree into the
+                                // continuous profile and charge the
+                                // issuing principal; the raw reply still
+                                // carries the cache/mask facts here.
+                                let cached =
+                                    reply.get("cached").and_then(Value::as_bool) == Some(true);
+                                motro_obs::prof::global().fold(&node);
+                                motro_obs::prof::ledger().charge(
+                                    &job.principal,
+                                    &motro_obs::prof::UserCost {
+                                        requests: 1,
+                                        wall_ns: node.duration_ns,
+                                        alloc_bytes: node.alloc_bytes,
+                                        cells_masked: masked_cells(&reply),
+                                        cache_hits: u64::from(cached),
+                                    },
+                                );
+                            }
                             if is_profile {
                                 if let Some(id) = req_id {
                                     let tree =
@@ -760,6 +806,7 @@ fn log_if_slow(
                 trace_id.map(tracectx::trace_id_hex).unwrap_or_default(),
             ),
             ("plan", plan.clone().unwrap_or_default()),
+            ("alloc_bytes", node.alloc_bytes.to_string()),
             ("profile", node.render_text()),
         ],
     );
@@ -773,8 +820,37 @@ fn log_if_slow(
         plan,
         duration_ns: node.duration_ns,
         trace_id,
+        alloc_bytes: node.alloc_bytes,
         profile: node.clone(),
     });
+}
+
+/// The absolute number of answer cells masking suppressed (nulled
+/// cells plus whole withheld rows times the column count). Non-row
+/// replies score 0. The per-user ledger accumulates this.
+fn masked_cells(reply: &Value) -> u64 {
+    let Some(obj) = reply.as_object() else {
+        return 0;
+    };
+    if obj.get("type").and_then(Value::as_str) != Some("rows") {
+        return 0;
+    }
+    let ncols = obj
+        .get("columns")
+        .and_then(Value::as_array)
+        .map_or(0, Vec::len);
+    let withheld = obj.get("withheld").and_then(Value::as_u64).unwrap_or(0) as usize;
+    let nulls: usize = obj
+        .get("rows")
+        .and_then(Value::as_array)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(Value::as_array)
+                .map(|r| r.iter().filter(|c| c.is_null()).count())
+                .sum()
+        })
+        .unwrap_or(0);
+    (nulls + withheld * ncols) as u64
 }
 
 /// The fraction of the answer area (cells, including rows withheld
@@ -925,9 +1001,26 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
         ),
         Request::Metrics { id } => {
             motro_obs::window::global().roll_if_due();
-            let text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+            let mut text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
+            // Per-user cost series carry a dynamic `user` label, which
+            // the static registry can't hold; the ledger renders its
+            // own exposition block (empty string when no one has been
+            // charged, keeping the default output byte-identical).
+            text.push_str(&motro_obs::prof::ledger().prometheus());
             wire::metrics_text(id, fe.auth_epoch(), &text)
         }
+        Request::Prof { id } => {
+            let agg = motro_obs::prof::global();
+            agg.roll_if_due();
+            let report = agg.to_json().parse::<Value>().unwrap_or(Value::Null);
+            wire::prof_reply(id, fe.auth_epoch(), ctx.prof, report)
+        }
+        Request::Top { id, limit } => wire::top_reply(
+            id,
+            fe.auth_epoch(),
+            ctx.prof,
+            &motro_obs::prof::ledger().top(limit),
+        ),
         // The worker loop owns the profile session (it also feeds the
         // trace store); here a profile request is just its query. The
         // worker wraps the reply with the finished span tree.

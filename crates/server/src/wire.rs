@@ -23,6 +23,8 @@
 //! | `trace` | `id`, `trace_id` | fetch one retained trace by id |
 //! | `traces` | `id` [, `limit`] | list retained traces, newest first |
 //! | `slow` | `id` | the slow-query log, newest first |
+//! | `prof` | `id` | the continuous-profile aggregate report |
+//! | `top` | `id` [, `limit`] | per-user cost ledger, costliest first |
 //! | `ping` | `id` | liveness |
 //!
 //! Any request frame may additionally carry an **optional** `trace`
@@ -34,7 +36,7 @@
 //!
 //! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
 //! `state`, `stats`, `metrics`, `profile`, `explain`, `trace`,
-//! `traces`, `slow`, `pong`, and
+//! `traces`, `slow`, `prof`, `top`, `pong`, and
 //! `error` (with a machine-readable `code`). Every data-bearing reply carries the
 //! authorization `epoch` it was computed under, so a client — or a
 //! soundness test — can correlate an answer with the grant state that
@@ -127,6 +129,12 @@ pub enum Request {
     Traces { id: u64, limit: usize },
     /// The slow-query log, newest first.
     Slow { id: u64 },
+    /// The continuous-profile aggregate: cumulative and per-window
+    /// stage statistics from every profiled request.
+    Prof { id: u64 },
+    /// The per-user cost ledger, costliest principals first
+    /// (`limit` 0 = all).
+    Top { id: u64, limit: usize },
     /// Liveness probe.
     Ping { id: u64 },
 }
@@ -150,6 +158,8 @@ impl Request {
             | Request::Trace { id, .. }
             | Request::Traces { id, .. }
             | Request::Slow { id }
+            | Request::Prof { id }
+            | Request::Top { id, .. }
             | Request::Ping { id } => Some(*id),
         }
     }
@@ -347,6 +357,11 @@ pub fn parse_frame(line: &str) -> Result<(Request, Option<TraceContext>), FrameE
             limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
         }),
         "slow" => Ok(Request::Slow { id: need_id()? }),
+        "prof" => Ok(Request::Prof { id: need_id()? }),
+        "top" => Ok(Request::Top {
+            id: need_id()?,
+            limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
+        }),
         "ping" => Ok(Request::Ping { id: need_id()? }),
         other => Err(FrameError::bad_request(
             id,
@@ -673,6 +688,7 @@ pub fn slow_log(id: u64, epoch: u64, entries: &[crate::server::SlowQuery]) -> Va
                 ("principal", Value::from(e.principal.as_str())),
                 ("stmt", Value::from(e.stmt.as_str())),
                 ("duration_ns", Value::from(e.duration_ns)),
+                ("alloc_bytes", Value::from(e.alloc_bytes)),
             ];
             if let Some(tid) = e.trace_id {
                 pairs.push(("trace_id", Value::from(tracectx::trace_id_hex(tid))));
@@ -685,6 +701,50 @@ pub fn slow_log(id: u64, epoch: u64, entries: &[crate::server::SlowQuery]) -> Va
         ("id", Value::from(id)),
         ("epoch", Value::from(epoch)),
         ("entries", Value::Array(rows)),
+    ])
+}
+
+/// `prof` — the continuous-profile aggregate. `enabled` says whether
+/// the server runs with `--prof` (a disabled server still answers, so
+/// clients can tell "no data yet" from "not profiling"); `report` is
+/// the parsed [`motro_obs::prof::Aggregator::to_json`] tree
+/// (cumulative stage stats plus retained windows).
+pub fn prof_reply(id: u64, epoch: u64, enabled: bool, report: Value) -> Value {
+    obj(vec![
+        ("type", Value::from("prof")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("enabled", Value::from(enabled)),
+        ("report", report),
+    ])
+}
+
+/// `top` — the per-user cost ledger, costliest (by wall-ns) first.
+pub fn top_reply(
+    id: u64,
+    epoch: u64,
+    enabled: bool,
+    users: &[(String, motro_obs::prof::UserCost)],
+) -> Value {
+    let rows = users
+        .iter()
+        .map(|(user, c)| {
+            obj(vec![
+                ("user", Value::from(user.as_str())),
+                ("requests", Value::from(c.requests)),
+                ("wall_ns", Value::from(c.wall_ns)),
+                ("alloc_bytes", Value::from(c.alloc_bytes)),
+                ("cells_masked", Value::from(c.cells_masked)),
+                ("cache_hits", Value::from(c.cache_hits)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("type", Value::from("top")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("enabled", Value::from(enabled)),
+        ("users", Value::Array(rows)),
     ])
 }
 
@@ -882,6 +942,54 @@ mod tests {
     }
 
     #[test]
+    fn prof_and_top_requests_parse_and_replies_render() {
+        assert_eq!(
+            parse_request(r#"{"type":"prof","id":12}"#).unwrap(),
+            Request::Prof { id: 12 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"prof"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"top","id":13}"#).unwrap(),
+            Request::Top { id: 13, limit: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"top","id":13,"limit":5}"#).unwrap(),
+            Request::Top { id: 13, limit: 5 }
+        );
+
+        let back: Value = prof_reply(12, 3, true, Value::Null)
+            .to_string()
+            .parse()
+            .unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("prof"));
+        assert_eq!(back.get("enabled").and_then(Value::as_bool), Some(true));
+        assert!(back.get("report").is_some());
+
+        let users = vec![(
+            "Brown".to_owned(),
+            motro_obs::prof::UserCost {
+                requests: 4,
+                wall_ns: 9000,
+                alloc_bytes: 512,
+                cells_masked: 6,
+                cache_hits: 2,
+            },
+        )];
+        let back: Value = top_reply(13, 3, true, &users).to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("top"));
+        let first = &back.get("users").and_then(Value::as_array).unwrap()[0];
+        assert_eq!(first.get("user").and_then(Value::as_str), Some("Brown"));
+        assert_eq!(first.get("requests").and_then(Value::as_u64), Some(4));
+        assert_eq!(first.get("wall_ns").and_then(Value::as_u64), Some(9000));
+        assert_eq!(first.get("alloc_bytes").and_then(Value::as_u64), Some(512));
+        assert_eq!(first.get("cells_masked").and_then(Value::as_u64), Some(6));
+        assert_eq!(first.get("cache_hits").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
     fn frame_trace_context_is_optional_and_round_trips() {
         // Old client: no trace field at all — parses exactly as before.
         let (req, ctx) =
@@ -944,6 +1052,8 @@ mod tests {
                 stage: "server.retrieve".to_owned(),
                 span_id: 1,
                 duration_ns: 1234,
+                alloc_bytes: 0,
+                allocs: 0,
                 fields: vec![("trace_id".to_owned(), "beef".to_owned())],
                 children: Vec::new(),
             },

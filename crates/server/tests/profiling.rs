@@ -1,0 +1,330 @@
+//! Continuous profiling end-to-end: allocation accounting, the
+//! `/debug/flame` collapsed-stack and `/debug/flame.svg` HTTP views,
+//! per-user cost attribution (`top`) checked against a journal-replay
+//! oracle, and feature-off inertness for pre-profiling clients.
+//!
+//! The aggregator, ledger, metrics registry, and allocation-counting
+//! switch are process globals shared by every test in this binary, so
+//! each test takes [`guard`] and resets what it depends on.
+
+use motro_authz::core::fixtures;
+use motro_authz::{Frontend, SharedFrontend};
+use motro_server::{journal, Client, JournalConfig, MetricsServer, Server, ServerConfig};
+use serde_json::Value;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// Attribution needs the wrapper installed as the global allocator —
+/// exactly what `motro-serve` and `loadgen` do.
+#[global_allocator]
+static ALLOC: motro_obs::alloc::CountingAlloc = motro_obs::alloc::CountingAlloc::system();
+
+/// Serializes the tests (shared aggregator/ledger/counting switch).
+fn guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<parking_lot::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| parking_lot::Mutex::new(())).lock()
+}
+
+/// The paper database with PSA (Acme projects) granted to Brown and
+/// ELP granted to Klein, so two principals can drive distinct traffic.
+fn frontend() -> SharedFrontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+         permit PSA to Brown;
+         view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE);
+         permit ELP to Klein",
+    )
+    .unwrap();
+    SharedFrontend::new(fe)
+}
+
+const Q: &str = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
+const Q2: &str = "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)";
+
+fn prof_config() -> ServerConfig {
+    ServerConfig {
+        prof: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motro-profiling-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("audit.jsonl")
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    s.flush().unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("HTTP head");
+    (head.to_owned(), body.to_owned())
+}
+
+#[test]
+fn allocation_counting_is_gated_and_monotone() {
+    let _g = guard();
+    // Gated off: the wrapper delegates without counting.
+    motro_obs::alloc::set_counting(false);
+    let before = motro_obs::alloc::snapshot();
+    std::hint::black_box(vec![0u8; 8192]);
+    let off_delta = motro_obs::alloc::snapshot().delta_since(before);
+    assert_eq!(off_delta.bytes, 0, "counting disabled must cost nothing");
+    assert_eq!(off_delta.count, 0);
+
+    // On: this thread's allocations land in its counters, monotonically.
+    motro_obs::alloc::set_counting(true);
+    let t0 = motro_obs::alloc::snapshot();
+    std::hint::black_box(vec![0u8; 4096]);
+    let t1 = motro_obs::alloc::snapshot();
+    let d1 = t1.delta_since(t0);
+    assert!(d1.bytes >= 4096, "4096-byte vec counted {} bytes", d1.bytes);
+    assert!(d1.count >= 1);
+    std::hint::black_box(String::from("x").repeat(1024));
+    let t2 = motro_obs::alloc::snapshot();
+    assert!(t2.bytes >= t1.bytes && t1.bytes >= t0.bytes, "monotone");
+    assert!(t2.count > t1.count);
+    motro_obs::alloc::set_counting(false);
+}
+
+#[test]
+fn flame_endpoints_serve_collapsed_stacks_and_svg_agreeing_with_the_histogram() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    motro_obs::prof::global().reset();
+    motro_obs::prof::ledger().reset();
+
+    let server = Server::bind("127.0.0.1:0", frontend(), prof_config()).unwrap();
+    let metrics = MetricsServer::bind("127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+
+    let hist = motro_obs::histogram!("server.request_ns");
+    let (count0, sum0) = (hist.count(), hist.sum_ns());
+    const N: u64 = 12;
+    for _ in 0..N {
+        c.retrieve(Q).unwrap();
+    }
+    let (count1, sum1) = (hist.count(), hist.sum_ns());
+    assert_eq!(count1 - count0, N, "only the retrieves hit the worker");
+
+    // Collapsed stacks: every line is `path<SPACE>value`, frames split
+    // on `;`, values are self-ns that re-fold to the inclusive totals.
+    let (head, flame) = http_get(metrics.local_addr(), "/debug/flame");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        !flame.trim().is_empty(),
+        "no collapsed output after {N} folds"
+    );
+    let mut total_self = 0u64;
+    let mut root_invocations_seen = false;
+    for line in flame.lines() {
+        let (path, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(!path.is_empty());
+        for frame in path.split(';') {
+            assert!(!frame.is_empty(), "empty frame in {path:?}");
+            assert!(
+                !frame.contains(char::is_whitespace),
+                "unsanitized frame {frame:?}"
+            );
+        }
+        total_self += value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad value {line:?}"));
+        if path == "retrieve" {
+            root_invocations_seen = true;
+        }
+    }
+    assert!(root_invocations_seen, "root frame missing: {flame}");
+
+    // The re-folded total equals the profiled root wall time, which the
+    // request-latency histogram also observed (the span opens slightly
+    // before the profile session, so the histogram reads a bit higher).
+    let hist_sum = sum1 - sum0;
+    assert!(
+        total_self <= hist_sum,
+        "collapsed total {total_self}ns exceeds histogram sum {hist_sum}ns"
+    );
+    assert!(
+        (total_self as f64) >= 0.2 * hist_sum as f64,
+        "collapsed total {total_self}ns implausibly far below histogram sum {hist_sum}ns"
+    );
+
+    // `?alloc` switches the value to allocated bytes; this binary runs
+    // the counting allocator, so the profiled requests counted bytes.
+    let (_, alloc_flame) = http_get(metrics.local_addr(), "/debug/flame?alloc");
+    let alloc_total: u64 = alloc_flame
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<u64>().unwrap())
+        .sum();
+    assert!(alloc_total > 0, "no allocation attributed: {alloc_flame}");
+
+    // The SVG is served with the right content type and is well formed
+    // enough for a browser: one root <svg>, matching rect/title pairs.
+    let (svg_head, svg) = http_get(metrics.local_addr(), "/debug/flame.svg");
+    assert!(svg_head.starts_with("HTTP/1.1 200 OK"), "{svg_head}");
+    assert!(svg_head.contains("image/svg+xml"), "{svg_head}");
+    assert!(svg.starts_with("<?xml"), "{}", &svg[..svg.len().min(120)]);
+    assert!(svg.contains("<svg "), "no <svg> root: {svg}");
+    assert!(svg.trim_end().ends_with("</svg>"));
+    assert!(svg.matches("<rect").count() >= 1, "no rects: {svg}");
+    assert_eq!(
+        svg.matches("<title>").count(),
+        svg.matches("</title>").count(),
+        "unbalanced titles"
+    );
+    drop(metrics);
+    motro_obs::alloc::set_counting(false);
+}
+
+#[test]
+fn top_ledger_agrees_with_a_journal_replay_oracle() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    motro_obs::prof::global().reset();
+    motro_obs::prof::ledger().reset();
+
+    let path = tmp("oracle");
+    let config = ServerConfig {
+        prof: true,
+        journal: Some(JournalConfig::new(path.clone())),
+        slow_query_ns: Some(0),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", frontend(), config).unwrap();
+    let mut brown = Client::connect(server.local_addr(), "Brown").unwrap();
+    let mut klein = Client::connect(server.local_addr(), "Klein").unwrap();
+
+    // Brown: 5 retrieves of one statement (1 miss + 4 cache hits).
+    for _ in 0..5 {
+        brown.retrieve(Q).unwrap();
+    }
+    // Klein: 3 retrieves (1 miss + 2 hits).
+    for _ in 0..3 {
+        klein.retrieve(Q2).unwrap();
+    }
+
+    let top = brown.top(0).unwrap();
+    assert!(top.enabled);
+    let row = |user: &str| {
+        top.users
+            .iter()
+            .find(|u| u.user == user)
+            .unwrap_or_else(|| panic!("{user} missing from top: {top:?}"))
+    };
+
+    // Satellite: with the counting allocator live, slow-log entries
+    // carry the request's allocation footprint.
+    let slow = brown.slow_queries().unwrap();
+    assert!(!slow.is_empty());
+    assert!(
+        slow.iter().all(|e| e.alloc_bytes > 0),
+        "slow entries missing alloc bytes: {slow:?}"
+    );
+
+    // The per-user series join the exposition and still validate.
+    let text = brown.metrics_text().unwrap();
+    let names = motro_obs::prom::validate(&text).expect("exposition with ledger must validate");
+    assert!(
+        names.iter().any(|n| n.starts_with("motro_user_cost_")),
+        "user cost series missing: {names:?}"
+    );
+    assert!(text.contains("user=\"Brown\""), "{text}");
+
+    // Oracle: replay the journal's query records and count per
+    // principal — total requests and cache hits must match the ledger.
+    drop(server); // flush + close the live segment
+    let files = journal::segments(&path); // rotated segments then live
+    let mut journaled: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
+    for file in files {
+        for line in std::fs::read_to_string(&file).unwrap().lines() {
+            let v: Value = line.parse().unwrap();
+            if v.get("t").and_then(Value::as_str) != Some("query") {
+                continue;
+            }
+            let principal = v
+                .get("principal")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_owned();
+            let cached = v.get("cached").and_then(Value::as_bool) == Some(true);
+            let e = journaled.entry(principal).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(cached);
+        }
+    }
+    assert_eq!(journaled.get("Brown"), Some(&(5, 4)), "{journaled:?}");
+    assert_eq!(journaled.get("Klein"), Some(&(3, 2)), "{journaled:?}");
+    for (user, (requests, hits)) in &journaled {
+        let r = row(user);
+        assert_eq!(r.requests, *requests, "{user} request count");
+        assert_eq!(r.cache_hits, *hits, "{user} cache hits");
+        assert!(r.wall_ns > 0, "{user} charged no wall time");
+        assert!(r.alloc_bytes > 0, "{user} charged no allocation");
+    }
+    // Costliest-first: the listing is sorted by cumulative wall-ns.
+    let walls: Vec<u64> = top.users.iter().map(|u| u.wall_ns).collect();
+    assert!(walls.windows(2).all(|w| w[0] >= w[1]), "{walls:?}");
+    motro_obs::alloc::set_counting(false);
+}
+
+#[test]
+fn profiling_off_is_inert_for_old_clients() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    motro_obs::prof::global().reset();
+    motro_obs::prof::ledger().reset();
+    motro_obs::alloc::set_counting(false);
+
+    let server = Server::bind("127.0.0.1:0", frontend(), ServerConfig::default()).unwrap();
+    let folds_before = motro_obs::prof::global().folds();
+
+    // A pre-profiling client speaking raw frames sees byte-compatible
+    // replies: no new fields on rows, no counting, no ledger charges.
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_nodelay(true).unwrap();
+    writeln!(s, r#"{{"type":"hello","user":"Brown"}}"#).unwrap();
+    writeln!(s, r#"{{"type":"retrieve","id":1,"stmt":"{Q}"}}"#).unwrap();
+    s.flush().unwrap();
+    let mut reader = std::io::BufReader::new(s);
+    let mut read_line = || {
+        use std::io::BufRead as _;
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim().parse::<Value>().unwrap()
+    };
+    let welcome = read_line();
+    assert_eq!(welcome.get("type").and_then(Value::as_str), Some("welcome"));
+    let rows = read_line();
+    assert_eq!(rows.get("type").and_then(Value::as_str), Some("rows"));
+    assert!(rows.get("alloc_bytes").is_none(), "{rows}");
+
+    assert_eq!(
+        motro_obs::prof::global().folds(),
+        folds_before,
+        "a prof-off server must not fold"
+    );
+    assert!(motro_obs::prof::ledger().is_empty(), "nothing charged");
+    assert!(!motro_obs::alloc::counting(), "counting stays off");
+
+    // New clients still get answers — flagged disabled, with no data.
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    let prof = c.prof().unwrap();
+    assert!(!prof.enabled);
+    let top = c.top(0).unwrap();
+    assert!(!top.enabled);
+    assert!(top.users.is_empty(), "{top:?}");
+
+    // And the exposition carries no per-user series.
+    let text = c.metrics_text().unwrap();
+    assert!(!text.contains("motro_user_cost_"), "{text}");
+}

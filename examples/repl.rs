@@ -26,6 +26,11 @@ use motro_authz::{Frontend, SharedFrontend};
 use motro_server::{Client, QueryReply, Rows, Server, ServerConfig};
 use std::io::{BufRead, Write};
 
+/// The `serve` demo enables profiling; installing the counting
+/// allocator lets `top`/`flame` show real allocation bytes.
+#[global_allocator]
+static ALLOC: motro_obs::alloc::CountingAlloc = motro_obs::alloc::CountingAlloc::system();
+
 fn paper_frontend() -> Frontend {
     let mut fe = Frontend::with_database(fixtures::paper_database());
     for v in [
@@ -68,6 +73,11 @@ const HELP: &str = "commands:
                                         by hex id, by slow-log index #N, or the
                                         session's most recent traced request
   slow                                  (client sessions) slow-query log with trace ids
+  top [N]                               (client sessions) per-user cost ledger, costliest
+                                        first: requests, wall time, alloc bytes,
+                                        cells masked, cache hits
+  flame [N]                             (client sessions) top-N hottest stage paths from
+                                        the continuous profile (default 10)
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -93,11 +103,13 @@ fn main() {
             continue;
         }
         if let Some(rest) = input.strip_prefix("serve ") {
-            // Repl servers trace everything: a demo wants `trace` /
-            // `traces` / `slow` to have something to show.
+            // Repl servers trace and profile everything: a demo wants
+            // `trace` / `traces` / `slow` / `top` / `flame` to have
+            // something to show.
             let config = ServerConfig {
                 trace_store: 256,
                 trace_sample: 1.0,
+                prof: true,
                 ..ServerConfig::default()
             };
             match Server::bind(rest.trim(), SharedFrontend::new(fe.clone()), config) {
@@ -273,6 +285,83 @@ fn client_repl(addr: &str, user: &str) {
                         continue;
                     }
                 }
+            }
+            "top" => {
+                let limit = input
+                    .strip_prefix("top")
+                    .unwrap_or("")
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or(0);
+                client.top(limit).map(|t| {
+                    if !t.enabled {
+                        return "profiling is off (start the server with --prof)".to_owned();
+                    }
+                    if t.users.is_empty() {
+                        return "no requests charged yet".to_owned();
+                    }
+                    let mut out = String::from(
+                        "user                requests   wall_ms   alloc_kb  masked  cache_hits",
+                    );
+                    for u in &t.users {
+                        out.push_str(&format!(
+                            "\n{:<20}{:>8}{:>10}{:>11}{:>8}{:>12}",
+                            u.user,
+                            u.requests,
+                            u.wall_ns / 1_000_000,
+                            u.alloc_bytes / 1024,
+                            u.cells_masked,
+                            u.cache_hits
+                        ));
+                    }
+                    out
+                })
+            }
+            "flame" => {
+                let limit = input
+                    .strip_prefix("flame")
+                    .unwrap_or("")
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or(10);
+                client.prof().map(|p| {
+                    if !p.enabled {
+                        return "profiling is off (start the server with --prof)".to_owned();
+                    }
+                    let mut stages: Vec<(String, u64, u64, u64)> = p
+                        .report
+                        .get("stages")
+                        .and_then(serde_json::Value::as_array)
+                        .map(|list| {
+                            list.iter()
+                                .filter_map(|s| {
+                                    Some((
+                                        s.get("path")?.as_str()?.to_owned(),
+                                        s.get("self_ns")?.as_u64()?,
+                                        s.get("invocations")?.as_u64()?,
+                                        s.get("alloc_bytes")?.as_u64()?,
+                                    ))
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if stages.is_empty() {
+                        return "no profiles folded yet".to_owned();
+                    }
+                    stages.sort_by_key(|s| std::cmp::Reverse(s.1));
+                    let mut out =
+                        format!("hottest stage paths by self time ({} total):", stages.len());
+                    for (path, self_ns, inv, bytes) in stages.into_iter().take(limit.max(1)) {
+                        out.push_str(&format!(
+                            "\n  {:>9}us self  x{:<7} {:>8}B  {}",
+                            self_ns / 1_000,
+                            inv,
+                            bytes,
+                            path
+                        ));
+                    }
+                    out
+                })
             }
             "slow" => client.slow_queries().map(|entries| {
                 last_slow = entries.iter().map(|e| e.trace_id.clone()).collect();
