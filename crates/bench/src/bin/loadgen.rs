@@ -15,6 +15,7 @@
 //!         [--assert-retention PCT]
 //!         [--trace-report FILE] [--assert-trace-overhead PCT]
 //!         [--prof-report FILE] [--assert-prof-overhead PCT]
+//!         [--insight-report FILE] [--assert-insight-overhead PCT]
 //! ```
 //!
 //! `--workers` sizes the partitioned mask-pipeline executor inside each
@@ -63,6 +64,14 @@
 //! per-user cost ledger — reporting the smallest per-pair p50 ratio
 //! plus collapsed-stack and ledger sanity checks.
 //! `--assert-prof-overhead PCT` is the CI guardrail.
+//!
+//! With `--insight-report`, additionally measures the cost of the
+//! authorization-analytics layer (DESIGN.md §6h) the same way: five
+//! interleaved pairs of insight-off/insight-on runs — the on side
+//! folds every request's mask outcome and R2 tally into the
+//! per-(principal, views, relations) rollups — reporting the smallest
+//! per-pair p50 ratio plus a rollup-count sanity check.
+//! `--assert-insight-overhead PCT` is the CI guardrail.
 
 use motro_authz::{Frontend, SharedFrontend};
 use motro_bench::{ScaledWorld, WorldParams};
@@ -97,6 +106,8 @@ struct Args {
     assert_trace_overhead: Option<f64>,
     prof_report: Option<String>,
     assert_prof_overhead: Option<f64>,
+    insight_report: Option<String>,
+    assert_insight_overhead: Option<f64>,
 }
 
 impl Default for Args {
@@ -126,6 +137,8 @@ impl Default for Args {
             assert_trace_overhead: None,
             prof_report: None,
             assert_prof_overhead: None,
+            insight_report: None,
+            assert_insight_overhead: None,
         }
     }
 }
@@ -190,6 +203,14 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--insight-report" => a.insight_report = Some(it.next().unwrap_or_else(|| usage())),
+            "--assert-insight-overhead" => {
+                a.assert_insight_overhead = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -202,9 +223,35 @@ fn usage() -> ! {
          [--views N] [--users N] [--grants N] [--workers N] [--seed S] [--out FILE] \
          [--obs-report FILE] [--assert-overhead PCT] [--churn N] [--churn-out FILE] \
          [--churn-journal FILE] [--assert-retention PCT] [--trace-report FILE] \
-         [--assert-trace-overhead PCT] [--prof-report FILE] [--assert-prof-overhead PCT]"
+         [--assert-trace-overhead PCT] [--prof-report FILE] [--assert-prof-overhead PCT] \
+         [--insight-report FILE] [--assert-insight-overhead PCT]"
     );
     std::process::exit(2);
+}
+
+/// Per-run server shape for [`run`]: which optional subsystems the
+/// measured server carries. Defaults to the bare configuration every
+/// overhead experiment uses as its baseline — cache on, no journal,
+/// no tracing, no profiling, no insight — so each experiment's "on"
+/// side flips exactly the subsystem it measures.
+struct RunConfig {
+    cache_capacity: usize,
+    journal: Option<JournalConfig>,
+    trace: Option<(usize, f64)>,
+    prof: bool,
+    insight: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            cache_capacity: 1024,
+            journal: None,
+            trace: None,
+            prof: false,
+            insight: false,
+        }
+    }
 }
 
 /// One measured run: every client issues `requests` identical
@@ -214,25 +261,23 @@ fn run(
     world: &ScaledWorld,
     stmts: &[String],
     args: &Args,
-    cache_capacity: usize,
-    journal: Option<JournalConfig>,
-    trace: Option<(usize, f64)>,
-    prof: bool,
+    config: RunConfig,
 ) -> (Vec<u64>, f64, u64, u64) {
     let mut fe = Frontend::with_database(world.db.clone());
     *fe.auth_store_mut() = world.store.clone();
     fe.set_exec_config(motro_authz::rel::ExecConfig::with_workers(args.workers));
-    let (trace_store, trace_sample) = trace.unwrap_or((0, 0.0));
+    let (trace_store, trace_sample) = config.trace.unwrap_or((0, 0.0));
     let server = Server::bind(
         "127.0.0.1:0",
         SharedFrontend::new(fe),
         ServerConfig {
             workers: args.clients.clamp(1, 8),
-            cache_capacity,
-            journal,
+            cache_capacity: config.cache_capacity,
+            journal: config.journal,
             trace_store,
             trace_sample,
-            prof,
+            prof: config.prof,
+            insight: config.insight,
             ..ServerConfig::default()
         },
     )
@@ -240,12 +285,12 @@ fn run(
     let addr = server.local_addr();
 
     let started = Instant::now();
+    let client_sample = config.trace.map(|(_, p)| p);
     let handles: Vec<_> = (0..args.clients)
         .map(|c| {
             let user = world.users[c % world.users.len()].clone();
             let stmt = stmts[c % stmts.len()].clone();
             let requests = args.requests;
-            let client_sample = trace.map(|(_, p)| p);
             std::thread::spawn(move || {
                 let mut client = Client::connect(addr, &user).expect("connect");
                 client.set_trace(client_sample);
@@ -382,44 +427,29 @@ fn derived_percentiles(parsed: &Value) -> Map<String, Value> {
     out
 }
 
-/// Measure the observability layer's cost: interleaved disabled/enabled
-/// run pairs over the same world and statements. The enabled runs carry
-/// the full telemetry load — metrics, windowing, and an audit journal
-/// (fsync off) — so the measured overhead is what production pays.
-/// Returns the report map and the overhead percentage (smallest
-/// per-pair p50 ratio).
-fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
-    const PAIRS: usize = 3;
-    motro_obs::window::global().configure(motro_obs::window::WindowConfig {
-        window: std::time::Duration::from_secs(1),
-        retention: 6,
-    });
-    let journal_path = std::env::temp_dir().join(format!(
-        "motro-loadgen-{}-journal.jsonl",
-        std::process::id()
-    ));
+/// The shared skeleton of every paired-overhead experiment:
+/// `n` interleaved off/on run pairs over the same world, where `off`
+/// produces a baseline run's latencies and `on` the instrumented
+/// configuration's. Reports the smallest per-pair p50 ratio — the
+/// minimum damps scheduler noise, since no real overhead can make a
+/// pair *faster*. Returns the per-pair report entries and the
+/// overhead percentage.
+fn overhead_pairs(
+    label: &str,
+    n: usize,
+    mut off: impl FnMut() -> Vec<u64>,
+    mut on: impl FnMut() -> Vec<u64>,
+) -> (Vec<Value>, f64) {
     let mut pairs = Vec::new();
     let mut best_ratio = f64::INFINITY;
-    for i in 0..PAIRS {
-        motro_obs::set_enabled(false);
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
-        motro_obs::set_enabled(true);
-        let _ = std::fs::remove_file(&journal_path);
-        let (lat_on, _, _, _) = run(
-            world,
-            stmts,
-            args,
-            1024,
-            Some(JournalConfig::new(journal_path.clone())),
-            None,
-            false,
-        );
-        motro_obs::window::global().force_roll();
+    for i in 0..n {
+        let lat_off = off();
+        let lat_on = on();
         let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
         let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
         best_ratio = best_ratio.min(ratio);
         eprintln!(
-            "  obs pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
+            "  {label} pair {}/{n}: p50 off {}us, on {}us (ratio {ratio:.3})",
             i + 1,
             p50_off / 1_000,
             p50_on / 1_000
@@ -438,7 +468,48 @@ fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Stri
         );
         pairs.push(Value::Object(pair));
     }
-    let overhead_pct = (best_ratio - 1.0) * 100.0;
+    (pairs, (best_ratio - 1.0) * 100.0)
+}
+
+/// Measure the observability layer's cost: interleaved disabled/enabled
+/// run pairs over the same world and statements. The enabled runs carry
+/// the full telemetry load — metrics, windowing, and an audit journal
+/// (fsync off) — so the measured overhead is what production pays.
+/// Returns the report map and the overhead percentage (smallest
+/// per-pair p50 ratio).
+fn obs_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<String, Value>, f64) {
+    const PAIRS: usize = 3;
+    motro_obs::window::global().configure(motro_obs::window::WindowConfig {
+        window: std::time::Duration::from_secs(1),
+        retention: 6,
+    });
+    let journal_path = std::env::temp_dir().join(format!(
+        "motro-loadgen-{}-journal.jsonl",
+        std::process::id()
+    ));
+    let (pairs, overhead_pct) = overhead_pairs(
+        "obs",
+        PAIRS,
+        || {
+            motro_obs::set_enabled(false);
+            run(world, stmts, args, RunConfig::default()).0
+        },
+        || {
+            motro_obs::set_enabled(true);
+            let _ = std::fs::remove_file(&journal_path);
+            let (lat, _, _, _) = run(
+                world,
+                stmts,
+                args,
+                RunConfig {
+                    journal: Some(JournalConfig::new(journal_path.clone())),
+                    ..RunConfig::default()
+                },
+            );
+            motro_obs::window::global().force_roll();
+            lat
+        },
+    );
 
     // The enabled runs populated the registry; the snapshot must be
     // well-formed JSON and carry the pipeline histograms and cache
@@ -500,35 +571,23 @@ fn trace_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<St
     const PAIRS: usize = 5;
     const STORE: usize = 256;
     motro_obs::set_enabled(true);
-    let mut pairs = Vec::new();
-    let mut best_ratio = f64::INFINITY;
-    for i in 0..PAIRS {
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
-        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, Some((STORE, 1.0)), false);
-        let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
-        let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
-        best_ratio = best_ratio.min(ratio);
-        eprintln!(
-            "  trace pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
-            i + 1,
-            p50_off / 1_000,
-            p50_on / 1_000
-        );
-        let mut pair = Map::new();
-        let num = |v: u64| Value::Number(Number::from(v));
-        pair.insert("off_p50_us".to_owned(), num(p50_off / 1_000));
-        pair.insert("on_p50_us".to_owned(), num(p50_on / 1_000));
-        pair.insert(
-            "off_mean_us".to_owned(),
-            num(mean_ns(&lat_off) as u64 / 1_000),
-        );
-        pair.insert(
-            "on_mean_us".to_owned(),
-            num(mean_ns(&lat_on) as u64 / 1_000),
-        );
-        pairs.push(Value::Object(pair));
-    }
-    let overhead_pct = (best_ratio - 1.0) * 100.0;
+    let (pairs, overhead_pct) = overhead_pairs(
+        "trace",
+        PAIRS,
+        || run(world, stmts, args, RunConfig::default()).0,
+        || {
+            run(
+                world,
+                stmts,
+                args,
+                RunConfig {
+                    trace: Some((STORE, 1.0)),
+                    ..RunConfig::default()
+                },
+            )
+            .0
+        },
+    );
 
     let mut report = Map::new();
     report.insert(
@@ -561,39 +620,29 @@ fn prof_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Str
     motro_obs::set_enabled(true);
     motro_obs::prof::global().reset();
     motro_obs::prof::ledger().reset();
-    let mut pairs = Vec::new();
-    let mut best_ratio = f64::INFINITY;
-    for i in 0..PAIRS {
-        // `--prof` leaves counting on after the server drops; switch it
-        // back off so the off side measures the true baseline.
-        motro_obs::alloc::set_counting(false);
-        let (lat_off, _, _, _) = run(world, stmts, args, 1024, None, None, false);
-        let (lat_on, _, _, _) = run(world, stmts, args, 1024, None, None, true);
-        let (p50_off, p50_on) = (p50_of(lat_off.clone()), p50_of(lat_on.clone()));
-        let ratio = p50_on as f64 / (p50_off as f64).max(1.0);
-        best_ratio = best_ratio.min(ratio);
-        eprintln!(
-            "  prof pair {}/{PAIRS}: p50 off {}us, on {}us (ratio {ratio:.3})",
-            i + 1,
-            p50_off / 1_000,
-            p50_on / 1_000
-        );
-        let mut pair = Map::new();
-        let num = |v: u64| Value::Number(Number::from(v));
-        pair.insert("off_p50_us".to_owned(), num(p50_off / 1_000));
-        pair.insert("on_p50_us".to_owned(), num(p50_on / 1_000));
-        pair.insert(
-            "off_mean_us".to_owned(),
-            num(mean_ns(&lat_off) as u64 / 1_000),
-        );
-        pair.insert(
-            "on_mean_us".to_owned(),
-            num(mean_ns(&lat_on) as u64 / 1_000),
-        );
-        pairs.push(Value::Object(pair));
-    }
+    let (pairs, overhead_pct) = overhead_pairs(
+        "prof",
+        PAIRS,
+        || {
+            // `--prof` leaves counting on after the server drops; switch
+            // it back off so the off side measures the true baseline.
+            motro_obs::alloc::set_counting(false);
+            run(world, stmts, args, RunConfig::default()).0
+        },
+        || {
+            run(
+                world,
+                stmts,
+                args,
+                RunConfig {
+                    prof: true,
+                    ..RunConfig::default()
+                },
+            )
+            .0
+        },
+    );
     motro_obs::alloc::set_counting(false);
-    let overhead_pct = (best_ratio - 1.0) * 100.0;
 
     // The on runs fed the global aggregate and ledger; the experiment
     // measured nothing unless both saw every on-side request.
@@ -644,6 +693,81 @@ fn prof_overhead(world: &ScaledWorld, stmts: &[String], args: &Args) -> (Map<Str
     report.insert(
         "ledger_users".to_owned(),
         Value::Number(Number::from(motro_obs::prof::ledger().len())),
+    );
+    (report, overhead_pct)
+}
+
+/// Measure the authorization-analytics layer's cost (DESIGN.md §6h):
+/// interleaved off/on run pairs, telemetry enabled on both sides so
+/// the figure isolates insight recording. The on side is the default
+/// server configuration — every retrieval's mask outcome and R2 tally
+/// folds into the per-(principal, views, relations) rollups — while
+/// the off side runs `--no-insight`. Returns the report map and the
+/// overhead percentage (smallest per-pair p50 ratio).
+fn insight_overhead(
+    world: &ScaledWorld,
+    stmts: &[String],
+    args: &Args,
+) -> (Map<String, Value>, f64) {
+    const PAIRS: usize = 5;
+    motro_obs::set_enabled(true);
+    motro_obs::insight::global().reset();
+    let (pairs, overhead_pct) = overhead_pairs(
+        "insight",
+        PAIRS,
+        || run(world, stmts, args, RunConfig::default()).0,
+        || {
+            run(
+                world,
+                stmts,
+                args,
+                RunConfig {
+                    insight: true,
+                    ..RunConfig::default()
+                },
+            )
+            .0
+        },
+    );
+
+    // The on runs fed the global rollups; the experiment measured
+    // nothing unless every on-side request was recorded.
+    let insight = motro_obs::insight::global();
+    let expected = (PAIRS * args.clients * args.requests) as u64;
+    let recorded: u64 = insight.rollups().iter().map(|(_, r)| r.requests).sum();
+    assert_eq!(
+        recorded, expected,
+        "insight rollups recorded {recorded} requests, expected {expected}"
+    );
+    assert!(
+        !insight.is_empty(),
+        "no rollups accumulated after {expected} recorded requests"
+    );
+    // The rollup view must render as valid JSON — it feeds the
+    // `insight` wire reply and `/debug/insight` verbatim.
+    let parsed: Value = insight
+        .rollups_json()
+        .parse()
+        .expect("rollups_json must parse as JSON");
+    assert!(parsed.as_array().is_some_and(|a| !a.is_empty()));
+
+    let mut report = Map::new();
+    report.insert(
+        "experiment".to_owned(),
+        Value::String("insight_overhead".to_owned()),
+    );
+    report.insert("pairs".to_owned(), Value::Array(pairs));
+    report.insert(
+        "overhead_pct".to_owned(),
+        Value::Number(Number::from_f64(overhead_pct).unwrap_or_else(|| Number::from(0u64))),
+    );
+    report.insert(
+        "recorded_requests".to_owned(),
+        Value::Number(Number::from(recorded)),
+    );
+    report.insert(
+        "rollup_keys".to_owned(),
+        Value::Number(Number::from(insight.len())),
     );
     (report, overhead_pct)
 }
@@ -846,14 +970,22 @@ fn main() {
         args.clients, args.requests, args.relations, args.rows, args.views, args.users
     );
 
-    let (lat_u, wall_u, hits_u, misses_u) = run(&world, &stmts, &args, 0, None, None, false);
+    let (lat_u, wall_u, hits_u, misses_u) = run(
+        &world,
+        &stmts,
+        &args,
+        RunConfig {
+            cache_capacity: 0,
+            ..RunConfig::default()
+        },
+    );
     let uncached = summarize(lat_u, wall_u, hits_u, misses_u);
     eprintln!(
         "  uncached: {} req/s, p50 {}us, p99 {}us",
         uncached["throughput_rps"], uncached["p50_us"], uncached["p99_us"]
     );
 
-    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, 1024, None, None, false);
+    let (lat_c, wall_c, hits_c, misses_c) = run(&world, &stmts, &args, RunConfig::default());
     let cached = summarize(lat_c, wall_c, hits_c, misses_c);
     eprintln!(
         "  cached:   {} req/s, p50 {}us, p99 {}us ({} hits / {} misses)",
@@ -930,64 +1062,70 @@ fn main() {
 
     if let Some(path) = &args.obs_report {
         eprintln!("loadgen: measuring observability overhead");
-        let (mut report, overhead_pct) = obs_overhead(&world, &stmts, &args);
-        let bound = args.assert_overhead;
-        if let Some(b) = bound {
-            report.insert(
-                "bound_pct".to_owned(),
-                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
-            );
-        }
-        let json = Value::Object(report).to_string();
-        std::fs::write(path, &json).expect("write obs report");
-        eprintln!("  obs overhead: {overhead_pct:.2}% (report: {path})");
-        if let Some(b) = bound {
-            if overhead_pct > b {
-                eprintln!("loadgen: overhead {overhead_pct:.2}% exceeds bound {b}%");
-                std::process::exit(1);
-            }
-        }
+        let (report, overhead_pct) = obs_overhead(&world, &stmts, &args);
+        write_overhead_report("obs", path, report, overhead_pct, args.assert_overhead);
     }
 
     if let Some(path) = &args.trace_report {
         eprintln!("loadgen: measuring tracing overhead (sample 1.0)");
-        let (mut report, overhead_pct) = trace_overhead(&world, &stmts, &args);
-        let bound = args.assert_trace_overhead;
-        if let Some(b) = bound {
-            report.insert(
-                "bound_pct".to_owned(),
-                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
-            );
-        }
-        let json = Value::Object(report).to_string();
-        std::fs::write(path, &json).expect("write trace report");
-        eprintln!("  trace overhead: {overhead_pct:.2}% (report: {path})");
-        if let Some(b) = bound {
-            if overhead_pct > b {
-                eprintln!("loadgen: trace overhead {overhead_pct:.2}% exceeds bound {b}%");
-                std::process::exit(1);
-            }
-        }
+        let (report, overhead_pct) = trace_overhead(&world, &stmts, &args);
+        write_overhead_report(
+            "trace",
+            path,
+            report,
+            overhead_pct,
+            args.assert_trace_overhead,
+        );
     }
 
     if let Some(path) = &args.prof_report {
         eprintln!("loadgen: measuring continuous-profiling overhead");
-        let (mut report, overhead_pct) = prof_overhead(&world, &stmts, &args);
-        let bound = args.assert_prof_overhead;
-        if let Some(b) = bound {
-            report.insert(
-                "bound_pct".to_owned(),
-                Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
-            );
-        }
-        let json = Value::Object(report).to_string();
-        std::fs::write(path, &json).expect("write prof report");
-        eprintln!("  prof overhead: {overhead_pct:.2}% (report: {path})");
-        if let Some(b) = bound {
-            if overhead_pct > b {
-                eprintln!("loadgen: prof overhead {overhead_pct:.2}% exceeds bound {b}%");
-                std::process::exit(1);
-            }
+        let (report, overhead_pct) = prof_overhead(&world, &stmts, &args);
+        write_overhead_report(
+            "prof",
+            path,
+            report,
+            overhead_pct,
+            args.assert_prof_overhead,
+        );
+    }
+
+    if let Some(path) = &args.insight_report {
+        eprintln!("loadgen: measuring authorization-analytics overhead");
+        let (report, overhead_pct) = insight_overhead(&world, &stmts, &args);
+        write_overhead_report(
+            "insight",
+            path,
+            report,
+            overhead_pct,
+            args.assert_insight_overhead,
+        );
+    }
+}
+
+/// Finish one overhead experiment: stamp the CI bound into the report,
+/// write it, and exit non-zero when the measured overhead exceeds the
+/// bound — the shared tail of every `--*-report` flag.
+fn write_overhead_report(
+    label: &str,
+    path: &str,
+    mut report: Map<String, Value>,
+    overhead_pct: f64,
+    bound: Option<f64>,
+) {
+    if let Some(b) = bound {
+        report.insert(
+            "bound_pct".to_owned(),
+            Value::Number(Number::from_f64(b).unwrap_or_else(|| Number::from(0u64))),
+        );
+    }
+    let json = Value::Object(report).to_string();
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {label} report {path}: {e}"));
+    eprintln!("  {label} overhead: {overhead_pct:.2}% (report: {path})");
+    if let Some(b) = bound {
+        if overhead_pct > b {
+            eprintln!("loadgen: {label} overhead {overhead_pct:.2}% exceeds bound {b}%");
+            std::process::exit(1);
         }
     }
 }

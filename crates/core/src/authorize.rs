@@ -103,6 +103,12 @@ pub struct AuthTrace {
     /// plus, under [`RefinementConfig::extended_masks`], the auxiliary
     /// condition columns appended after it.
     pub mask_projection: Vec<usize>,
+    /// This request's R2 decision split across every meta-selection,
+    /// indexed `[clear, retain, modify, discard, clear_fallback]`.
+    /// Unlike [`AuthTrace::steps`] it is recorded even without decision
+    /// logging, at no per-row rendering cost.
+    #[serde(default)]
+    pub r2_tally: [u64; 5],
 }
 
 /// One meta-selection step: the predicate atom applied and what R2
@@ -283,6 +289,10 @@ impl<'a> AuthorizedEngine<'a> {
         logged: bool,
     ) -> CoreResult<(Mask, AuthTrace)> {
         let t_eval = motro_obs::start();
+        // Clean slate for this request's R2 split (the thread-local may
+        // carry counts from an earlier evaluation on this thread whose
+        // caller never collected them).
+        let _ = crate::meta_algebra::take_r2_tally();
         let scheme = self.store.scheme();
         plan.validate(scheme)?;
         let prod_schema = plan.product_schema(scheme)?;
@@ -421,6 +431,7 @@ impl<'a> AuthorizedEngine<'a> {
             steps,
             after_selection,
             mask_projection,
+            r2_tally: crate::meta_algebra::take_r2_tally(),
         };
         motro_obs::histogram!("meta.eval_ns").record_since(t_eval);
         Ok((mask, trace))
@@ -709,6 +720,59 @@ mod tests {
         assert_eq!(out.trace.candidates[0].1.len(), 1); // PSA only
         assert_eq!(out.trace.product.len(), 1);
         assert_eq!(out.trace.after_selection.len(), 1);
+    }
+
+    /// The per-request R2 tally agrees with the logged decision records
+    /// case by case, at every worker count.
+    #[test]
+    fn r2_tally_matches_logged_decisions() {
+        let (db, store) = setup();
+        let q = ConjunctiveQuery::retrieve()
+            .target("EMPLOYEE", "NAME")
+            .target("EMPLOYEE", "SALARY")
+            .where_const(AttrRef::new("EMPLOYEE", "TITLE"), CompOp::Eq, "engineer")
+            .where_attr(
+                AttrRef::new("EMPLOYEE", "NAME"),
+                CompOp::Eq,
+                AttrRef::new("ASSIGNMENT", "E_NAME"),
+            )
+            .where_attr(
+                AttrRef::new("ASSIGNMENT", "P_NO"),
+                CompOp::Eq,
+                AttrRef::new("PROJECT", "NUMBER"),
+            )
+            .where_const(AttrRef::new("PROJECT", "BUDGET"), CompOp::Gt, 300_000)
+            .build();
+        let plan = compile(&q, db.schema()).unwrap();
+        let mut oracle: Option<[u64; 5]> = None;
+        for workers in [1usize, 4] {
+            let engine = AuthorizedEngine::with_exec(
+                &db,
+                &store,
+                RefinementConfig::default(),
+                ExecConfig::with_workers(workers),
+            );
+            let (_, trace) = engine.mask_for_plan_traced("Klein", &plan).unwrap();
+            let mut from_log = [0u64; 5];
+            for step in &trace.steps {
+                for d in &step.decisions {
+                    let i = match d.case {
+                        crate::meta_algebra::R2Decision::Clear => 0,
+                        crate::meta_algebra::R2Decision::Retain => 1,
+                        crate::meta_algebra::R2Decision::Modify => 2,
+                        crate::meta_algebra::R2Decision::Discard => 3,
+                        crate::meta_algebra::R2Decision::ClearFallback => 4,
+                    };
+                    from_log[i] += 1;
+                }
+            }
+            assert_eq!(trace.r2_tally, from_log, "workers={workers}");
+            assert!(trace.r2_tally.iter().sum::<u64>() > 0);
+            match &oracle {
+                None => oracle = Some(trace.r2_tally),
+                Some(o) => assert_eq!(*o, trace.r2_tally, "workers={workers}"),
+            }
+        }
     }
 
     /// Basic (unrefined) selection still yields a sound, if less tidy,

@@ -346,32 +346,92 @@ pub fn meta_select_logged_par(
     }
     let logging = log.is_some();
     let start_var = *next_var;
-    let mut results: Vec<(Vec<MetaTuple>, Vec<DecisionRecord>)> =
+    let mut results: Vec<(Vec<MetaTuple>, Vec<DecisionRecord>, [u64; 5])> =
         exec.map_chunked(rows, parts, "meta_select", |chunk| {
+            // Isolate this chunk's R2 tally so it can be handed back to
+            // the calling thread: save whatever the executing thread had
+            // accumulated, measure the chunk's delta, then restore the
+            // prior counts (a chunk may run inline on the caller).
+            let prior = take_r2_tally();
             let mut local_log: Vec<DecisionRecord> = Vec::new();
             let log_opt = if logging { Some(&mut local_log) } else { None };
             let mut nv = start_var;
             let survivors = meta_select_logged(chunk, atom, mode, &mut nv, log_opt);
             debug_assert_eq!(nv, start_var, "four-case selection allocates no variables");
-            (survivors, local_log)
+            let delta = take_r2_tally();
+            add_r2_tally(&prior);
+            (survivors, local_log, delta)
         });
     if let Some(log) = log {
-        for (_, chunk_log) in &mut results {
+        for (_, chunk_log, _) in &mut results {
             log.append(chunk_log);
         }
     }
-    let survivors: Vec<Vec<MetaTuple>> = results.into_iter().map(|(s, _)| s).collect();
+    for (_, _, delta) in &results {
+        add_r2_tally(delta);
+    }
+    let survivors: Vec<Vec<MetaTuple>> = results.into_iter().map(|(s, _, _)| s).collect();
     dedup_merge_chunks(survivors, exec)
 }
 
+thread_local! {
+    /// Per-thread R2 decision tally, indexed
+    /// `[clear, retain, modify, discard, clear_fallback]`. The global
+    /// `meta.r2.*` counters aggregate across requests; this cell lets a
+    /// single authorization attribute its own decisions (the insight
+    /// rollups) without a lock on the hot selection path.
+    static R2_TALLY: std::cell::Cell<[u64; 5]> = const { std::cell::Cell::new([0; 5]) };
+}
+
+/// Read **and reset** the calling thread's R2 decision tally:
+/// `[clear, retain, modify, discard, clear_fallback]` counts
+/// accumulated by every meta-selection on this thread since the last
+/// take. [`meta_select_logged_par`] merges its workers' tallies back
+/// into the caller, so taking around a full mask evaluation yields the
+/// request's complete split at any worker count.
+pub fn take_r2_tally() -> [u64; 5] {
+    R2_TALLY.with(|t| t.replace([0; 5]))
+}
+
+/// Fold a tally delta into the calling thread's cell.
+fn add_r2_tally(delta: &[u64; 5]) {
+    R2_TALLY.with(|t| {
+        let mut cur = t.get();
+        for (c, d) in cur.iter_mut().zip(delta) {
+            *c += d;
+        }
+        t.set(cur);
+    });
+}
+
 fn tally(case: R2Decision) {
-    match case {
-        R2Decision::Clear => motro_obs::counter!("meta.r2.clear").inc(),
-        R2Decision::Retain => motro_obs::counter!("meta.r2.retain").inc(),
-        R2Decision::Modify => motro_obs::counter!("meta.r2.modify").inc(),
-        R2Decision::Discard => motro_obs::counter!("meta.r2.discard").inc(),
-        R2Decision::ClearFallback => motro_obs::counter!("meta.r2.clear_fallback").inc(),
-    }
+    let idx = match case {
+        R2Decision::Clear => {
+            motro_obs::counter!("meta.r2.clear").inc();
+            0
+        }
+        R2Decision::Retain => {
+            motro_obs::counter!("meta.r2.retain").inc();
+            1
+        }
+        R2Decision::Modify => {
+            motro_obs::counter!("meta.r2.modify").inc();
+            2
+        }
+        R2Decision::Discard => {
+            motro_obs::counter!("meta.r2.discard").inc();
+            3
+        }
+        R2Decision::ClearFallback => {
+            motro_obs::counter!("meta.r2.clear_fallback").inc();
+            4
+        }
+    };
+    R2_TALLY.with(|t| {
+        let mut cur = t.get();
+        cur[idx] += 1;
+        t.set(cur);
+    });
 }
 
 fn fresh(next_var: &mut VarId) -> VarId {

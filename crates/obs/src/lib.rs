@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod insight;
 pub mod log;
 pub mod metrics;
 pub mod prof;
@@ -64,6 +65,7 @@ pub mod tracestore;
 pub mod window;
 
 pub use alloc::{AllocSnapshot, CountingAlloc};
+pub use insight::{Alert, AlertRule, DriftChange, EpochDelta, Insight};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use prof::{Aggregator, FlameMetric, Ledger, StageStats, UserCost};
 pub use profile::ProfileNode;

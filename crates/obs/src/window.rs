@@ -60,6 +60,11 @@ struct Inner {
     baseline: MetricsSnapshot,
     baseline_at: Instant,
     windows: VecDeque<WindowSnapshot>,
+    /// Monotonic count of completed windows since construction (not
+    /// reset by retention or [`WindowLayer::configure`]): lets readers
+    /// detect "a new window completed since I last looked" without
+    /// comparing snapshots — the insight alert engine keys off it.
+    rolls: u64,
 }
 
 impl Inner {
@@ -90,6 +95,7 @@ impl Inner {
         }
         self.baseline = current;
         self.baseline_at = now;
+        self.rolls += 1;
     }
 }
 
@@ -109,6 +115,7 @@ impl WindowLayer {
                 baseline: registry().snapshot(),
                 baseline_at: Instant::now(),
                 windows: VecDeque::new(),
+                rolls: 0,
             }),
         }
     }
@@ -151,6 +158,14 @@ impl WindowLayer {
     /// The retained completed windows, oldest first.
     pub fn windows(&self) -> Vec<WindowSnapshot> {
         self.inner.lock().windows.iter().cloned().collect()
+    }
+
+    /// Monotonic count of windows completed since construction. Never
+    /// decreases (retention evicts snapshots, not history), so a reader
+    /// that remembers the value it last saw knows exactly how many
+    /// windows completed in between.
+    pub fn rolls(&self) -> u64 {
+        self.inner.lock().rolls
     }
 
     /// Merge every retained window into one recent-activity report.

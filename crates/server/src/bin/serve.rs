@@ -10,6 +10,7 @@
 //!             [--slow-query-ms N]
 //!             [--trace-store N] [--trace-sample P]
 //!             [--trace-mask-fraction F] [--exemplars] [--prof]
+//!             [--no-insight] [--alert-rule RULE]...
 //! ```
 //!
 //! `--workers` sizes the connection pool; `--exec-workers` sizes the
@@ -65,6 +66,17 @@
 //!   (collapsed stacks; `?alloc` for bytes) and `/debug/flame.svg`.
 //!   Per-user `motro_user_cost_*` series join the exposition.
 //!
+//! Insight (DESIGN.md §6h):
+//! - Authorization analytics are on by default: every request folds
+//!   into per-(principal, views, relations) rollups, every auth-epoch
+//!   bump records a policy-drift delta, and alert rules are evaluated
+//!   on window roll. Inspect with the `insight`/`drift`/`alerts` wire
+//!   requests, or — with `--metrics-addr` — at `/debug/insight`
+//!   (JSON) and the `motro_insight_*` Prometheus series.
+//!   `--no-insight` turns recording off; `--alert-rule RULE` replaces
+//!   the default alert set (repeatable; grammar in DESIGN.md §6h,
+//!   e.g. `'denial-spike: jump(delta(insight.errors)) >= 2 min 5'`).
+//!
 //! The metrics listener also answers `/healthz` (liveness: uptime,
 //! auth epoch) and `/readyz` (readiness: journal and materializer
 //! state; 503 when a configured subsystem has failed).
@@ -86,7 +98,8 @@ fn usage() -> ! {
          [--working-set N] [--no-materialize] [--admin USER]... [--log-format text|json] \
          [--metrics-addr ADDR] [--window-secs N] [--journal FILE] [--journal-fsync] \
          [--journal-max-bytes N] [--journal-explain] [--slow-query-ms N] [--trace-store N] \
-         [--trace-sample P] [--trace-mask-fraction F] [--exemplars] [--prof]"
+         [--trace-sample P] [--trace-mask-fraction F] [--exemplars] [--prof] \
+         [--no-insight] [--alert-rule RULE]..."
     );
     std::process::exit(2);
 }
@@ -103,6 +116,7 @@ fn main() {
     let mut journal_fsync = false;
     let mut journal_max_bytes: u64 = 0;
     let mut journal_explain = false;
+    let mut alert_rules: Vec<motro_obs::AlertRule> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -192,6 +206,17 @@ fn main() {
             }
             "--exemplars" => motro_obs::prom::set_exemplars(true),
             "--prof" => config.prof = true,
+            "--no-insight" => config.insight = false,
+            "--alert-rule" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match motro_obs::AlertRule::parse(&spec) {
+                    Ok(rule) => alert_rules.push(rule),
+                    Err(e) => {
+                        eprintln!("bad --alert-rule {spec:?}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             a if a.starts_with('-') => usage(),
             a => addr = a.to_owned(),
@@ -207,6 +232,9 @@ fn main() {
             max_bytes: journal_max_bytes,
             explain_digests: journal_explain,
         });
+    }
+    if !alert_rules.is_empty() {
+        motro_obs::insight::global().set_rules(alert_rules);
     }
     if let Some(secs) = window_secs {
         motro_obs::window::global().configure(motro_obs::window::WindowConfig {

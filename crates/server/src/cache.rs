@@ -43,15 +43,40 @@ pub struct CachedMask {
     pub permits: Vec<String>,
     /// Whether the mask grants the entire answer.
     pub full_access: bool,
+    /// The granting views: the union of the mask tuples' provenance,
+    /// sorted and deduplicated. Kept alongside the mask so cache hits
+    /// attribute to the same (principal, views) insight rollup as the
+    /// miss that built the entry.
+    pub views: Vec<String>,
+    /// The R2 decision split `[clear, retain, modify, discard,
+    /// clear_fallback]` recorded when the mask was computed; replayed
+    /// into the insight rollups on every hit.
+    pub r2: [u64; 5],
 }
 
 impl CachedMask {
-    /// Capture the meta side of an access outcome.
-    pub fn new(mask: Mask, permits: &[PermitStatement], full_access: bool) -> CachedMask {
+    /// Capture the meta side of an access outcome. `r2` is the
+    /// original evaluation's decision split
+    /// ([`motro_core::AuthTrace::r2_tally`]).
+    pub fn new(
+        mask: Mask,
+        permits: &[PermitStatement],
+        full_access: bool,
+        r2: [u64; 5],
+    ) -> CachedMask {
+        let mut views: Vec<String> = mask
+            .tuples
+            .iter()
+            .flat_map(|t| t.provenance.iter().cloned())
+            .collect();
+        views.sort_unstable();
+        views.dedup();
         CachedMask {
             mask,
             permits: permits.iter().map(|p| p.to_string()).collect(),
             full_access,
+            views,
+            r2,
         }
     }
 }
@@ -432,7 +457,12 @@ mod tests {
 
     fn cached_mask(fe: &Frontend, user: &str, plan: &CanonicalPlan) -> Arc<CachedMask> {
         let out = fe.engine().retrieve_plan(user, plan).unwrap();
-        Arc::new(CachedMask::new(out.mask, &out.permits, out.full_access))
+        Arc::new(CachedMask::new(
+            out.mask,
+            &out.permits,
+            out.full_access,
+            out.trace.r2_tally,
+        ))
     }
 
     fn deps_for(fe: &Frontend, user: &str, plan: &CanonicalPlan) -> DepSet {

@@ -598,6 +598,61 @@ impl Client {
         })
     }
 
+    /// The authorization-analytics rollups: per-(principal, views,
+    /// relations) request, cell, and R2-decision totals.
+    pub fn insight(&mut self) -> Result<InsightReply, ClientError> {
+        let reply = self.call("insight", "")?;
+        Ok(InsightReply {
+            epoch: field_u64(&reply, "epoch")?,
+            enabled: reply
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            rollups: reply.get("rollups").cloned().unwrap_or(Value::Null),
+        })
+    }
+
+    /// The policy-drift log, newest first (`limit` 0 = all retained):
+    /// one entry per auth-epoch bump with the gained/lost
+    /// (user, view) visibility pairs.
+    pub fn drift(&mut self, limit: usize) -> Result<DriftReply, ClientError> {
+        let reply = self.call("drift", &format!(r#""limit":{limit}"#))?;
+        Ok(DriftReply {
+            epoch: field_u64(&reply, "epoch")?,
+            enabled: reply
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            drift: reply.get("drift").cloned().unwrap_or(Value::Null),
+        })
+    }
+
+    /// Fired alerts plus the active rule set, newest first
+    /// (`limit` 0 = all retained).
+    pub fn alerts(&mut self, limit: usize) -> Result<AlertsReply, ClientError> {
+        let reply = self.call("alerts", &format!(r#""limit":{limit}"#))?;
+        let payload = reply.get("alerts").cloned().unwrap_or(Value::Null);
+        Ok(AlertsReply {
+            epoch: field_u64(&reply, "epoch")?,
+            enabled: reply
+                .get("enabled")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            fired: payload.get("fired").and_then(Value::as_u64).unwrap_or(0),
+            rules: payload
+                .get("rules")
+                .and_then(Value::as_array)
+                .map(|rs| {
+                    rs.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            alerts: payload.get("alerts").cloned().unwrap_or(Value::Null),
+        })
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), ClientError> {
         self.call("ping", "")?;
@@ -690,6 +745,44 @@ pub struct TopReply {
     pub enabled: bool,
     /// Costliest principals first (by cumulative wall-ns).
     pub users: Vec<UserCostRow>,
+}
+
+/// The reply to [`Client::insight`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsightReply {
+    pub epoch: u64,
+    /// Is the server recording insight events?
+    pub enabled: bool,
+    /// The rollup array
+    /// ([`motro_obs::insight::Insight::rollups_json`]): one object per
+    /// (principal, views, relations) key.
+    pub rollups: Value,
+}
+
+/// The reply to [`Client::drift`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReply {
+    pub epoch: u64,
+    /// Is the server recording insight events?
+    pub enabled: bool,
+    /// Drift entries newest first
+    /// ([`motro_obs::insight::Insight::drift_json`]): epoch, stmt,
+    /// gained/lost (user, view) pairs.
+    pub drift: Value,
+}
+
+/// The reply to [`Client::alerts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertsReply {
+    pub epoch: u64,
+    /// Is the server recording insight events?
+    pub enabled: bool,
+    /// Total alerts fired since start (ring may have dropped old ones).
+    pub fired: u64,
+    /// The active rule set, rendered in the rule grammar.
+    pub rules: Vec<String>,
+    /// Fired alerts newest first, as raw JSON entries.
+    pub alerts: Value,
 }
 
 /// The reply to [`Client::profile`].

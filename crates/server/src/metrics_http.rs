@@ -1,7 +1,12 @@
 //! A minimal plaintext HTTP listener exposing the metrics registry in
 //! Prometheus text exposition format, plus `/healthz` and `/readyz`
-//! probes and the continuous-profile views `/debug/flame` (collapsed
-//! stacks) and `/debug/flame.svg` (a rendered flamegraph).
+//! probes, the continuous-profile views `/debug/flame` (collapsed
+//! stacks) and `/debug/flame.svg` (a rendered flamegraph), and the
+//! authorization-analytics view `/debug/insight` (JSON: rollups,
+//! policy drift, alerts). Scrapes double as the alert-rule engine's
+//! heartbeat: each `/metrics` or `/debug/insight` hit rolls the
+//! window layer and evaluates the insight rules against any newly
+//! completed window.
 //!
 //! Zero dependencies beyond `std::net`: the listener accepts one
 //! connection at a time, reads the request line, and answers any `GET`
@@ -189,15 +194,29 @@ fn serve_scrape(mut stream: TcpStream, health: &HealthFn) -> std::io::Result<()>
         let body = motro_obs::prof::global().collapsed(metric);
         return respond(&mut stream, "200 OK", "text/plain", &body);
     }
+    if path == "/debug/insight" || path.starts_with("/debug/insight?") {
+        // Roll first so alert evaluation sees the freshest completed
+        // window, then serve the combined rollups/drift/alerts view.
+        let layer = motro_obs::window::global();
+        layer.roll_if_due();
+        motro_obs::insight::global().evaluate_alerts(layer);
+        let body = motro_obs::insight::global().to_json();
+        return respond(&mut stream, "200 OK", "application/json", &body);
+    }
     if !(path == "/metrics" || path.starts_with("/metrics?")) {
         return respond(
             &mut stream,
             "404 Not Found",
             "text/plain",
-            "see /metrics, /healthz, /readyz, /debug/flame, /debug/flame.svg\n",
+            "see /metrics, /healthz, /readyz, /debug/flame, /debug/flame.svg, /debug/insight\n",
         );
     }
-    motro_obs::window::global().roll_if_due();
+    let layer = motro_obs::window::global();
+    layer.roll_if_due();
+    // Scrapes are the one periodic heartbeat every deployment has, so
+    // piggy-back alert-rule evaluation on them: rules fire at most once
+    // per completed window regardless of scrape frequency.
+    motro_obs::insight::global().evaluate_alerts(layer);
     let mut body = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
     // Dynamic per-user cost series live outside the static registry;
     // empty ledger → empty string → the exposition is byte-identical
@@ -265,6 +284,19 @@ mod tests {
         let body = reply.split("\r\n\r\n").nth(1).unwrap();
         motro_obs::prom::validate(body).unwrap();
         assert!(body.contains("motro_metrics_http_test_hits"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_insight_json() {
+        let mut server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let reply = scrape(server.local_addr(), "GET /debug/insight HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("application/json"), "{reply}");
+        let body = reply.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.contains("\"rollups\""), "{body}");
+        assert!(body.contains("\"drift\""), "{body}");
+        assert!(body.contains("\"alerts\""), "{body}");
         server.shutdown();
     }
 

@@ -83,6 +83,12 @@ pub struct ServerConfig {
     /// and switch on allocation counting (effective when the binary
     /// installs [`motro_obs::alloc::CountingAlloc`]).
     pub prof: bool,
+    /// Authorization analytics (on by default): fold every statement
+    /// request's mask outcome and R2 split into the bounded
+    /// [`motro_obs::insight`] rollups, diff `permitted_views` around
+    /// every grant-mutating request into the policy-drift log, and
+    /// evaluate the alert rules on window roll.
+    pub insight: bool,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +107,7 @@ impl Default for ServerConfig {
             trace_sample: 0.0,
             trace_mask_fraction: 0.5,
             prof: false,
+            insight: true,
         }
     }
 }
@@ -164,6 +171,8 @@ struct Ctx {
     trace: Option<Arc<TraceState>>,
     /// Continuous profiling + cost accounting on?
     prof: bool,
+    /// Authorization analytics (insight rollups, drift, alerts) on?
+    insight: bool,
 }
 
 /// The per-connection in-flight gate (a bounded semaphore).
@@ -230,6 +239,9 @@ fn request_label(request: &Request) -> &'static str {
         Request::Trace { .. } => "trace",
         Request::Traces { .. } => "traces",
         Request::Slow { .. } => "slow",
+        Request::Insight { .. } => "insight",
+        Request::Drift { .. } => "drift",
+        Request::Alerts { .. } => "alerts",
         Request::Ping { .. } => "ping",
     }
 }
@@ -288,6 +300,27 @@ impl Server {
             let _ = motro_obs::counter!("server.traces.retained");
             let _ = motro_obs::counter!("server.traces.head_sampled");
             let _ = motro_obs::counter!("server.traces.forced");
+        }
+        if config.insight {
+            let _ = motro_obs::counter!("insight.requests");
+            let _ = motro_obs::counter!("insight.requests.cached");
+            let _ = motro_obs::counter!("insight.requests.full_access");
+            let _ = motro_obs::counter!("insight.errors");
+            let _ = motro_obs::counter!("insight.rows.delivered");
+            let _ = motro_obs::counter!("insight.rows.withheld");
+            let _ = motro_obs::counter!("insight.cells.delivered");
+            let _ = motro_obs::counter!("insight.cells.masked");
+            let _ = motro_obs::counter!("insight.cells.withheld");
+            let _ = motro_obs::counter!("insight.cells.suppressed");
+            let _ = motro_obs::counter!("insight.cells.seen");
+            let _ = motro_obs::counter!("insight.r2.clear");
+            let _ = motro_obs::counter!("insight.r2.retain");
+            let _ = motro_obs::counter!("insight.r2.modify");
+            let _ = motro_obs::counter!("insight.r2.discard");
+            let _ = motro_obs::counter!("insight.r2.clear_fallback");
+            let _ = motro_obs::counter!("insight.drift.epochs");
+            let _ = motro_obs::counter!("insight.drift.changes");
+            let _ = motro_obs::counter!("insight.alerts.fired");
         }
         if config.prof {
             let _ = motro_obs::counter!("prof.folds");
@@ -363,6 +396,7 @@ impl Server {
                     mat: mat.clone(),
                     trace: trace.clone(),
                     prof: config.prof,
+                    insight: config.insight,
                 };
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
@@ -967,6 +1001,140 @@ fn summarize_reply(reply: &Value) -> Value {
     }
 }
 
+/// Every principal's permitted views (group-inclusive), keyed by user:
+/// the before/after halves of a policy-drift diff. Covers users with
+/// direct grants *and* users that only inherit through memberships.
+fn visibility_snapshot(
+    f: &Frontend,
+) -> std::collections::BTreeMap<String, std::collections::BTreeSet<String>> {
+    let store = f.auth_store();
+    let mut users: std::collections::BTreeSet<String> =
+        store.users().iter().map(|u| u.to_string()).collect();
+    users.extend(store.all_memberships().into_iter().map(|(u, _)| u));
+    users
+        .into_iter()
+        .map(|u| {
+            let views = store
+                .permitted_views(&u)
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            (u, views)
+        })
+        .collect()
+}
+
+/// Diff visibility around a mutation into the insight drift log. Runs
+/// under the mutation's write lock, so the delta is exactly what the
+/// statement changed. Records only when the auth epoch actually moved
+/// (an errored or no-op mutation leaves no drift entry).
+fn record_drift(
+    f: &Frontend,
+    epoch_before: u64,
+    stmt: &str,
+    before: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+) {
+    let epoch = f.auth_epoch();
+    if epoch == epoch_before {
+        return;
+    }
+    let after = visibility_snapshot(f);
+    let empty = std::collections::BTreeSet::new();
+    let users: std::collections::BTreeSet<&String> = before.keys().chain(after.keys()).collect();
+    let mut changes = Vec::new();
+    for user in users {
+        let b = before.get(user).unwrap_or(&empty);
+        let a = after.get(user).unwrap_or(&empty);
+        for view in a.difference(b) {
+            changes.push(motro_obs::insight::DriftChange {
+                user: user.clone(),
+                view: view.clone(),
+                gained: true,
+            });
+        }
+        for view in b.difference(a) {
+            changes.push(motro_obs::insight::DriftChange {
+                user: user.clone(),
+                view: view.clone(),
+                gained: false,
+            });
+        }
+    }
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    motro_obs::insight::global().record_drift(motro_obs::insight::EpochDelta {
+        epoch,
+        stmt: stmt.to_owned(),
+        changes,
+        unix_ms,
+    });
+}
+
+/// The granting views behind a mask: the union of its tuples'
+/// provenance, sorted and deduplicated.
+fn mask_views(mask: &motro_authz::core::Mask) -> Vec<String> {
+    let mut views: Vec<String> = mask
+        .tuples
+        .iter()
+        .flat_map(|t| t.provenance.iter().cloned())
+        .collect();
+    views.sort_unstable();
+    views.dedup();
+    views
+}
+
+/// Fold one delivered row answer into the insight rollups.
+#[allow(clippy::too_many_arguments)]
+fn record_insight_rows(
+    principal: &str,
+    plan: &CanonicalPlan,
+    views: Vec<String>,
+    cached: bool,
+    full_access: bool,
+    r2: [u64; 5],
+    rows: &[Vec<Option<motro_authz::rel::Value>>],
+    withheld: usize,
+) {
+    // The cell scan below is the expensive part; skip it when the
+    // global switch is off (record() would drop the event anyway).
+    if !motro_obs::enabled() {
+        return;
+    }
+    let ncols = plan.projection.len();
+    let masked: usize = rows
+        .iter()
+        .map(|r| r.iter().filter(|c| c.is_none()).count())
+        .sum();
+    let delivered_cells = rows.len() * ncols - masked;
+    motro_obs::insight::global().record(&motro_obs::insight::Event {
+        principal: principal.to_owned(),
+        views,
+        relations: plan.relations.clone(),
+        cached,
+        full_access,
+        denied: None,
+        rows_delivered: rows.len() as u64,
+        rows_withheld: withheld as u64,
+        cells_delivered: delivered_cells as u64,
+        cells_masked: masked as u64,
+        cells_withheld: (withheld * ncols) as u64,
+        r2,
+    });
+}
+
+/// Fold one failed statement request into the insight rollups under
+/// its error code.
+fn record_insight_denied(principal: &str, relations: Vec<String>, code: &str) {
+    motro_obs::insight::global().record(&motro_obs::insight::Event {
+        principal: principal.to_owned(),
+        relations,
+        denied: Some(code.to_owned()),
+        ..motro_obs::insight::Event::default()
+    });
+}
+
 /// Evaluate one request against the shared front-end.
 fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
     let fe = &ctx.fe;
@@ -981,6 +1149,9 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
         Request::Stats { id } => {
             let layer = motro_obs::window::global();
             layer.roll_if_due();
+            if ctx.insight {
+                motro_obs::insight::global().evaluate_alerts(layer);
+            }
             let mut metrics = motro_obs::metrics::registry()
                 .snapshot()
                 .to_json()
@@ -1000,7 +1171,11 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
             &ctx.cache.user_counts(),
         ),
         Request::Metrics { id } => {
-            motro_obs::window::global().roll_if_due();
+            let layer = motro_obs::window::global();
+            layer.roll_if_due();
+            if ctx.insight {
+                motro_obs::insight::global().evaluate_alerts(layer);
+            }
             let mut text = motro_obs::prom::render(&motro_obs::metrics::registry().snapshot());
             // Per-user cost series carry a dynamic `user` label, which
             // the static registry can't hold; the ledger renders its
@@ -1057,6 +1232,36 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
             let entries: Vec<SlowQuery> = ctx.slow.lock().iter().rev().cloned().collect();
             wire::slow_log(id, fe.auth_epoch(), &entries)
         }
+        Request::Insight { id } => {
+            let layer = motro_obs::window::global();
+            layer.roll_if_due();
+            let ins = motro_obs::insight::global();
+            if ctx.insight {
+                ins.evaluate_alerts(layer);
+            }
+            let rollups = ins.rollups_json().parse::<Value>().unwrap_or(Value::Null);
+            wire::insight_reply(id, fe.auth_epoch(), ctx.insight, rollups)
+        }
+        Request::Drift { id, limit } => {
+            let drift = motro_obs::insight::global()
+                .drift_json(limit)
+                .parse::<Value>()
+                .unwrap_or(Value::Null);
+            wire::drift_reply(id, fe.auth_epoch(), ctx.insight, drift)
+        }
+        Request::Alerts { id, limit } => {
+            let layer = motro_obs::window::global();
+            layer.roll_if_due();
+            let ins = motro_obs::insight::global();
+            if ctx.insight {
+                ins.evaluate_alerts(layer);
+            }
+            let alerts = ins
+                .alerts_json(limit)
+                .parse::<Value>()
+                .unwrap_or(Value::Null);
+            wire::alerts_reply(id, fe.auth_epoch(), ctx.insight, alerts)
+        }
         Request::Explain { id, stmt, user } => {
             let target = user.unwrap_or_else(|| principal.to_owned());
             if target != principal && !admin_allowed() {
@@ -1098,6 +1303,11 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
             // and its journal entry, and no reader can observe the new
             // epoch while the cache still holds pre-mutation masks.
             let (result, epoch, removed) = fe.with_write(|f| {
+                // Drift capture brackets the statement while the lock is
+                // held: the before/after `permitted_views` diff is
+                // exactly this mutation's effect, with no interleaving.
+                let epoch_before = f.auth_epoch();
+                let before = ctx.insight.then(|| visibility_snapshot(f));
                 let result = f.execute_admin_program(&stmt);
                 let touched = f.take_touched();
                 if let Some(j) = &ctx.journal {
@@ -1110,6 +1320,9 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                     });
                 }
                 let removed = ctx.cache.invalidate(&touched, f.auth_epoch());
+                if let Some(before) = before {
+                    record_drift(f, epoch_before, &stmt, before);
+                }
                 (result, f.auth_epoch(), removed)
             });
             rewarm(ctx, removed);
@@ -1158,6 +1371,13 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                 );
             }
             let (reply, removed) = fe.with_write(|f| {
+                let epoch_before = f.auth_epoch();
+                let before = ctx.insight.then(|| visibility_snapshot(f));
+                let stmt = if add {
+                    format!("member {user} {group}")
+                } else {
+                    format!("unmember {user} {group}")
+                };
                 let message = if add {
                     f.add_member(&group, &user);
                     format!("added {user} to {group}")
@@ -1179,6 +1399,9 @@ fn dispatch(ctx: &Ctx, principal: &str, request: Request) -> Value {
                     );
                 }
                 let removed = ctx.cache.invalidate(&touched, f.auth_epoch());
+                if let Some(before) = before {
+                    record_drift(f, epoch_before, &stmt, before);
+                }
                 (wire::ok(id, f.auth_epoch(), &[message]), removed)
             });
             rewarm(ctx, removed);
@@ -1206,6 +1429,14 @@ fn aggregate_query(ctx: &Ctx, principal: &str, id: u64, stmt: &str) -> Value {
                 },
                 false,
             );
+            if ctx.insight {
+                // Aggregates deliver one scalar, not cells; count the
+                // request so per-principal rates stay complete.
+                motro_obs::insight::global().record(&motro_obs::insight::Event {
+                    principal: principal.to_owned(),
+                    ..motro_obs::insight::Event::default()
+                });
+            }
             wire::aggregate(id, f.auth_epoch(), &rendered)
         }
         Err(e) => {
@@ -1219,6 +1450,9 @@ fn aggregate_query(ctx: &Ctx, principal: &str, id: u64, stmt: &str) -> Value {
                 },
                 false,
             );
+            if ctx.insight {
+                record_insight_denied(principal, Vec::new(), error_code(&e));
+            }
             wire::error(Some(id), error_code(&e), &e.to_string())
         }
     })
@@ -1292,7 +1526,7 @@ fn materialize_one(fe: &SharedFrontend, cache: &MaskCache, job: &MatJob) {
             return;
         }
         let epoch = f.auth_epoch();
-        let Ok((mask, _trace)) = f.engine().mask_for_plan(&job.user, &job.plan) else {
+        let Ok((mask, trace)) = f.engine().mask_for_plan(&job.user, &job.plan) else {
             return;
         };
         let permits = mask.describe();
@@ -1305,7 +1539,7 @@ fn materialize_one(fe: &SharedFrontend, cache: &MaskCache, job: &MatJob) {
             &job.plan,
             epoch,
             deps,
-            Arc::new(CachedMask::new(mask, &permits, full_access)),
+            Arc::new(CachedMask::new(mask, &permits, full_access, trace.r2_tally)),
         );
         motro_obs::counter!("server.mat.refreshed").inc();
     });
@@ -1381,6 +1615,9 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                     },
                     false,
                 );
+                if ctx.insight {
+                    record_insight_denied(user, Vec::new(), codes::PARSE);
+                }
                 return wire::error(Some(id), codes::PARSE, &e.to_string());
             }
         };
@@ -1401,6 +1638,9 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                     },
                     false,
                 );
+                if ctx.insight {
+                    record_insight_denied(user, Vec::new(), codes::PARSE);
+                }
                 return wire::error(Some(id), codes::PARSE, &e.to_string());
             }
         };
@@ -1434,6 +1674,22 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                             },
                             true,
                         );
+                        if ctx.insight {
+                            // The entry carries the original
+                            // evaluation's provenance and R2 split, so
+                            // a hit lands in the same rollup as the
+                            // miss that built it.
+                            record_insight_rows(
+                                user,
+                                &plan,
+                                hit.views.clone(),
+                                true,
+                                hit.full_access,
+                                hit.r2,
+                                &masked.rows,
+                                masked.withheld,
+                            );
+                        }
                         wire::rows(&RowsReply {
                             id,
                             epoch,
@@ -1456,6 +1712,9 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                             },
                             true,
                         );
+                        if ctx.insight {
+                            record_insight_denied(user, plan.relations.clone(), codes::EXEC);
+                        }
                         wire::error(Some(id), codes::EXEC, &e.to_string())
                     }
                 };
@@ -1478,6 +1737,18 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                     },
                     false,
                 );
+                if ctx.insight {
+                    record_insight_rows(
+                        user,
+                        &plan,
+                        mask_views(&out.mask),
+                        false,
+                        out.full_access,
+                        out.trace.r2_tally,
+                        &out.masked.rows,
+                        out.masked.withheld,
+                    );
+                }
                 let reply = wire::rows(&RowsReply {
                     id,
                     epoch,
@@ -1497,7 +1768,12 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                         &plan,
                         epoch,
                         deps,
-                        Arc::new(CachedMask::new(out.mask, &out.permits, out.full_access)),
+                        Arc::new(CachedMask::new(
+                            out.mask,
+                            &out.permits,
+                            out.full_access,
+                            out.trace.r2_tally,
+                        )),
                     );
                 }
                 reply
@@ -1513,6 +1789,9 @@ fn retrieve_cached(ctx: &Ctx, user: &str, id: u64, stmt: &str) -> Value {
                     },
                     false,
                 );
+                if ctx.insight {
+                    record_insight_denied(user, plan.relations.clone(), codes::EXEC);
+                }
                 wire::error(Some(id), codes::EXEC, &e.to_string())
             }
         }

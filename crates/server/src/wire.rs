@@ -25,6 +25,9 @@
 //! | `slow` | `id` | the slow-query log, newest first |
 //! | `prof` | `id` | the continuous-profile aggregate report |
 //! | `top` | `id` [, `limit`] | per-user cost ledger, costliest first |
+//! | `insight` | `id` | authorization-analytics rollups |
+//! | `drift` | `id` [, `limit`] | policy-drift deltas, newest first |
+//! | `alerts` | `id` [, `limit`] | fired alerts + active rules |
 //! | `ping` | `id` | liveness |
 //!
 //! Any request frame may additionally carry an **optional** `trace`
@@ -36,7 +39,8 @@
 //!
 //! Replies (server → client): `welcome`, `rows`, `aggregate`, `ok`,
 //! `state`, `stats`, `metrics`, `profile`, `explain`, `trace`,
-//! `traces`, `slow`, `prof`, `top`, `pong`, and
+//! `traces`, `slow`, `prof`, `top`, `insight`, `drift`, `alerts`,
+//! `pong`, and
 //! `error` (with a machine-readable `code`). Every data-bearing reply carries the
 //! authorization `epoch` it was computed under, so a client — or a
 //! soundness test — can correlate an answer with the grant state that
@@ -135,6 +139,14 @@ pub enum Request {
     /// The per-user cost ledger, costliest principals first
     /// (`limit` 0 = all).
     Top { id: u64, limit: usize },
+    /// The authorization-analytics rollups: per-(principal, views,
+    /// relations) request/cell/R2 totals.
+    Insight { id: u64 },
+    /// The policy-drift log, newest first (`limit` 0 = all retained).
+    Drift { id: u64, limit: usize },
+    /// Fired alerts plus the active rule set, newest first
+    /// (`limit` 0 = all retained).
+    Alerts { id: u64, limit: usize },
     /// Liveness probe.
     Ping { id: u64 },
 }
@@ -160,6 +172,9 @@ impl Request {
             | Request::Slow { id }
             | Request::Prof { id }
             | Request::Top { id, .. }
+            | Request::Insight { id }
+            | Request::Drift { id, .. }
+            | Request::Alerts { id, .. }
             | Request::Ping { id } => Some(*id),
         }
     }
@@ -359,6 +374,15 @@ pub fn parse_frame(line: &str) -> Result<(Request, Option<TraceContext>), FrameE
         "slow" => Ok(Request::Slow { id: need_id()? }),
         "prof" => Ok(Request::Prof { id: need_id()? }),
         "top" => Ok(Request::Top {
+            id: need_id()?,
+            limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
+        }),
+        "insight" => Ok(Request::Insight { id: need_id()? }),
+        "drift" => Ok(Request::Drift {
+            id: need_id()?,
+            limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
+        }),
+        "alerts" => Ok(Request::Alerts {
             id: need_id()?,
             limit: obj.get("limit").and_then(Value::as_u64).unwrap_or(0) as usize,
         }),
@@ -748,6 +772,47 @@ pub fn top_reply(
     ])
 }
 
+/// `insight` — the authorization-analytics rollups. `enabled` says
+/// whether the server runs with insight recording on (a disabled
+/// server still answers, so clients can tell "no traffic yet" from
+/// "not recording"); `rollups` is the parsed
+/// [`motro_obs::insight::Insight::rollups_json`] array.
+pub fn insight_reply(id: u64, epoch: u64, enabled: bool, rollups: Value) -> Value {
+    obj(vec![
+        ("type", Value::from("insight")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("enabled", Value::from(enabled)),
+        ("rollups", rollups),
+    ])
+}
+
+/// `drift` — policy-drift deltas, newest first. `drift` is the parsed
+/// [`motro_obs::insight::Insight::drift_json`] array (one entry per
+/// auth-epoch bump, with gained/lost (user, view) pairs).
+pub fn drift_reply(id: u64, epoch: u64, enabled: bool, drift: Value) -> Value {
+    obj(vec![
+        ("type", Value::from("drift")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("enabled", Value::from(enabled)),
+        ("drift", drift),
+    ])
+}
+
+/// `alerts` — fired alerts plus the active rule set. `alerts` is the
+/// parsed [`motro_obs::insight::Insight::alerts_json`] object
+/// (`fired` total, `rules` strings, `alerts` entries newest first).
+pub fn alerts_reply(id: u64, epoch: u64, enabled: bool, alerts: Value) -> Value {
+    obj(vec![
+        ("type", Value::from("alerts")),
+        ("id", Value::from(id)),
+        ("epoch", Value::from(epoch)),
+        ("enabled", Value::from(enabled)),
+        ("alerts", alerts),
+    ])
+}
+
 /// `pong` — the reply to `ping`.
 pub fn pong(id: u64) -> Value {
     obj(vec![("type", Value::from("pong")), ("id", Value::from(id))])
@@ -819,6 +884,54 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"type":"ping","id":9}"#).unwrap(),
             Request::Ping { id: 9 }
+        );
+    }
+
+    #[test]
+    fn insight_requests_parse_and_replies_carry_payloads() {
+        assert_eq!(
+            parse_request(r#"{"type":"insight","id":21}"#).unwrap(),
+            Request::Insight { id: 21 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"insight"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"drift","id":22}"#).unwrap(),
+            Request::Drift { id: 22, limit: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"drift","id":22,"limit":3}"#).unwrap(),
+            Request::Drift { id: 22, limit: 3 }
+        );
+        assert_eq!(
+            parse_request(r#"{"type":"alerts","id":23,"limit":5}"#).unwrap(),
+            Request::Alerts { id: 23, limit: 5 }
+        );
+
+        let reply = insight_reply(21, 4, true, Value::Array(vec![]));
+        let back: Value = reply.to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("insight"));
+        assert_eq!(back.get("epoch").and_then(Value::as_u64), Some(4));
+        assert_eq!(back.get("enabled").and_then(Value::as_bool), Some(true));
+        assert!(back.get("rollups").and_then(Value::as_array).is_some());
+
+        let reply = drift_reply(22, 4, true, Value::Array(vec![]));
+        let back: Value = reply.to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("drift"));
+        assert!(back.get("drift").and_then(Value::as_array).is_some());
+
+        let payload: Value = r#"{"fired":1,"rules":[],"alerts":[]}"#.parse().unwrap();
+        let reply = alerts_reply(23, 4, false, payload);
+        let back: Value = reply.to_string().parse().unwrap();
+        assert_eq!(back.get("type").and_then(Value::as_str), Some("alerts"));
+        assert_eq!(back.get("enabled").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            back.get("alerts")
+                .and_then(|a| a.get("fired"))
+                .and_then(Value::as_u64),
+            Some(1)
         );
     }
 

@@ -1,0 +1,520 @@
+//! Authorization analytics end-to-end (DESIGN.md §6h): the rollup
+//! table checked against a cold journal-replay oracle, policy-drift
+//! diffs checked against EXPLAIN-derived before/after snapshots,
+//! deterministic alert-rule firing on forced window rolls, and the
+//! full grant → drift → alert loop including the `/debug/insight`
+//! and Prometheus surfaces.
+//!
+//! The insight aggregator, window layer, and metrics registry are
+//! process globals shared by every test in this binary, so each test
+//! takes [`guard`] and resets what it depends on. Tests that evaluate
+//! alert rules also force a throwaway "drain" roll first so counter
+//! increments left un-rolled by earlier tests cannot leak into their
+//! baseline windows.
+
+use motro_authz::core::fixtures;
+use motro_authz::{Frontend, SharedFrontend};
+use motro_server::{journal, Client, JournalConfig, MetricsServer, Server, ServerConfig};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+/// Serializes the tests (shared aggregator / window layer / registry).
+fn guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<parking_lot::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| parking_lot::Mutex::new(())).lock()
+}
+
+/// The paper database with PSA (Acme projects) and the narrow PN
+/// (project numbers only) granted to Brown, and ELP granted to Klein.
+/// PN makes non-Acme PROJECT rows *partially* visible to Brown, so
+/// queries produce masked cells, not just withheld rows.
+fn frontend() -> Frontend {
+    let mut fe = Frontend::with_database(fixtures::paper_database());
+    fe.execute_admin_program(
+        "view PSA (PROJECT.NUMBER, PROJECT.SPONSOR, PROJECT.BUDGET)
+           where PROJECT.SPONSOR = Acme;
+         permit PSA to Brown;
+         view PN (PROJECT.NUMBER);
+         permit PN to Brown;
+         view ELP (EMPLOYEE.NAME, EMPLOYEE.TITLE);
+         permit ELP to Klein",
+    )
+    .unwrap();
+    fe
+}
+
+const Q: &str = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR)";
+const Q2: &str = "retrieve (EMPLOYEE.NAME, EMPLOYEE.TITLE)";
+/// A conditioned retrieve: the budget selection forces R2 case
+/// decisions against the meta-relation, so rollups tally them.
+const Q3: &str = "retrieve (PROJECT.NUMBER, PROJECT.SPONSOR) where PROJECT.BUDGET >= 250000";
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("motro-insight-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("audit.jsonl")
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_nodelay(true).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    s.flush().unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("HTTP head");
+    (head.to_owned(), body.to_owned())
+}
+
+/// What a cold re-execution predicts for one rollup key.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Expected {
+    requests: u64,
+    cached: u64,
+    cells_delivered: u64,
+    cells_masked: u64,
+    cells_withheld: u64,
+    r2: [u64; 5],
+}
+
+#[test]
+fn rollups_match_a_cold_journal_replay_oracle() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    motro_obs::insight::global().reset();
+
+    let path = tmp("oracle");
+    let config = ServerConfig {
+        journal: Some(JournalConfig::new(path.clone())),
+        ..ServerConfig::default()
+    };
+    let fe = frontend();
+    let server = Server::bind("127.0.0.1:0", SharedFrontend::new(fe.clone()), config).unwrap();
+    let mut brown = Client::connect(server.local_addr(), "Brown").unwrap();
+    let mut klein = Client::connect(server.local_addr(), "Klein").unwrap();
+
+    // Brown: 4 retrieves of one statement (1 miss + 3 cache hits).
+    for _ in 0..4 {
+        brown.retrieve(Q).unwrap();
+    }
+    // Brown: 2 conditioned retrieves (1 miss + 1 hit) — the cache hit
+    // must replay the R2 split recorded at miss time.
+    for _ in 0..2 {
+        brown.retrieve(Q3).unwrap();
+    }
+    // Klein: 2 retrieves (1 miss + 1 hit).
+    for _ in 0..2 {
+        klein.retrieve(Q2).unwrap();
+    }
+    // Brown: one statement that fails to parse (a denial).
+    assert!(brown.retrieve("retrieve (").is_err());
+
+    let reply = brown.insight().unwrap();
+    assert!(reply.enabled);
+    let rollups = reply.rollups.as_array().unwrap().clone();
+
+    // Oracle: re-execute every journaled query cold on a replica of
+    // the pre-traffic frontend — through the core pipeline, which
+    // never touches the insight layer — and fold what the rollups
+    // *should* contain. Cache hits replay the mask (and R2 split)
+    // built at miss time, so the cold evaluation predicts them too.
+    drop(server);
+    let mut expected: BTreeMap<(String, String, String), Expected> = BTreeMap::new();
+    let mut delivered_records = 0;
+    let mut error_records = 0;
+    for file in journal::segments(&path) {
+        for line in std::fs::read_to_string(&file).unwrap().lines() {
+            let v: Value = line.parse().unwrap();
+            if v.get("t").and_then(Value::as_str) != Some("query") {
+                continue;
+            }
+            let principal = v.get("principal").and_then(Value::as_str).unwrap();
+            let stmt = v.get("stmt").and_then(Value::as_str).unwrap();
+            if v.get("kind").and_then(Value::as_str) == Some("error") {
+                error_records += 1;
+                assert!(fe.retrieve(principal, stmt).is_err(), "oracle: {stmt}");
+                continue;
+            }
+            delivered_records += 1;
+            let cached = v.get("cached").and_then(Value::as_bool) == Some(true);
+            let out = fe.retrieve(principal, stmt).expect("cold re-execution");
+            let mut views: Vec<String> = out
+                .mask
+                .tuples
+                .iter()
+                .flat_map(|t| t.provenance.iter().cloned())
+                .collect();
+            views.sort_unstable();
+            views.dedup();
+            let mut relations: Vec<String> = out
+                .masked
+                .schema
+                .columns()
+                .iter()
+                .map(|c| c.qual.rel.clone())
+                .collect();
+            relations.sort_unstable();
+            relations.dedup();
+            let ncols = out.masked.schema.columns().len() as u64;
+            let masked: u64 = out
+                .masked
+                .rows
+                .iter()
+                .map(|r| r.iter().filter(|c| c.is_none()).count() as u64)
+                .sum();
+            let e = expected
+                .entry((principal.to_owned(), views.join("+"), relations.join("+")))
+                .or_default();
+            e.requests += 1;
+            e.cached += u64::from(cached);
+            e.cells_delivered += out.masked.rows.len() as u64 * ncols - masked;
+            e.cells_masked += masked;
+            e.cells_withheld += out.masked.withheld as u64 * ncols;
+            for (acc, d) in e.r2.iter_mut().zip(&out.trace.r2_tally) {
+                *acc += d;
+            }
+        }
+    }
+    assert_eq!(delivered_records, 8, "eight delivered queries journaled");
+    assert_eq!(error_records, 1, "one failed query journaled");
+
+    // Every oracle key must appear in the live rollups with identical
+    // counts — including the R2 splits the cache replays from the
+    // entry built at miss time.
+    for ((principal, views, relations), want) in &expected {
+        let row = rollups
+            .iter()
+            .find(|r| {
+                r.get("principal").and_then(Value::as_str) == Some(principal)
+                    && r.get("views").and_then(Value::as_str) == Some(views)
+                    && r.get("relations").and_then(Value::as_str) == Some(relations)
+            })
+            .unwrap_or_else(|| {
+                panic!("no rollup for {principal}/{views}/{relations}: {rollups:?}")
+            });
+        let n = |k: &str| row.get(k).and_then(Value::as_u64).unwrap();
+        assert_eq!(n("requests"), want.requests, "{principal} requests");
+        assert_eq!(n("cached"), want.cached, "{principal} cached");
+        assert_eq!(
+            n("cells_delivered"),
+            want.cells_delivered,
+            "{principal} cells delivered"
+        );
+        assert_eq!(
+            n("cells_masked"),
+            want.cells_masked,
+            "{principal} cells masked"
+        );
+        assert_eq!(
+            n("cells_withheld"),
+            want.cells_withheld,
+            "{principal} cells withheld"
+        );
+        let r2 = row.get("r2").unwrap();
+        for (i, case) in ["clear", "retain", "modify", "discard", "clear_fallback"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(
+                r2.get(*case).and_then(Value::as_u64).unwrap(),
+                want.r2[i],
+                "{principal} r2.{case}"
+            );
+        }
+    }
+    // The scenario must actually exercise masking (PN shows Brown the
+    // project numbers but not the sponsors of non-Acme rows) and R2
+    // case selection (Q3's budget condition), and the parse failure
+    // must land under its own `(none)` key with its reason tallied.
+    assert!(
+        expected
+            .iter()
+            .any(|((p, _, _), e)| p == "Brown" && e.cells_masked > 0),
+        "scenario must exercise masking: {expected:?}"
+    );
+    assert!(
+        expected.values().any(|e| e.r2.iter().sum::<u64>() > 0),
+        "scenario must exercise R2 selection: {expected:?}"
+    );
+    let denied = rollups
+        .iter()
+        .find(|r| {
+            r.get("principal").and_then(Value::as_str) == Some("Brown")
+                && r.get("views").and_then(Value::as_str) == Some("(none)")
+        })
+        .expect("denied rollup");
+    assert_eq!(denied.get("errors").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        denied
+            .get("denials")
+            .and_then(|d| d.get("parse"))
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
+fn drift_diff_agrees_with_explain_before_and_after() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    motro_obs::insight::global().reset();
+
+    let config = ServerConfig {
+        admins: Some(vec!["root".to_owned()]),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", SharedFrontend::new(frontend()), config).unwrap();
+    let mut admin = Client::connect(server.local_addr(), "root").unwrap();
+
+    // EXPLAIN-derived before snapshot: Klein's audit of the PROJECT
+    // query must not cite PSA anywhere — the view is not yet granted.
+    let before = admin.explain(Q, Some("Klein")).unwrap();
+    assert!(
+        !before.rendered.contains("PSA"),
+        "PSA visible before the grant:\n{}",
+        before.rendered
+    );
+
+    admin.admin("permit PSA to Klein").unwrap();
+
+    // After: the same audit now cites PSA as a granting view.
+    let after = admin.explain(Q, Some("Klein")).unwrap();
+    assert!(
+        after.rendered.contains("PSA"),
+        "PSA missing after the grant:\n{}",
+        after.rendered
+    );
+
+    // The drift differ must agree with that before/after pair: the
+    // newest delta names exactly (Klein, PSA) as gained, nothing lost.
+    let drift = admin.drift(1).unwrap();
+    assert!(drift.enabled);
+    let entries = drift.drift.as_array().unwrap();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    let e = &entries[0];
+    assert_eq!(
+        e.get("stmt").and_then(Value::as_str),
+        Some("permit PSA to Klein")
+    );
+    let gained = e.get("gained").and_then(Value::as_array).unwrap();
+    assert_eq!(gained.len(), 1, "{gained:?}");
+    assert_eq!(gained[0].get("user").and_then(Value::as_str), Some("Klein"));
+    assert_eq!(gained[0].get("view").and_then(Value::as_str), Some("PSA"));
+    assert_eq!(
+        e.get("lost").and_then(Value::as_array).map(Vec::len),
+        Some(0)
+    );
+
+    // The symmetric revoke records the same pair as lost, and EXPLAIN
+    // agrees the visibility is gone again.
+    admin.admin("revoke PSA from Klein").unwrap();
+    let drift = admin.drift(1).unwrap();
+    let entries = drift.drift.as_array().unwrap();
+    let e = &entries[0];
+    assert_eq!(
+        e.get("stmt").and_then(Value::as_str),
+        Some("revoke PSA from Klein")
+    );
+    let lost = e.get("lost").and_then(Value::as_array).unwrap();
+    assert_eq!(lost.len(), 1, "{lost:?}");
+    assert_eq!(lost[0].get("user").and_then(Value::as_str), Some("Klein"));
+    assert_eq!(lost[0].get("view").and_then(Value::as_str), Some("PSA"));
+    assert_eq!(
+        e.get("gained").and_then(Value::as_array).map(Vec::len),
+        Some(0)
+    );
+    let explain = admin.explain(Q, Some("Klein")).unwrap();
+    assert!(
+        !explain.rendered.contains("PSA"),
+        "PSA still visible after the revoke:\n{}",
+        explain.rendered
+    );
+}
+
+#[test]
+fn alert_rules_fire_deterministically_on_forced_rolls() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    let insight = motro_obs::insight::global();
+    insight.reset();
+    insight.set_rules(vec![motro_obs::AlertRule::parse(
+        "denial-spike: jump(delta(insight.errors)) >= 2 min 5",
+    )
+    .unwrap()]);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SharedFrontend::new(frontend()),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+
+    // Drain: flush any counter increments earlier tests left un-rolled
+    // into a throwaway window and sync the engine's roll watermark.
+    // The `min 5` guard keeps such residue (at most a few errors) from
+    // firing here.
+    motro_obs::window::global().force_roll();
+    c.alerts(0).unwrap();
+
+    // Window A: a small denial baseline, then roll. Too small to fire:
+    // the current-value guard requires at least 5 denials.
+    for _ in 0..2 {
+        assert!(c.retrieve("retrieve (").is_err());
+    }
+    motro_obs::window::global().force_roll();
+    let baseline = c.alerts(0).unwrap();
+    assert!(baseline.enabled);
+    assert_eq!(baseline.fired, 0, "no spike yet: {baseline:?}");
+    assert_eq!(baseline.rules.len(), 1);
+
+    // Window B: a 5x denial spike over the baseline, then roll — the
+    // next `alerts` request evaluates the new window and fires.
+    for _ in 0..10 {
+        assert!(c.retrieve("retrieve (").is_err());
+    }
+    motro_obs::window::global().force_roll();
+    let fired = c.alerts(0).unwrap();
+    assert_eq!(fired.fired, 1, "{fired:?}");
+    let entries = fired.alerts.as_array().unwrap();
+    assert_eq!(entries.len(), 1);
+    let a = &entries[0];
+    assert_eq!(a.get("rule").and_then(Value::as_str), Some("denial-spike"));
+    assert_eq!(a.get("value").and_then(Value::as_f64), Some(5.0));
+
+    // Deterministic: re-asking without a new completed window cannot
+    // fire again, however often the engine is evaluated.
+    for _ in 0..3 {
+        assert_eq!(c.alerts(0).unwrap().fired, 1);
+    }
+    insight.set_rules(motro_obs::AlertRule::defaults());
+}
+
+#[test]
+fn full_loop_grant_drift_denial_spike_and_http_surfaces() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    let insight = motro_obs::insight::global();
+    insight.reset();
+    insight.set_rules(motro_obs::AlertRule::defaults());
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        SharedFrontend::new(frontend()),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let metrics = MetricsServer::bind("127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+
+    // 1. Grant mutation → the drift diff names the exact (user, view)
+    //    visibility change.
+    c.admin("permit PSA to Klein").unwrap();
+    let drift = c.drift(0).unwrap();
+    let entries = drift.drift.as_array().unwrap();
+    let gained = entries[0].get("gained").and_then(Value::as_array).unwrap();
+    assert_eq!(gained[0].get("user").and_then(Value::as_str), Some("Klein"));
+    assert_eq!(gained[0].get("view").and_then(Value::as_str), Some("PSA"));
+
+    // 2. Denial spike: drain leftovers, lay down a 2-denial baseline
+    //    window, then a 10-denial burst; the built-in denial-spike
+    //    rule (jump >= 2, min 5) fires on the next window roll.
+    motro_obs::window::global().force_roll();
+    c.alerts(0).unwrap();
+    c.retrieve(Q).unwrap();
+    for _ in 0..2 {
+        assert!(c.retrieve("retrieve (").is_err());
+    }
+    motro_obs::window::global().force_roll();
+    let before = c.alerts(0).unwrap().fired;
+    for _ in 0..10 {
+        assert!(c.retrieve("retrieve (").is_err());
+    }
+    motro_obs::window::global().force_roll();
+    let alerts = c.alerts(0).unwrap();
+    assert!(alerts.fired > before, "{alerts:?}");
+    let newest = (alerts.fired - before) as usize;
+    assert!(
+        alerts.alerts.as_array().unwrap()[..newest].iter().any(|a| {
+            a.get("rule").and_then(Value::as_str) == Some("denial-spike")
+                && a.get("value").and_then(Value::as_f64) == Some(5.0)
+        }),
+        "{alerts:?}"
+    );
+
+    // 3. The HTTP surfaces agree: /debug/insight serves the combined
+    //    JSON view, and the registry's insight counters join the
+    //    Prometheus exposition as motro_insight_* series.
+    let (head, body) = http_get(metrics.local_addr(), "/debug/insight");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("application/json"), "{head}");
+    let parsed: Value = body.parse().expect("insight body must parse");
+    assert!(
+        parsed
+            .get("rollups")
+            .and_then(Value::as_array)
+            .is_some_and(|r| !r.is_empty()),
+        "{body}"
+    );
+    assert!(
+        parsed
+            .get("drift")
+            .and_then(Value::as_array)
+            .is_some_and(|d| !d.is_empty()),
+        "{body}"
+    );
+    assert!(
+        parsed
+            .get("alerts")
+            .and_then(|a| a.get("fired"))
+            .and_then(Value::as_u64)
+            .is_some_and(|n| n >= 1),
+        "{body}"
+    );
+    let (_, exposition) = http_get(metrics.local_addr(), "/metrics");
+    let names = motro_obs::prom::validate(&exposition).expect("exposition must validate");
+    for series in [
+        "motro_insight_requests",
+        "motro_insight_errors",
+        "motro_insight_cells_masked",
+        "motro_insight_alerts_fired",
+    ] {
+        assert!(
+            names.iter().any(|n| n == series),
+            "{series} missing from exposition: {names:?}"
+        );
+    }
+    drop(metrics);
+}
+
+#[test]
+fn insight_off_is_inert() {
+    let _g = guard();
+    motro_obs::set_enabled(true);
+    let insight = motro_obs::insight::global();
+    insight.reset();
+
+    let config = ServerConfig {
+        insight: false,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", SharedFrontend::new(frontend()), config).unwrap();
+    let mut c = Client::connect(server.local_addr(), "Brown").unwrap();
+    c.retrieve(Q).unwrap();
+    c.admin("permit PSA to Klein").unwrap();
+
+    // The commands still answer (old dashboards keep working), but
+    // nothing was recorded: no rollups, no drift, and the reply says
+    // the feature is off.
+    let reply = c.insight().unwrap();
+    assert!(!reply.enabled);
+    assert_eq!(reply.rollups.as_array().map(Vec::len), Some(0));
+    let drift = c.drift(0).unwrap();
+    assert!(!drift.enabled);
+    assert_eq!(drift.drift.as_array().map(Vec::len), Some(0));
+    assert!(insight.is_empty());
+}

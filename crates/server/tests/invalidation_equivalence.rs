@@ -194,7 +194,7 @@ fn query_step(
             &plan,
             epoch,
             deps,
-            Arc::new(CachedMask::new(mask, &permits, full)),
+            Arc::new(CachedMask::new(mask, &permits, full, [0; 5])),
         );
         (false, true)
     }
@@ -292,7 +292,7 @@ fn targeted_invalidation_retains_unaffected_users_across_seeds() {
                 &plan,
                 fe.auth_epoch(),
                 deps,
-                Arc::new(CachedMask::new(mask, &permits, full)),
+                Arc::new(CachedMask::new(mask, &permits, full, [0; 5])),
             );
         }
         assert_eq!(cache.stats().entries, USERS.len());

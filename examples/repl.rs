@@ -78,6 +78,11 @@ const HELP: &str = "commands:
                                         cells masked, cache hits
   flame [N]                             (client sessions) top-N hottest stage paths from
                                         the continuous profile (default 10)
+  insight                               (client sessions) authorization analytics: per
+                                        (user, views, relations) request/cell/R2 rollups
+  drift [N]                             (client sessions) policy-drift log, newest first:
+                                        which grants changed whose visibility
+  alerts [N]                            (client sessions) fired alerts + active rules
   show REL | permissions | comparisons | storage   inspect state
   save FILE | load FILE                 persist / restore
   serve ADDR                            serve a snapshot over TCP (e.g. 127.0.0.1:7171)
@@ -359,6 +364,134 @@ fn client_repl(addr: &str, user: &str) {
                             bytes,
                             path
                         ));
+                    }
+                    out
+                })
+            }
+            "insight" => client.insight().map(|r| {
+                if !r.enabled {
+                    return "insight is off (the server runs --no-insight)".to_owned();
+                }
+                let rollups = r
+                    .rollups
+                    .as_array()
+                    .cloned()
+                    .unwrap_or_default();
+                if rollups.is_empty() {
+                    return "no requests recorded yet".to_owned();
+                }
+                let g = |v: &serde_json::Value, k: &str| v.get(k).and_then(|x| x.as_u64()).unwrap_or(0);
+                let s = |v: &serde_json::Value, k: &str| {
+                    v.get(k).and_then(|x| x.as_str()).unwrap_or("?").to_owned()
+                };
+                let mut out = format!("authorization rollups (epoch {}):", r.epoch);
+                for v in &rollups {
+                    out.push_str(&format!(
+                        "\n  {} via [{}] on [{}]: {} requests ({} cached, {} denied), \
+                         cells {} delivered / {} masked / {} withheld",
+                        s(v, "principal"),
+                        s(v, "views"),
+                        s(v, "relations"),
+                        g(v, "requests"),
+                        g(v, "cached"),
+                        g(v, "errors"),
+                        g(v, "cells_delivered"),
+                        g(v, "cells_masked"),
+                        g(v, "cells_withheld"),
+                    ));
+                    if let Some(r2) = v.get("r2") {
+                        out.push_str(&format!(
+                            "\n      R2: {} clear / {} retain / {} modify / {} discard / {} fallback",
+                            g(r2, "clear"),
+                            g(r2, "retain"),
+                            g(r2, "modify"),
+                            g(r2, "discard"),
+                            g(r2, "clear_fallback"),
+                        ));
+                    }
+                }
+                out
+            }),
+            "drift" => {
+                let limit = input
+                    .strip_prefix("drift")
+                    .unwrap_or("")
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or(0);
+                client.drift(limit).map(|r| {
+                    if !r.enabled {
+                        return "insight is off (the server runs --no-insight)".to_owned();
+                    }
+                    let entries = r.drift.as_array().cloned().unwrap_or_default();
+                    if entries.is_empty() {
+                        return "no policy drift recorded yet".to_owned();
+                    }
+                    let pairs = |v: &serde_json::Value, k: &str| -> String {
+                        v.get(k)
+                            .and_then(|x| x.as_array())
+                            .map(|list| {
+                                list.iter()
+                                    .map(|p| {
+                                        format!(
+                                            "({}, {})",
+                                            p.get("user").and_then(|x| x.as_str()).unwrap_or("?"),
+                                            p.get("view").and_then(|x| x.as_str()).unwrap_or("?"),
+                                        )
+                                    })
+                                    .collect::<Vec<_>>()
+                                    .join(" ")
+                            })
+                            .unwrap_or_default()
+                    };
+                    let mut out = String::from("policy drift (newest first):");
+                    for e in &entries {
+                        out.push_str(&format!(
+                            "\n  epoch {} `{}`",
+                            e.get("epoch").and_then(|x| x.as_u64()).unwrap_or(0),
+                            e.get("stmt").and_then(|x| x.as_str()).unwrap_or("?"),
+                        ));
+                        let gained = pairs(e, "gained");
+                        let lost = pairs(e, "lost");
+                        if !gained.is_empty() {
+                            out.push_str(&format!("\n      gained: {gained}"));
+                        }
+                        if !lost.is_empty() {
+                            out.push_str(&format!("\n      lost:   {lost}"));
+                        }
+                    }
+                    out
+                })
+            }
+            "alerts" => {
+                let limit = input
+                    .strip_prefix("alerts")
+                    .unwrap_or("")
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap_or(0);
+                client.alerts(limit).map(|r| {
+                    if !r.enabled {
+                        return "insight is off (the server runs --no-insight)".to_owned();
+                    }
+                    let mut out = format!("{} alerts fired; active rules:", r.fired);
+                    for rule in &r.rules {
+                        out.push_str(&format!("\n  {rule}"));
+                    }
+                    let entries = r.alerts.as_array().cloned().unwrap_or_default();
+                    if entries.is_empty() {
+                        out.push_str("\nno alerts retained");
+                    } else {
+                        out.push_str("\nfired (newest first):");
+                        for a in &entries {
+                            out.push_str(&format!(
+                                "\n  {} = {:.3} (threshold {}) at window roll {}",
+                                a.get("rule").and_then(|x| x.as_str()).unwrap_or("?"),
+                                a.get("value").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                                a.get("threshold").and_then(|x| x.as_f64()).unwrap_or(0.0),
+                                a.get("roll").and_then(|x| x.as_u64()).unwrap_or(0),
+                            ));
+                        }
                     }
                     out
                 })
